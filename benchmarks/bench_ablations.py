@@ -1,0 +1,123 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Less-copy compression: does hashing a 32-bit compressed key instead of
+   the full flow key hurt accuracy? (§3.1.1: "little effect")
+2. Sub-slice rows: do d rows addressed by sub-slices of *one* compressed
+   key lose accuracy versus d independent hashes? (§3.2: "negligible")
+3. Address-translation strategy: shift vs TCAM -- identical accuracy,
+   different resource/rule costs (§3.3).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.metrics import average_relative_error
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.dataplane.hashing import HashFunction, hash_family
+from repro.experiments.common import deploy_and_process, evaluation_trace
+from repro.sketches import CountMinSketch
+from repro.traffic.flows import KEY_SRC_IP
+
+
+def _compression_ablation(quick=True):
+    """CMS addressed through a 32-bit compressed key vs the raw key."""
+    trace = evaluation_trace(quick)
+    truth = trace.flow_sizes(KEY_SRC_IP)
+    width, depth = 2048, 3
+
+    direct = CountMinSketch(width=width, depth=depth, seed=0xA1)
+    compressed = CountMinSketch(width=width, depth=depth, seed=0xA2)
+    compressor = HashFunction(0xA3)
+    for fields in trace.iter_fields():
+        key = KEY_SRC_IP.extract(fields)
+        direct.update(key)
+        compressed.update(compressor.hash_int(key[0]))  # 32-bit digest
+
+    are_direct = average_relative_error(truth, direct.query)
+    are_compressed = average_relative_error(
+        truth, lambda k: compressed.query(compressor.hash_int(k[0]))
+    )
+    return {"direct": are_direct, "compressed": are_compressed}
+
+
+def _subslice_ablation(quick=True):
+    """d rows from sub-slices of one 32-bit hash vs d independent hashes."""
+    trace = evaluation_trace(quick)
+    truth = trace.flow_sizes(KEY_SRC_IP)
+    width, depth = 2048, 3
+    bits = width.bit_length() - 1
+
+    independent = CountMinSketch(width=width, depth=depth, seed=0xB1)
+    sliced = np.zeros((depth, width), dtype=np.int64)
+    slicer = HashFunction(0xB2)
+    offsets = [0, (32 - bits) // 2, 32 - bits]
+
+    def sliced_cols(key):
+        h = slicer.hash_int(key[0])
+        return [(h >> off) & (width - 1) for off in offsets]
+
+    for fields in trace.iter_fields():
+        key = KEY_SRC_IP.extract(fields)
+        independent.update(key)
+        for row, col in enumerate(sliced_cols(key)):
+            sliced[row, col] += 1
+
+    are_independent = average_relative_error(truth, independent.query)
+    are_sliced = average_relative_error(
+        truth, lambda k: min(sliced[r, c] for r, c in enumerate(sliced_cols(k)))
+    )
+    return {"independent": are_independent, "sliced": are_sliced}
+
+
+def _strategy_ablation(quick=True):
+    """Shift vs TCAM address translation: same answers, different rules."""
+    trace = evaluation_trace(quick)
+    truth = trace.flow_sizes(KEY_SRC_IP)
+    out = {}
+    for strategy in ("shift", "tcam"):
+        from repro.core.controller import FlyMonController
+
+        controller = FlyMonController(
+            num_groups=1, strategy=strategy, place_on_pipeline=False
+        )
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=4096,
+                depth=3,
+                algorithm="cms",
+            )
+        )
+        controller.process_trace(trace)
+        out[strategy] = {
+            "are": average_relative_error(truth, handle.algorithm.query),
+            "rules": handle.rules_installed,
+            "delay_ms": handle.deployment_ms,
+        }
+    return out
+
+
+def test_ablation_compression(benchmark, quick):
+    result = run_once(benchmark, _compression_ablation, quick=quick)
+    print(f"\ncompression ablation: direct ARE {result['direct']:.4f}, "
+          f"compressed ARE {result['compressed']:.4f}")
+    # §3.1.1: the one-way compression has little effect on accuracy.
+    assert result["compressed"] <= result["direct"] + 0.05
+
+
+def test_ablation_subslice(benchmark, quick):
+    result = run_once(benchmark, _subslice_ablation, quick=quick)
+    print(f"\nsub-slice ablation: independent ARE {result['independent']:.4f}, "
+          f"sliced ARE {result['sliced']:.4f}")
+    # §3.2: sub-slices of one compressed key behave like independent hashes.
+    assert result["sliced"] <= result["independent"] * 1.5 + 0.05
+
+
+def test_ablation_translation_strategy(benchmark, quick):
+    result = run_once(benchmark, _strategy_ablation, quick=quick)
+    print(f"\ntranslation strategy ablation: {result}")
+    # Identical accuracy (same hash path) ...
+    assert abs(result["shift"]["are"] - result["tcam"]["are"]) < 0.15
+    # ... but the shift strategy installs fewer runtime rules.
+    assert result["shift"]["rules"] <= result["tcam"]["rules"]

@@ -1,0 +1,16 @@
+"""Bench: Appendix B -- compressed-key collision probability."""
+
+from conftest import run_once
+
+from repro.experiments import appendix_b_collisions
+
+
+def test_appendix_b_collisions(benchmark, quick):
+    result = run_once(benchmark, appendix_b_collisions.run, quick=quick)
+    print()
+    print(appendix_b_collisions.format_result(result))
+    for row in result["rows"]:
+        # Empirical collision fraction tracks 1 - e^{-n/m} closely.
+        assert abs(row["measured"] - row["analytic"]) < max(
+            0.3 * row["analytic"], 0.002
+        )

@@ -1,0 +1,58 @@
+"""Bench: Appendix E -- pipeline splicing via mirror + recirculation.
+
+Compares regular cross-stacking (9 groups / 27 CMUs) with the spliced
+layout (12 groups / 36 CMUs) on resource utilization, and models the
+recirculation bandwidth overhead for the traffic share that executes tasks
+on spliced groups.
+"""
+
+from conftest import run_once
+
+from repro.core.cmu_group import CmuGroup
+from repro.core.placement import (
+    apply_placements,
+    apply_spliced_placements,
+    plan_cross_stacking,
+    plan_spliced_stacking,
+    recirculation_overhead,
+)
+from repro.dataplane.pipeline import Pipeline
+
+
+def run_splice_comparison(quick=True):
+    regular = Pipeline(num_stages=12)
+    apply_placements(
+        regular, [CmuGroup(g) for g in range(9)], plan_cross_stacking(12, 9)
+    )
+    spliced = Pipeline(num_stages=12)
+    apply_spliced_placements(
+        spliced, [CmuGroup(g) for g in range(12)], plan_spliced_stacking(12)
+    )
+    return {
+        "regular": {"groups": 9, "cmus": 27, "util": regular.utilization()},
+        "spliced": {"groups": 12, "cmus": 36, "util": spliced.utilization()},
+        "overhead_examples": {
+            frac: recirculation_overhead(frac) for frac in (0.0, 0.1, 0.25)
+        },
+    }
+
+
+def test_appendix_e_splicing(benchmark, quick):
+    result = run_once(benchmark, run_splice_comparison, quick=quick)
+    print("\nAppendix E -- spliced vs regular cross-stacking")
+    for name in ("regular", "spliced"):
+        r = result[name]
+        print(
+            f"  {name}: {r['groups']} groups / {r['cmus']} CMUs, "
+            f"hash {r['util']['hash_units']:.0%}, salu {r['util']['salus']:.0%}"
+        )
+    print(f"  recirculation overhead: {result['overhead_examples']}")
+
+    # Splicing adds exactly 3 groups and lifts hash/SALU utilization to the
+    # per-stage ceilings.
+    assert result["spliced"]["groups"] - result["regular"]["groups"] == 3
+    assert result["spliced"]["util"]["hash_units"] > result["regular"]["util"]["hash_units"]
+    assert result["spliced"]["util"]["salus"] > result["regular"]["util"]["salus"]
+    # Overhead is proportional to mirrored traffic, zero when unused.
+    assert result["overhead_examples"][0.0] == 0.0
+    assert result["overhead_examples"][0.25] == 0.25

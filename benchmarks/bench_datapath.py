@@ -1,0 +1,76 @@
+"""Micro-benchmarks: simulated data-plane packet processing throughput.
+
+Not a paper figure -- these quantify the *simulator's* per-packet cost so
+users can size experiment workloads (the real FlyMon forwards at Tofino
+line rate by construction; §5.1 shows reconfiguration never touches the
+forwarding path).
+"""
+
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic import KEY_SRC_IP, zipf_trace
+
+
+def make_controller(num_tasks: int) -> FlyMonController:
+    controller = FlyMonController(num_groups=3)
+    for i in range(num_tasks):
+        controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=4096,
+                depth=3,
+                algorithm="cms",
+                filter=TaskFilter.of(src_ip=((10 + i) << 24, 8)),
+            )
+        )
+    return controller
+
+
+@pytest.fixture(scope="module")
+def packets():
+    trace = zipf_trace(num_flows=500, num_packets=5_000, seed=20)
+    return [fields for fields in trace.iter_fields()]
+
+
+def _drive(controller, packets):
+    for fields in packets:
+        controller.process_packet(dict(fields))
+    return len(packets)
+
+
+def test_throughput_one_task(benchmark, packets):
+    controller = make_controller(1)
+    processed = benchmark.pedantic(
+        _drive, args=(controller, packets), rounds=1, iterations=1
+    )
+    assert processed == len(packets)
+
+
+def test_throughput_three_tasks(benchmark, packets):
+    controller = make_controller(3)
+    processed = benchmark.pedantic(
+        _drive, args=(controller, packets), rounds=1, iterations=1
+    )
+    assert processed == len(packets)
+
+
+def test_compression_stage_cost(benchmark):
+    """Per-packet cost of the compression stage alone (3 hash units)."""
+    from repro.core.cmu_group import CmuGroup
+
+    group = CmuGroup(0)
+    for mask in ({"src_ip": 32}, {"dst_ip": 32}, {"src_ip": 32, "src_port": 16}):
+        grant = group.keys.acquire(mask)
+        for unit, m in grant.new_masks:
+            group.hash_units[unit].set_mask(m)
+    fields = {"src_ip": 0x0A000001, "dst_ip": 0x14000002, "src_port": 1234}
+
+    def compress_many():
+        for _ in range(1000):
+            group.compress(fields)
+        return True
+
+    assert benchmark.pedantic(compress_many, rounds=1, iterations=1)

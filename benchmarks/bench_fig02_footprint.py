@@ -1,0 +1,20 @@
+"""Bench: Figure 2 -- static sketch resource footprints."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_footprint
+
+
+def test_fig02_footprint(benchmark, quick):
+    result = run_once(benchmark, fig02_footprint.run, quick=quick)
+    print()
+    print(fig02_footprint.format_result(result))
+    table = result["utilization"]
+    # The motivating claim: coexisting single-key sketches pile onto the
+    # same resources.
+    for resource in ("hash_unit", "stateful_alu"):
+        individual = sum(table[s][resource] for s in table if s != "Sum")
+        assert abs(table["Sum"][resource] - individual) < 1e-9
+    # §2.2 / [65]: a typical-scenario pipeline hosts at most ~4 static keys.
+    assert result["max_static_keys"] <= 5
+    assert max(table["Sum"].values()) > 0.1

@@ -1,0 +1,17 @@
+"""Bench: Figure 11 -- address-translation resource overhead."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_address_translation
+
+
+def test_fig11_address_translation(benchmark, quick):
+    result = run_once(benchmark, fig11_address_translation.run, quick=quick)
+    print()
+    print(fig11_address_translation.format_result(result))
+    # §3.3 / §5.1: 32 partitions within 15% of one stage's TCAM.
+    assert result["tcam_usage"][32] < 0.15
+    # Both cost curves grow monotonically with the partition count.
+    tcam = [result["tcam_usage"][p] for p in (8, 16, 32, 64)]
+    phv = [result["phv_bits"][p] for p in (8, 16, 32, 64)]
+    assert tcam == sorted(tcam) and phv == sorted(phv)

@@ -1,0 +1,33 @@
+"""Bench: Figure 12 -- reconfiguration impact on forwarding and accuracy."""
+
+from conftest import run_once
+
+from repro.experiments import fig12a_forwarding, fig12b_accuracy
+
+
+def test_fig12a_forwarding(benchmark, quick):
+    result = run_once(benchmark, fig12a_forwarding.run, quick=quick)
+    print()
+    print(fig12a_forwarding.format_result(result))
+    s = result["summary"]
+    # FlyMon forwards exactly what the bare pipeline forwards.
+    assert s["flymon_gb"] == s["bare_gb"]
+    assert s["flymon_interruption_s"] == 0.0
+    # Static reloads interrupt traffic 4-8 s each.
+    assert s["static_interruption_s"] >= 4.0 * s["static_reloads"]
+    assert s["static_gb"] < s["bare_gb"]
+
+
+def test_fig12b_accuracy(benchmark, quick):
+    result = run_once(benchmark, fig12b_accuracy.run, quick=quick)
+    print()
+    print(fig12b_accuracy.format_result(result))
+    s = result["summary"]
+    # FlyMon's memory growth holds ARE steady through the surge; the static
+    # deployment degrades by a large factor (paper: ~15x).
+    assert s["spike_are_flymon"] < 2 * s["calm_are_flymon"]
+    assert s["static_vs_flymon_spike_ratio"] > 4.0
+    # Task B's insertion/removal never perturbs task A outside the spike.
+    calm = [r for r in result["series"] if r["epoch"] not in range(6, 16)]
+    ares = [r["are_flymon"] for r in calm]
+    assert max(ares) - min(ares) < 0.1

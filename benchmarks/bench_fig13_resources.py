@@ -1,0 +1,26 @@
+"""Bench: Figure 13 -- resource usage and scalability."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_resources
+
+
+def test_fig13_resources(benchmark, quick):
+    result = run_once(benchmark, fig13_resources.run, quick=quick)
+    print()
+    print(fig13_resources.format_result(result))
+
+    # 13a: a CMU Group's average overhead stays below the paper's 8.3%, and
+    # three groups fit alongside switch.p4.
+    a = result["fig13a"]
+    assert a["avg_group_overhead"] < 0.083
+    assert all(v <= 1.0 for v in a["variants"]["+3 CMU-Group"].values())
+
+    # 13b: utilization grows with stages; the 12-stage numbers match §5.2.
+    b = result["fig13b"]["series"]
+    assert abs(b[12]["hash"] - 0.75) < 1e-9
+    assert abs(b[12]["salu"] - 0.5625) < 1e-9
+
+    # 13c: compression wins by >= 5x at 350+ bit candidate keys.
+    c = {s["key_bits"]: s for s in result["fig13c"]["series"]}
+    assert c[360]["with_compression"] >= 5 * c[360]["without_compression"]

@@ -1,0 +1,99 @@
+"""Bench: Figure 14 -- measurement accuracy across six tasks (a-g)."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    fig14a_heavy_hitter,
+    fig14b_probabilistic,
+    fig14c_ddos,
+    fig14d_cardinality,
+    fig14e_entropy,
+    fig14f_interarrival,
+    fig14g_existence,
+)
+
+
+def test_fig14a_heavy_hitter(benchmark, quick):
+    result = run_once(benchmark, fig14a_heavy_hitter.run, quick=quick)
+    print()
+    print(fig14a_heavy_hitter.format_result(result))
+    top = result["series"][-1]  # largest memory point
+    # Counter-based algorithms reach near-perfect F1 with enough memory.
+    assert top["FlyMon-CMS (d=3)"] > 0.95
+    assert top["FlyMon-SuMax (d=3)"] > 0.95
+    # SuMax is at least as memory-efficient as CMS at every point.
+    for point in result["series"]:
+        assert point["FlyMon-SuMax (d=3)"] >= point["FlyMon-CMS (d=3)"] - 0.02
+    # Coupon-based detection trails the counter-based algorithms.
+    assert top["BeauCoup (d=1)"] <= top["FlyMon-SuMax (d=3)"]
+
+
+def test_fig14b_probabilistic(benchmark, quick):
+    result = run_once(benchmark, fig14b_probabilistic.run, quick=quick)
+    print()
+    print(fig14b_probabilistic.format_result(result))
+    # §5.3: probabilistic execution has little effect on heavy hitters.
+    for point in result["series"]:
+        assert point["p=0.125"] > 0.85
+        assert point["p=1.0"] - point["p=0.125"] < 0.15
+
+
+def test_fig14c_ddos(benchmark, quick):
+    result = run_once(benchmark, fig14c_ddos.run, quick=quick)
+    print()
+    print(fig14c_ddos.format_result(result))
+    top = result["series"][-1]
+    # With ample memory the FlyMon variant matches or beats the original.
+    assert top["FlyMon-BeauCoup (d=3)"] >= top["BeauCoup (d=3)"] - 0.02
+    assert top["FlyMon-BeauCoup (d=3)"] > 0.9
+    # More memory never hurts the FlyMon d=3 variant.
+    f1s = [p["FlyMon-BeauCoup (d=3)"] for p in result["series"]]
+    assert f1s[-1] >= f1s[0]
+
+
+def test_fig14d_cardinality(benchmark, quick):
+    result = run_once(benchmark, fig14d_cardinality.run, quick=quick)
+    print()
+    print(fig14d_cardinality.format_result(result))
+    first, last = result["series"][0], result["series"][-1]
+    # The paper's crossover: BeauCoup wins at bytes-scale memory ...
+    assert first["BeauCoup"] < first["FlyMon-HLL"]
+    assert first["BeauCoup"] < 0.25
+    # ... HLL wins with kilobytes.
+    assert last["FlyMon-HLL"] < last["BeauCoup"] + 0.02
+    assert last["FlyMon-HLL"] < 0.05
+
+
+def test_fig14e_entropy(benchmark, quick):
+    result = run_once(benchmark, fig14e_entropy.run, quick=quick)
+    print()
+    print(fig14e_entropy.format_result(result))
+    last = result["series"][-1]
+    # MRAC reaches low RE and is at least as good as UnivMon at the top end.
+    assert last["FlyMon-MRAC"] < 0.05
+    assert last["FlyMon-MRAC"] <= last["UnivMon"] + 0.01
+    # MRAC improves monotonically with memory.
+    mrac = [p["FlyMon-MRAC"] for p in result["series"]]
+    assert mrac[-1] <= mrac[0]
+
+
+def test_fig14f_interarrival(benchmark, quick):
+    result = run_once(benchmark, fig14f_interarrival.run, quick=quick)
+    print()
+    print(fig14f_interarrival.format_result(result))
+    # ARE falls with memory for both depths.
+    for col in ("d=2", "d=3"):
+        series = [p[col] for p in result["series"]]
+        assert series[-1] < series[0]
+    assert result["series"][-1]["d=3"] < 0.5
+
+
+def test_fig14g_existence(benchmark, quick):
+    result = run_once(benchmark, fig14g_existence.run, quick=quick)
+    print()
+    print(fig14g_existence.format_result(result))
+    for point in result["series"]:
+        # Bit-packing strictly improves the false-positive rate.
+        assert point["w/ Opt"] <= point["w/o Opt"]
+    # And reaches a low rate within the memory range.
+    assert result["series"][-1]["w/ Opt"] < 0.05

@@ -1,0 +1,25 @@
+"""Bench: Table 3 -- built-in algorithm deployment delay and CMUG usage."""
+
+from conftest import run_once
+
+from repro.experiments import table3_deployment
+
+
+def test_table3_deployment(benchmark, quick):
+    result = run_once(benchmark, table3_deployment.run, quick=quick)
+    print()
+    print(table3_deployment.format_result(result))
+    rows = {r["algorithm"]: r for r in result["rows"]}
+
+    # §5.1: every algorithm deploys within 100 ms.
+    assert all(r["delay_ms"] < 100 for r in result["rows"])
+    # BeauCoup is the slowest (runtime one-hot coupon entries).
+    slowest = max(result["rows"], key=lambda r: r["delay_ms"])
+    assert slowest["algorithm"] == "beaucoup"
+    # HLL and MRAC are the fastest.
+    fastest = sorted(result["rows"], key=lambda r: r["delay_ms"])[:3]
+    assert {"hll", "mrac"} <= {r["algorithm"] for r in fastest}
+    # CMU Group usage matches Table 3 where published.
+    for name, row in rows.items():
+        if row["paper_cmug_usage"] is not None:
+            assert row["cmug_usage"] == row["paper_cmug_usage"], name

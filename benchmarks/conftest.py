@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every paper table/figure has one bench; each bench runs its experiment
+harness once (``rounds=1`` -- these are end-to-end evaluation regenerations,
+not micro-benchmarks) and prints the paper-style rows so ``pytest
+benchmarks/ --benchmark-only`` reproduces the whole evaluation section.
+
+Set ``FLYMON_FULL=1`` in the environment to run at full (paper-like) scale
+instead of the quick CI scale.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("FLYMON_FULL", "") != "1"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: riding out a traffic surge with dynamic memory management.
+
+A frequency task runs across ten measurement epochs.  A surge triples the
+flow population mid-run; the operator grows the task's memory (a few
+runtime rules -- FlyMon's address-translation trick) and shrinks it back
+afterwards, keeping accuracy stable while a fixed-memory deployment
+degrades.
+
+Run:  python examples/dynamic_memory_scaling.py
+"""
+
+from repro import FlyMonController, MeasurementTask
+from repro.analysis.metrics import average_relative_error
+from repro.core.task import AttributeSpec
+from repro.traffic import KEY_SRC_IP, Trace, zipf_trace
+
+NUM_EPOCHS = 10
+SURGE = range(4, 8)
+
+
+def epoch_trace(epoch: int) -> Trace:
+    parts = [zipf_trace(num_flows=1_500, num_packets=8_000, seed=100 + epoch)]
+    if epoch in SURGE:
+        parts.append(
+            zipf_trace(num_flows=4_500, num_packets=24_000, seed=500 + epoch)
+        )
+    return Trace.concatenate(parts).sorted_by_time()
+
+
+def main() -> None:
+    adaptive = FlyMonController(num_groups=3)
+    fixed = FlyMonController(num_groups=3)
+
+    def task(memory: int) -> MeasurementTask:
+        return MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=memory,
+            depth=3,
+            algorithm="cms",
+        )
+
+    adaptive_handle = adaptive.add_task(task(1024))
+    fixed_handle = fixed.add_task(task(1024))
+
+    print(f"{'epoch':>5}  {'flows':>6}  {'adaptive ARE':>12}  {'fixed ARE':>10}  note")
+    for epoch in range(NUM_EPOCHS):
+        if epoch == SURGE.start:
+            adaptive_handle = adaptive.resize_task(adaptive_handle, 16_384)
+            note = "<- grew memory 16x"
+        elif epoch == SURGE.stop:
+            adaptive_handle = adaptive.resize_task(adaptive_handle, 1024)
+            note = "<- shrank memory back"
+        else:
+            note = ""
+
+        trace = epoch_trace(epoch)
+        adaptive.process_trace(trace)
+        fixed.process_trace(trace)
+        truth = trace.flow_sizes(KEY_SRC_IP)
+        are_adaptive = average_relative_error(truth, adaptive_handle.algorithm.query)
+        are_fixed = average_relative_error(truth, fixed_handle.algorithm.query)
+        print(
+            f"{epoch:>5}  {len(truth):>6}  {are_adaptive:>12.3f}  "
+            f"{are_fixed:>10.3f}  {note}"
+        )
+        adaptive_handle.reset()
+        fixed_handle.reset()
+
+    print(
+        "\nmemory followed the workload: the adaptive task stayed accurate "
+        "through the surge; the fixed one could not."
+    )
+
+
+if __name__ == "__main__":
+    main()

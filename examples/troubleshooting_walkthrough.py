@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Scenario: the paper's introduction walkthrough -- root-causing a tenant's
+performance complaint by *switching* measurement tasks on the fly.
+
+The operator suspects something is wrong but doesn't know what.  On a
+conventional deployment each hypothesis would need a recompile + traffic
+interruption; with FlyMon each step is a few runtime rules:
+
+1. flow cardinality            -- is there a traffic anomaly at all?
+2. DDoS-victim detection       -- is someone being flooded?
+3. congestion detection        -- which flows see deep queues?
+4. heavy-hitter detection      -- which elephants should be rescheduled?
+
+Run:  python examples/troubleshooting_walkthrough.py
+"""
+
+from repro import FlyMonController, MeasurementTask
+from repro.core.task import AttributeSpec
+from repro.traffic import (
+    KEY_5TUPLE,
+    KEY_DST_IP,
+    KEY_SRC_IP,
+    Trace,
+    ddos_trace,
+    zipf_trace,
+)
+from repro.traffic.packet import format_ip
+
+
+def build_incident_traffic() -> Trace:
+    """Background service traffic plus a DDoS flood on a few victims."""
+    return ddos_trace(
+        num_victims=4,
+        sources_per_victim=1_500,
+        background_flows=3_000,
+        background_packets=20_000,
+        seed=42,
+    )
+
+
+def main() -> None:
+    controller = FlyMonController(num_groups=3)
+    trace = build_incident_traffic()
+    total_ms = 0.0
+
+    # --- Step 1: is the flow population anomalous? -------------------------
+    step1 = controller.add_task(
+        MeasurementTask(
+            key=KEY_5TUPLE,
+            attribute=AttributeSpec.distinct(KEY_5TUPLE),
+            memory=4096,
+            depth=1,
+            algorithm="hll",
+        )
+    )
+    total_ms += step1.deployment_ms
+    controller.process_trace(trace)
+    cardinality = step1.algorithm.estimate()
+    print(f"[1] flow cardinality ~= {cardinality:.0f} "
+          f"(deployed in {step1.deployment_ms:.1f} ms)")
+    controller.remove_task(step1)
+
+    # --- Step 2: is someone being flooded? ----------------------------------
+    step2 = controller.add_task(
+        MeasurementTask(
+            key=KEY_DST_IP,
+            attribute=AttributeSpec.distinct(KEY_SRC_IP),
+            memory=16_384,
+            depth=3,
+            algorithm="beaucoup",
+            threshold=1_000,
+        )
+    )
+    total_ms += step2.deployment_ms
+    controller.process_trace(trace)
+    counts = trace.distinct_counts(KEY_DST_IP, KEY_SRC_IP)
+    victims = step2.algorithm.alarms(counts.keys())
+    print(f"[2] DDoS victims (>1000 distinct sources): "
+          f"{sorted(format_ip(v[0]) for v in victims)} "
+          f"(deployed in {step2.deployment_ms:.1f} ms)")
+    controller.remove_task(step2)
+
+    # --- Step 3: which flows see congested queues? ---------------------------
+    step3 = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.maximum("queue_length"),
+            memory=8192,
+            depth=3,
+            algorithm="sumax_max",
+        )
+    )
+    total_ms += step3.deployment_ms
+    controller.process_trace(trace)
+    truth_queues = trace.max_values(KEY_SRC_IP, "queue_length")
+    congested = sorted(
+        truth_queues, key=lambda k: step3.algorithm.query(k), reverse=True
+    )[:3]
+    print(f"[3] deepest queues seen by: "
+          f"{[format_ip(k[0]) for k in congested]} "
+          f"(deployed in {step3.deployment_ms:.1f} ms)")
+    controller.remove_task(step3)
+
+    # --- Step 4: which elephants should be rescheduled? ----------------------
+    step4 = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency("pkt_bytes"),
+            memory=16_384,
+            depth=3,
+            algorithm="sumax_sum",
+        )
+    )
+    total_ms += step4.deployment_ms
+    controller.process_trace(trace)
+    truth_bytes = trace.flow_sizes(KEY_SRC_IP, by_bytes=True)
+    elephants = sorted(
+        truth_bytes, key=lambda k: step4.algorithm.query(k), reverse=True
+    )[:3]
+    print(f"[4] elephant sources by bytes: "
+          f"{[format_ip(k[0]) for k in elephants]} "
+          f"(deployed in {step4.deployment_ms:.1f} ms)")
+
+    print(
+        f"\nfour different measurement tasks, one data plane, "
+        f"{total_ms:.0f} ms of total reconfiguration, zero packets dropped."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""FlyMon reproduction: on-the-fly task reconfiguration for network measurement.
+
+This package reproduces the system described in *FlyMon: Enabling On-the-Fly
+Task Reconfiguration for Network Measurement* (SIGCOMM 2022) in pure Python:
+
+* :mod:`repro.dataplane` -- an RMT (Tofino-like) switch substrate: PHV, hash
+  units with dynamic masking, match-action tables, SALU registers, MAU stages,
+  resource accounting, and a runtime-rule API with a latency model.
+* :mod:`repro.traffic` -- packets, flows, and synthetic trace generators.
+* :mod:`repro.sketches` -- standalone baseline sketching algorithms.
+* :mod:`repro.core` -- the FlyMon contribution: Composable Measurement Units
+  (CMUs), CMU Groups, dynamic memory management, cross-stacking, the task
+  compiler and the control plane.
+* :mod:`repro.analysis` -- accuracy metrics and control-plane estimators.
+* :mod:`repro.experiments` -- harnesses regenerating every paper table/figure.
+"""
+
+from repro.core.controller import FlyMonController
+from repro.core.task import Attribute, MeasurementTask, TaskFilter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "FlyMonController",
+    "MeasurementTask",
+    "TaskFilter",
+    "__version__",
+]

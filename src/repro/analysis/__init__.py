@@ -1,0 +1,40 @@
+"""Accuracy metrics and control-plane estimators.
+
+FlyMon splits algorithms into data-plane operations and control-plane
+analysis (§3.1.2).  Everything control-plane-mathematical lives here so the
+standalone sketches and the CMU-hosted implementations share one set of
+estimators, and the evaluation shares one set of metrics (Appendix C).
+"""
+
+from repro.analysis.estimators import (
+    alpha_m,
+    coupon_collector_inversion,
+    hll_estimate,
+    linear_counting_estimate,
+    mrac_em,
+    rho32,
+)
+from repro.analysis.metrics import (
+    average_relative_error,
+    f1_score,
+    false_positive_rate,
+    precision_recall,
+    relative_error,
+)
+from repro.analysis.entropy import entropy_from_distribution, normalized_entropy
+
+__all__ = [
+    "alpha_m",
+    "average_relative_error",
+    "coupon_collector_inversion",
+    "entropy_from_distribution",
+    "f1_score",
+    "false_positive_rate",
+    "hll_estimate",
+    "linear_counting_estimate",
+    "mrac_em",
+    "normalized_entropy",
+    "precision_recall",
+    "relative_error",
+    "rho32",
+]

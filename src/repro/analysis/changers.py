@@ -1,0 +1,37 @@
+"""Heavy-changer detection (Table 1): flows whose frequency shifts sharply
+between two measurement epochs.
+
+Purely control-plane analysis over two frequency summaries, exactly the
+decomposition of §3.1.2: the data plane runs two epochs of any frequency
+algorithm; the controller diffs per-flow estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Set, Tuple
+
+
+def heavy_changers(
+    query_before: Callable[[object], float],
+    query_after: Callable[[object], float],
+    candidates: Iterable,
+    threshold: float,
+) -> Set:
+    """Flows with ``|f_after - f_before| >= threshold``."""
+    return {
+        flow
+        for flow in candidates
+        if abs(query_after(flow) - query_before(flow)) >= threshold
+    }
+
+
+def change_magnitudes(
+    query_before: Callable[[object], float],
+    query_after: Callable[[object], float],
+    candidates: Iterable,
+) -> Dict:
+    """Signed per-flow change, largest absolute change first."""
+    changes = {
+        flow: query_after(flow) - query_before(flow) for flow in candidates
+    }
+    return dict(sorted(changes.items(), key=lambda kv: -abs(kv[1])))

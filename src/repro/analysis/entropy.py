@@ -1,0 +1,32 @@
+"""Flow-entropy helpers shared by MRAC / UnivMon experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+
+def entropy_from_distribution(distribution: Mapping[int, float]) -> float:
+    """Shannon entropy (nats) of flows given ``{flow_size: flow_count}``.
+
+    ``H = -sum_s n_s * (s/N) * ln(s/N)`` with ``N = sum_s n_s * s`` -- the
+    quantity MRAC's EM output feeds into for Figure 14e.
+    """
+    total = sum(size * count for size, count in distribution.items() if size > 0)
+    if total <= 0:
+        return 0.0
+    h = 0.0
+    for size, count in distribution.items():
+        if size <= 0 or count <= 0:
+            continue
+        p = size / total
+        h -= count * p * math.log(p)
+    return h
+
+
+def normalized_entropy(distribution: Mapping[int, float]) -> float:
+    """Entropy divided by its maximum ``ln(num_flows)`` (0 for <=1 flow)."""
+    num_flows = sum(c for c in distribution.values() if c > 0)
+    if num_flows <= 1:
+        return 0.0
+    return entropy_from_distribution(distribution) / math.log(num_flows)

@@ -1,0 +1,198 @@
+"""Control-plane estimators.
+
+The math that turns raw data-plane state (register arrays, bitmaps, coupon
+counts) into answers.  Shared by the standalone sketches and the CMU-hosted
+FlyMon algorithms so accuracy comparisons never diverge on estimator details.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# HyperLogLog
+# ---------------------------------------------------------------------------
+
+
+def alpha_m(m: int) -> float:
+    """HLL bias-correction constant for ``m`` registers."""
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / m)
+
+
+def rho32(value: int, skip_bits: int = 0) -> int:
+    """1-based position of the leftmost 1 in a 32-bit word after discarding
+    ``skip_bits`` high bits; ``(32 - skip_bits) + 1`` when all zero."""
+    usable = 32 - skip_bits
+    value &= (1 << usable) - 1
+    if value == 0:
+        return usable + 1
+    return usable - value.bit_length() + 1
+
+
+def hll_estimate(registers: Sequence[int]) -> float:
+    """Bias-corrected HLL cardinality with small/large-range corrections."""
+    regs = np.asarray(registers, dtype=np.float64)
+    m = len(regs)
+    if m == 0:
+        return 0.0
+    raw = alpha_m(m) * m * m / float(np.sum(2.0 ** (-regs)))
+    if raw <= 2.5 * m:
+        zeros = int(np.count_nonzero(regs == 0))
+        if zeros:
+            return m * math.log(m / zeros)  # linear-counting regime
+        return raw
+    two32 = 2.0**32
+    if raw > two32 / 30.0:
+        return -two32 * math.log(1.0 - raw / two32)
+    return raw
+
+
+# ---------------------------------------------------------------------------
+# Linear counting
+# ---------------------------------------------------------------------------
+
+
+def linear_counting_estimate(num_bits: int, zero_bits: int) -> float:
+    """``-m ln(V)`` with ``V`` the zero-bit fraction; upper bound if saturated."""
+    if num_bits <= 0:
+        return 0.0
+    if zero_bits <= 0:
+        return float(num_bits * math.log(num_bits))
+    return -num_bits * math.log(zero_bits / num_bits)
+
+
+# ---------------------------------------------------------------------------
+# Coupon collector (BeauCoup)
+# ---------------------------------------------------------------------------
+
+
+def harmonic(m: int) -> float:
+    """The m-th harmonic number."""
+    return sum(1.0 / i for i in range(1, m + 1))
+
+
+def tune_coupon_probability(num_coupons: int, threshold: int) -> float:
+    """Per-coupon draw probability so that collecting all ``num_coupons``
+    coupons takes ``threshold`` distinct values in expectation (BeauCoup's
+    query compiler), clamped to a feasible total probability."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    p = harmonic(num_coupons) / threshold
+    return min(p, 1.0 / num_coupons)
+
+
+def coupon_collector_inversion(collected: int, num_coupons: int, prob: float) -> float:
+    """Expected distinct values needed to collect ``collected`` of
+    ``num_coupons`` coupons, each drawn with probability ``prob``."""
+    if not 0 <= collected <= num_coupons:
+        raise ValueError("collected out of range")
+    if prob <= 0:
+        return 0.0
+    return sum(1.0 / ((num_coupons - i) * prob) for i in range(collected))
+
+
+# ---------------------------------------------------------------------------
+# MRAC expectation-maximization
+# ---------------------------------------------------------------------------
+
+
+def mrac_em(
+    counter_values: Sequence[int],
+    num_buckets: int,
+    iterations: int = 50,
+    max_size: int = 512,
+) -> Dict[int, float]:
+    """EM estimate of the flow-size distribution from an MRAC counter array.
+
+    Follows Kumar et al.'s Poisson collision model: bucket loads are
+    Poisson(n/m), and each non-zero counter value is explained as a mixture
+    of compositions of up to three colliding flow sizes (4-way collisions
+    are negligible at the load factors the experiments use).
+
+    Returns ``{flow_size: estimated_flow_count}``.
+    """
+    values, counts = np.unique(
+        np.asarray([v for v in counter_values if v > 0], dtype=np.int64),
+        return_counts=True,
+    )
+    hist = {int(v): int(c) for v, c in zip(values, counts)}
+    if not hist:
+        return {}
+    small = {v: c for v, c in hist.items() if v <= max_size}
+    large = {v: c for v, c in hist.items() if v > max_size}
+
+    phi: Dict[int, float] = {v: float(c) for v, c in small.items()}
+    for _ in range(iterations):
+        n_flows = sum(phi.values())
+        if n_flows <= 0:
+            break
+        lam = n_flows / num_buckets
+        p_size = {s: phi[s] / n_flows for s in phi}
+        new_phi: Dict[int, float] = {}
+        for v, buckets in small.items():
+            comps = _compositions(v, p_size, lam)
+            z = sum(w for _, w in comps)
+            if z <= 0:
+                comps, z = [((v,), 1.0)], 1.0
+            for sizes, w in comps:
+                share = buckets * w / z
+                for s in sizes:
+                    new_phi[s] = new_phi.get(s, 0.0) + share
+        phi = {s: c for s, c in new_phi.items() if c > 1e-9}
+    for v, c in large.items():
+        phi[v] = phi.get(v, 0.0) + c
+    return phi
+
+
+def _compositions(
+    value: int, p_size: Dict[int, float], lam: float, max_parts: int = 3
+) -> List[Tuple[Tuple[int, ...], float]]:
+    """Weighted compositions of ``value`` from <= ``max_parts`` flow sizes.
+
+    Weight = Poisson(k; lam) arrival probability x product of size
+    probabilities x multinomial ordering factor (sorted tuples enumerated).
+    """
+    sizes = sorted(p_size)
+    out: List[Tuple[Tuple[int, ...], float]] = []
+
+    def poisson(k: int) -> float:
+        return math.exp(-lam) * lam**k / math.factorial(k)
+
+    if value in p_size:
+        out.append(((value,), poisson(1) * p_size[value]))
+    if max_parts >= 2:
+        for a in sizes:
+            b = value - a
+            if b < a:
+                break
+            if b in p_size:
+                mult = 1.0 if a == b else 2.0
+                out.append(((a, b), poisson(2) * mult * p_size[a] * p_size[b]))
+    if max_parts >= 3:
+        for i, a in enumerate(sizes):
+            if 3 * a > value:
+                break
+            for b in sizes[i:]:
+                c = value - a - b
+                if c < b:
+                    break
+                if c in p_size:
+                    if a == b == c:
+                        mult = 1.0
+                    elif a == b or b == c:
+                        mult = 3.0
+                    else:
+                        mult = 6.0
+                    out.append(
+                        ((a, b, c), poisson(3) * mult * p_size[a] * p_size[b] * p_size[c])
+                    )
+    return out

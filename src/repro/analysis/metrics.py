@@ -1,0 +1,57 @@
+"""Evaluation metrics (Appendix C of the paper).
+
+* ARE -- average relative error over per-flow estimates,
+* RE -- relative error of a scalar estimate,
+* F1 -- harmonic mean of precision and recall over reported sets,
+* FP -- false-positive rate over negative instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Set, Tuple
+
+
+def relative_error(true_value: float, estimate: float) -> float:
+    """``|x - x_hat| / x``; 0 when both are 0, inf when only truth is 0."""
+    if true_value == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(true_value - estimate) / abs(true_value)
+
+
+def average_relative_error(
+    truth: Mapping, estimator: Callable[[object], float]
+) -> float:
+    """Mean relative error of ``estimator(key)`` over all true flows."""
+    if not truth:
+        return 0.0
+    total = 0.0
+    for key, true_value in truth.items():
+        total += relative_error(true_value, estimator(key))
+    return total / len(truth)
+
+
+def precision_recall(reported: Set, truth: Set) -> Tuple[float, float]:
+    """(precision, recall) of a reported set against ground truth."""
+    if not reported:
+        return (1.0 if not truth else 0.0, 0.0 if truth else 1.0)
+    true_positives = len(reported & truth)
+    precision = true_positives / len(reported)
+    recall = true_positives / len(truth) if truth else 1.0
+    return precision, recall
+
+
+def f1_score(reported: Set, truth: Set) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    precision, recall = precision_recall(reported, truth)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def false_positive_rate(reported_positive: Set, negatives: Iterable) -> float:
+    """Fraction of true-negative instances wrongly reported positive."""
+    negatives = list(negatives)
+    if not negatives:
+        return 0.0
+    fp = sum(1 for item in negatives if item in reported_positive)
+    return fp / len(negatives)

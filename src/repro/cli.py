@@ -1,0 +1,178 @@
+"""Command-line interface: explore algorithms and regenerate experiments.
+
+Usage::
+
+    python -m repro list-algorithms
+    python -m repro list-experiments
+    python -m repro run <experiment> [--full]
+    python -m repro demo
+
+``run`` accepts the experiment names printed by ``list-experiments``
+(e.g. ``fig13`` or ``table3``) and prints the paper-style rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+#: Experiment name -> harness module (each exposes run()/format_result()).
+EXPERIMENTS = {
+    "fig02": "repro.experiments.fig02_footprint",
+    "fig08": "repro.experiments.fig08_stage_usage",
+    "table3": "repro.experiments.table3_deployment",
+    "fig11": "repro.experiments.fig11_address_translation",
+    "fig12a": "repro.experiments.fig12a_forwarding",
+    "fig12b": "repro.experiments.fig12b_accuracy",
+    "fig13": "repro.experiments.fig13_resources",
+    "fig14a": "repro.experiments.fig14a_heavy_hitter",
+    "fig14b": "repro.experiments.fig14b_probabilistic",
+    "fig14c": "repro.experiments.fig14c_ddos",
+    "fig14d": "repro.experiments.fig14d_cardinality",
+    "fig14e": "repro.experiments.fig14e_entropy",
+    "fig14f": "repro.experiments.fig14f_interarrival",
+    "fig14g": "repro.experiments.fig14g_existence",
+    "appendix-b": "repro.experiments.appendix_b_collisions",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlyMon reproduction: on-the-fly network measurement.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-algorithms", help="show the built-in CMU algorithms")
+    sub.add_parser("list-experiments", help="show the paper tables/figures")
+
+    run = sub.add_parser("run", help="regenerate one paper table/figure")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-like workload scale (slower) instead of the quick scale",
+    )
+
+    report = sub.add_parser(
+        "report", help="run a set of experiments and write a combined report"
+    )
+    report.add_argument(
+        "--output", default="REPORT.md", help="path of the markdown report"
+    )
+    report.add_argument(
+        "--fast-only",
+        action="store_true",
+        help="only the sub-second harnesses (resource/latency models)",
+    )
+
+    sub.add_parser("demo", help="run the quickstart scenario")
+    return parser
+
+
+def cmd_list_algorithms() -> int:
+    from repro.core.algorithms import ALGORITHM_REGISTRY
+    from repro.core.task import MeasurementTask, AttributeSpec
+    from repro.traffic.flows import KEY_SRC_IP
+
+    print(f"{'name':<18} {'attribute':<12} {'rows':<5} groups")
+    print("-" * 48)
+    for name in sorted(ALGORITHM_REGISTRY):
+        cls = ALGORITHM_REGISTRY[name]
+        # Probe the shape with a representative task.
+        kwargs = dict(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=1024,
+            algorithm=name,
+        )
+        if name in ("beaucoup",):
+            kwargs["attribute"] = AttributeSpec.distinct(KEY_SRC_IP)
+            kwargs["threshold"] = 512
+        elif name in ("hll", "linear_counting", "odd_sketch"):
+            kwargs["attribute"] = AttributeSpec.distinct(KEY_SRC_IP)
+        elif name in ("sumax_max", "max_interarrival"):
+            kwargs["attribute"] = AttributeSpec.maximum("queue_length")
+        elif name in ("bloom", "bloom_naive"):
+            kwargs["attribute"] = AttributeSpec.existence()
+        try:
+            algo = cls(MeasurementTask(**kwargs))
+            attribute = kwargs["attribute"].kind.value
+            print(
+                f"{name:<18} {attribute:<12} {algo.num_rows():<5} "
+                f"{algo.groups_needed()}"
+            )
+        except Exception as exc:  # pragma: no cover - defensive listing
+            print(f"{name:<18} <unavailable: {exc}>")
+    return 0
+
+
+def cmd_list_experiments() -> int:
+    print(f"{'name':<12} module")
+    print("-" * 60)
+    for name, module in sorted(EXPERIMENTS.items()):
+        print(f"{name:<12} {module}")
+    return 0
+
+
+def cmd_run(experiment: str, full: bool) -> int:
+    module = importlib.import_module(EXPERIMENTS[experiment])
+    result = module.run(quick=not full)
+    print(module.format_result(result))
+    return 0
+
+
+#: Harnesses cheap enough for --fast-only reports.
+FAST_EXPERIMENTS = ("fig02", "fig08", "fig11", "fig12a", "fig13", "appendix-b", "table3")
+
+
+def cmd_report(output: str, fast_only: bool) -> int:
+    names = FAST_EXPERIMENTS if fast_only else tuple(sorted(EXPERIMENTS))
+    sections = []
+    for name in names:
+        module = importlib.import_module(EXPERIMENTS[name])
+        print(f"running {name} ...", flush=True)
+        result = module.run(quick=True)
+        sections.append(f"## {name}\n\n```\n{module.format_result(result)}\n```\n")
+    with open(output, "w") as fh:
+        fh.write("# FlyMon reproduction report\n\n")
+        fh.write(
+            "Generated by `python -m repro report`. Quick-scale workloads; "
+            "see EXPERIMENTS.md for paper-vs-measured discussion.\n\n"
+        )
+        fh.write("\n".join(sections))
+    print(f"wrote {output} ({len(sections)} sections)")
+    return 0
+
+
+def cmd_demo() -> int:
+    import runpy
+    from pathlib import Path
+
+    quickstart = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if quickstart.exists():
+        runpy.run_path(str(quickstart), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found next to the package", file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-algorithms":
+        return cmd_list_algorithms()
+    if args.command == "list-experiments":
+        return cmd_list_experiments()
+    if args.command == "run":
+        return cmd_run(args.experiment, args.full)
+    if args.command == "report":
+        return cmd_report(args.output, args.fast_only)
+    if args.command == "demo":
+        return cmd_demo()
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

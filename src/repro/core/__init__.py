@@ -1,0 +1,36 @@
+"""FlyMon core: the paper's contribution.
+
+* :mod:`repro.core.operations` -- the reduced stateful operation set,
+* :mod:`repro.core.task` -- the task abstraction (filter/key/attribute/memory),
+* :mod:`repro.core.compression` -- compressed keys and the shared compression stage,
+* :mod:`repro.core.params` -- parameter selection and preparation-stage processors,
+* :mod:`repro.core.address_translation` / :mod:`repro.core.memory` -- dynamic memory,
+* :mod:`repro.core.cmu` / :mod:`repro.core.cmu_group` -- the CMU datapath,
+* :mod:`repro.core.placement` -- cross-stacking onto the RMT pipeline,
+* :mod:`repro.core.algorithms` -- built-in algorithms on CMUs,
+* :mod:`repro.core.compiler` / :mod:`repro.core.controller` -- the control plane.
+"""
+
+from repro.core.cmu import Cmu, CmuTaskConfig, TaskConflictError
+from repro.core.cmu_group import CmuGroup
+from repro.core.controller import FlyMonController, PlacementError, TaskHandle
+from repro.core.memory import MODE_ACCURATE, MODE_EFFICIENT, BuddyAllocator, MemRange
+from repro.core.task import Attribute, AttributeSpec, MeasurementTask, TaskFilter
+
+__all__ = [
+    "Attribute",
+    "AttributeSpec",
+    "BuddyAllocator",
+    "Cmu",
+    "CmuGroup",
+    "CmuTaskConfig",
+    "FlyMonController",
+    "MODE_ACCURATE",
+    "MODE_EFFICIENT",
+    "MeasurementTask",
+    "MemRange",
+    "PlacementError",
+    "TaskConflictError",
+    "TaskFilter",
+    "TaskHandle",
+]

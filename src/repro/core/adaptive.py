@@ -1,0 +1,100 @@
+"""Adaptive memory management: a DREAM-style control loop over FlyMon.
+
+§3.4 positions FlyMon as the flexible data plane under software-defined
+measurement controllers such as DREAM/SCREAM, whose job is to move memory
+between tasks as accuracy demands change.  This module implements that loop
+for counter tasks:
+
+* after each epoch the manager reads a cheap accuracy proxy from the task's
+  own registers -- the *fill factor* (fraction of non-zero buckets), which
+  tracks the flow-count-to-memory ratio that drives CMS-style error;
+* when the proxy exceeds ``grow_above`` the task is redeployed with twice
+  the memory (bounded by ``max_memory``); below ``shrink_below`` it halves
+  (bounded by ``min_memory``) -- both are FlyMon's millisecond-level
+  reconfigurations, so the loop reacts within one epoch.
+
+Because a resize starts the measurement fresh (§6's freeze-and-divert
+strategy), decisions apply at epoch boundaries, exactly where state resets
+anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.controller import FlyMonController, PlacementError, TaskHandle
+
+
+def fill_factor(handle: TaskHandle) -> float:
+    """Fraction of non-zero buckets, averaged over the task's rows.
+
+    For hashed counter rows with ``n`` flows over ``m`` buckets the expected
+    fill is ``1 - e^{-n/m}``; past ~0.7 (n ~= 1.2 m) collision error climbs
+    quickly, which is the regime the manager steers away from.
+    """
+    rows = handle.algorithm.rows
+    if not rows:
+        return 0.0
+    fractions = []
+    for row in rows:
+        values = row.read()
+        fractions.append(float(np.count_nonzero(values)) / len(values))
+    return sum(fractions) / len(fractions)
+
+
+@dataclass
+class ResizeDecision:
+    """One epoch's decision record (for operator audit trails)."""
+
+    epoch: int
+    fill: float
+    action: str  # "grow" | "shrink" | "hold" | "blocked"
+    memory: int
+
+
+@dataclass
+class AdaptiveMemoryManager:
+    """Drives one task's memory to track its workload."""
+
+    controller: FlyMonController
+    handle: TaskHandle
+    grow_above: float = 0.5
+    shrink_below: float = 0.15
+    min_memory: int = 64
+    max_memory: int = 1 << 16
+    history: List[ResizeDecision] = field(default_factory=list)
+    _epoch: int = 0
+
+    @property
+    def memory(self) -> int:
+        return self.handle.rows[0].mem.length
+
+    def end_of_epoch(self) -> ResizeDecision:
+        """Read the proxy, decide, and (maybe) resize.  Call at epoch
+        boundaries *before* resetting the task (the proxy needs the epoch's
+        state); the resize itself starts the next epoch fresh."""
+        fill = fill_factor(self.handle)
+        action = "hold"
+        memory = self.memory
+        target: Optional[int] = None
+        if fill > self.grow_above and memory < self.max_memory:
+            target, action = min(self.max_memory, memory * 2), "grow"
+        elif fill < self.shrink_below and memory > self.min_memory:
+            target, action = max(self.min_memory, memory // 2), "shrink"
+        if target is not None:
+            try:
+                self.handle = self.controller.resize_task(self.handle, target)
+                memory = target
+            except PlacementError:
+                action = "blocked"
+        else:
+            self.handle.reset()
+        decision = ResizeDecision(
+            epoch=self._epoch, fill=fill, action=action, memory=memory
+        )
+        self.history.append(decision)
+        self._epoch += 1
+        return decision

@@ -1,0 +1,58 @@
+"""Built-in algorithms implemented on CMUs (§4, Appendix D, Table 3).
+
+Each algorithm knows (a) how to compile a measurement task into per-CMU
+configurations over the rows the controller assigned to it, and (b) how to
+turn register reads back into answers (the control-plane analysis half of
+the decomposition in §3.1.2).
+
+Registry:
+
+========================  ===========  ==========  =============
+algorithm                 attribute    rows        CMU Groups
+========================  ===========  ==========  =============
+``cms``                   frequency    d (def. 3)  1
+``sumax_sum``             frequency    d           d (chained)
+``mrac``                  frequency    1           1
+``tower``                 frequency    3           1
+``counter_braids``        frequency    2           2 (chained)
+``hll``                   distinct     1           1
+``beaucoup``              distinct     d           1
+``linear_counting``       distinct     1           1
+``bloom``                 existence    d           1
+``sumax_max``             max          d           1
+``max_interarrival``      max          3 x d       3 (chained)
+========================  ===========  ==========  =============
+"""
+
+from repro.core.algorithms.base import ALGORITHM_REGISTRY, CmuAlgorithm, RowBinding, default_algorithm_for
+from repro.core.algorithms.distinct import FlyMonBeauCoup, FlyMonHll, FlyMonLinearCounting
+from repro.core.algorithms.existence import FlyMonBloom
+from repro.core.algorithms.frequency import (
+    FlyMonCms,
+    FlyMonCounterBraids,
+    FlyMonMrac,
+    FlyMonSuMaxSum,
+    FlyMonTower,
+)
+from repro.core.algorithms.interarrival import FlyMonMaxInterarrival
+from repro.core.algorithms.maximum import FlyMonSuMaxMax
+from repro.core.algorithms.similarity import FlyMonOddSketch
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "CmuAlgorithm",
+    "FlyMonBeauCoup",
+    "FlyMonBloom",
+    "FlyMonCms",
+    "FlyMonCounterBraids",
+    "FlyMonHll",
+    "FlyMonLinearCounting",
+    "FlyMonMaxInterarrival",
+    "FlyMonMrac",
+    "FlyMonOddSketch",
+    "FlyMonSuMaxMax",
+    "FlyMonSuMaxSum",
+    "FlyMonTower",
+    "RowBinding",
+    "default_algorithm_for",
+]

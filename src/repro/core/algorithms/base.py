@@ -1,0 +1,213 @@
+"""Algorithm framework: planning contexts, row bindings, and the registry."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.core.cmu import Cmu, CmuTaskConfig
+from repro.core.cmu_group import CmuGroup
+from repro.core.compression import KeyGrant, KeySelector, row_slices
+from repro.core.memory import MemRange
+from repro.core.task import Attribute, MeasurementTask
+from repro.traffic.flows import FIELD_WIDTHS, FlowKeyDef
+
+
+def fields_from_flow(key_def: FlowKeyDef, flow: Tuple[int, ...]) -> Dict[str, int]:
+    """Reconstruct packet-like fields from a flow-key tuple.
+
+    Ground-truth flow keys carry prefix-shifted values; placing them back in
+    the high bits reproduces exactly what the data-plane hash units saw.
+    """
+    out = {}
+    for (name, bits), part in zip(key_def.parts, flow):
+        width = FIELD_WIDTHS[name]
+        out[name] = (int(part) << (width - bits)) & ((1 << width) - 1)
+    return out
+
+
+@dataclass
+class RowSlot:
+    """One row assigned by the controller: a CMU plus its memory range and
+    the compressed-key grants acquired on that CMU's group."""
+
+    group: CmuGroup
+    cmu: Cmu
+    mem: MemRange
+    key_grant: KeyGrant
+    param_grant: Optional[KeyGrant] = None
+
+
+@dataclass
+class PlanContext:
+    """Everything an algorithm needs to emit per-row configurations."""
+
+    task: MeasurementTask
+    task_id: int
+    rows: List[RowSlot]
+    strategy: str = "tcam"
+    priority: int = 0
+
+    @property
+    def register_size(self) -> int:
+        return self.rows[0].cmu.register_size
+
+    @property
+    def bucket_bits(self) -> int:
+        return self.rows[0].cmu.bucket_bits
+
+    def address_bits(self, row: RowSlot) -> int:
+        return row.cmu.register_size.bit_length() - 1
+
+    def sliced_key(self, row_index: int) -> KeySelector:
+        """The row's key selector restricted to its distinct sub-slice of the
+        compressed key (§3.2's simulated-independence trick)."""
+        row = self.rows[row_index]
+        slices = row_slices(len(self.rows), self.address_bits(row))
+        offset, width = slices[row_index]
+        return row.key_grant.selector.with_slice(offset, width)
+
+
+@dataclass
+class RowBinding:
+    """A deployed row, used by the control plane for queries."""
+
+    group: CmuGroup
+    cmu: Cmu
+    task_id: int
+
+    @property
+    def config(self) -> CmuTaskConfig:
+        return self.cmu.config(self.task_id)
+
+    @property
+    def mem(self) -> MemRange:
+        return self.config.mem
+
+    def read(self) -> np.ndarray:
+        return self.cmu.read_task_memory(self.task_id)
+
+    def reset(self) -> None:
+        self.cmu.reset_task_memory(self.task_id)
+
+    def value_for_fields(self, fields: Dict[str, int]) -> int:
+        """The bucket value a packet with these fields would touch."""
+        compressed = self.group.compress(fields)
+        index = self.cmu.index_for(self.task_id, compressed)
+        return self.cmu.register.read(index)
+
+    def probe(self, fields: Dict[str, int]) -> Tuple[int, int, int]:
+        """``(bucket_index, bucket_value, processed_p1)`` for a packet --
+        lets membership-style queries recompute the probe bit the data
+        plane would use."""
+        compressed = self.group.compress(fields)
+        cfg = self.config
+        index = self.cmu.index_for(self.task_id, compressed)
+        value = self.cmu.register.read(index)
+        p1 = cfg.p1_processor.apply(cfg.p1.value(fields, compressed), fields)
+        return index, value, p1
+
+
+class CmuAlgorithm:
+    """Base class for built-in algorithms.
+
+    Subclasses declare their shape (rows per group, number of groups) and
+    implement :meth:`build_configs`; after deployment the controller attaches
+    :attr:`rows` (bindings) and the instance answers queries.
+    """
+
+    name: str = ""
+    attribute: Optional[Attribute] = None
+
+    def __init__(self, task: MeasurementTask) -> None:
+        self.task = task
+        self.rows: List[RowBinding] = []
+
+    # -- shape -----------------------------------------------------------------
+
+    def num_rows(self) -> int:
+        """Total CMU rows the deployment needs."""
+        return self.task.depth
+
+    def groups_needed(self) -> int:
+        """1 for in-group algorithms; >1 when rows chain across groups."""
+        return 1
+
+    def needs_param_key(self) -> bool:
+        """Whether a second compressed key (the attribute parameter) is
+        required on each group."""
+        return False
+
+    def rows_layout(self) -> List[int]:
+        """Rows per group, group-major (e.g. ``[3]`` in-group, ``[1, 1, 1]``
+        chained)."""
+        groups = self.groups_needed()
+        if groups == 1:
+            return [self.num_rows()]
+        per_group, extra = divmod(self.num_rows(), groups)
+        if extra:
+            raise ValueError("rows must divide evenly across groups")
+        return [per_group] * groups
+
+    def row_memory(self, base_memory: int) -> List[int]:
+        """Requested bucket counts per row (before quantization)."""
+        return [base_memory] * self.num_rows()
+
+    # -- compile ----------------------------------------------------------------
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        raise NotImplementedError
+
+    # -- query helpers -------------------------------------------------------------
+
+    def bind(self, rows: List[RowBinding]) -> None:
+        self.rows = rows
+
+    def read_rows(self) -> List[np.ndarray]:
+        return [row.read() for row in self.rows]
+
+    def reset(self) -> None:
+        for row in self.rows:
+            row.reset()
+
+    def _fields_for(self, flow: Tuple[int, ...]) -> Dict[str, int]:
+        return fields_from_flow(self.task.key, flow)
+
+    def row_values(self, flow: Tuple[int, ...]) -> List[int]:
+        fields = self._fields_for(flow)
+        return [row.value_for_fields(fields) for row in self.rows]
+
+
+#: name -> class; populated by the concrete algorithm modules.
+ALGORITHM_REGISTRY: Dict[str, Type[CmuAlgorithm]] = {}
+
+
+def register_algorithm(cls: Type[CmuAlgorithm]) -> Type[CmuAlgorithm]:
+    if not cls.name:
+        raise ValueError("algorithm class needs a name")
+    ALGORITHM_REGISTRY[cls.name] = cls
+    return cls
+
+
+#: The compiler's default algorithm per attribute (§3.4: "a dedicated
+#: compiler selects a built-in algorithm according to the attribute").
+_DEFAULTS = {
+    Attribute.FREQUENCY: "cms",
+    Attribute.DISTINCT: "beaucoup",
+    Attribute.EXISTENCE: "bloom",
+    Attribute.MAX: "sumax_max",
+}
+
+
+def default_algorithm_for(task: MeasurementTask) -> str:
+    if task.algorithm is not None:
+        if task.algorithm not in ALGORITHM_REGISTRY:
+            raise KeyError(f"unknown algorithm {task.algorithm!r}")
+        return task.algorithm
+    kind = task.attribute.kind
+    # Single-key distinct counting (no grouping parameter vs. key) defaults
+    # to HLL per §4's flow-cardinality task.
+    return _DEFAULTS[kind]

@@ -1,0 +1,303 @@
+"""Frequency-attribute algorithms on CMUs (§4, Appendix D)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.entropy import entropy_from_distribution
+from repro.analysis.estimators import mrac_em
+from repro.core.algorithms.base import (
+    CmuAlgorithm,
+    PlanContext,
+    register_algorithm,
+)
+from repro.core.cmu import CmuTaskConfig
+from repro.core.operations import OP_COND_ADD
+from repro.core.params import (
+    ConstParam,
+    FieldParam,
+    IdentityProcessor,
+    MinResultsParam,
+    OverflowIndicatorProcessor,
+    ResultParam,
+)
+from repro.core.task import MeasurementTask
+
+
+def _p1_for_frequency(task: MeasurementTask):
+    """Frequency(1) counts packets; Frequency('pkt_bytes') counts bytes."""
+    param = task.attribute.param
+    if isinstance(param, int):
+        return ConstParam(param)
+    if isinstance(param, str):
+        return FieldParam(param)
+    raise TypeError(f"frequency parameter must be int or field name, not {param!r}")
+
+
+class _CounterQueryMixin:
+    """Shared min-over-rows point query with sampling compensation."""
+
+    def query(self, flow: Tuple[int, ...]) -> float:
+        values = self.row_values(flow)
+        estimate = float(min(values)) if values else 0.0
+        return estimate / self.task.sample_prob
+
+    def heavy_hitters(self, candidates: Iterable[Tuple[int, ...]], threshold: int) -> Set:
+        return {flow for flow in candidates if self.query(flow) >= threshold}
+
+    def data_plane_heavy_hitters(self) -> Set:
+        """Threshold-crossing flows reported by data-plane digests.
+
+        Available when the task was deployed with ``threshold`` set: each
+        row digests flows whose counter crossed it, and a flow is a heavy
+        hitter when *every* row reported it (equivalent to the min-over-rows
+        estimate crossing the threshold) -- no candidate enumeration needed.
+        """
+        digest_sets = [
+            row.cmu.peek_digests(row.task_id) for row in self.rows
+        ]
+        if not digest_sets:
+            return set()
+        out = digest_sets[0]
+        for digests in digest_sets[1:]:
+            out = out & digests
+        return out
+
+
+@register_algorithm
+class FlyMonCms(_CounterQueryMixin, CmuAlgorithm):
+    """Count-Min Sketch: ``d`` Cond-ADD rows with ``p2 = +inf`` (§4).
+
+    Setting the conditional's bound to the counter maximum turns Cond-ADD
+    into CMS's unconditional ADD (counters saturate instead of wrapping).
+    """
+
+    name = "cms"
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        p1 = _p1_for_frequency(ctx.task)
+        p2 = ConstParam((1 << ctx.bucket_bits) - 1)
+        configs = []
+        for i, row in enumerate(ctx.rows):
+            configs.append(
+                CmuTaskConfig(
+                    task_id=ctx.task_id,
+                    filter=ctx.task.filter,
+                    key_selector=ctx.sliced_key(i),
+                    p1=p1,
+                    p2=p2,
+                    p1_processor=IdentityProcessor(),
+                    mem=row.mem,
+                    op=OP_COND_ADD,
+                    strategy=ctx.strategy,
+                    sample_prob=ctx.task.sample_prob,
+                    priority=ctx.priority,
+                    alarm_threshold=ctx.task.threshold,
+                    digest_key=ctx.task.key if ctx.task.threshold else None,
+                )
+            )
+        return configs
+
+
+@register_algorithm
+class FlyMonMrac(_CounterQueryMixin, CmuAlgorithm):
+    """MRAC: a single counter row; the distribution is recovered by EM.
+
+    The data plane is identical to a one-row CMS (§4 / Appendix D: "MRAC and
+    Count-Min Sketch implementations are identical in the data plane"); the
+    difference is entirely control-plane analysis.
+    """
+
+    name = "mrac"
+
+    def num_rows(self) -> int:
+        return 1
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        return FlyMonCms.build_configs(self, ctx)
+
+    def estimate_distribution(self, **kwargs) -> Dict[int, float]:
+        counters = self.rows[0].read()
+        return mrac_em(counters, len(counters), **kwargs)
+
+    def estimate_entropy(self, **kwargs) -> float:
+        return entropy_from_distribution(self.estimate_distribution(**kwargs))
+
+    def estimate_flow_count(self, **kwargs) -> float:
+        return float(sum(self.estimate_distribution(**kwargs).values()))
+
+
+@register_algorithm
+class FlyMonSuMaxSum(_CounterQueryMixin, CmuAlgorithm):
+    """SuMax(Sum): approximate conservative update across chained groups.
+
+    Each row's Cond-ADD only fires while its counter is below the running
+    minimum of the previous rows' post-update values, which the rows export
+    through the PHV -- hence one CMU per (pipeline-ordered) group (§4,
+    Table 3: CMUG usage 3).
+    """
+
+    name = "sumax_sum"
+
+    def groups_needed(self) -> int:
+        return self.task.depth
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        p1 = _p1_for_frequency(ctx.task)
+        max_value = (1 << ctx.bucket_bits) - 1
+        configs = []
+        for i, row in enumerate(ctx.rows):
+            if i == 0:
+                p2 = ConstParam(max_value)
+            else:
+                refs = tuple(
+                    (ctx.rows[j].group.group_id, ctx.rows[j].cmu.index)
+                    for j in range(i)
+                )
+                p2 = MinResultsParam(refs)
+            configs.append(
+                CmuTaskConfig(
+                    task_id=ctx.task_id,
+                    filter=ctx.task.filter,
+                    key_selector=ctx.sliced_key(i),
+                    p1=p1,
+                    p2=p2,
+                    p1_processor=IdentityProcessor(),
+                    mem=row.mem,
+                    op=OP_COND_ADD,
+                    strategy=ctx.strategy,
+                    sample_prob=ctx.task.sample_prob,
+                    priority=ctx.priority,
+                    alarm_threshold=ctx.task.threshold,
+                    digest_key=ctx.task.key if ctx.task.threshold else None,
+                )
+            )
+        return configs
+
+
+#: Tower rows: (counter_bits, memory multiplier vs. the task's base request).
+TOWER_LAYOUT = ((2, 4), (4, 2), (8, 1))
+
+
+@register_algorithm
+class FlyMonTower(CmuAlgorithm):
+    """TowerSketch on CMUs (Appendix D, Fig. 15a).
+
+    Rows emulate small counters inside the uniform 16-bit buckets by
+    counting in the buckets' most-significant bits: ``p1`` represents "1"
+    at the counter's bit offset and ``p2`` is the saturation bound.
+    Address translation gives each row its own array length.
+    """
+
+    name = "tower"
+
+    def num_rows(self) -> int:
+        return len(TOWER_LAYOUT)
+
+    def row_memory(self, base_memory: int) -> List[int]:
+        return [base_memory * mult for _, mult in TOWER_LAYOUT]
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        configs = []
+        for i, row in enumerate(ctx.rows):
+            bits, _ = TOWER_LAYOUT[i]
+            shift = ctx.bucket_bits - bits
+            configs.append(
+                CmuTaskConfig(
+                    task_id=ctx.task_id,
+                    filter=ctx.task.filter,
+                    key_selector=ctx.sliced_key(i),
+                    p1=ConstParam(1 << shift),
+                    p2=ConstParam(((1 << bits) - 1) << shift),
+                    p1_processor=IdentityProcessor(),
+                    mem=row.mem,
+                    op=OP_COND_ADD,
+                    strategy=ctx.strategy,
+                    sample_prob=ctx.task.sample_prob,
+                    priority=ctx.priority,
+                )
+            )
+        return configs
+
+    def query(self, flow: Tuple[int, ...]) -> float:
+        best = None
+        for i, value in enumerate(self.row_values(flow)):
+            bits, _ = TOWER_LAYOUT[i]
+            shift = self.rows[i].cmu.bucket_bits - bits
+            counter = value >> shift
+            if counter >= (1 << bits) - 1:
+                continue  # saturated: +infinity
+            best = counter if best is None else min(best, counter)
+        if best is None:
+            best = (1 << TOWER_LAYOUT[-1][0]) - 1
+        return best / self.task.sample_prob
+
+    def heavy_hitters(self, candidates, threshold: int) -> set:
+        return {flow for flow in candidates if self.query(flow) >= threshold}
+
+
+@register_algorithm
+class FlyMonCounterBraids(CmuAlgorithm):
+    """Two-layer Counter Braids on chained CMUs (Appendix D, Fig. 15b).
+
+    The low layer counts in a few high bits of the bucket; its Cond-ADD
+    exports 0 exactly when the counter saturated, and the high-layer CMU
+    (next group) turns that 0 into a +1 on its own bucket.  The per-flow
+    estimate is ``low`` when unsaturated, else ``low_sat + high``.
+    """
+
+    name = "counter_braids"
+    layer1_bits = 4
+
+    def num_rows(self) -> int:
+        return 2
+
+    def groups_needed(self) -> int:
+        return 2
+
+    def row_memory(self, base_memory: int) -> List[int]:
+        return [base_memory, max(1, base_memory // 4)]
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        bits = self.layer1_bits
+        shift = ctx.bucket_bits - bits
+        low_row, high_row = ctx.rows
+        low = CmuTaskConfig(
+            task_id=ctx.task_id,
+            filter=ctx.task.filter,
+            key_selector=ctx.sliced_key(0),
+            p1=ConstParam(1 << shift),
+            p2=ConstParam(((1 << bits) - 1) << shift),
+            p1_processor=IdentityProcessor(),
+            mem=low_row.mem,
+            op=OP_COND_ADD,
+            strategy=ctx.strategy,
+            sample_prob=ctx.task.sample_prob,
+            priority=ctx.priority,
+        )
+        high = CmuTaskConfig(
+            task_id=ctx.task_id,
+            filter=ctx.task.filter,
+            key_selector=ctx.sliced_key(1),
+            p1=ResultParam(low_row.group.group_id, low_row.cmu.index),
+            p2=ConstParam((1 << ctx.bucket_bits) - 1),
+            p1_processor=OverflowIndicatorProcessor(increment=1),
+            mem=high_row.mem,
+            op=OP_COND_ADD,
+            strategy=ctx.strategy,
+            sample_prob=ctx.task.sample_prob,
+            priority=ctx.priority,
+        )
+        return [low, high]
+
+    def query(self, flow: Tuple[int, ...]) -> float:
+        low_value, high_value = self.row_values(flow)
+        bits = self.layer1_bits
+        shift = self.rows[0].cmu.bucket_bits - bits
+        sat = (1 << bits) - 1
+        low = low_value >> shift
+        estimate = low if low < sat else sat + high_value
+        return estimate / self.task.sample_prob
+
+    def heavy_hitters(self, candidates, threshold: int) -> set:
+        return {flow for flow in candidates if self.query(flow) >= threshold}

@@ -1,0 +1,111 @@
+"""Maximum packet inter-arrival time: the combinatorial 3-CMU task of §4.
+
+Each *chain* spans three CMUs in three pipeline-ordered groups:
+
+1. a Bloom-Filter CMU (AND-OR) whose pre-update word tells downstream
+   whether the flow is new,
+2. a last-arrival CMU (MAX over timestamps) whose pre-update word is the
+   flow's previous arrival time,
+3. an interval CMU whose preparation stage computes ``now - previous``
+   (zeroed for new flows) and whose MAX operation tracks the flow's largest
+   gap.
+
+``depth`` parallel chains reduce hash-collision inflation; the query takes
+the minimum over chains (Fig. 14f's d parameter).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.algorithms.base import CmuAlgorithm, PlanContext, register_algorithm
+from repro.core.cmu import CmuTaskConfig
+from repro.core.compression import HASH_KEY_BITS
+from repro.core.operations import OP_AND_OR, OP_MAX
+from repro.core.params import (
+    BitSelectProcessor,
+    CompressedKeyParam,
+    ConstParam,
+    FieldParam,
+    IdentityProcessor,
+    InterarrivalProcessor,
+    ResultParam,
+)
+
+
+@register_algorithm
+class FlyMonMaxInterarrival(CmuAlgorithm):
+    """Max inter-arrival time over ``depth`` chains of three CMUs."""
+
+    name = "max_interarrival"
+
+    def num_rows(self) -> int:
+        return 3 * self.task.depth
+
+    def groups_needed(self) -> int:
+        return 3
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        d = ctx.task.depth
+        configs: List[CmuTaskConfig] = [None] * (3 * d)  # type: ignore[list-item]
+        for chain in range(d):
+            bloom_row = ctx.rows[chain]
+            arrival_row = ctx.rows[d + chain]
+            interval_row = ctx.rows[2 * d + chain]
+
+            bit_source = bloom_row.key_grant.selector.with_slice(
+                HASH_KEY_BITS - 16, 16
+            )
+            configs[chain] = CmuTaskConfig(
+                task_id=ctx.task_id,
+                filter=ctx.task.filter,
+                key_selector=ctx.sliced_key(chain),
+                p1=CompressedKeyParam(bit_source),
+                p2=ConstParam(1),  # OR: insert the flow
+                p1_processor=BitSelectProcessor(ctx.bucket_bits),
+                mem=bloom_row.mem,
+                op=OP_AND_OR,
+                strategy=ctx.strategy,
+                sample_prob=ctx.task.sample_prob,
+                priority=ctx.priority,
+            )
+            configs[d + chain] = CmuTaskConfig(
+                task_id=ctx.task_id,
+                filter=ctx.task.filter,
+                key_selector=ctx.sliced_key(d + chain),
+                p1=FieldParam("timestamp"),
+                p2=ConstParam(0),
+                p1_processor=IdentityProcessor(),
+                mem=arrival_row.mem,
+                op=OP_MAX,
+                strategy=ctx.strategy,
+                sample_prob=ctx.task.sample_prob,
+                priority=ctx.priority,
+            )
+            configs[2 * d + chain] = CmuTaskConfig(
+                task_id=ctx.task_id,
+                filter=ctx.task.filter,
+                key_selector=ctx.sliced_key(2 * d + chain),
+                p1=ResultParam(arrival_row.group.group_id, arrival_row.cmu.index),
+                p2=ConstParam(0),
+                p1_processor=InterarrivalProcessor(
+                    time_field="timestamp",
+                    bloom_group=bloom_row.group.group_id,
+                    bloom_cmu=bloom_row.cmu.index,
+                ),
+                mem=interval_row.mem,
+                op=OP_MAX,
+                strategy=ctx.strategy,
+                sample_prob=ctx.task.sample_prob,
+                priority=ctx.priority,
+            )
+        return configs
+
+    def query(self, flow: Tuple[int, ...]) -> int:
+        """Max inter-arrival estimate: minimum over the chains' interval rows."""
+        d = self.task.depth
+        fields = self._fields_for(flow)
+        values = [
+            self.rows[2 * d + chain].value_for_fields(fields) for chain in range(d)
+        ]
+        return min(values) if values else 0

@@ -1,0 +1,46 @@
+"""Max-attribute algorithm: SuMax(Max) on CMUs (§4, Table 3)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.algorithms.base import CmuAlgorithm, PlanContext, register_algorithm
+from repro.core.cmu import CmuTaskConfig
+from repro.core.operations import OP_MAX
+from repro.core.params import ConstParam, FieldParam, IdentityProcessor
+
+
+@register_algorithm
+class FlyMonSuMaxMax(CmuAlgorithm):
+    """Per-flow maximum of a metadata parameter (queue length, queue delay,
+    packet interval ...): ``d`` MAX rows; the point query is the minimum over
+    rows (collisions only inflate a row's maximum, never deflate it)."""
+
+    name = "sumax_max"
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        param = ctx.task.attribute.param
+        if not isinstance(param, str):
+            raise TypeError("max attribute needs a metadata field name parameter")
+        configs = []
+        for i, row in enumerate(ctx.rows):
+            configs.append(
+                CmuTaskConfig(
+                    task_id=ctx.task_id,
+                    filter=ctx.task.filter,
+                    key_selector=ctx.sliced_key(i),
+                    p1=FieldParam(param),
+                    p2=ConstParam(0),
+                    p1_processor=IdentityProcessor(),
+                    mem=row.mem,
+                    op=OP_MAX,
+                    strategy=ctx.strategy,
+                    sample_prob=ctx.task.sample_prob,
+                    priority=ctx.priority,
+                )
+            )
+        return configs
+
+    def query(self, flow: Tuple[int, ...]) -> int:
+        values = self.row_values(flow)
+        return min(values) if values else 0

@@ -1,0 +1,103 @@
+"""Odd Sketch on CMUs: traffic-set similarity (the §6 expansion example).
+
+Loading XOR into the SALU's reserved fourth action slot turns a CMU into an
+Odd Sketch: the key slice addresses a bucket and a one-hot bit of it is
+parity-flipped per packet.  Two odd-sketch tasks over the same key on the
+same CMU Group (e.g. two filters, or two epochs) share the exact hash path,
+so XOR-ing their parity arrays estimates the symmetric difference of their
+flow sets -- set similarity entirely from data-plane state.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.algorithms.base import CmuAlgorithm, PlanContext, register_algorithm
+from repro.core.cmu import CmuTaskConfig
+from repro.core.compression import HASH_KEY_BITS
+from repro.core.operations import OP_XOR
+from repro.core.params import BitSelectProcessor, CompressedKeyParam, ConstParam
+from repro.sketches.oddsketch import jaccard_from_difference, symmetric_difference_estimate
+
+
+@register_algorithm
+class FlyMonOddSketch(CmuAlgorithm):
+    """A single-row parity array over distinct flow keys."""
+
+    name = "odd_sketch"
+
+    def num_rows(self) -> int:
+        return 1
+
+    def build_configs(self, ctx: PlanContext) -> List[CmuTaskConfig]:
+        row = ctx.rows[0]
+        address_bits = ctx.address_bits(row)
+        key = row.key_grant.selector.with_slice(0, address_bits)
+        bit_source = row.key_grant.selector.with_slice(HASH_KEY_BITS - 16, 16)
+        return [
+            CmuTaskConfig(
+                task_id=ctx.task_id,
+                filter=ctx.task.filter,
+                key_selector=key,
+                p1=CompressedKeyParam(bit_source),
+                p2=ConstParam(0),
+                p1_processor=BitSelectProcessor(ctx.bucket_bits),
+                mem=row.mem,
+                op=OP_XOR,
+                strategy=ctx.strategy,
+                sample_prob=ctx.task.sample_prob,
+                priority=ctx.priority,
+            )
+        ]
+
+    # -- estimation --------------------------------------------------------
+
+    def parity_bits(self) -> np.ndarray:
+        """The flat parity bit array (length x bucket_bits booleans)."""
+        stored = self.rows[0].read()
+        bucket_bits = self.rows[0].cmu.bucket_bits
+        out = np.zeros(len(stored) * bucket_bits, dtype=bool)
+        for i, word in enumerate(stored):
+            word = int(word)
+            base = i * bucket_bits
+            while word:
+                bit = (word & -word).bit_length() - 1
+                out[base + bit] = True
+                word &= word - 1
+        return out
+
+    @property
+    def num_bits(self) -> int:
+        return self.rows[0].mem.length * self.rows[0].cmu.bucket_bits
+
+    def estimate_size(self) -> float:
+        """Estimated number of distinct flows observed (odd multiplicity)."""
+        odd = int(self.parity_bits().sum())
+        return symmetric_difference_estimate(odd, self.num_bits)
+
+    def symmetric_difference(self, other: "FlyMonOddSketch") -> float:
+        """Estimated size of the symmetric difference of two tasks' flow
+        sets.  Both tasks must share the hash path: same CMU Group, same key
+        selector, and equal-size memory partitions."""
+        self._check_compatible(other)
+        odd = int(np.logical_xor(self.parity_bits(), other.parity_bits()).sum())
+        return symmetric_difference_estimate(odd, self.num_bits)
+
+    def jaccard(self, other: "FlyMonOddSketch") -> float:
+        """Jaccard similarity of the two tasks' flow sets."""
+        return jaccard_from_difference(
+            self.estimate_size(),
+            other.estimate_size(),
+            self.symmetric_difference(other),
+        )
+
+    def _check_compatible(self, other: "FlyMonOddSketch") -> None:
+        mine, theirs = self.rows[0], other.rows[0]
+        if mine.group is not theirs.group:
+            raise ValueError("odd sketches must live on the same CMU Group")
+        if mine.mem.length != theirs.mem.length:
+            raise ValueError("odd sketches must have equal-size partitions")
+        if mine.config.key_selector.units != theirs.config.key_selector.units:
+            raise ValueError("odd sketches must use the same compressed key")

@@ -1,0 +1,143 @@
+"""Task compiler: a planned deployment -> southbound runtime rules (§3.4).
+
+The compiler turns an algorithm's per-row configurations into the rule list
+a real control plane would push through P4Runtime: hash-mask rules for newly
+configured compression units, one task-selection rule per row, the
+preparation-stage entries (address translation + parameter preprocessing),
+and a register zeroing per memory range.  The rule count drives the
+deployment-delay model (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.algorithms.base import PlanContext, RowSlot
+from repro.core.cmu import Cmu, CmuTaskConfig
+from repro.dataplane.hashing import DynamicHashUnit, HashMask
+from repro.dataplane.runtime import (
+    RULE_KIND_HASH_MASK,
+    RULE_KIND_REGISTER_RESET,
+    RULE_KIND_TABLE,
+    RuntimeRule,
+)
+
+
+def compile_deployment(
+    ctx: PlanContext, configs: Sequence[CmuTaskConfig]
+) -> List[RuntimeRule]:
+    """All runtime rules for one task deployment, in install order."""
+    if len(configs) != len(ctx.rows):
+        raise ValueError("one config per row expected")
+    rules: List[RuntimeRule] = []
+    rules.extend(_hash_mask_rules(ctx))
+    shared_prep: set = set()
+    for row, config in zip(ctx.rows, configs):
+        rules.extend(_row_rules(row, config, shared_prep))
+    return rules
+
+
+def _hash_mask_rules(ctx: PlanContext) -> List[RuntimeRule]:
+    """One hash-mask rule per newly configured compression unit (dedup'd:
+    rows in the same group share grants)."""
+    seen: set = set()
+    rules: List[RuntimeRule] = []
+    for row in ctx.rows:
+        grants = [row.key_grant]
+        if row.param_grant is not None:
+            grants.append(row.param_grant)
+        for grant in grants:
+            for unit_index, mask in grant.new_masks:
+                unit = row.group.hash_units[unit_index]
+                dedup = (id(row.group), unit_index, mask)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                rules.append(
+                    RuntimeRule(
+                        kind=RULE_KIND_HASH_MASK,
+                        target=f"cmug{row.group.group_id}/hash{unit_index}",
+                        description=f"set mask {mask.describe()}",
+                        apply=_apply_mask(unit, mask),
+                    )
+                )
+    return rules
+
+
+def _apply_mask(unit: DynamicHashUnit, mask: HashMask):
+    def apply() -> None:
+        unit.set_mask(mask)
+
+    return apply
+
+
+def _row_rules(
+    row: RowSlot, config: CmuTaskConfig, shared_prep: set
+) -> List[RuntimeRule]:
+    cmu = row.cmu
+    target = f"cmug{cmu.group_id}/cmu{cmu.index}"
+    rules: List[RuntimeRule] = [
+        RuntimeRule(
+            kind=RULE_KIND_REGISTER_RESET,
+            target=target,
+            description=f"zero [{config.mem.base}, {config.mem.end})",
+            apply=_apply_reset(cmu, config),
+        ),
+        # The initialization-stage rule: select task -> key, params, op.
+        RuntimeRule(
+            kind=RULE_KIND_TABLE,
+            target=f"{target}/select_task",
+            description=f"task {config.task_id}: {config.filter.describe()}",
+            apply=_apply_install(cmu, config),
+            undo=_apply_remove(cmu, config.task_id),
+        ),
+    ]
+    # Preparation-stage entries: address translation + p1 preprocessing.
+    # Functionally these are folded into the installed config; each physical
+    # TCAM entry that a live deployment would install is still issued as a
+    # rule so latency accounting matches hardware.  Static (compile-time
+    # const) mappings cost no runtime rules -- see ParamProcessor.
+    translation_rules = config.translation(cmu.register_size).table_rules()
+    prep_entries = translation_rules
+    # Rows in the same group with the same parameter source and mapping
+    # share one preparation table (e.g. BeauCoup's coupon windows feed all
+    # three CMUs), so its entries are installed once per group.
+    processor_key = (cmu.group_id, config.p1, config.p1_processor)
+    if processor_key not in shared_prep:
+        shared_prep.add(processor_key)
+        prep_entries += config.p1_processor.runtime_entries()
+    for i in range(prep_entries):
+        rules.append(
+            RuntimeRule(
+                kind=RULE_KIND_TABLE,
+                target=f"{target}/preparation",
+                description=f"task {config.task_id}: prep entry {i}",
+                apply=_noop,
+            )
+        )
+    return rules
+
+
+def _apply_reset(cmu: Cmu, config: CmuTaskConfig):
+    def apply() -> None:
+        cmu.register.reset_range(config.mem.base, config.mem.length)
+
+    return apply
+
+
+def _apply_install(cmu: Cmu, config: CmuTaskConfig):
+    def apply() -> None:
+        cmu.install_task(config)
+
+    return apply
+
+
+def _apply_remove(cmu: Cmu, task_id: int):
+    def undo() -> None:
+        cmu.remove_task(task_id)
+
+    return undo
+
+
+def _noop() -> None:
+    return None

@@ -1,0 +1,224 @@
+"""The shared compression stage and compressed-key management (§3.1.1, §3.2).
+
+One CMU Group's CMUs share a compression stage of ``k`` dynamic hash units.
+Each unit is runtime-configured (hash-mask rules) to compress some partial
+key of the candidate key set into a 32-bit value; a CMU's key selector then
+uses one unit's output, the XOR of two (which composes keys: ``C(SrcIP) ^
+C(DstIP)`` acts as an IP-pair key), and/or a bit slice of the result (the
+SketchLib trick simulating independent hashes per CMU).  With ``k`` units a
+group can therefore offer ``k(k+1)/2`` distinct keys.
+
+:class:`CompressedKeyManager` is the control-plane side: it reference-counts
+mask configurations, reuses already-configured units (the greedy strategy of
+§3.4), composes requested keys from existing units by XOR when possible, and
+reports the hash-mask rules a new configuration requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dataplane.hashing import DynamicHashUnit, HashMask
+
+HASH_KEY_BITS = 32
+
+
+@dataclass(frozen=True)
+class KeySelector:
+    """How a CMU derives its key/parameter from the compressed keys.
+
+    ``units`` is one or two hash-unit slots (two means XOR composition);
+    ``offset``/``width`` select a bit slice of the combined value.
+    """
+
+    units: Tuple[int, ...]
+    offset: int = 0
+    width: int = HASH_KEY_BITS
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.units) <= 2:
+            raise ValueError("a key selector uses one or two hash units")
+        if not 0 < self.width <= HASH_KEY_BITS:
+            raise ValueError("slice width must be in (0, 32]")
+        if not 0 <= self.offset <= HASH_KEY_BITS - self.width:
+            raise ValueError("slice exceeds the 32-bit compressed key")
+
+    def compute(self, compressed: Sequence[int]) -> int:
+        value = 0
+        for unit in self.units:
+            value ^= compressed[unit]
+        return (value >> self.offset) & ((1 << self.width) - 1)
+
+    def with_slice(self, offset: int, width: int) -> "KeySelector":
+        return KeySelector(self.units, offset, width)
+
+
+class KeyExhaustedError(RuntimeError):
+    """No hash unit (or XOR composition) can provide the requested key."""
+
+
+@dataclass
+class KeyGrant:
+    """Result of requesting a compressed key: the selector plus any
+    hash-mask configurations that must be installed first."""
+
+    selector: KeySelector
+    new_masks: List[Tuple[int, HashMask]]
+
+
+class CompressedKeyManager:
+    """Allocates compressed keys on a group's compression-stage hash units."""
+
+    def __init__(self, units: Sequence[DynamicHashUnit]) -> None:
+        self.units = list(units)
+        self._refcounts: Dict[int, int] = {i: 0 for i in range(len(self.units))}
+        #: Masks as committed by the control plane (units themselves only
+        #: change when the install rules actually run).
+        self._committed: Dict[int, Optional[HashMask]] = {
+            i: None for i in range(len(self.units))
+        }
+
+    # -- inspection ---------------------------------------------------------
+
+    def committed_masks(self) -> Dict[int, Optional[HashMask]]:
+        return dict(self._committed)
+
+    def has_mask(self, mask_spec: Mapping[str, int]) -> bool:
+        target = HashMask.of(mask_spec)
+        return any(m == target for m in self._committed.values() if m is not None)
+
+    def mask_overlap(self, mask_spec: Mapping[str, int]) -> int:
+        """How many of the requested fields are already configured somewhere
+        (used by the controller's greedy group choice)."""
+        want = dict(mask_spec)
+        score = 0
+        for mask in self._committed.values():
+            if mask is None:
+                continue
+            for name, bits in mask.field_bits:
+                if want.get(name) == bits:
+                    score += 1
+        return score
+
+    # -- allocation -----------------------------------------------------------
+
+    def acquire(self, mask_spec: Mapping[str, int]) -> KeyGrant:
+        """Grant a selector computing the compressed key for ``mask_spec``.
+
+        Preference order (each step avoids hash-mask rules where possible):
+        exact reuse -> XOR of two configured units -> configure a free unit
+        for the remainder and XOR with a configured one -> configure a free
+        unit with the whole key.  Raises :class:`KeyExhaustedError` when
+        impossible.
+        """
+        target = HashMask.of(mask_spec)
+        if target.is_empty:
+            raise ValueError("cannot acquire an empty key")
+
+        exact = self._find_committed(target)
+        if exact is not None:
+            self._refcounts[exact] += 1
+            return KeyGrant(KeySelector((exact,)), [])
+
+        pair = self._find_xor_pair(target)
+        if pair is not None:
+            a, b = pair
+            self._refcounts[a] += 1
+            self._refcounts[b] += 1
+            return KeyGrant(KeySelector((a, b)), [])
+
+        # Prefer configuring a free unit with only the *remainder* of the key
+        # and composing by XOR (§3.4's example: an existing C(SrcIP) plus a
+        # new C(SrcPort) yields SrcIP-SrcPort) -- the new unit stays reusable
+        # as a plain key for future tasks.
+        partial = self._find_partial_with_free(target)
+        if partial is not None:
+            existing, free, remainder = partial
+            self._committed[free] = remainder
+            self._refcounts[existing] += 1
+            self._refcounts[free] += 1
+            return KeyGrant(KeySelector((existing, free)), [(free, remainder)])
+
+        free = self._find_free()
+        if free is not None:
+            self._committed[free] = target
+            self._refcounts[free] += 1
+            return KeyGrant(KeySelector((free,)), [(free, target)])
+
+        raise KeyExhaustedError(
+            f"no hash unit available for key {target.describe()} "
+            f"(committed: {[m.describe() if m else '-' for m in self._committed.values()]})"
+        )
+
+    def release(self, selector: KeySelector) -> None:
+        """Drop references; fully-released units become reconfigurable."""
+        for unit in selector.units:
+            if self._refcounts[unit] > 0:
+                self._refcounts[unit] -= 1
+            if self._refcounts[unit] == 0:
+                self._committed[unit] = None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _find_committed(self, target: HashMask) -> Optional[int]:
+        for i, mask in self._committed.items():
+            if mask == target:
+                return i
+        return None
+
+    def _find_free(self) -> Optional[int]:
+        for i, mask in self._committed.items():
+            if mask is None and self._refcounts[i] == 0:
+                return i
+        return None
+
+    def _find_xor_pair(self, target: HashMask) -> Optional[Tuple[int, int]]:
+        want = target.as_dict()
+        configured = [
+            (i, m.as_dict()) for i, m in self._committed.items() if m is not None
+        ]
+        for ai in range(len(configured)):
+            for bi in range(ai + 1, len(configured)):
+                a, am = configured[ai]
+                b, bm = configured[bi]
+                if set(am) & set(bm):
+                    continue  # overlapping fields: XOR does not compose
+                union = dict(am)
+                union.update(bm)
+                if union == want:
+                    return a, b
+        return None
+
+    def _find_partial_with_free(
+        self, target: HashMask
+    ) -> Optional[Tuple[int, int, HashMask]]:
+        want = target.as_dict()
+        free = self._find_free()
+        if free is None:
+            return None
+        for i, mask in self._committed.items():
+            if mask is None:
+                continue
+            have = mask.as_dict()
+            if all(want.get(name) == bits for name, bits in have.items()):
+                remainder = {k: v for k, v in want.items() if k not in have}
+                if remainder:
+                    return i, free, HashMask.of(remainder)
+        return None
+
+
+def row_slices(depth: int, address_bits: int) -> List[Tuple[int, int]]:
+    """Bit slices giving each of ``depth`` rows a distinct sub-part of the
+    compressed key (§3.2: e.g. bits 0-15 / 8-23 / 16-31 for three CMUs).
+
+    Returns ``(offset, width)`` pairs with ``width >= address_bits``.
+    """
+    if not 0 < address_bits <= HASH_KEY_BITS:
+        raise ValueError("address_bits must be in (0, 32]")
+    slices = []
+    span = HASH_KEY_BITS - address_bits
+    for row in range(depth):
+        offset = 0 if depth == 1 else (span * row) // max(1, depth - 1)
+        slices.append((offset, address_bits))
+    return slices

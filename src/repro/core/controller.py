@@ -1,0 +1,484 @@
+"""FlyMon's control plane (§3.4).
+
+:class:`FlyMonController` owns the deployed CMU Groups, compiles measurement
+tasks into runtime rules, manages compressed keys and register memory, and
+answers queries by reading data-plane state back through each task's
+algorithm instance.
+
+Placement strategy (§3.4): tasks are placed greedily, preferring group
+windows that already have the needed compressed keys configured, then the
+lowest-numbered window with enough free CMUs and memory.  Multi-group
+algorithms (SuMax(Sum), Counter Braids, max inter-arrival) get windows of
+pipeline-consecutive groups so their PHV result chaining follows stage
+order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.algorithms import ALGORITHM_REGISTRY, default_algorithm_for
+from repro.core.algorithms.base import CmuAlgorithm, PlanContext, RowBinding, RowSlot
+from repro.core.cmu import Cmu
+from repro.core.cmu_group import CmuGroup
+from repro.core.compiler import compile_deployment
+from repro.core.compression import KeyExhaustedError, KeyGrant
+from repro.core.memory import (
+    BuddyAllocator,
+    MODE_ACCURATE,
+    MemRange,
+    OutOfMemoryError,
+    round_memory,
+)
+from repro.core.placement import apply_placements, max_groups, plan_cross_stacking
+from repro.core.task import Attribute, MeasurementTask, next_task_id
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.runtime import InstallReport, RuntimeApi
+from repro.traffic.flows import FlowKeyDef
+from repro.traffic.trace import Trace
+
+
+class PlacementError(RuntimeError):
+    """No group window can host the task (keys, CMUs, or memory exhausted)."""
+
+
+@dataclass
+class TaskHandle:
+    """A deployed task: its algorithm instance answers queries."""
+
+    task_id: int
+    task: MeasurementTask
+    algorithm: CmuAlgorithm
+    algorithm_name: str
+    rows: List[RowBinding]
+    install_report: InstallReport
+    groups_used: Tuple[int, ...]
+    _grants: List[Tuple[CmuGroup, KeyGrant]] = field(default_factory=list, repr=False)
+    _mem: List[Tuple[Cmu, MemRange]] = field(default_factory=list, repr=False)
+
+    @property
+    def deployment_ms(self) -> float:
+        return self.install_report.latency_ms
+
+    @property
+    def rules_installed(self) -> int:
+        return self.install_report.rules_installed
+
+    def read_rows(self):
+        return self.algorithm.read_rows()
+
+    def reset(self) -> None:
+        self.algorithm.reset()
+
+
+@dataclass
+class SplitTaskHandle:
+    """A task deployed as disjoint half-space subtasks (§3.1.1).
+
+    Per-flow queries route to the subtask whose filter owns the flow; set
+    queries union the subtasks' reports.
+    """
+
+    task: MeasurementTask
+    subtasks: Tuple[TaskHandle, ...]
+
+    def _owner(self, fields: Dict[str, int]) -> TaskHandle:
+        for sub in self.subtasks:
+            if sub.task.filter.matches(fields):
+                return sub
+        raise KeyError("flow matches no subtask filter")
+
+    def query(self, flow: Tuple[int, ...]) -> float:
+        from repro.core.algorithms.base import fields_from_flow
+
+        fields = fields_from_flow(self.task.key, flow)
+        return self._owner(fields).algorithm.query(flow)
+
+    def heavy_hitters(self, candidates, threshold: int) -> set:
+        return {flow for flow in candidates if self.query(flow) >= threshold}
+
+    def reset(self) -> None:
+        for sub in self.subtasks:
+            sub.reset()
+
+
+class FlyMonController:
+    """Task and resource management over a set of CMU Groups."""
+
+    def __init__(
+        self,
+        num_groups: int = 9,
+        num_cmus: int = 3,
+        compression_units: int = 3,
+        register_size: int = 1 << 16,
+        bucket_bits: int = 32,
+        strategy: str = "tcam",
+        memory_mode: str = MODE_ACCURATE,
+        num_stages: int = 12,
+        place_on_pipeline: bool = True,
+        preconfigure_keys: Sequence[FlowKeyDef] = (),
+        seed_base: int = 0xC0DE,
+    ) -> None:
+        limit = max_groups(num_stages)
+        if num_groups > limit:
+            raise ValueError(
+                f"{num_groups} groups exceed the {num_stages}-stage pipeline "
+                f"budget of {limit}"
+            )
+        self.groups = [
+            CmuGroup(
+                g,
+                num_cmus=num_cmus,
+                compression_units=compression_units,
+                register_size=register_size,
+                bucket_bits=bucket_bits,
+                seed_base=seed_base,
+            )
+            for g in range(num_groups)
+        ]
+        self.strategy = strategy
+        self.memory_mode = memory_mode
+        self.runtime = RuntimeApi()
+        self.pipeline: Optional[Pipeline] = None
+        if place_on_pipeline:
+            self.pipeline = Pipeline(num_stages=num_stages)
+            apply_placements(
+                self.pipeline, self.groups, plan_cross_stacking(num_stages, num_groups)
+            )
+        self._allocators: Dict[Tuple[int, int], BuddyAllocator] = {
+            (group.group_id, cmu.index): BuddyAllocator(cmu.register_size)
+            for group in self.groups
+            for cmu in group.cmus
+        }
+        self._handles: Dict[int, TaskHandle] = {}
+        # Pre-configured compressed keys (§5's setting): masks are installed
+        # at startup and held, so task deployments that use these keys never
+        # pay a hash-mask rule at runtime.
+        self._preconfigured: List[Tuple[CmuGroup, KeyGrant]] = []
+        for group in self.groups:
+            for key in preconfigure_keys:
+                grant = group.keys.acquire(key.mask_spec())
+                for unit_index, mask in grant.new_masks:
+                    group.hash_units[unit_index].set_mask(mask)
+                self._preconfigured.append((group, grant))
+
+    # ------------------------------------------------------------------
+    # Task management interfaces
+    # ------------------------------------------------------------------
+
+    def add_task(self, task: MeasurementTask) -> TaskHandle:
+        """Deploy a measurement task; returns a queryable handle.
+
+        Raises :class:`PlacementError` if no window of groups can provide
+        the compressed keys, conflict-free CMUs, and memory the task needs.
+        """
+        algorithm_name = default_algorithm_for(task)
+        algorithm = ALGORITHM_REGISTRY[algorithm_name](task)
+        task_id = next_task_id()
+
+        layout = algorithm.rows_layout()
+        base_memory = round_memory(task.memory, self.memory_mode)
+        row_memory = [
+            round_memory(m, self.memory_mode)
+            for m in algorithm.row_memory(base_memory)
+        ]
+
+        window, error = self._find_window(task, algorithm, layout, row_memory)
+        if window is None:
+            raise PlacementError(error or "no feasible placement")
+
+        rows, grants = self._claim_window(task, algorithm, layout, row_memory, window)
+        ctx = PlanContext(
+            task=task,
+            task_id=task_id,
+            rows=rows,
+            strategy=self.strategy,
+            priority=task_id,
+        )
+        configs = algorithm.build_configs(ctx)
+        rules = compile_deployment(ctx, configs)
+        report = self.runtime.install(rules, deployment=f"task{task_id}")
+
+        bindings = [RowBinding(row.group, row.cmu, task_id) for row in rows]
+        algorithm.bind(bindings)
+        handle = TaskHandle(
+            task_id=task_id,
+            task=task,
+            algorithm=algorithm,
+            algorithm_name=algorithm_name,
+            rows=bindings,
+            install_report=report,
+            groups_used=tuple(g.group_id for g in window),
+            _grants=grants,
+            _mem=[(row.cmu, row.mem) for row in rows],
+        )
+        self._handles[task_id] = handle
+        return handle
+
+    def remove_task(self, handle: TaskHandle) -> InstallReport:
+        """Tear a task down and recycle its keys and memory."""
+        if handle.task_id not in self._handles:
+            raise KeyError(f"task {handle.task_id} is not deployed")
+        report = self.runtime.remove_deployment(f"task{handle.task_id}")
+        for cmu, mem in handle._mem:
+            self._allocators[(cmu.group_id, cmu.index)].free(mem)
+        for group, grant in handle._grants:
+            group.keys.release(grant.selector)
+        del self._handles[handle.task_id]
+        return report
+
+    def update_task_filter(self, handle: TaskHandle, new_filter) -> TaskHandle:
+        """Change a running task's filter in place (§3.4).
+
+        One table rule per row; register state and memory are untouched, so
+        the task keeps its accumulated measurements while its traffic
+        selection changes.
+        """
+        import dataclasses
+
+        from repro.dataplane.runtime import RULE_KIND_TABLE, RuntimeRule
+
+        rules = [
+            RuntimeRule(
+                kind=RULE_KIND_TABLE,
+                target=f"cmug{row.group.group_id}/cmu{row.cmu.index}/select_task",
+                description=(
+                    f"task {handle.task_id}: filter -> {new_filter.describe()}"
+                ),
+                apply=(
+                    lambda cmu=row.cmu: cmu.update_task_filter(
+                        handle.task_id, new_filter
+                    )
+                ),
+            )
+            for row in handle.rows
+        ]
+        self.runtime.install(rules, batch=True)
+        handle.task = dataclasses.replace(handle.task, filter=new_filter)
+        handle.algorithm.task = handle.task
+        return handle
+
+    def add_split_task(self, task: MeasurementTask, field: str = "src_ip") -> "SplitTaskHandle":
+        """Deploy a task as two half-space subtasks (§3.1.1).
+
+        Splitting a heavy task's filter halves each subtask's flow
+        population (and collision probability) at the cost of extra CMUs.
+        The returned handle routes per-flow queries to the matching subtask.
+        """
+        import dataclasses
+
+        low_filter, high_filter = task.filter.split(field)
+        low = self.add_task(dataclasses.replace(task, filter=low_filter))
+        high = self.add_task(dataclasses.replace(task, filter=high_filter))
+        return SplitTaskHandle(task=task, subtasks=(low, high))
+
+    def resize_task(self, handle: TaskHandle, new_memory: int) -> TaskHandle:
+        """Reallocate a task with a new memory size.
+
+        Preferred path (§6's strategy): deploy the new allocation first,
+        divert traffic, then recycle the old one.  When the data plane
+        cannot host both simultaneously (e.g. the resize stays within one
+        fully-used group), fall back to remove-then-add; if even that fails
+        the original deployment is restored and :class:`PlacementError`
+        propagates.  Measurement state starts fresh either way.
+        """
+        import dataclasses
+
+        new_task = dataclasses.replace(handle.task, memory=new_memory)
+        try:
+            new_handle = self.add_task(new_task)
+        except PlacementError:
+            self.remove_task(handle)
+            try:
+                return self.add_task(new_task)
+            except PlacementError:
+                self.add_task(handle.task)  # restore the old allocation
+                raise
+        self.remove_task(handle)
+        return new_handle
+
+    @property
+    def tasks(self) -> List[TaskHandle]:
+        return [self._handles[tid] for tid in sorted(self._handles)]
+
+    # ------------------------------------------------------------------
+    # Data-plane traversal
+    # ------------------------------------------------------------------
+
+    def process_packet(self, fields: Dict[str, int]) -> None:
+        """Run one packet through every group in pipeline order."""
+        for group in self.groups:
+            group.process(fields)
+
+    def process_trace(self, trace: Trace) -> None:
+        for fields in trace.iter_fields():
+            self.process_packet(fields)
+
+    # ------------------------------------------------------------------
+    # Resource management interfaces
+    # ------------------------------------------------------------------
+
+    def free_buckets(self) -> Dict[Tuple[int, int], int]:
+        return {key: alloc.free_buckets for key, alloc in self._allocators.items()}
+
+    def stats(self) -> Dict[str, object]:
+        """Operator-facing resource snapshot: tasks, memory, keys, rules."""
+        total_buckets = sum(
+            cmu.register_size for g in self.groups for cmu in g.cmus
+        )
+        free = sum(self.free_buckets().values())
+        key_usage = {
+            group.group_id: {
+                unit: (mask.describe() if mask else None)
+                for unit, mask in group.keys.committed_masks().items()
+            }
+            for group in self.groups
+        }
+        return {
+            "tasks": len(self._handles),
+            "groups": len(self.groups),
+            "cmus": sum(g.num_cmus for g in self.groups),
+            "buckets_total": total_buckets,
+            "buckets_free": free,
+            "memory_utilization": 1.0 - free / total_buckets if total_buckets else 0.0,
+            "largest_free_block": max(
+                (a.largest_free_block() for a in self._allocators.values()),
+                default=0,
+            ),
+            "compressed_keys": key_usage,
+            "rules_installed": self.runtime.total_rules,
+            "control_plane_ms": self.runtime.now_ms,
+        }
+
+    def utilization(self) -> Dict[str, float]:
+        if self.pipeline is None:
+            return {}
+        return self.pipeline.utilization()
+
+    # ------------------------------------------------------------------
+    # Placement internals
+    # ------------------------------------------------------------------
+
+    def _find_window(
+        self,
+        task: MeasurementTask,
+        algorithm: CmuAlgorithm,
+        layout: Sequence[int],
+        row_memory: Sequence[int],
+    ) -> Tuple[Optional[List[CmuGroup]], Optional[str]]:
+        """Best window of ``len(layout)`` consecutive groups for the task.
+
+        Windows able to host the task are ranked by how many of the needed
+        hash masks they already have (the greedy reuse strategy of §3.4).
+        """
+        span = len(layout)
+        if span > len(self.groups):
+            return None, f"task needs {span} groups; controller has {len(self.groups)}"
+        best: Tuple[int, Optional[List[CmuGroup]]] = (-1, None)
+        last_error = None
+        for start in range(len(self.groups) - span + 1):
+            window = self.groups[start : start + span]
+            feasible, error = self._window_feasible(
+                task, algorithm, layout, row_memory, window
+            )
+            if not feasible:
+                last_error = error
+                continue
+            score = sum(
+                group.keys.mask_overlap(task.key.mask_spec()) for group in window
+            )
+            if score > best[0]:
+                best = (score, window)
+        return best[1], last_error
+
+    def _window_feasible(
+        self,
+        task: MeasurementTask,
+        algorithm: CmuAlgorithm,
+        layout: Sequence[int],
+        row_memory: Sequence[int],
+        window: Sequence[CmuGroup],
+    ) -> Tuple[bool, Optional[str]]:
+        row_index = 0
+        for group, rows_here in zip(window, layout):
+            candidates = self._placeable_cmus(group, task, rows_here, row_memory, row_index)
+            if candidates is None:
+                return False, (
+                    f"group {group.group_id}: not enough conflict-free CMUs/memory"
+                )
+            row_index += rows_here
+        return True, None
+
+    def _placeable_cmus(
+        self,
+        group: CmuGroup,
+        task: MeasurementTask,
+        rows_here: int,
+        row_memory: Sequence[int],
+        row_index: int,
+    ) -> Optional[List[Cmu]]:
+        """Distinct CMUs in ``group`` able to host rows ``row_index ..``."""
+        chosen: List[Cmu] = []
+        needed = list(row_memory[row_index : row_index + rows_here])
+        for cmu in group.cmus:
+            if len(chosen) == len(needed):
+                break
+            if cmu.has_conflict(task.filter) and task.sample_prob >= 1.0:
+                continue
+            allocator = self._allocators[(group.group_id, cmu.index)]
+            if allocator.can_allocate(needed[len(chosen)]):
+                chosen.append(cmu)
+        return chosen if len(chosen) == rows_here else None
+
+    def _claim_window(
+        self,
+        task: MeasurementTask,
+        algorithm: CmuAlgorithm,
+        layout: Sequence[int],
+        row_memory: Sequence[int],
+        window: Sequence[CmuGroup],
+    ) -> Tuple[List[RowSlot], List[Tuple[CmuGroup, KeyGrant]]]:
+        rows: List[RowSlot] = []
+        grants: List[Tuple[CmuGroup, KeyGrant]] = []
+        param_key = (
+            task.attribute.param if algorithm.needs_param_key() else None
+        )
+        row_index = 0
+        try:
+            for group, rows_here in zip(window, layout):
+                key_grant = group.keys.acquire(task.key.mask_spec())
+                grants.append((group, key_grant))
+                param_grant = None
+                if param_key is not None:
+                    if not isinstance(param_key, FlowKeyDef):
+                        raise TypeError("parameter key must be a FlowKeyDef")
+                    param_grant = group.keys.acquire(param_key.mask_spec())
+                    grants.append((group, param_grant))
+                cmus = self._placeable_cmus(group, task, rows_here, row_memory, row_index)
+                if cmus is None:
+                    raise PlacementError(
+                        f"group {group.group_id} became infeasible during claim"
+                    )
+                for offset, cmu in enumerate(cmus):
+                    allocator = self._allocators[(group.group_id, cmu.index)]
+                    mem = allocator.allocate(row_memory[row_index + offset])
+                    rows.append(
+                        RowSlot(
+                            group=group,
+                            cmu=cmu,
+                            mem=mem,
+                            key_grant=key_grant,
+                            param_grant=param_grant,
+                        )
+                    )
+                row_index += rows_here
+        except (KeyExhaustedError, OutOfMemoryError) as exc:
+            # Roll back partial claims before surfacing the failure.
+            for row in rows:
+                self._allocators[(row.group.group_id, row.cmu.index)].free(row.mem)
+            for group, grant in grants:
+                group.keys.release(grant.selector)
+            raise PlacementError(str(exc)) from exc
+        return rows, grants

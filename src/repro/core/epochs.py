@@ -1,0 +1,74 @@
+"""Epoch-driven measurement loops.
+
+Sketch state is meaningful per measurement epoch: the control plane reads
+and resets registers at epoch boundaries (§2.1's "single pass ... within a
+measurement epoch").  :class:`EpochRunner` packages that loop: split a trace
+into epochs, process each, hand the deployed tasks to a per-epoch collector
+callback, and reset state for the next window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.controller import FlyMonController, TaskHandle
+from repro.traffic.trace import Trace
+
+
+@dataclass
+class EpochResult:
+    """One epoch's collected outputs."""
+
+    epoch: int
+    packets: int
+    outputs: Dict[str, object] = field(default_factory=dict)
+
+
+class EpochRunner:
+    """Runs a controller across measurement epochs with automatic resets.
+
+    ``collectors`` maps an output name to a callback receiving
+    ``(epoch_index, epoch_trace)`` and returning any value (typically a
+    query against a task handle); results are gathered per epoch and every
+    registered handle is reset afterwards.
+    """
+
+    def __init__(self, controller: FlyMonController) -> None:
+        self.controller = controller
+        self._handles: List[TaskHandle] = []
+        self._collectors: Dict[str, Callable[[int, Trace], object]] = {}
+
+    def track(self, handle: TaskHandle) -> TaskHandle:
+        """Register a handle for end-of-epoch reset."""
+        self._handles.append(handle)
+        return handle
+
+    def collect(self, name: str, fn: Callable[[int, Trace], object]) -> None:
+        if name in self._collectors:
+            raise ValueError(f"collector {name!r} already registered")
+        self._collectors[name] = fn
+
+    def run(
+        self,
+        trace: Trace,
+        num_epochs: int,
+        on_epoch_start: Optional[Callable[[int], None]] = None,
+    ) -> List[EpochResult]:
+        """Process ``trace`` in ``num_epochs`` windows; returns per-epoch
+        collector outputs.  ``on_epoch_start`` hooks control-plane actions
+        (task inserts/removals/resizes) at epoch boundaries."""
+        results: List[EpochResult] = []
+        for epoch, window in enumerate(trace.split_epochs(num_epochs)):
+            if on_epoch_start is not None:
+                on_epoch_start(epoch)
+            self.controller.process_trace(window)
+            outputs = {
+                name: fn(epoch, window) for name, fn in self._collectors.items()
+            }
+            results.append(
+                EpochResult(epoch=epoch, packets=len(window), outputs=outputs)
+            )
+            for handle in self._handles:
+                handle.reset()
+        return results

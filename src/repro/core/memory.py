@@ -1,0 +1,138 @@
+"""Dynamic memory management: power-of-two partitions of a fixed register.
+
+The register's size is fixed at compile time; the control plane carves it
+into aligned power-of-two ranges per task (§3.3).  A classic buddy allocator
+gives exactly the semantics the paper describes: only ``2^n`` partition
+sizes, down to ``register_size / max_partitions`` (32 partitions -> 5 levels
+of memory sizes), with coalescing on free.
+
+Two allocation modes (§3.4): *accurate* rounds the request up to the next
+power of two (never less memory than asked); *efficient* rounds to the
+nearest power of two (closest fit, possibly smaller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+MODE_ACCURATE = "accurate"
+MODE_EFFICIENT = "efficient"
+
+#: The paper's evaluated partition bound: 32 partitions per CMU (§5.1).
+DEFAULT_MAX_PARTITIONS = 32
+
+
+@dataclass(frozen=True)
+class MemRange:
+    """An aligned power-of-two slice ``[base, base + length)`` of a register."""
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.length & (self.length - 1):
+            raise ValueError("length must be a positive power of two")
+        if self.base % self.length:
+            raise ValueError("range must be aligned to its length")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.length
+
+    def contains(self, index: int) -> bool:
+        return self.base <= index < self.end
+
+
+def round_memory(requested: int, mode: str = MODE_ACCURATE) -> int:
+    """Quantize a requested bucket count to a power of two per the mode."""
+    if requested <= 0:
+        raise ValueError("requested memory must be positive")
+    if mode not in (MODE_ACCURATE, MODE_EFFICIENT):
+        raise ValueError(f"unknown allocation mode {mode!r}")
+    if requested & (requested - 1) == 0:
+        return requested
+    above = 1 << requested.bit_length()
+    below = above >> 1
+    if mode == MODE_ACCURATE:
+        return above
+    return above if (above - requested) < (requested - below) else below
+
+
+class OutOfMemoryError(RuntimeError):
+    """No free range of the requested size exists in the register."""
+
+
+class BuddyAllocator:
+    """Buddy allocation over ``size`` buckets with a minimum block size."""
+
+    def __init__(self, size: int, max_partitions: int = DEFAULT_MAX_PARTITIONS) -> None:
+        if size <= 0 or size & (size - 1):
+            raise ValueError("size must be a positive power of two")
+        if max_partitions <= 0 or max_partitions & (max_partitions - 1):
+            raise ValueError("max_partitions must be a positive power of two")
+        if max_partitions > size:
+            raise ValueError("max_partitions cannot exceed size")
+        self.size = size
+        self.min_block = size // max_partitions
+        # free lists per block length
+        self._free: Dict[int, List[int]] = {size: [0]}
+        self._allocated: Dict[int, int] = {}  # base -> length
+
+    @property
+    def allocated_ranges(self) -> List[MemRange]:
+        return [MemRange(b, l) for b, l in sorted(self._allocated.items())]
+
+    @property
+    def free_buckets(self) -> int:
+        return self.size - sum(self._allocated.values())
+
+    def largest_free_block(self) -> int:
+        sizes = [length for length, bases in self._free.items() if bases]
+        return max(sizes) if sizes else 0
+
+    def can_allocate(self, length: int) -> bool:
+        length = self._validate_length(length)
+        return self.largest_free_block() >= length
+
+    def allocate(self, length: int) -> MemRange:
+        """Reserve an aligned block of exactly ``length`` buckets."""
+        length = self._validate_length(length)
+        block = length
+        while block <= self.size and not self._free.get(block):
+            block <<= 1
+        if block > self.size:
+            raise OutOfMemoryError(
+                f"no free block of {length} buckets (free: {self.free_buckets})"
+            )
+        base = self._free[block].pop()
+        while block > length:
+            block >>= 1
+            # Keep the low half, release the buddy (high half).
+            self._free.setdefault(block, []).append(base + block)
+        self._allocated[base] = length
+        return MemRange(base, length)
+
+    def free(self, mem: MemRange) -> None:
+        """Release a block and coalesce buddies."""
+        if self._allocated.get(mem.base) != mem.length:
+            raise ValueError(f"range {mem} is not currently allocated")
+        del self._allocated[mem.base]
+        base, length = mem.base, mem.length
+        while length < self.size:
+            buddy = base ^ length
+            bucket = self._free.get(length, [])
+            if buddy in bucket:
+                bucket.remove(buddy)
+                base = min(base, buddy)
+                length <<= 1
+            else:
+                break
+        self._free.setdefault(length, []).append(base)
+
+    def _validate_length(self, length: int) -> int:
+        if length <= 0 or length & (length - 1):
+            raise ValueError("allocation length must be a positive power of two")
+        if length > self.size:
+            raise ValueError(f"allocation of {length} exceeds register size {self.size}")
+        return max(length, self.min_block)

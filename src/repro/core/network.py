@@ -1,0 +1,116 @@
+"""Network-wide measurement coordination (§3.4's SDM compatibility).
+
+FlyMon positions itself as the flexible hardware data plane under
+software-defined-measurement controllers (DREAM/SCREAM-style).  This module
+provides the minimal network-wide layer such controllers need: deploy the
+same task on many switches and merge the answers.
+
+Merge semantics per attribute:
+
+* frequency -- sum of per-switch estimates (each packet is observed at one
+  *designated* switch, e.g. its ingress edge; the coordinator assumes the
+  deployment's filters partition traffic that way),
+* distinct (HLL) -- registers merge by element-wise max, so flows crossing
+  multiple switches are not double-counted,
+* existence -- union (a flow exists if any switch saw it),
+* heavy hitters -- query the summed frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.estimators import hll_estimate
+from repro.core.controller import FlyMonController, TaskHandle
+from repro.core.task import MeasurementTask
+from repro.traffic.trace import Trace
+
+
+@dataclass
+class NetworkTaskHandle:
+    """The same task deployed on every switch in the coordinator."""
+
+    task: MeasurementTask
+    per_switch: Dict[str, TaskHandle]
+
+    def query_sum(self, flow: Tuple[int, ...]) -> float:
+        """Summed frequency estimate (edge-partitioned observation model)."""
+        return sum(h.algorithm.query(flow) for h in self.per_switch.values())
+
+    def heavy_hitters(self, candidates: Iterable, threshold: int) -> Set:
+        return {f for f in candidates if self.query_sum(f) >= threshold}
+
+    def contains_anywhere(self, flow: Tuple[int, ...]) -> bool:
+        return any(h.algorithm.contains(flow) for h in self.per_switch.values())
+
+    def merged_cardinality(self) -> float:
+        """HLL merge across switches: element-wise maximum of the rank
+        arrays, so shared flows count once."""
+        merged = None
+        for handle in self.per_switch.values():
+            algo = handle.algorithm
+            ranks = _hll_ranks(algo)
+            merged = ranks if merged is None else np.maximum(merged, ranks)
+        return hll_estimate(merged) if merged is not None else 0.0
+
+    def reset(self) -> None:
+        for handle in self.per_switch.values():
+            handle.reset()
+
+
+def _hll_ranks(algo) -> np.ndarray:
+    """Extract the per-bucket HLL ranks from a FlyMon-HLL deployment."""
+    stored = algo.rows[0].read()
+    mask = (1 << algo.rho_bits) - 1
+    ranks = np.zeros(len(stored), dtype=np.int64)
+    for i, value in enumerate(stored):
+        if value == 0:
+            continue
+        min_hash = (~int(value)) & mask
+        if min_hash == 0:
+            ranks[i] = algo.rho_bits + 1
+        else:
+            ranks[i] = algo.rho_bits - min_hash.bit_length() + 1
+    return ranks
+
+
+class NetworkCoordinator:
+    """A fleet of FlyMon switches managed as one measurement fabric.
+
+    All switches are built with the same ``seed_base`` so their compression
+    stages compute identical digests -- the precondition for merging
+    register state across switches (mirrors how a real deployment would pin
+    CRC polynomial configurations fleet-wide).
+    """
+
+    def __init__(self, switch_names: Iterable[str], **controller_kwargs) -> None:
+        names = list(switch_names)
+        if not names:
+            raise ValueError("a coordinator needs at least one switch")
+        controller_kwargs.setdefault("place_on_pipeline", False)
+        self.switches: Dict[str, FlyMonController] = {
+            name: FlyMonController(**controller_kwargs) for name in names
+        }
+
+    def deploy_everywhere(self, task: MeasurementTask) -> NetworkTaskHandle:
+        """Install the task on every switch (each gets its own registers)."""
+        per_switch = {
+            name: controller.add_task(task)
+            for name, controller in self.switches.items()
+        }
+        return NetworkTaskHandle(task=task, per_switch=per_switch)
+
+    def remove_everywhere(self, handle: NetworkTaskHandle) -> None:
+        for name, task_handle in handle.per_switch.items():
+            self.switches[name].remove_task(task_handle)
+
+    def process(self, traffic: Mapping[str, Trace]) -> None:
+        """Drive each switch with its observed traffic slice."""
+        for name, trace in traffic.items():
+            self.switches[name].process_trace(trace)
+
+    def total_deployment_ms(self, handle: NetworkTaskHandle) -> float:
+        return sum(h.deployment_ms for h in handle.per_switch.values())

@@ -1,0 +1,79 @@
+"""The reduced stateful operation set (§3.1.2, Appendix A).
+
+FlyMon implements ten sketching algorithms with only three pre-loaded SALU
+operations (leaving one of Tofino's four action slots as expansion room):
+
+* ``Cond-ADD(p1, p2)`` -- add ``p1`` while the counter is below ``p2``
+  (``p2 = max`` degenerates to CMS's unconditional ADD; finite ``p2`` gives
+  SuMax's conservative update, saturating tower counters, and Counter
+  Braids' overflow detection),
+* ``MAX(p1)`` -- keep the per-bucket maximum,
+* ``AND-OR(p1, p2)`` -- bit-wise AND when ``p2 == 0``, OR otherwise
+  (Bloom Filter inserts, BeauCoup coupon collection).
+
+Result-bus semantics: a Tofino SALU can export either the pre- or the
+post-modification word per register action.  Appendix A's pseudocode returns
+the post-update value; the combinatorial tasks of §4 require the pre-update
+word for MAX (inter-arrival needs the *previous* arrival time) and AND-OR
+(new-flow detection needs the *previous* bitmap), while Appendix D's Counter
+Braids needs Cond-ADD's post-update value (0 signals saturation).  We
+configure the exports accordingly and document the choice here.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.register import Register, RegisterAction
+
+OP_COND_ADD = "cond_add"
+OP_MAX = "max"
+OP_AND_OR = "and_or"
+#: The expansion example of §6: filling the reserved fourth action slot with
+#: XOR enables Odd Sketch (traffic-set similarity).
+OP_XOR = "xor"
+
+REDUCED_OPERATION_SET = (OP_COND_ADD, OP_MAX, OP_AND_OR)
+EXTENDED_OPERATION_SET = REDUCED_OPERATION_SET + (OP_XOR,)
+
+
+def _cond_add(stored: int, p1: int, p2: int):
+    """Add ``p1`` if ``stored < p2``; export the post-update value, else 0."""
+    if stored < p2:
+        new = stored + p1
+        return new, new
+    return stored, 0
+
+
+def _max(stored: int, p1: int, p2: int):
+    """Keep the maximum of ``stored`` and ``p1``; export the pre-update value
+    on update (the previous maximum), else 0."""
+    if stored < p1:
+        return p1, stored
+    return stored, 0
+
+
+def _and_or(stored: int, p1: int, p2: int):
+    """AND with ``p1`` when ``p2 == 0``, OR otherwise; export the pre-update
+    word (so membership of a just-inserted item is still observable)."""
+    if p2 == 0:
+        return stored & p1, stored
+    return stored | p1, stored
+
+
+def _xor(stored: int, p1: int, p2: int):
+    """Bit-wise XOR with ``p1`` (Odd Sketch's parity flip); exports the
+    pre-update word."""
+    return stored ^ p1, stored
+
+
+def load_reduced_operation_set(register: Register, with_xor: bool = True) -> None:
+    """Pre-load the FlyMon operations into a register's SALU.
+
+    ``with_xor`` also fills the fourth (reserved) action slot with XOR --
+    the §6 expansion that enables Odd Sketch.  Pass ``False`` to model the
+    paper's as-published three-operation configuration.
+    """
+    register.load_action(RegisterAction(OP_COND_ADD, _cond_add))
+    register.load_action(RegisterAction(OP_MAX, _max))
+    register.load_action(RegisterAction(OP_AND_OR, _and_or))
+    if with_xor:
+        register.load_action(RegisterAction(OP_XOR, _xor))

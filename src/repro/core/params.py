@@ -1,0 +1,271 @@
+"""Parameter selection (initialization stage) and preprocessing (preparation
+stage) for CMUs (§3.1, §3.2, §4).
+
+A CMU's operation takes two parameters.  The *initialization* stage selects
+each parameter's source -- a constant, a standard metadata field, one of the
+group's compressed keys, or an upstream CMU's result (for combinatorial
+tasks).  The *preparation* stage can then transform the first parameter with
+a TCAM-backed mapping: one-hot coupon encoding (BeauCoup), bit selection
+(bit-packed Bloom Filter), leading-zero ranks (HyperLogLog), overflow
+indicators (Counter Braids), or the inter-arrival computation of §4.
+
+Each processor reports the TCAM entries its mapping would occupy so the
+preparation stage's resource accounting (Fig. 8 / Fig. 11) is grounded in
+the actual rules installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple
+
+from repro.analysis.estimators import rho32
+from repro.core.compression import KeySelector
+
+
+def result_field(group_id: int, cmu_index: int) -> str:
+    """PHV field name carrying a CMU's operation result downstream."""
+    return f"_cmu_result/{group_id}/{cmu_index}"
+
+
+def param_field(group_id: int, cmu_index: int) -> str:
+    """PHV field name carrying a CMU's processed first parameter downstream
+    (e.g. the one-hot probe bit a Bloom-Filter CMU used)."""
+    return f"_cmu_p1/{group_id}/{cmu_index}"
+
+
+# ---------------------------------------------------------------------------
+# Initialization-stage parameter selectors
+# ---------------------------------------------------------------------------
+
+
+class ParamSelector:
+    """Where a parameter's raw value comes from (before preprocessing)."""
+
+    def value(self, fields: Mapping[str, int], compressed: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def vliw_slots(self) -> int:
+        """VLIW instructions the selection costs in the initialization stage."""
+        return 1
+
+
+@dataclass(frozen=True)
+class ConstParam(ParamSelector):
+    constant: int
+
+    def value(self, fields, compressed) -> int:
+        return self.constant
+
+
+@dataclass(frozen=True)
+class FieldParam(ParamSelector):
+    """A standard metadata/header field (packet size, queue length, ...)."""
+
+    field: str
+
+    def value(self, fields, compressed) -> int:
+        return int(fields.get(self.field, 0))
+
+
+@dataclass(frozen=True)
+class CompressedKeyParam(ParamSelector):
+    """A compressed key (Distinct/Existence attributes set parameters to
+    compressed keys, §3.2)."""
+
+    selector: KeySelector
+
+    def value(self, fields, compressed) -> int:
+        return self.selector.compute(compressed)
+
+
+@dataclass(frozen=True)
+class ResultParam(ParamSelector):
+    """An upstream CMU's exported result (combinatorial tasks, SuMax)."""
+
+    group_id: int
+    cmu_index: int
+
+    def value(self, fields, compressed) -> int:
+        return int(fields.get(result_field(self.group_id, self.cmu_index), 0))
+
+
+@dataclass(frozen=True)
+class MinResultsParam(ParamSelector):
+    """Minimum of several upstream results (SuMax's running minimum).
+
+    A Cond-ADD that did not fire exports 0 (Appendix A); a zero therefore
+    means "that row's counter already exceeds the running minimum", so zeros
+    are skipped rather than letting them collapse the minimum -- otherwise
+    one non-updating row would freeze every downstream row.
+    """
+
+    refs: Tuple[Tuple[int, int], ...]
+
+    def value(self, fields, compressed) -> int:
+        values = [
+            int(fields.get(result_field(g, c), 0)) for g, c in self.refs
+        ]
+        nonzero = [v for v in values if v > 0]
+        return min(nonzero) if nonzero else 0
+
+    def vliw_slots(self) -> int:
+        return len(self.refs)
+
+
+# ---------------------------------------------------------------------------
+# Preparation-stage parameter processors
+# ---------------------------------------------------------------------------
+
+
+class ParamProcessor:
+    """A preparation-stage transform of the first parameter."""
+
+    def apply(self, value: int, fields: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def tcam_entries(self) -> int:
+        """TCAM entries the mapping occupies in the preparation stage."""
+        return 0
+
+    def runtime_entries(self) -> int:
+        """TCAM entries that must be installed *at deployment time*.
+
+        Mappings that do not depend on task parameters (bit selection, rho
+        ranks, overflow indicators) are compile-time const entries in the P4
+        program -- they occupy TCAM but cost no runtime rules.  Only
+        task-parameterized mappings (BeauCoup's threshold-tuned coupons)
+        install entries at deployment, which is why the paper reports
+        BeauCoup as the slowest deployment (§5.1).
+        """
+        return 0
+
+
+@dataclass(frozen=True)
+class IdentityProcessor(ParamProcessor):
+    def apply(self, value, fields) -> int:
+        return value
+
+
+@dataclass(frozen=True)
+class OneHotCouponProcessor(ParamProcessor):
+    """BeauCoup's coupon draw: map a uniform hash value to at most one
+    one-hot coupon bit (0 when no coupon is drawn).
+
+    ``prob`` is the per-coupon draw probability; the TCAM mapping needs one
+    entry per coupon plus the no-draw default.
+    """
+
+    num_coupons: int
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_coupons <= 32:
+            raise ValueError("num_coupons must be in [1, 32]")
+        if not 0.0 < self.prob <= 1.0 / self.num_coupons:
+            raise ValueError("per-coupon probability infeasible")
+
+    def apply(self, value, fields) -> int:
+        width = int(self.prob * 2.0**32)
+        if width == 0:
+            return 0
+        idx = (value & 0xFFFFFFFF) // width
+        return (1 << idx) if idx < self.num_coupons else 0
+
+    def tcam_entries(self) -> int:
+        return self.num_coupons + 1
+
+    def runtime_entries(self) -> int:
+        # The coupon windows depend on the query threshold: installed live.
+        return self.num_coupons + 1
+
+
+@dataclass(frozen=True)
+class BitSelectProcessor(ParamProcessor):
+    """Bit-packed Bloom Filter (§4): select one of the bucket's bits."""
+
+    bucket_bits: int
+
+    def apply(self, value, fields) -> int:
+        return 1 << (value % self.bucket_bits)
+
+    def tcam_entries(self) -> int:
+        return self.bucket_bits
+
+
+@dataclass(frozen=True)
+class RhoProcessor(ParamProcessor):
+    """HyperLogLog's rank: position of the leftmost 1-bit of the hash value
+    (after skipping the bits used for bucket addressing)."""
+
+    skip_bits: int = 0
+
+    def apply(self, value, fields) -> int:
+        return rho32(value, skip_bits=self.skip_bits)
+
+    def tcam_entries(self) -> int:
+        # One prefix entry per possible leading-zero count.
+        return 32 - self.skip_bits + 1
+
+
+@dataclass(frozen=True)
+class ComplementProcessor(ParamProcessor):
+    """Bit-complement within ``width`` bits.
+
+    FlyMon's HLL "changes to track the leftmost 1" (§4): storing the MAX of
+    the complemented hash value is equivalent to tracking the minimum hash,
+    whose leading-zero count gives the HLL rank -- with zero TCAM entries
+    (an ALU complement), which is why the paper prefers it over TCAM-based
+    rho encoding.
+    """
+
+    width: int = 16
+
+    def apply(self, value, fields) -> int:
+        return (~value) & ((1 << self.width) - 1)
+
+
+@dataclass(frozen=True)
+class OverflowIndicatorProcessor(ParamProcessor):
+    """Counter Braids' carry (Appendix D): the upstream Cond-ADD exports 0
+    exactly when its layer-1 counter saturated; emit the high-layer
+    increment then, otherwise 0."""
+
+    increment: int = 1
+
+    def apply(self, value, fields) -> int:
+        return self.increment if value == 0 else 0
+
+    def tcam_entries(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class InterarrivalProcessor(ParamProcessor):
+    """Inter-arrival computation (§4): given the upstream MAX's exported
+    previous arrival time, produce ``now - previous``.
+
+    New flows (previous == 0, or flagged new by an upstream Bloom-Filter CMU
+    whose pre-update word missed the membership bit) yield interval 0.
+    """
+
+    time_field: str = "timestamp"
+    bloom_group: int = -1
+    bloom_cmu: int = -1
+    bloom_bit_width: int = 16
+
+    def apply(self, value, fields) -> int:
+        if value == 0:
+            return 0
+        if self.bloom_group >= 0:
+            old_word = int(
+                fields.get(result_field(self.bloom_group, self.bloom_cmu), 0)
+            )
+            bit = int(fields.get(param_field(self.bloom_group, self.bloom_cmu), 0))
+            if bit and not (old_word & bit):
+                return 0  # first packet of this flow
+        now = int(fields.get(self.time_field, 0))
+        return max(0, now - value)
+
+    def tcam_entries(self) -> int:
+        return 2

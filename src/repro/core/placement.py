@@ -1,0 +1,160 @@
+"""Cross-stacking CMU Groups onto the RMT pipeline (§3.2, Fig. 8, Fig. 13b).
+
+Each CMU Group needs four consecutive MAU stages with *different* dominant
+resources per stage, so groups are stacked shifted by one stage: group ``j``
+occupies stages ``j .. j+3``.  A 12-stage pipeline therefore fits 9 groups
+(27 CMUs), and per-stage utilization of each resource stays below capacity
+because at most one compression, one initialization, one preparation, and
+one operation stage land on any given MAU stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.cmu_group import GROUP_STAGES, CmuGroup
+from repro.dataplane.phv import FieldSpec
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class GroupPlacement:
+    """Which MAU stage hosts each of one group's four stages."""
+
+    group_id: int
+    first_stage: int
+
+    def stage_of(self, stage_name: str) -> int:
+        return self.first_stage + GROUP_STAGES.index(stage_name)
+
+    @property
+    def stages(self) -> Dict[str, int]:
+        return {name: self.stage_of(name) for name in GROUP_STAGES}
+
+
+def max_groups(num_stages: int) -> int:
+    """How many cross-stacked groups fit in ``num_stages`` MAU stages."""
+    return max(0, num_stages - len(GROUP_STAGES) + 1)
+
+
+def plan_cross_stacking(num_stages: int, num_groups: Optional[int] = None) -> List[GroupPlacement]:
+    """Shift-one-stage placements for up to ``num_groups`` groups."""
+    limit = max_groups(num_stages)
+    if num_groups is None:
+        num_groups = limit
+    if num_groups > limit:
+        raise ValueError(
+            f"{num_groups} groups do not fit in {num_stages} stages "
+            f"(max {limit})"
+        )
+    return [GroupPlacement(g, g) for g in range(num_groups)]
+
+
+def apply_placements(
+    pipeline: Pipeline,
+    groups: List[CmuGroup],
+    placements: List[GroupPlacement],
+) -> None:
+    """Charge each group's per-stage demands to the pipeline (admission-
+    controlled), plus its PHV reservation."""
+    if len(groups) != len(placements):
+        raise ValueError("groups and placements must align")
+    for group, placement in zip(groups, placements):
+        demands = group.stage_demands()
+        for stage_name, demand in demands.items():
+            stage = pipeline.stage(placement.stage_of(stage_name))
+            stage.allocate(f"cmug{group.group_id}/{stage_name}", demand)
+        pipeline.phv_layout.allocate(
+            FieldSpec(f"cmug{group.group_id}/keys", group.phv_demand_bits())
+        )
+
+
+def plan_spliced_stacking(num_stages: int) -> List[GroupPlacement]:
+    """Appendix E: splice 3 extra CMU Groups from the pipeline's triangle
+    areas via mirror + recirculation.
+
+    Regular cross-stacking leaves the start and end of the pipeline
+    under-used (no complete 4-stage window remains).  By mirroring packets to
+    a recirculate port, a group's stages may *wrap around* the pipeline end:
+    group ``j >= max_groups`` starts at stage ``j`` and continues from stage
+    0 on the recirculated pass.  A 12-stage pipeline then hosts 12 groups
+    (9 regular + 3 spliced) at the price of recirculation bandwidth for
+    packets whose tasks live on spliced groups.
+    """
+    regular = plan_cross_stacking(num_stages)
+    spliced = [
+        GroupPlacement(g, g) for g in range(max_groups(num_stages), num_stages)
+    ]
+    return regular + spliced
+
+
+def apply_spliced_placements(
+    pipeline: Pipeline,
+    groups: List[CmuGroup],
+    placements: List[GroupPlacement],
+) -> None:
+    """Like :func:`apply_placements` but stage indices wrap modulo the
+    pipeline length (the recirculated second pass)."""
+    if len(groups) != len(placements):
+        raise ValueError("groups and placements must align")
+    n = pipeline.num_stages
+    for group, placement in zip(groups, placements):
+        for stage_name, demand in group.stage_demands().items():
+            stage = pipeline.stage(placement.stage_of(stage_name) % n)
+            stage.allocate(f"cmug{group.group_id}/{stage_name}", demand)
+        pipeline.phv_layout.allocate(
+            FieldSpec(f"cmug{group.group_id}/keys", group.phv_demand_bits())
+        )
+
+
+def recirculation_overhead(
+    spliced_traffic_fraction: float, num_spliced_groups: int = 3
+) -> float:
+    """Extra pipeline bandwidth consumed by mirroring + recirculating the
+    packets that execute tasks on spliced groups (Appendix E: "only packets
+    that need to perform the tasks on these spliced CMU Groups will incur
+    additional bandwidth overhead")."""
+    if not 0.0 <= spliced_traffic_fraction <= 1.0:
+        raise ValueError("traffic fraction must be in [0, 1]")
+    if num_spliced_groups <= 0:
+        return 0.0
+    return spliced_traffic_fraction  # one extra pass per mirrored packet
+
+
+def stacking_utilization(num_stages: int, reference_group: Optional[CmuGroup] = None) -> Dict[str, float]:
+    """Hash/SALU (and other) utilization for a fully stacked ``num_stages``
+    pipeline (Figure 13b's series)."""
+    pipeline = Pipeline(num_stages=num_stages)
+    count = max_groups(num_stages)
+    groups = [
+        reference_group if reference_group is not None and g == 0 else CmuGroup(g)
+        for g in range(count)
+    ]
+    apply_placements(pipeline, groups, plan_cross_stacking(num_stages, count))
+    return pipeline.utilization()
+
+
+def cmus_deployable(
+    candidate_key_bits: int,
+    phv_free_bits: int,
+    num_stages: int = 12,
+    with_compression: bool = True,
+    cmus_per_group: int = 3,
+    compressed_key_bits: int = 96,
+) -> int:
+    """How many CMUs fit, limited by PHV (Figure 13c).
+
+    Without compression every CMU must statically copy the full candidate
+    key set into the PHV; with FlyMon's less-copy strategy a whole *group*
+    shares ``compressed_key_bits`` (three 32-bit compressed keys).  Both are
+    additionally capped by the stage budget (9 groups x 3 CMUs in 12
+    stages).
+    """
+    stage_cap = max_groups(num_stages) * cmus_per_group
+    if with_compression:
+        groups_by_phv = phv_free_bits // compressed_key_bits
+        return min(stage_cap, groups_by_phv * cmus_per_group)
+    cmus_by_phv = phv_free_bits // max(1, candidate_key_bits)
+    return min(stage_cap, cmus_by_phv)

@@ -1,0 +1,200 @@
+"""Measurement task abstraction (§2.1, §3.4).
+
+A task is a *filter* (which packets), a *key* (how to group them into
+flows), an *attribute with parameters* (what to measure per flow), and a
+*memory size* (how many buckets to allocate).  FlyMon's control plane
+compiles this declarative definition into runtime rules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.dataplane.tables import TernaryField
+from repro.traffic.flows import FIELD_WIDTHS, FlowKeyDef
+
+
+class Attribute(Enum):
+    """The four flow attributes FlyMon currently enables (Table 1)."""
+
+    FREQUENCY = "frequency"
+    DISTINCT = "distinct"
+    EXISTENCE = "existence"
+    MAX = "max"
+
+
+#: A parameter is a constant, a metadata field name, or a flow-key definition
+#: (for Distinct/Existence attributes whose parameter is itself a key).
+ParamValue = Union[int, str, FlowKeyDef]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """An attribute plus its parameter, e.g. ``Distinct(SrcIP)`` or
+    ``Frequency(1)`` / ``Frequency('pkt_bytes')`` / ``Max('queue_length')``."""
+
+    kind: Attribute
+    param: ParamValue = 1
+
+    @staticmethod
+    def frequency(param: Union[int, str] = 1) -> "AttributeSpec":
+        return AttributeSpec(Attribute.FREQUENCY, param)
+
+    @staticmethod
+    def distinct(param: FlowKeyDef) -> "AttributeSpec":
+        return AttributeSpec(Attribute.DISTINCT, param)
+
+    @staticmethod
+    def existence(param: Optional[FlowKeyDef] = None) -> "AttributeSpec":
+        return AttributeSpec(Attribute.EXISTENCE, param if param is not None else 1)
+
+    @staticmethod
+    def maximum(param: str) -> "AttributeSpec":
+        return AttributeSpec(Attribute.MAX, param)
+
+    def describe(self) -> str:
+        param = self.param.describe() if isinstance(self.param, FlowKeyDef) else self.param
+        return f"{self.kind.value}({param})"
+
+
+@dataclass(frozen=True)
+class TaskFilter:
+    """Which packets a task observes: per-field prefix/exact constraints.
+
+    ``prefixes`` maps a field name to ``(value, prefix_len)``.  An empty
+    filter matches every packet (e.g. the single-key cardinality task).
+    """
+
+    prefixes: Tuple[Tuple[str, Tuple[int, int]], ...] = ()
+
+    @staticmethod
+    def of(**constraints) -> "TaskFilter":
+        """``TaskFilter.of(src_ip=(0x0A000000, 8), dst_port=(80, 16))``."""
+        items = []
+        for name, (value, plen) in sorted(constraints.items()):
+            width = FIELD_WIDTHS.get(name)
+            if width is None:
+                raise KeyError(f"unknown filter field {name!r}")
+            if not 0 <= plen <= width:
+                raise ValueError(f"prefix length {plen} invalid for {name!r}")
+            mask = 0 if plen == 0 else ((1 << plen) - 1) << (width - plen)
+            items.append((name, (value & mask, plen)))
+        return TaskFilter(tuple(items))
+
+    @staticmethod
+    def match_all() -> "TaskFilter":
+        return TaskFilter(())
+
+    def matches(self, fields: Mapping[str, int]) -> bool:
+        for name, (value, plen) in self.prefixes:
+            width = FIELD_WIDTHS[name]
+            mask = 0 if plen == 0 else ((1 << plen) - 1) << (width - plen)
+            if (int(fields.get(name, 0)) & mask) != value:
+                return False
+        return True
+
+    def to_ternary(self) -> Dict[str, TernaryField]:
+        """Match fields for the task-selection TCAM entry."""
+        out = {}
+        for name, (value, plen) in self.prefixes:
+            out[name] = TernaryField.prefix(value, plen, FIELD_WIDTHS[name])
+        return out
+
+    def intersects(self, other: "TaskFilter") -> bool:
+        """Whether some packet can match both filters.
+
+        Two prefix constraints on the same field intersect iff one prefix
+        contains the other; fields constrained by only one filter never
+        exclude intersection.  Tasks with intersecting filters cannot share
+        a CMU (§3.3 limitation: one register access per packet).
+        """
+        mine = dict(self.prefixes)
+        for name, (value, plen) in other.prefixes:
+            if name not in mine:
+                continue
+            my_value, my_plen = mine[name]
+            width = FIELD_WIDTHS[name]
+            common = min(plen, my_plen)
+            mask = 0 if common == 0 else ((1 << common) - 1) << (width - common)
+            if (value & mask) != (my_value & mask):
+                return False
+        return True
+
+    def describe(self) -> str:
+        if not self.prefixes:
+            return "*"
+        parts = []
+        for name, (value, plen) in self.prefixes:
+            parts.append(f"{name}={value:#x}/{plen}")
+        return ",".join(parts)
+
+    def split(self, field: str = "src_ip") -> Tuple["TaskFilter", "TaskFilter"]:
+        """Split into two disjoint half-space subfilters on ``field``.
+
+        The §3.1.1 subtask trick: a heavy task with ``filter[10.0.0.0/8]``
+        becomes subtasks on 10.0.0.0/9 and 10.128.0.0/9, halving each
+        subtask's flow population (and its collision probability) at the
+        cost of a second CMU.  A field not yet constrained splits the full
+        space.
+        """
+        width = FIELD_WIDTHS.get(field)
+        if width is None:
+            raise KeyError(f"unknown filter field {field!r}")
+        existing = dict(self.prefixes)
+        value, plen = existing.get(field, (0, 0))
+        if plen >= width:
+            raise ValueError(f"cannot split an exact match on {field!r}")
+        halves = []
+        for bit in (0, 1):
+            child = dict(existing)
+            child[field] = (value | (bit << (width - plen - 1)), plen + 1)
+            halves.append(TaskFilter.of(**child))
+        return halves[0], halves[1]
+
+
+_task_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class MeasurementTask:
+    """A complete task definition handed to the control plane.
+
+    ``memory`` is the requested number of buckets (per row); ``depth`` is
+    the number of rows (``d``); ``algorithm`` optionally forces a built-in
+    algorithm (otherwise the compiler picks the default for the attribute).
+    ``sample_prob`` enables probabilistic execution (§5.3 / Fig. 14b).
+    """
+
+    key: FlowKeyDef
+    attribute: AttributeSpec
+    memory: int
+    filter: TaskFilter = field(default_factory=TaskFilter.match_all)
+    depth: int = 3
+    algorithm: Optional[str] = None
+    sample_prob: float = 1.0
+    #: Detection threshold for alarm-style tasks (BeauCoup's coupon tuning,
+    #: heavy-hitter reporting).
+    threshold: Optional[int] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.memory <= 0:
+            raise ValueError("memory (number of buckets) must be positive")
+        if self.depth <= 0:
+            raise ValueError("depth must be positive")
+        if not 0.0 < self.sample_prob <= 1.0:
+            raise ValueError("sample_prob must be in (0, 1]")
+
+    def describe(self) -> str:
+        return (
+            f"[{self.filter.describe()}] key={self.key.describe()} "
+            f"attr={self.attribute.describe()} mem={self.memory}x{self.depth}"
+        )
+
+
+def next_task_id() -> int:
+    """Process-wide unique task ids (stable ordering for table priorities)."""
+    return next(_task_ids)

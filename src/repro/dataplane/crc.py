@@ -1,0 +1,90 @@
+"""Table-driven CRC-32 variants.
+
+Tofino's hash distribution units compute CRCs with configurable polynomials;
+this module implements the standard reflected table-driven algorithm for the
+common 32-bit polynomials so different hash units can genuinely use
+*different* CRC functions (not just salted copies of one).
+
+The implementation follows the Rocksoft^tm model parameters (reflected
+in/out, init ``0xFFFFFFFF``, final XOR ``0xFFFFFFFF``) used by the familiar
+CRC-32 variants below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+MASK32 = 0xFFFFFFFF
+
+#: Common 32-bit polynomials (normal representation).
+POLY_CRC32 = 0x04C11DB7  # IEEE 802.3 / zlib
+POLY_CRC32C = 0x1EDC6F41  # Castagnoli (iSCSI)
+POLY_CRC32K = 0x741B8CD7  # Koopman
+POLY_CRC32Q = 0x814141AB  # aviation (AIXM)
+
+STANDARD_POLYNOMIALS: Tuple[int, ...] = (
+    POLY_CRC32,
+    POLY_CRC32C,
+    POLY_CRC32K,
+    POLY_CRC32Q,
+)
+
+_tables: Dict[int, Tuple[int, ...]] = {}
+
+
+def _reflect(value: int, width: int) -> int:
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def _table_for(poly: int) -> Tuple[int, ...]:
+    table = _tables.get(poly)
+    if table is not None:
+        return table
+    reflected_poly = _reflect(poly, 32)
+    entries = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ reflected_poly if crc & 1 else crc >> 1
+        entries.append(crc & MASK32)
+    table = tuple(entries)
+    _tables[poly] = table
+    return table
+
+
+class Crc32:
+    """One CRC-32 variant (reflected, init/final-xor ``0xFFFFFFFF``)."""
+
+    def __init__(self, poly: int = POLY_CRC32) -> None:
+        if not 0 < poly <= MASK32:
+            raise ValueError("polynomial must be a non-zero 32-bit value")
+        self.poly = poly
+        self._table = _table_for(poly)
+
+    def compute(self, data: bytes, init: int = MASK32) -> int:
+        crc = init & MASK32
+        table = self._table
+        for byte in data:
+            crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+        return crc ^ MASK32
+
+    def __repr__(self) -> str:
+        return f"Crc32(poly={self.poly:#010x})"
+
+
+def crc_family(count: int) -> Tuple[Crc32, ...]:
+    """Up to ``len(STANDARD_POLYNOMIALS)`` genuinely distinct CRC functions,
+    then additional odd polynomials derived deterministically."""
+    crcs = []
+    for i in range(count):
+        if i < len(STANDARD_POLYNOMIALS):
+            crcs.append(Crc32(STANDARD_POLYNOMIALS[i]))
+        else:
+            # Derive further odd (degree-32) polynomials deterministically.
+            poly = (0x04C11DB7 ^ (0x9E3779B9 * (i + 1))) & MASK32 | 1
+            crcs.append(Crc32(poly))
+    return tuple(crcs)

@@ -1,0 +1,197 @@
+"""Hash units, including Tofino-style dynamic hashing.
+
+Tofino exposes a limited pool of hash distribution units per MAU stage.  SDE
+9.7.0 added *dynamic hashing* (``tna_dyn_hashing``): the unit's input is wired
+to a fixed candidate field set at compile time, but the control plane can
+install masks at runtime selecting which fields (or field prefixes)
+participate in the calculation.  FlyMon's compression stage is built on this
+feature, so the model reproduces it faithfully:
+
+* :class:`HashFunction` -- one seeded 32-bit hash (a stand-in for one CRC
+  polynomial configuration).
+* :class:`DynamicHashUnit` -- a hash unit bound to an ordered candidate field
+  set, with a runtime-reconfigurable :class:`HashMask`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.dataplane.phv import FieldSpec
+
+HASH_WIDTH = 32
+HASH_MASK = (1 << HASH_WIDTH) - 1
+
+
+def _fmix32(h: int) -> int:
+    """Murmur3 finalizer; breaks the linearity of CRC for independence."""
+    h &= HASH_MASK
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & HASH_MASK
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & HASH_MASK
+    h ^= h >> 16
+    return h
+
+
+class HashFunction:
+    """A seeded 32-bit hash over byte strings.
+
+    Different seeds model different CRC polynomial configurations; outputs for
+    distinct seeds behave as independent hash functions for sketching
+    purposes.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed) & HASH_MASK
+        self._seed_bytes = struct.pack("<I", self.seed)
+
+    def hash_bytes(self, data: bytes) -> int:
+        return _fmix32(zlib.crc32(data, self.seed) ^ self.seed)
+
+    def hash_int(self, value: int, width: int = 64) -> int:
+        nbytes = max(1, (width + 7) // 8)
+        return self.hash_bytes(int(value).to_bytes(nbytes, "little", signed=False))
+
+    def __repr__(self) -> str:
+        return f"HashFunction(seed={self.seed:#010x})"
+
+
+def hash_family(count: int, base_seed: int = 0xF17E50) -> list:
+    """A list of ``count`` independent :class:`HashFunction` objects."""
+    return [HashFunction(base_seed + 0x9E3779B9 * i) for i in range(count)]
+
+
+class _CrcAdapter:
+    """Adapts a :class:`repro.dataplane.crc.Crc32` to the hash interface."""
+
+    def __init__(self, crc) -> None:
+        self._crc = crc
+        self.seed = crc.poly
+
+    def hash_bytes(self, data: bytes) -> int:
+        return self._crc.compute(data)
+
+
+@dataclass(frozen=True)
+class HashMask:
+    """Runtime configuration of a dynamic hash unit.
+
+    ``field_bits`` maps field name -> number of most-significant bits of that
+    field to include (``width`` for the full field, smaller values model
+    prefix keys like ``SrcIP/24``).  Fields absent from the mapping do not
+    participate.  An empty mask means the unit contributes nothing (used for
+    unconfigured units).
+    """
+
+    field_bits: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(mapping: Mapping[str, int]) -> "HashMask":
+        return HashMask(tuple(sorted(mapping.items())))
+
+    @staticmethod
+    def full_fields(names: Iterable[str], specs: Mapping[str, FieldSpec]) -> "HashMask":
+        return HashMask.of({name: specs[name].width for name in names})
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.field_bits)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.field_bits
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "<empty>"
+        parts = []
+        for name, bits in self.field_bits:
+            parts.append(f"{name}/{bits}")
+        return "+".join(parts)
+
+
+class DynamicHashUnit:
+    """A hash distribution unit with runtime-reconfigurable input masks.
+
+    The candidate field set is fixed at construction (the compile-time
+    wiring); :meth:`set_mask` installs a new mask at runtime, exactly like a
+    ``tna_dyn_hashing`` control-plane call.  :meth:`compute` hashes the masked
+    candidate fields of one packet into a 32-bit compressed key.
+
+    By default the digest is the fast seeded :class:`HashFunction`; pass a
+    :class:`repro.dataplane.crc.Crc32` as ``crc`` to compute a genuine CRC
+    variant instead (higher hardware fidelity, pure-Python speed).
+    """
+
+    def __init__(
+        self,
+        unit_id: int,
+        candidate_fields: Sequence[FieldSpec],
+        seed: int,
+        crc=None,
+    ) -> None:
+        if not candidate_fields:
+            raise ValueError("a hash unit needs at least one candidate field")
+        self.unit_id = unit_id
+        self._specs: Dict[str, FieldSpec] = {f.name: f for f in candidate_fields}
+        self._order = tuple(f.name for f in candidate_fields)
+        if crc is not None:
+            self._fn = _CrcAdapter(crc)
+        else:
+            self._fn = HashFunction(seed)
+        self._mask = HashMask()
+
+    @property
+    def mask(self) -> HashMask:
+        return self._mask
+
+    @property
+    def candidate_field_names(self) -> Tuple[str, ...]:
+        return self._order
+
+    def set_mask(self, mask: HashMask) -> None:
+        """Install a hash-mask rule (validates fields against the wiring)."""
+        for name, bits in mask.field_bits:
+            spec = self._specs.get(name)
+            if spec is None:
+                raise KeyError(
+                    f"field {name!r} is not in hash unit {self.unit_id}'s "
+                    f"candidate set {self._order}"
+                )
+            if not 0 < bits <= spec.width:
+                raise ValueError(
+                    f"mask of {bits} bits invalid for field {name!r} "
+                    f"(width {spec.width})"
+                )
+        self._mask = mask
+
+    def clear_mask(self) -> None:
+        self._mask = HashMask()
+
+    def compute(self, fields: Mapping[str, int]) -> int:
+        """32-bit compressed key of the masked candidate fields.
+
+        Unconfigured units return 0, matching hardware where a zeroed hash
+        configuration contributes a constant.
+        """
+        if self._mask.is_empty:
+            return 0
+        pieces = []
+        for name in self._order:
+            bits = dict(self._mask.field_bits).get(name)
+            if bits is None:
+                continue
+            spec = self._specs[name]
+            value = int(fields.get(name, 0)) & spec.mask
+            # Keep the most-significant `bits` bits: prefix semantics.
+            value >>= spec.width - bits
+            pieces.append(struct.pack("<IH", value & 0xFFFFFFFF, bits))
+            if value >> 32:
+                pieces.append(struct.pack("<I", value >> 32))
+        return self._fn.hash_bytes(b"".join(pieces))
+
+    def __repr__(self) -> str:
+        return f"DynamicHashUnit(id={self.unit_id}, mask={self._mask.describe()})"

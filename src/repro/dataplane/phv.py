@@ -1,0 +1,140 @@
+"""Packet Header Vector (PHV) model.
+
+The PHV is the per-packet scratch memory a packet carries through the RMT
+pipeline.  Header fields are parsed into it, and match-action stages read and
+write it.  FlyMon's "less-copy" optimisation is entirely about how many PHV
+bits the key-selection phase must statically reserve, so the model tracks bit
+budgets explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """A named PHV field with a fixed bit width."""
+
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"field {self.name!r} must have positive width")
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+#: The candidate key set the paper evaluates with: 5-tuple plus timestamp.
+STANDARD_HEADER_FIELDS = (
+    FieldSpec("src_ip", 32),
+    FieldSpec("dst_ip", 32),
+    FieldSpec("src_port", 16),
+    FieldSpec("dst_port", 16),
+    FieldSpec("protocol", 8),
+    FieldSpec("timestamp", 32),
+)
+
+#: Standard metadata attributes available as CMU parameters (Table 2 text).
+STANDARD_METADATA_FIELDS = (
+    FieldSpec("pkt_bytes", 16),
+    FieldSpec("queue_length", 24),
+    FieldSpec("queue_delay", 32),
+)
+
+
+class PhvLayout:
+    """Static allocation of PHV fields against a bit budget.
+
+    Raises :class:`PhvBudgetError` when an allocation would exceed the
+    budget -- this is exactly the failure mode Figure 13c measures for the
+    full-copy strategy.
+    """
+
+    def __init__(self, budget_bits: int) -> None:
+        if budget_bits <= 0:
+            raise ValueError("budget_bits must be positive")
+        self.budget_bits = budget_bits
+        self._fields: Dict[str, FieldSpec] = {}
+
+    @property
+    def used_bits(self) -> int:
+        return sum(f.width for f in self._fields.values())
+
+    @property
+    def free_bits(self) -> int:
+        return self.budget_bits - self.used_bits
+
+    def allocate(self, spec: FieldSpec) -> FieldSpec:
+        """Reserve PHV space for ``spec``; idempotent for identical specs."""
+        existing = self._fields.get(spec.name)
+        if existing is not None:
+            if existing.width != spec.width:
+                raise ValueError(
+                    f"field {spec.name!r} already allocated with width "
+                    f"{existing.width}, not {spec.width}"
+                )
+            return existing
+        if spec.width > self.free_bits:
+            raise PhvBudgetError(
+                f"allocating {spec.name!r} ({spec.width} b) exceeds PHV budget: "
+                f"{self.used_bits}/{self.budget_bits} bits used"
+            )
+        self._fields[spec.name] = spec
+        return spec
+
+    def allocate_all(self, specs: Iterable[FieldSpec]) -> None:
+        for spec in specs:
+            self.allocate(spec)
+
+    def free(self, name: str) -> None:
+        self._fields.pop(name, None)
+
+    def has(self, name: str) -> bool:
+        return name in self._fields
+
+    def spec(self, name: str) -> FieldSpec:
+        return self._fields[name]
+
+    def field_names(self) -> list:
+        return sorted(self._fields)
+
+
+class PhvBudgetError(RuntimeError):
+    """Raised when a PHV allocation does not fit the pipeline's bit budget."""
+
+
+class Phv:
+    """Per-packet field values, validated against a :class:`PhvLayout`.
+
+    Fields not present default to 0, mirroring hardware behaviour where
+    unparsed containers read as zero.
+    """
+
+    def __init__(self, layout: PhvLayout, values: Mapping[str, int] = ()) -> None:
+        self._layout = layout
+        self._values: Dict[str, int] = {}
+        for name, value in dict(values).items():
+            self[name] = value
+
+    def __getitem__(self, name: str) -> int:
+        if not self._layout.has(name):
+            raise KeyError(f"field {name!r} is not allocated in the PHV layout")
+        return self._values.get(name, 0)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        spec = self._layout.spec(name)  # KeyError if unallocated.
+        self._values[name] = int(value) & spec.mask
+
+    def get(self, name: str, default: int = 0) -> int:
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)

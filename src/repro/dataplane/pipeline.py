@@ -1,0 +1,80 @@
+"""The RMT pipeline: an ordered sequence of MAU stages plus pipeline PHV."""
+
+from __future__ import annotations
+
+from typing import Dict, List, MutableMapping
+
+from repro.dataplane.phv import PhvLayout
+from repro.dataplane.resources import (
+    NUM_STAGES,
+    PIPELINE_PHV_BITS,
+    ResourceVector,
+    STAGE_CAPACITY,
+)
+from repro.dataplane.stage import MauStage
+
+
+class Pipeline:
+    """A fixed number of MAU stages sharing one PHV bit budget.
+
+    Packets traverse stages in order; each stage runs its attached hooks over
+    the packet's mutable field mapping (the simulated PHV).
+    """
+
+    def __init__(
+        self,
+        num_stages: int = NUM_STAGES,
+        stage_capacity: ResourceVector = STAGE_CAPACITY,
+        phv_budget_bits: int = PIPELINE_PHV_BITS,
+    ) -> None:
+        if num_stages <= 0:
+            raise ValueError("num_stages must be positive")
+        self.stages: List[MauStage] = [
+            MauStage(i, stage_capacity) for i in range(num_stages)
+        ]
+        self.phv_layout = PhvLayout(phv_budget_bits)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def stage(self, index: int) -> MauStage:
+        return self.stages[index]
+
+    def process(self, fields: MutableMapping[str, int]) -> None:
+        """Run one packet through every stage in order."""
+        for stage in self.stages:
+            stage.process(fields)
+
+    # -- aggregate accounting -----------------------------------------------
+
+    def total_used(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for stage in self.stages:
+            total = total + stage.used
+        return total
+
+    def total_capacity(self) -> ResourceVector:
+        total = self.stages[0].capacity * self.num_stages
+        return ResourceVector(
+            hash_units=total.hash_units,
+            salus=total.salus,
+            vliw=total.vliw,
+            tcam_blocks=total.tcam_blocks,
+            sram_blocks=total.sram_blocks,
+            table_ids=total.table_ids,
+            phv_bits=self.phv_layout.budget_bits,
+        )
+
+    def utilization(self) -> Dict[str, float]:
+        used = self.total_used()
+        used = ResourceVector(
+            hash_units=used.hash_units,
+            salus=used.salus,
+            vliw=used.vliw,
+            tcam_blocks=used.tcam_blocks,
+            sram_blocks=used.sram_blocks,
+            table_ids=used.table_ids,
+            phv_bits=self.phv_layout.used_bits,
+        )
+        return used.utilization(self.total_capacity())

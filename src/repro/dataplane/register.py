@@ -1,0 +1,118 @@
+"""SALU-backed stateful registers.
+
+A *register* on Tofino is a fixed-size SRAM array bound to a stateful ALU.
+The hardware constraints FlyMon designs around are modeled explicitly:
+
+* the array's size and bucket bit-width are fixed at "compile" time
+  (construction) and cannot change at runtime -- dynamic memory has to be
+  realized by address translation on top of this;
+* one SALU supports at most :data:`MAX_REGISTER_ACTIONS` pre-loaded register
+  actions (Tofino: 4), selected per packet;
+* one packet can access the register once (single read-modify-write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+#: Tofino SALUs pre-load at most four register actions.
+MAX_REGISTER_ACTIONS = 4
+
+
+@dataclass(frozen=True)
+class RegisterAction:
+    """A pre-loaded stateful operation.
+
+    ``fn(stored_value, p1, p2) -> (new_value, result)`` where ``result`` is
+    the value exported back to the PHV (Tofino register actions can output
+    one word).  Values are treated as unsigned integers of the register's
+    bucket width; the register clamps the stored value on write.
+    """
+
+    name: str
+    fn: Callable[[int, int, int], Tuple[int, int]]
+
+
+class Register:
+    """A fixed-configuration stateful array plus its SALU.
+
+    ``size`` buckets of ``bit_width`` bits each.  Register actions are
+    installed at construction time (compile-phase) via :meth:`load_action`;
+    per-packet, :meth:`execute` selects one by name.
+    """
+
+    def __init__(self, size: int, bit_width: int = 16) -> None:
+        if size <= 0 or size & (size - 1):
+            raise ValueError("register size must be a positive power of two")
+        if bit_width not in (1, 8, 16, 32):
+            raise ValueError("bit_width must be one of 1, 8, 16, 32")
+        self.size = size
+        self.bit_width = bit_width
+        self.value_mask = (1 << bit_width) - 1
+        dtype = np.uint8 if bit_width <= 8 else (np.uint16 if bit_width == 16 else np.uint32)
+        self._cells = np.zeros(size, dtype=dtype)
+        self._actions: Dict[str, RegisterAction] = {}
+
+    # -- compile-phase configuration -------------------------------------
+
+    def load_action(self, action: RegisterAction) -> None:
+        if action.name in self._actions:
+            raise ValueError(f"register action {action.name!r} already loaded")
+        if len(self._actions) >= MAX_REGISTER_ACTIONS:
+            raise RuntimeError(
+                f"SALU supports at most {MAX_REGISTER_ACTIONS} register actions"
+            )
+        self._actions[action.name] = action
+
+    @property
+    def action_names(self) -> Tuple[str, ...]:
+        return tuple(self._actions)
+
+    # -- per-packet execution ---------------------------------------------
+
+    def execute(self, action_name: str, index: int, p1: int, p2: int) -> int:
+        """Run a pre-loaded action on bucket ``index``; returns its result."""
+        action = self._actions.get(action_name)
+        if action is None:
+            raise KeyError(
+                f"register action {action_name!r} not pre-loaded "
+                f"(have: {self.action_names})"
+            )
+        idx = index & (self.size - 1)
+        stored = int(self._cells[idx])
+        new_value, result = action.fn(stored, p1 & self.value_mask, p2 & self.value_mask)
+        self._cells[idx] = new_value & self.value_mask
+        return result & self.value_mask
+
+    # -- control-plane access ---------------------------------------------
+
+    def read(self, index: int) -> int:
+        return int(self._cells[index & (self.size - 1)])
+
+    def read_range(self, start: int, length: int) -> np.ndarray:
+        """Control-plane bulk read of ``[start, start+length)`` (copy)."""
+        if not 0 <= start <= self.size or start + length > self.size:
+            raise IndexError(f"range [{start}, {start + length}) out of bounds")
+        return self._cells[start : start + length].astype(np.int64)
+
+    def write(self, index: int, value: int) -> None:
+        self._cells[index & (self.size - 1)] = value & self.value_mask
+
+    def reset_range(self, start: int, length: int) -> None:
+        """Zero ``[start, start+length)`` -- epoch rollover / task recycle."""
+        if not 0 <= start <= self.size or start + length > self.size:
+            raise IndexError(f"range [{start}, {start + length}) out of bounds")
+        self._cells[start : start + length] = 0
+
+    def reset(self) -> None:
+        self._cells[:] = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.size * self.bit_width
+
+    def __repr__(self) -> str:
+        return f"Register(size={self.size}, bit_width={self.bit_width})"

@@ -1,0 +1,112 @@
+"""Per-MAU-stage hardware resource accounting.
+
+FlyMon's headline numbers (9 CMU Groups in 12 stages, <8.3% overhead per
+group, the Figure 8 per-stage percentages) are statements about how much of
+each MAU stage's fixed resource budget a deployment consumes.  This module
+defines the resource vector algebra those statements are computed with.
+
+Capacities are calibrated to public Tofino figures and chosen so that the
+percentages the paper publishes in the Figure 8 table fall out exactly:
+
+* 6 hash distribution units per stage (a compression stage uses 3 -> 50%),
+* 4 SALUs per stage (a CMU Group's operation stage uses 3 -> 75%),
+* 32 VLIW instruction slots per stage (2 -> 6.25%, 8 -> 25%),
+* 24 TCAM blocks per stage (3 -> 12.5%, 12 -> 50%),
+* 80 SRAM blocks of 16 KB per stage,
+* 16 logical table IDs per stage,
+* 4096 PHV bits shared across the pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An amount of each MAU-stage resource.
+
+    Instances are immutable; arithmetic returns new vectors.  All quantities
+    are in natural units (units, slots, blocks, bits), not fractions.
+    """
+
+    hash_units: float = 0.0
+    salus: float = 0.0
+    vliw: float = 0.0
+    tcam_blocks: float = 0.0
+    sram_blocks: float = 0.0
+    table_ids: float = 0.0
+    phv_bits: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            *(a + b for a, b in zip(self.as_tuple(), other.as_tuple()))
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            *(a - b for a, b in zip(self.as_tuple(), other.as_tuple()))
+        )
+
+    def __mul__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(*(a * scalar for a in self.as_tuple()))
+
+    __rmul__ = __mul__
+
+    def as_tuple(self) -> tuple:
+        return dataclasses.astuple(self)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def fits_within(self, capacity: "ResourceVector") -> bool:
+        """Whether this demand fits in ``capacity`` on every dimension."""
+        return all(a <= b + 1e-9 for a, b in zip(self.as_tuple(), capacity.as_tuple()))
+
+    def utilization(self, capacity: "ResourceVector") -> dict:
+        """Fraction of each capacity dimension consumed (0 capacity -> 0)."""
+        out = {}
+        for name, used in self.as_dict().items():
+            cap = getattr(capacity, name)
+            out[name] = used / cap if cap else 0.0
+        return out
+
+    @staticmethod
+    def zero() -> "ResourceVector":
+        return ResourceVector()
+
+
+#: Resource budget of one MAU stage (see module docstring for calibration).
+STAGE_CAPACITY = ResourceVector(
+    hash_units=6,
+    salus=4,
+    vliw=32,
+    tcam_blocks=24,
+    sram_blocks=80,
+    table_ids=16,
+    phv_bits=0,  # PHV is a pipeline-wide resource, not per stage.
+)
+
+#: PHV bits shared by the whole pipeline (Tofino: 4 Kb usable header space).
+PIPELINE_PHV_BITS = 4096
+
+#: Number of MAU stages in one Tofino pipeline.
+NUM_STAGES = 12
+
+#: Bytes of stateful memory in one SRAM block.
+SRAM_BLOCK_BYTES = 16 * 1024
+
+
+def pipeline_capacity(num_stages: int = NUM_STAGES) -> ResourceVector:
+    """Aggregate capacity of ``num_stages`` MAU stages plus pipeline PHV."""
+    total = STAGE_CAPACITY * num_stages
+    return dataclasses.replace(total, phv_bits=PIPELINE_PHV_BITS)
+
+
+def sram_blocks_for(num_buckets: int, bucket_bits: int) -> float:
+    """SRAM blocks needed to hold ``num_buckets`` counters of ``bucket_bits``."""
+    if num_buckets < 0:
+        raise ValueError("num_buckets must be non-negative")
+    total_bytes = num_buckets * bucket_bits / 8.0
+    return total_bytes / SRAM_BLOCK_BYTES

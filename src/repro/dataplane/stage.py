@@ -1,0 +1,71 @@
+"""MAU stages: resource admission control plus attached processing logic."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from repro.dataplane.resources import STAGE_CAPACITY, ResourceVector
+
+
+class StageResourceError(RuntimeError):
+    """Raised when an allocation exceeds a stage's resource capacity."""
+
+
+class MauStage:
+    """One match-action unit stage.
+
+    Tracks resource usage by named owner (e.g. ``"cmug0/compression"``) so
+    deployments can be torn down, and holds an ordered list of processing
+    hooks executed when a packet traverses the stage.
+    """
+
+    def __init__(self, index: int, capacity: ResourceVector = STAGE_CAPACITY) -> None:
+        self.index = index
+        self.capacity = capacity
+        self._allocations: Dict[str, ResourceVector] = {}
+        self._hooks: List[Callable[[Mapping[str, int]], None]] = []
+
+    # -- resource accounting ----------------------------------------------
+
+    @property
+    def used(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for vec in self._allocations.values():
+            total = total + vec
+        return total
+
+    def allocate(self, owner: str, demand: ResourceVector) -> None:
+        if owner in self._allocations:
+            raise ValueError(f"owner {owner!r} already holds an allocation in stage {self.index}")
+        if not (self.used + demand).fits_within(self.capacity):
+            util = (self.used + demand).utilization(self.capacity)
+            over = {k: f"{v:.0%}" for k, v in util.items() if v > 1.0}
+            raise StageResourceError(
+                f"stage {self.index}: allocation for {owner!r} exceeds capacity on {over}"
+            )
+        self._allocations[owner] = demand
+
+    def release(self, owner: str) -> None:
+        self._allocations.pop(owner, None)
+
+    def utilization(self) -> Dict[str, float]:
+        return self.used.utilization(self.capacity)
+
+    def owners(self) -> List[str]:
+        return sorted(self._allocations)
+
+    # -- packet processing --------------------------------------------------
+
+    def add_hook(self, hook: Callable[[Mapping[str, int]], None]) -> None:
+        """Attach per-packet logic (executed in attachment order)."""
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: Callable[[Mapping[str, int]], None]) -> None:
+        self._hooks.remove(hook)
+
+    def process(self, fields: Mapping[str, int]) -> None:
+        for hook in self._hooks:
+            hook(fields)
+
+    def __repr__(self) -> str:
+        return f"MauStage(index={self.index}, owners={self.owners()})"

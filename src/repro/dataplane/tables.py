@@ -1,0 +1,202 @@
+"""Match-action tables: exact, ternary (TCAM), and range matching.
+
+The preparation stage of a CMU leans on TCAM range matching (address
+translation, parameter preprocessing), and Figure 11a counts TCAM entries, so
+the classic prefix decomposition of ranges into ternary entries is implemented
+here and reused both for matching and for resource accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TernaryField:
+    """One field of a ternary match key: ``packet & mask == value & mask``."""
+
+    value: int
+    mask: int
+
+    def matches(self, packet_value: int) -> bool:
+        return (packet_value & self.mask) == (self.value & self.mask)
+
+    @staticmethod
+    def exact(value: int, width: int) -> "TernaryField":
+        return TernaryField(value, (1 << width) - 1)
+
+    @staticmethod
+    def wildcard() -> "TernaryField":
+        return TernaryField(0, 0)
+
+    @staticmethod
+    def prefix(value: int, prefix_len: int, width: int) -> "TernaryField":
+        """LPM-style prefix match on the ``prefix_len`` high bits."""
+        if not 0 <= prefix_len <= width:
+            raise ValueError(f"prefix_len {prefix_len} out of range for width {width}")
+        if prefix_len == 0:
+            return TernaryField.wildcard()
+        mask = ((1 << prefix_len) - 1) << (width - prefix_len)
+        return TernaryField(value & mask, mask)
+
+
+def range_to_ternary(lo: int, hi: int, width: int) -> List[TernaryField]:
+    """Decompose the inclusive range ``[lo, hi]`` into ternary prefixes.
+
+    This is the standard TCAM range-expansion algorithm; the number of
+    returned entries is what a real TCAM would consume, which Figure 11a
+    measures for the TCAM-based address translation.
+    """
+    if not 0 <= lo <= hi < (1 << width):
+        raise ValueError(f"range [{lo}, {hi}] invalid for width {width}")
+    entries: List[TernaryField] = []
+    while lo <= hi:
+        # Largest power-of-two block aligned at `lo` that fits in [lo, hi].
+        max_align = lo & -lo if lo else 1 << width
+        size = max_align
+        while size > hi - lo + 1:
+            size >>= 1
+        prefix_len = width - size.bit_length() + 1
+        entries.append(TernaryField.prefix(lo, prefix_len, width))
+        lo += size
+    return entries
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One installed rule: a match, an action name, and action arguments.
+
+    Higher ``priority`` wins among ternary entries that all match.
+    """
+
+    match: Tuple[Tuple[str, TernaryField], ...]
+    action: str
+    args: Tuple[Tuple[str, Any], ...] = ()
+    priority: int = 0
+
+    @staticmethod
+    def build(
+        match: Mapping[str, TernaryField],
+        action: str,
+        args: Optional[Mapping[str, Any]] = None,
+        priority: int = 0,
+    ) -> "TableEntry":
+        return TableEntry(
+            match=tuple(sorted(match.items())),
+            action=action,
+            args=tuple(sorted((args or {}).items())),
+            priority=priority,
+        )
+
+    def args_dict(self) -> Dict[str, Any]:
+        return dict(self.args)
+
+    def matches(self, fields: Mapping[str, int]) -> bool:
+        return all(tf.matches(int(fields.get(name, 0))) for name, tf in self.match)
+
+
+class MatchActionTable:
+    """Base class: a named table holding prioritized entries."""
+
+    def __init__(self, name: str, key_fields: Sequence[str], max_entries: int = 4096) -> None:
+        self.name = name
+        self.key_fields = tuple(key_fields)
+        self.max_entries = max_entries
+        self._entries: List[TableEntry] = []
+        self.default_action: Optional[str] = None
+        self.default_args: Dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[TableEntry, ...]:
+        return tuple(self._entries)
+
+    def set_default(self, action: str, args: Optional[Mapping[str, Any]] = None) -> None:
+        self.default_action = action
+        self.default_args = dict(args or {})
+
+    def insert(self, entry: TableEntry) -> TableEntry:
+        for name, _ in entry.match:
+            if name not in self.key_fields:
+                raise KeyError(
+                    f"table {self.name!r} has no key field {name!r} "
+                    f"(keys: {self.key_fields})"
+                )
+        if len(self._entries) >= self.max_entries:
+            raise TableFullError(
+                f"table {self.name!r} is full ({self.max_entries} entries)"
+            )
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: -e.priority)
+        return entry
+
+    def remove(self, entry: TableEntry) -> None:
+        self._entries.remove(entry)
+
+    def remove_where(self, predicate: Callable[[TableEntry], bool]) -> int:
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if not predicate(e)]
+        return before - len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def lookup(self, fields: Mapping[str, int]) -> Tuple[Optional[str], Dict[str, Any]]:
+        """First (highest-priority) matching entry, else the default action."""
+        for entry in self._entries:
+            if entry.matches(fields):
+                return entry.action, entry.args_dict()
+        return self.default_action, dict(self.default_args)
+
+
+class TableFullError(RuntimeError):
+    """Raised when inserting beyond a table's capacity."""
+
+
+class ExactMatchTable(MatchActionTable):
+    """SRAM-backed exact-match table (hash table in hardware)."""
+
+    def insert_exact(
+        self,
+        key: Mapping[str, int],
+        widths: Mapping[str, int],
+        action: str,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> TableEntry:
+        match = {
+            name: TernaryField.exact(value, widths[name]) for name, value in key.items()
+        }
+        return self.insert(TableEntry.build(match, action, args))
+
+
+class TernaryMatchTable(MatchActionTable):
+    """TCAM-backed ternary table with prefix and range helpers."""
+
+    def insert_range(
+        self,
+        range_field: str,
+        lo: int,
+        hi: int,
+        width: int,
+        action: str,
+        args: Optional[Mapping[str, Any]] = None,
+        extra_match: Optional[Mapping[str, TernaryField]] = None,
+        priority: int = 0,
+    ) -> List[TableEntry]:
+        """Install ``[lo, hi]`` on ``range_field`` via prefix expansion.
+
+        Returns every physical entry installed, so callers can account for
+        the true TCAM cost of a range rule.
+        """
+        installed = []
+        for tf in range_to_ternary(lo, hi, width):
+            match = dict(extra_match or {})
+            match[range_field] = tf
+            installed.append(self.insert(TableEntry.build(match, action, args, priority)))
+        return installed
+
+    def tcam_entry_count(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,20 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(quick=True) -> dict`` returning the figure's rows
+or series, and ``format_result(result) -> str`` rendering them the way the
+paper reports them.  The ``benchmarks/`` tree wraps these with
+pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` regenerates the
+whole evaluation.
+
+Index (see DESIGN.md for the full mapping):
+
+* Figure 2  -- :mod:`repro.experiments.fig02_footprint`
+* Table 3   -- :mod:`repro.experiments.table3_deployment`
+* Figure 11 -- :mod:`repro.experiments.fig11_address_translation`
+* Figure 12 -- :mod:`repro.experiments.fig12a_forwarding`,
+  :mod:`repro.experiments.fig12b_accuracy`
+* Figure 13 -- :mod:`repro.experiments.fig13_resources`
+* Figure 14 -- :mod:`repro.experiments.fig14a_heavy_hitter` ...
+  :mod:`repro.experiments.fig14g_existence`
+* Appendix B -- :mod:`repro.experiments.appendix_b_collisions`
+"""

@@ -1,0 +1,40 @@
+"""Figure 2: resource footprint of four single-key sketches + their sum.
+
+The paper's motivating measurement: conventionally deployed sketches each
+consume hash units, logical table IDs, SALUs, and stateful memory per flow
+key, so a handful of coexisting single-key sketches already strains the
+pipeline ("the solution can not support more than four different keys").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dataplane.switch import max_static_keys, static_sketch_utilization
+from repro.experiments.common import format_table
+
+RESOURCES = ("hash_unit", "logical_table_id", "stateful_alu", "stateful_memory")
+
+
+def run(quick: bool = True) -> Dict:
+    table = static_sketch_utilization()
+    return {"utilization": table, "max_static_keys": max_static_keys()}
+
+
+def format_result(result: Dict) -> str:
+    table = result["utilization"]
+    rows = []
+    for sketch in ("BloomFilter", "CMS", "HLL", "MRAC", "Sum"):
+        rows.append([sketch] + [f"{table[sketch][r]:.1%}" for r in RESOURCES])
+    out = "Figure 2 -- static sketch resource footprint\n" + format_table(
+        ["sketch"] + list(RESOURCES), rows
+    )
+    out += (
+        f"\nmax single-key sketches alongside switch.p4 (typical config): "
+        f"{result['max_static_keys']} (paper: cannot support more than 4)"
+    )
+    return out
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

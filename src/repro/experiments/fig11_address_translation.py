@@ -1,0 +1,39 @@
+"""Figure 11: resource overhead of the two address-translation methods.
+
+(a) TCAM-based: fraction of one MAU stage's TCAM entries needed to split a
+CMU into 8/16/32/64 partitions (every partition hosting a minimum-size
+task, each needing ``p - 1`` range entries).
+
+(b) Shift-based: PHV bits needed to pre-compute every shifted address copy
+so the translation finishes in a single stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.address_translation import ShiftTranslation, tcam_usage_fraction
+from repro.experiments.common import format_table
+
+PARTITIONS = (8, 16, 32, 64)
+
+
+def run(quick: bool = True) -> Dict:
+    tcam = {p: tcam_usage_fraction(p) for p in PARTITIONS}
+    phv = {p: ShiftTranslation.phv_bits_for(p) for p in PARTITIONS}
+    return {"tcam_usage": tcam, "phv_bits": phv}
+
+
+def format_result(result: Dict) -> str:
+    rows = [
+        [p, f"{result['tcam_usage'][p]:.1%}", result["phv_bits"][p]]
+        for p in PARTITIONS
+    ]
+    out = "Figure 11 -- address translation overhead\n"
+    out += format_table(["partitions", "TCAM usage (a)", "PHV bits (b)"], rows)
+    out += "\n(paper: 32 partitions need <15% of one stage's TCAM)"
+    return out
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,118 @@
+"""Figure 12a: impact of reconfiguration events on traffic forwarding.
+
+A discrete-time throughput simulation of the testbed experiment: 12 iPerf
+pairs pushing 80-93 Gbps for 100 s while nine reconfiguration events fire
+every 10 s.  ``Bare`` (no measurement) and ``FlyMon`` forward continuously
+-- FlyMon reconfigures via runtime rules, which never interrupt the
+pipeline.  ``Static`` reconfigures by reloading the P4 program, parking the
+port for 4-8 s per reload; per the paper's charitable optimizations it
+skips pure-deletion events and batches each add+reallocation pair into one
+reload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.common import format_table
+
+DURATION_S = 100.0
+DT_S = 0.1
+EVENT_TYPES = (
+    "add",
+    "realloc",
+    "delete",
+    "add",
+    "realloc",
+    "delete",
+    "add",
+    "realloc",
+    "delete",
+)
+
+
+def run(quick: bool = True, seed: int = 0) -> Dict:
+    rng = np.random.default_rng(seed)
+    steps = int(DURATION_S / DT_S)
+    time = np.arange(steps) * DT_S
+
+    # Offered load: 80-93 Gbps with slow variation plus jitter.
+    base = 86.5 + 5.0 * np.sin(2 * np.pi * time / 40.0)
+    base += rng.normal(0, 1.0, size=steps)
+    base = base.clip(80.0, 93.0)
+
+    events = [
+        {"id": f"e{i + 1}", "time_s": 10.0 * (i + 1), "type": EVENT_TYPES[i]}
+        for i in range(9)
+    ]
+
+    bare = base.copy()
+    flymon = base.copy()  # runtime rules: no forwarding impairment
+
+    static = base.copy()
+    reload_times = _static_reload_times(events)
+    interruptions = []
+    for t_reload in reload_times:
+        outage = rng.uniform(4.0, 8.0)
+        lo = int(t_reload / DT_S)
+        hi = min(steps, int((t_reload + outage) / DT_S))
+        static[lo:hi] = 0.0
+        interruptions.append(outage)
+
+    summary = {
+        "bare_gb": float(bare.sum() * DT_S / 8),
+        "flymon_gb": float(flymon.sum() * DT_S / 8),
+        "static_gb": float(static.sum() * DT_S / 8),
+        "flymon_interruption_s": 0.0,
+        "static_interruption_s": float(sum(interruptions)),
+        "static_reloads": len(reload_times),
+    }
+    return {
+        "time_s": time.tolist(),
+        "bare_gbps": bare.tolist(),
+        "flymon_gbps": flymon.tolist(),
+        "static_gbps": static.tolist(),
+        "events": events,
+        "summary": summary,
+    }
+
+
+def _static_reload_times(events: List[Dict]) -> List[float]:
+    """The static method's optimized reload schedule: drop deletions, batch
+    each (add, realloc) pair into a single reload at the later event."""
+    reloads = []
+    pending_add = None
+    for event in events:
+        if event["type"] == "delete":
+            continue
+        if event["type"] == "add":
+            pending_add = event
+            continue
+        # realloc: batch with the pending add if one is waiting.
+        reloads.append(event["time_s"])
+        pending_add = None
+    if pending_add is not None:
+        reloads.append(pending_add["time_s"])
+    return reloads
+
+
+def format_result(result: Dict) -> str:
+    s = result["summary"]
+    rows = [
+        ["Bare", f"{s['bare_gb']:.0f}", "0.0"],
+        ["FlyMon", f"{s['flymon_gb']:.0f}", f"{s['flymon_interruption_s']:.1f}"],
+        ["Static", f"{s['static_gb']:.0f}", f"{s['static_interruption_s']:.1f}"],
+    ]
+    out = "Figure 12a -- forwarding during 9 reconfiguration events\n"
+    out += format_table(["variant", "data forwarded (GB)", "interruption (s)"], rows)
+    out += (
+        f"\n(static reloads: {s['static_reloads']}; each parks traffic 4-8 s; "
+        "FlyMon: zero impairment)"
+    )
+    return out
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

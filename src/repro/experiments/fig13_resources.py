@@ -1,0 +1,120 @@
+"""Figure 13: resource usage and scalability.
+
+(a) Utilization of six resources for the ``switch.p4`` baseline alone and
+with 1 / 3 CMU Groups integrated (the paper: a group adds <8.3% average
+overhead; at least 3 groups fit alongside the baseline).
+
+(b) Hash and SALU utilization versus allocated MAU stages under
+cross-stacking (the paper: 75% hash, 56.25% SALU at 12 stages).
+
+(c) Number of deployable CMUs versus candidate-key size, with and without
+the less-copy compression (the paper: 5x more CMUs at 350+ bits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.cmu_group import CmuGroup
+from repro.core.placement import (
+    apply_placements,
+    cmus_deployable,
+    plan_cross_stacking,
+    stacking_utilization,
+)
+from repro.dataplane.switch import SWITCH_P4_BASELINE_UTILIZATION, TofinoSwitch
+from repro.experiments.common import format_table
+
+RESOURCE_LABELS = {
+    "hash_units": "Hash Unit",
+    "salus": "SALU",
+    "sram_blocks": "SRAM",
+    "tcam_blocks": "TCAM",
+    "vliw": "VLIW",
+    "table_ids": "Logical Table",
+}
+
+KEY_SIZES_BITS = (32, 64, 104, 360)
+
+
+def run_13a() -> Dict:
+    variants = {}
+    for label, groups in (("switch.p4", 0), ("+1 CMU-Group", 1), ("+3 CMU-Group", 3)):
+        switch = TofinoSwitch(with_baseline=True)
+        group_objs = [CmuGroup(g) for g in range(groups)]
+        apply_placements(
+            switch.pipeline, group_objs, plan_cross_stacking(12, groups)
+        )
+        variants[label] = switch.utilization()
+    # Average per-group increment across the six plotted resources.
+    base = variants["switch.p4"]
+    one = variants["+1 CMU-Group"]
+    increments = [one[r] - base[r] for r in RESOURCE_LABELS]
+    return {
+        "variants": variants,
+        "avg_group_overhead": sum(increments) / len(increments),
+        "max_group_overhead": max(increments),
+    }
+
+
+def run_13b() -> Dict:
+    series = {}
+    for stages in (4, 6, 8, 10, 12):
+        util = stacking_utilization(stages)
+        series[stages] = {"hash": util["hash_units"], "salu": util["salus"]}
+    return {"series": series}
+
+
+def run_13c(phv_free_bits: int = 1900) -> Dict:
+    series: List[Dict] = []
+    for bits in KEY_SIZES_BITS:
+        series.append(
+            {
+                "key_bits": bits,
+                "without_compression": cmus_deployable(
+                    bits, phv_free_bits, with_compression=False
+                ),
+                "with_compression": cmus_deployable(
+                    bits, phv_free_bits, with_compression=True
+                ),
+            }
+        )
+    return {"series": series, "phv_free_bits": phv_free_bits}
+
+
+def run(quick: bool = True) -> Dict:
+    return {"fig13a": run_13a(), "fig13b": run_13b(), "fig13c": run_13c()}
+
+
+def format_result(result: Dict) -> str:
+    out = ["Figure 13a -- utilization with CMU Groups over switch.p4"]
+    a = result["fig13a"]
+    rows = []
+    for resource, label in RESOURCE_LABELS.items():
+        rows.append(
+            [label]
+            + [f"{a['variants'][v][resource]:.1%}" for v in a["variants"]]
+        )
+    out.append(format_table(["resource"] + list(a["variants"]), rows))
+    out.append(
+        f"average per-group overhead: {a['avg_group_overhead']:.1%} "
+        "(paper: <8.3%)"
+    )
+
+    out.append("\nFigure 13b -- cross-stacking utilization vs stages")
+    b = result["fig13b"]["series"]
+    rows = [[s, f"{b[s]['hash']:.1%}", f"{b[s]['salu']:.1%}"] for s in sorted(b)]
+    out.append(format_table(["stages", "HASH", "SALU"], rows))
+    out.append("(paper at 12 stages: HASH 75%, SALU 56.25%)")
+
+    out.append("\nFigure 13c -- deployable CMUs vs candidate key size")
+    rows = [
+        [s["key_bits"], s["without_compression"], s["with_compression"]]
+        for s in result["fig13c"]["series"]
+    ]
+    out.append(format_table(["key bits", "w/o compression", "w/ compression"], rows))
+    return "\n".join(out)
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,126 @@
+"""Figure 14a: heavy-hitter detection F1 versus memory.
+
+Six contenders on the Zipf workload: the counter-based CMU algorithms
+(FlyMon-CMS, FlyMon-SuMax) and UnivMon approach F1 = 1 quickly; the
+coupon-based ones (FlyMon-BeauCoup and original BeauCoup with d = 1 / 3,
+counting distinct timestamps as a frequency proxy) trail, with the FlyMon
+variant ahead of the original.  Expected ordering: FlyMon-SuMax is the most
+memory-efficient, counter-based beats coupon-based everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.metrics import f1_score
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.experiments.common import (
+    buckets_for_bytes,
+    deploy_and_process,
+    evaluation_trace,
+    format_table,
+    pow2_at_least,
+)
+from repro.sketches import BeauCoup, UnivMon
+from repro.traffic.flows import FlowKeyDef, KEY_SRC_IP
+
+MEMORY_KB = (16, 32, 64, 128, 256)
+KEY_TIMESTAMP = FlowKeyDef.of("timestamp")
+
+
+def _flymon_counter(name: str, trace, truth, threshold: int, total_bytes: int) -> float:
+    buckets = buckets_for_bytes(total_bytes, rows=3)
+    task = MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=buckets,
+        depth=3,
+        algorithm=name,
+    )
+    _, handle = deploy_and_process(
+        task, trace, register_size=pow2_at_least(buckets)
+    )
+    reported = handle.algorithm.heavy_hitters(truth.keys(), threshold)
+    return f1_score(reported, set(k for k, v in truth.items() if v >= threshold))
+
+
+def _flymon_beaucoup(trace, truth, threshold: int, total_bytes: int) -> float:
+    buckets = buckets_for_bytes(total_bytes, rows=3)
+    task = MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.distinct(KEY_TIMESTAMP),
+        memory=buckets,
+        depth=3,
+        algorithm="beaucoup",
+        threshold=threshold,
+    )
+    _, handle = deploy_and_process(
+        task, trace, register_size=pow2_at_least(buckets)
+    )
+    reported = handle.algorithm.alarms(truth.keys())
+    return f1_score(reported, set(k for k, v in truth.items() if v >= threshold))
+
+
+def _original_beaucoup(trace, truth, threshold: int, total_bytes: int, depth: int) -> float:
+    slot_bytes = 4  # 16-bit checksum + 16 coupons
+    slots = max(64, total_bytes // (slot_bytes * depth))
+    sketch = BeauCoup(slots=slots, threshold=threshold, num_coupons=16, depth=depth)
+    for fields in trace.iter_fields():
+        sketch.update(
+            KEY_SRC_IP.extract(fields), attribute_value=fields["timestamp"]
+        )
+    reported = sketch.alarms()
+    return f1_score(reported, set(k for k, v in truth.items() if v >= threshold))
+
+
+def _univmon(trace, truth, threshold: int, total_bytes: int) -> float:
+    depth, levels = 5, 12
+    width = max(64, total_bytes // (4 * depth * levels))
+    sketch = UnivMon(width=width, depth=depth, levels=levels, top_k=256)
+    for fields in trace.iter_fields():
+        sketch.update(KEY_SRC_IP.extract(fields))
+    reported = sketch.heavy_hitters(threshold)
+    return f1_score(reported, set(k for k, v in truth.items() if v >= threshold))
+
+
+def run(quick: bool = True) -> Dict:
+    trace = evaluation_trace(quick)
+    truth = trace.flow_sizes(KEY_SRC_IP)
+    threshold = 256 if quick else 1024  # scaled with the trace size
+    series: List[Dict] = []
+    for kb in MEMORY_KB:
+        total = kb * 1024
+        series.append(
+            {
+                "memory_kb": kb,
+                "FlyMon-CMS (d=3)": _flymon_counter("cms", trace, truth, threshold, total),
+                "FlyMon-SuMax (d=3)": _flymon_counter(
+                    "sumax_sum", trace, truth, threshold, total
+                ),
+                "FlyMon-BeauCoup (d=3)": _flymon_beaucoup(trace, truth, threshold, total),
+                "UnivMon": _univmon(trace, truth, threshold, total),
+                "BeauCoup (d=1)": _original_beaucoup(trace, truth, threshold, total, 1),
+                "BeauCoup (d=3)": _original_beaucoup(trace, truth, threshold, total, 3),
+            }
+        )
+    return {
+        "series": series,
+        "threshold": threshold,
+        "true_heavy_hitters": len([v for v in truth.values() if v >= threshold]),
+    }
+
+
+def format_result(result: Dict) -> str:
+    algos = [k for k in result["series"][0] if k != "memory_kb"]
+    rows = [
+        [s["memory_kb"]] + [f"{s[a]:.3f}" for a in algos] for s in result["series"]
+    ]
+    out = (
+        f"Figure 14a -- heavy hitters (threshold {result['threshold']}, "
+        f"{result['true_heavy_hitters']} true HHs): F1 vs memory (KB)\n"
+    )
+    return out + format_table(["KB"] + algos, rows)
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

@@ -1,0 +1,89 @@
+"""Figure 14c: DDoS-victim detection F1 versus memory.
+
+Multi-key distinct counting with threshold 512 on the DDoS workload:
+FlyMon-BeauCoup (d = 1 / 3) against the original BeauCoup (d = 1 / 3).
+Expected shape: all converge with memory; FlyMon-BeauCoup (d=3) achieves
+the higher F1 once memory exceeds ~100 KB (its multi-table completion rule
+suppresses the collision-driven false positives the original's checksums
+only partially catch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.metrics import f1_score
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.experiments.common import (
+    buckets_for_bytes,
+    deploy_and_process,
+    evaluation_ddos_trace,
+    format_table,
+    pow2_at_least,
+)
+from repro.sketches import BeauCoup
+from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
+
+MEMORY_KB = (16, 32, 64, 128, 256)
+THRESHOLD = 512
+
+
+def _flymon(trace, counts, true_victims, total_bytes: int, depth: int) -> float:
+    buckets = buckets_for_bytes(total_bytes, rows=depth)
+    task = MeasurementTask(
+        key=KEY_DST_IP,
+        attribute=AttributeSpec.distinct(KEY_SRC_IP),
+        memory=buckets,
+        depth=depth,
+        algorithm="beaucoup",
+        threshold=THRESHOLD,
+    )
+    _, handle = deploy_and_process(
+        task, trace, register_size=pow2_at_least(buckets)
+    )
+    return f1_score(handle.algorithm.alarms(counts.keys()), true_victims)
+
+
+def _original(trace, counts, true_victims, total_bytes: int, depth: int) -> float:
+    slots = max(64, total_bytes // (4 * depth))
+    sketch = BeauCoup(slots=slots, threshold=THRESHOLD, num_coupons=32, depth=depth)
+    for fields in trace.iter_fields():
+        sketch.update(
+            KEY_DST_IP.extract(fields), attribute_value=KEY_SRC_IP.extract(fields)
+        )
+    return f1_score(sketch.alarms(), true_victims)
+
+
+def run(quick: bool = True) -> Dict:
+    trace = evaluation_ddos_trace(quick)
+    counts = trace.distinct_counts(KEY_DST_IP, KEY_SRC_IP)
+    true_victims = {k for k, v in counts.items() if v >= THRESHOLD}
+    series: List[Dict] = []
+    for kb in MEMORY_KB:
+        total = kb * 1024
+        series.append(
+            {
+                "memory_kb": kb,
+                "FlyMon-BeauCoup (d=1)": _flymon(trace, counts, true_victims, total, 1),
+                "FlyMon-BeauCoup (d=3)": _flymon(trace, counts, true_victims, total, 3),
+                "BeauCoup (d=1)": _original(trace, counts, true_victims, total, 1),
+                "BeauCoup (d=3)": _original(trace, counts, true_victims, total, 3),
+            }
+        )
+    return {"series": series, "true_victims": len(true_victims)}
+
+
+def format_result(result: Dict) -> str:
+    algos = [k for k in result["series"][0] if k != "memory_kb"]
+    rows = [
+        [s["memory_kb"]] + [f"{s[a]:.3f}" for a in algos] for s in result["series"]
+    ]
+    out = (
+        f"Figure 14c -- DDoS victims (threshold {THRESHOLD}, "
+        f"{result['true_victims']} true victims): F1 vs memory (KB)\n"
+    )
+    return out + format_table(["KB"] + algos, rows)
+
+
+if __name__ == "__main__":
+    print(format_result(run()))

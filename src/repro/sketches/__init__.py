@@ -1,0 +1,49 @@
+"""Standalone baseline sketching algorithms.
+
+These are the comparison points of the paper's evaluation (Figure 14) and the
+reference semantics FlyMon's CMU-hosted implementations are checked against:
+
+* frequency: :class:`~repro.sketches.cms.CountMinSketch`,
+  :class:`~repro.sketches.sumax.SuMaxSum`,
+  :class:`~repro.sketches.tower.TowerSketch`,
+  :class:`~repro.sketches.counter_braids.CounterBraids`,
+  :class:`~repro.sketches.mrac.Mrac`,
+* distinct: :class:`~repro.sketches.hll.HyperLogLog`,
+  :class:`~repro.sketches.linear_counting.LinearCounting`,
+  :class:`~repro.sketches.beaucoup.BeauCoup`,
+* existence: :class:`~repro.sketches.bloom.BloomFilter`,
+* max: :class:`~repro.sketches.sumax.SuMaxMax`,
+* multi-attribute: :class:`~repro.sketches.univmon.UnivMon`.
+
+All sketches share the key-encoding helpers in :mod:`repro.sketches.base` so
+a flow key is hashed identically everywhere.
+"""
+
+from repro.sketches.base import encode_key
+from repro.sketches.beaucoup import BeauCoup
+from repro.sketches.bloom import BloomFilter
+from repro.sketches.cms import CountMinSketch
+from repro.sketches.counter_braids import CounterBraids
+from repro.sketches.hll import HyperLogLog
+from repro.sketches.linear_counting import LinearCounting
+from repro.sketches.mrac import Mrac
+from repro.sketches.oddsketch import OddSketch
+from repro.sketches.sumax import SuMaxMax, SuMaxSum
+from repro.sketches.tower import TowerSketch
+from repro.sketches.univmon import UnivMon
+
+__all__ = [
+    "BeauCoup",
+    "BloomFilter",
+    "CountMinSketch",
+    "CounterBraids",
+    "HyperLogLog",
+    "LinearCounting",
+    "Mrac",
+    "OddSketch",
+    "SuMaxMax",
+    "SuMaxSum",
+    "TowerSketch",
+    "UnivMon",
+    "encode_key",
+]

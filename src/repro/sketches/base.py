@@ -1,0 +1,55 @@
+"""Shared sketch plumbing: key encoding and the common interface."""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Tuple, Union
+
+from repro.dataplane.hashing import HashFunction, hash_family
+
+KeyLike = Union[int, bytes, str, Tuple]
+
+
+def encode_key(key: KeyLike) -> bytes:
+    """Canonical byte encoding of a flow key.
+
+    Accepts raw bytes, ints, strings, or (nested) tuples of those; the same
+    logical key always encodes to the same bytes, so every sketch and ground
+    truth agrees on key identity.
+    """
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        length = max(1, (key.bit_length() + 8) // 8)
+        return key.to_bytes(length, "little", signed=True)
+    if isinstance(key, tuple):
+        parts = []
+        for item in key:
+            enc = encode_key(item)
+            parts.append(struct.pack("<H", len(enc)))
+            parts.append(enc)
+        return b"".join(parts)
+    raise TypeError(f"cannot encode key of type {type(key).__name__}")
+
+
+class Sketch:
+    """Base class: a summary built by one pass over (key, weight) updates."""
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        raise NotImplementedError
+
+    def update_many(self, keys: Iterable[KeyLike]) -> None:
+        for key in keys:
+            self.update(key)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Data-plane stateful memory footprint of the summary."""
+        raise NotImplementedError
+
+
+def row_hashes(rows: int, seed: int) -> list:
+    """Independent per-row hash functions."""
+    return hash_family(rows, base_seed=seed)

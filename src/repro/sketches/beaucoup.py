@@ -1,0 +1,147 @@
+"""BeauCoup (Chen et al., SIGCOMM 2020): coupon-collector distinct counting.
+
+One memory update per packet: each packet draws (at most) one of ``m``
+coupons from its attribute value's hash; a key is reported once all of its
+coupons have been collected.  The coupon probability is tuned so the expected
+number of *distinct* attribute values needed to collect every coupon matches
+the query threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.estimators import (
+    coupon_collector_inversion,
+    harmonic,
+    tune_coupon_probability,
+)
+from repro.dataplane.hashing import HashFunction
+from repro.sketches.base import KeyLike, Sketch, encode_key
+
+
+class CouponTable:
+    """Key -> coupon-bitmap store with bounded slots and key checksums.
+
+    Mirrors BeauCoup's data-plane layout: ``slots`` hash-indexed entries,
+    each holding a key checksum and an ``m``-bit coupon bitmap.  A slot is
+    claimed by the first key hashing to it; other keys colliding on the slot
+    but not the checksum are dropped (no eviction).
+    """
+
+    def __init__(self, slots: int, num_coupons: int, seed: int) -> None:
+        self.slots = slots
+        self.num_coupons = num_coupons
+        self.full_mask = (1 << num_coupons) - 1
+        self._index_hash = HashFunction(seed)
+        self._checksum_hash = HashFunction(seed + 7)
+        self._bitmaps: List[int] = [0] * slots
+        self._checksums: List[Optional[int]] = [None] * slots
+        self._keys: List[Optional[bytes]] = [None] * slots
+
+    def collect(self, key_bytes: bytes, coupon: int) -> bool:
+        """OR the coupon into the key's bitmap; True if the bitmap is now full."""
+        slot = self._index_hash.hash_bytes(key_bytes) % self.slots
+        checksum = self._checksum_hash.hash_bytes(key_bytes) & 0xFFFF
+        if self._checksums[slot] is None:
+            self._checksums[slot] = checksum
+            self._keys[slot] = key_bytes
+        elif self._checksums[slot] != checksum:
+            return False  # collision with a different key: drop
+        self._bitmaps[slot] |= 1 << coupon
+        return self._bitmaps[slot] == self.full_mask
+
+    def bitmap_for(self, key_bytes: bytes) -> int:
+        slot = self._index_hash.hash_bytes(key_bytes) % self.slots
+        checksum = self._checksum_hash.hash_bytes(key_bytes) & 0xFFFF
+        if self._checksums[slot] == checksum:
+            return self._bitmaps[slot]
+        return 0
+
+    def full_keys(self) -> Set[bytes]:
+        return {
+            self._keys[i]
+            for i in range(self.slots)
+            if self._keys[i] is not None and self._bitmaps[i] == self.full_mask
+        }
+
+
+class BeauCoup(Sketch):
+    """The original BeauCoup algorithm for one distinct-counting query.
+
+    ``depth`` independent coupon tables reduce the impact of slot collisions:
+    a key is reported when its coupons are complete in *every* table (the
+    d>1 variant Figure 14c evaluates).
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        threshold: int,
+        num_coupons: int = 16,
+        depth: int = 1,
+        seed: int = 0x99,
+    ) -> None:
+        if slots <= 0 or depth <= 0:
+            raise ValueError("slots and depth must be positive")
+        if not 1 <= num_coupons <= 32:
+            raise ValueError("num_coupons must be in [1, 32]")
+        self.num_coupons = num_coupons
+        self.threshold = threshold
+        self.depth = depth
+        self.coupon_prob = tune_coupon_probability(num_coupons, threshold)
+        self._coupon_hash = HashFunction(seed + 99)
+        self.tables = [
+            CouponTable(slots, num_coupons, seed + 31 * i) for i in range(depth)
+        ]
+        self._alarms: Set[bytes] = set()
+        self._key_cache: Dict[bytes, KeyLike] = {}
+
+    def draw_coupon(self, attribute_value: KeyLike) -> Optional[int]:
+        """The coupon this attribute value activates, or None (no draw).
+
+        Deterministic per value, as in the paper: the value's hash selects
+        at most one coupon, so duplicate values never make progress.
+        """
+        x = self._coupon_hash.hash_bytes(encode_key(attribute_value)) / 2.0**32
+        idx = int(x / self.coupon_prob)
+        return idx if idx < self.num_coupons else None
+
+    def update(self, key: KeyLike, attribute_value: KeyLike = None, weight: int = 1) -> None:
+        coupon = self.draw_coupon(attribute_value if attribute_value is not None else key)
+        if coupon is None:
+            return
+        key_bytes = encode_key(key)
+        self._key_cache.setdefault(key_bytes, key)
+        for table in self.tables:
+            table.collect(key_bytes, coupon)
+        if all(
+            table.bitmap_for(key_bytes) == table.full_mask for table in self.tables
+        ):
+            self._alarms.add(key_bytes)
+
+    def alarms(self) -> Set[KeyLike]:
+        """Keys whose distinct count crossed the threshold."""
+        return {self._key_cache[kb] for kb in self._alarms}
+
+    def estimate_distinct(self, key: KeyLike) -> float:
+        """Coupon-collector inversion: distinct-count estimate for one key."""
+        key_bytes = encode_key(key)
+        estimates = [
+            coupon_collector_inversion(
+                bin(table.bitmap_for(key_bytes)).count("1"),
+                self.num_coupons,
+                self.coupon_prob,
+            )
+            for table in self.tables
+        ]
+        return float(sorted(estimates)[len(estimates) // 2]) if estimates else 0.0
+
+    @property
+    def memory_bytes(self) -> int:
+        # Per slot: 16-bit checksum + m-bit coupon bitmap (the stored key is
+        # control-plane metadata in our model, as BeauCoup keeps it off the
+        # critical data-plane word).
+        slot_bits = 16 + self.num_coupons
+        return self.depth * self.tables[0].slots * slot_bits // 8

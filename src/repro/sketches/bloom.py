@@ -1,0 +1,49 @@
+"""Bloom Filter (Bloom, 1970): set membership with one-sided error."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.base import KeyLike, Sketch, encode_key, row_hashes
+
+
+class BloomFilter(Sketch):
+    """``k`` hash functions over a bit array of ``num_bits`` bits.
+
+    No false negatives; the false-positive rate after ``n`` inserts is
+    approximately ``(1 - e^{-k n / m})^k``.
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int = 3, seed: int = 0x22) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.bits = np.zeros(num_bits, dtype=bool)
+        self._hashes = row_hashes(num_hashes, seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        data = encode_key(key)
+        for fn in self._hashes:
+            self.bits[fn.hash_bytes(data) % self.num_bits] = True
+
+    add = update
+
+    def __contains__(self, key: KeyLike) -> bool:
+        data = encode_key(key)
+        return all(self.bits[fn.hash_bytes(data) % self.num_bits] for fn in self._hashes)
+
+    def query(self, key: KeyLike) -> bool:
+        return key in self
+
+    def expected_false_positive_rate(self, num_inserted: int) -> float:
+        k, m, n = self.num_hashes, self.num_bits, num_inserted
+        return float((1.0 - np.exp(-k * n / m)) ** k)
+
+    @property
+    def fill_fraction(self) -> float:
+        return float(self.bits.mean())
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8

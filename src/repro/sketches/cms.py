@@ -1,0 +1,55 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+
+``d`` rows of ``w`` counters; each update adds the weight to one counter per
+row; the point query is the minimum over rows (always an overestimate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.base import KeyLike, Sketch, encode_key, row_hashes
+
+
+class CountMinSketch(Sketch):
+    """Frequency sketch with one-sided (over-)estimation error.
+
+    With ``w = e / epsilon`` and ``d = ln(1/delta)`` the estimate exceeds the
+    true count by more than ``epsilon * N`` with probability at most
+    ``delta``.
+    """
+
+    def __init__(self, width: int, depth: int = 3, counter_bits: int = 32, seed: int = 0x11) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.counter_bits = counter_bits
+        self._max_value = (1 << counter_bits) - 1
+        self.counters = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = row_hashes(depth, seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        data = encode_key(key)
+        for row, fn in enumerate(self._hashes):
+            col = fn.hash_bytes(data) % self.width
+            self.counters[row, col] = min(
+                self._max_value, int(self.counters[row, col]) + weight
+            )
+
+    def query(self, key: KeyLike) -> int:
+        data = encode_key(key)
+        return int(
+            min(
+                self.counters[row, fn.hash_bytes(data) % self.width]
+                for row, fn in enumerate(self._hashes)
+            )
+        )
+
+    def heavy_hitters(self, candidate_keys, threshold: int) -> set:
+        """Candidates whose estimated frequency meets ``threshold``."""
+        return {k for k in candidate_keys if self.query(k) >= threshold}
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.depth * self.width * self.counter_bits // 8

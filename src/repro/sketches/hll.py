@@ -1,0 +1,48 @@
+"""HyperLogLog (Flajolet et al., 2007): cardinality estimation.
+
+``m = 2^b`` registers each track the maximum "rho" (position of the leftmost
+1-bit) seen among keys routed to them by their first ``b`` hash bits; the
+cardinality estimate is the bias-corrected harmonic mean with the standard
+small-range (linear counting) and large-range corrections, computed by
+:func:`repro.analysis.estimators.hll_estimate`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.estimators import hll_estimate, rho32
+from repro.dataplane.hashing import HashFunction
+from repro.sketches.base import KeyLike, Sketch, encode_key
+
+
+class HyperLogLog(Sketch):
+    """Standard HLL over ``2**precision_bits`` 8-bit registers."""
+
+    def __init__(self, precision_bits: int = 10, seed: int = 0x33) -> None:
+        if not 4 <= precision_bits <= 18:
+            raise ValueError("precision_bits must be in [4, 18]")
+        self.b = precision_bits
+        self.m = 1 << precision_bits
+        self.registers = np.zeros(self.m, dtype=np.int64)
+        self._hash = HashFunction(seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        h = self._hash.hash_bytes(encode_key(key))
+        bucket = h & (self.m - 1)
+        rho = rho32(h >> self.b, skip_bits=self.b)
+        if rho > self.registers[bucket]:
+            self.registers[bucket] = rho
+
+    def estimate(self) -> float:
+        """Bias-corrected cardinality estimate with range corrections."""
+        return hll_estimate(self.registers)
+
+    def merge(self, other: "HyperLogLog") -> None:
+        if other.m != self.m:
+            raise ValueError("cannot merge HLLs of different precision")
+        np.maximum(self.registers, other.registers, out=self.registers)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.m  # one byte per register

@@ -1,0 +1,37 @@
+"""Linear Counting (Whang et al., 1990): cardinality from a bitmap."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dataplane.hashing import HashFunction
+from repro.sketches.base import KeyLike, Sketch, encode_key
+
+
+class LinearCounting(Sketch):
+    """Hash keys into an ``m``-bit bitmap; estimate ``n = -m ln(V)`` where
+    ``V`` is the fraction of zero bits.  Accurate while the bitmap is not
+    saturated (load factor up to ~10 with growing variance)."""
+
+    def __init__(self, num_bits: int, seed: int = 0x44) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.num_bits = num_bits
+        self.bits = np.zeros(num_bits, dtype=bool)
+        self._hash = HashFunction(seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        self.bits[self._hash.hash_bytes(encode_key(key)) % self.num_bits] = True
+
+    def estimate(self) -> float:
+        zeros = int(np.count_nonzero(~self.bits))
+        if zeros == 0:
+            # Saturated: the estimator diverges; report the upper bound.
+            return float(self.num_bits * math.log(self.num_bits))
+        return -self.num_bits * math.log(zeros / self.num_bits)
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8

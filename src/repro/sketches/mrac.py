@@ -1,0 +1,48 @@
+"""MRAC (Kumar et al., SIGMETRICS 2004): flow size distribution estimation.
+
+The data plane is a single array of counters, each flow hashed to exactly one
+counter.  The control plane runs the expectation-maximization inversion in
+:func:`repro.analysis.estimators.mrac_em` to recover the flow-size
+distribution, from which flow entropy and flow counts follow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.entropy import entropy_from_distribution
+from repro.analysis.estimators import mrac_em
+from repro.dataplane.hashing import HashFunction
+from repro.sketches.base import KeyLike, Sketch, encode_key
+
+
+class Mrac(Sketch):
+    """Counter array + EM estimator of the flow-size distribution."""
+
+    def __init__(self, width: int, counter_bits: int = 32, seed: int = 0x88) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.counter_bits = counter_bits
+        self.counters = np.zeros(width, dtype=np.int64)
+        self._hash = HashFunction(seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        self.counters[self._hash.hash_bytes(encode_key(key)) % self.width] += weight
+
+    def estimate_distribution(self, iterations: int = 50, max_size: int = 512) -> Dict[int, float]:
+        """EM estimate of ``{flow_size: number_of_flows}``."""
+        return mrac_em(self.counters, self.width, iterations=iterations, max_size=max_size)
+
+    def estimate_entropy(self, **kwargs) -> float:
+        """Flow entropy from the estimated flow-size distribution."""
+        return entropy_from_distribution(self.estimate_distribution(**kwargs))
+
+    def estimate_flow_count(self, **kwargs) -> float:
+        return float(sum(self.estimate_distribution(**kwargs).values()))
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.width * self.counter_bits // 8

@@ -1,0 +1,83 @@
+"""Odd Sketch (Mitzenmacher et al., WWW 2014): set-difference estimation.
+
+Each distinct item flips one random bit of an ``m``-bit array (parity
+insert), so items appearing an even number of times cancel out.  The XOR of
+two odd sketches is the odd sketch of the sets' symmetric difference, whose
+size is estimated from the number of set bits -- the §6 expansion FlyMon
+enables by loading XOR into the reserved SALU action slot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.dataplane.hashing import HashFunction
+from repro.sketches.base import KeyLike, Sketch, encode_key
+
+
+def symmetric_difference_estimate(odd_bits: int, num_bits: int) -> float:
+    """Invert ``E[Z] = (m/2)(1 - e^{-2d/m})`` for the difference size ``d``."""
+    if num_bits <= 0:
+        return 0.0
+    ratio = 2.0 * odd_bits / num_bits
+    if ratio >= 1.0:
+        # Saturated parity array: the estimator diverges; report the bound.
+        return float(num_bits)
+    return -num_bits / 2.0 * math.log(1.0 - ratio)
+
+
+def jaccard_from_difference(size_a: float, size_b: float, difference: float) -> float:
+    """Jaccard similarity from set sizes and symmetric-difference size."""
+    union = (size_a + size_b + difference) / 2.0
+    if union <= 0:
+        return 1.0
+    intersection = (size_a + size_b - difference) / 2.0
+    return max(0.0, min(1.0, intersection / union))
+
+
+class OddSketch(Sketch):
+    """An ``m``-bit parity array over distinct keys."""
+
+    def __init__(self, num_bits: int, seed: int = 0xCC) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.num_bits = num_bits
+        self.bits = np.zeros(num_bits, dtype=bool)
+        self._hash = HashFunction(seed)
+        self._seed = seed
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        if weight % 2 == 0:
+            return  # even multiplicities cancel
+        self.bits[self._hash.hash_bytes(encode_key(key)) % self.num_bits] ^= True
+
+    def odd_bit_count(self) -> int:
+        return int(self.bits.sum())
+
+    def estimate_size(self) -> float:
+        """Estimated number of distinct items inserted an odd number of
+        times (for a duplicate-free stream: the set size)."""
+        return symmetric_difference_estimate(self.odd_bit_count(), self.num_bits)
+
+    def symmetric_difference(self, other: "OddSketch") -> float:
+        """Estimated ``|A xor B|`` from the XOR of the two parity arrays."""
+        self._check_compatible(other)
+        odd = int(np.logical_xor(self.bits, other.bits).sum())
+        return symmetric_difference_estimate(odd, self.num_bits)
+
+    def jaccard(self, other: "OddSketch", size_a: float, size_b: float) -> float:
+        """Jaccard similarity given (estimates of) the two set sizes."""
+        return jaccard_from_difference(
+            size_a, size_b, self.symmetric_difference(other)
+        )
+
+    def _check_compatible(self, other: "OddSketch") -> None:
+        if other.num_bits != self.num_bits or other._seed != self._seed:
+            raise ValueError("odd sketches must share size and hash seed")
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8

@@ -1,0 +1,92 @@
+"""SuMax (LightGuardian, NSDI 2021): sum and max sketchlets.
+
+SuMax(Sum) is a CMS variant with *approximate conservative update*: a row's
+counter is only incremented while it does not exceed the running minimum of
+the rows updated so far, which removes much of CMS's overestimation.
+SuMax(Max) keeps a per-bucket maximum (for queue length / delay attributes);
+the query is the minimum over rows, again an overestimate of the true
+per-flow max only through collisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.base import KeyLike, Sketch, encode_key, row_hashes
+
+
+class SuMaxSum(Sketch):
+    """Frequency sketch with approximate conservative update."""
+
+    def __init__(self, width: int, depth: int = 3, counter_bits: int = 32, seed: int = 0x55) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.counter_bits = counter_bits
+        self._max_value = (1 << counter_bits) - 1
+        self.counters = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = row_hashes(depth, seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        data = encode_key(key)
+        running_min = None
+        for row, fn in enumerate(self._hashes):
+            col = fn.hash_bytes(data) % self.width
+            current = int(self.counters[row, col])
+            # Approximate conservative update: only rows at or below the
+            # running minimum of earlier rows receive the increment.
+            if running_min is None or current < running_min:
+                new = min(self._max_value, current + weight)
+                self.counters[row, col] = new
+                current = new
+            running_min = current if running_min is None else min(running_min, current)
+
+    def query(self, key: KeyLike) -> int:
+        data = encode_key(key)
+        return int(
+            min(
+                self.counters[row, fn.hash_bytes(data) % self.width]
+                for row, fn in enumerate(self._hashes)
+            )
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.depth * self.width * self.counter_bits // 8
+
+
+class SuMaxMax(Sketch):
+    """Per-flow maximum of a metadata parameter (queue length, delay, ...)."""
+
+    def __init__(self, width: int, depth: int = 3, counter_bits: int = 32, seed: int = 0x56) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.counter_bits = counter_bits
+        self._max_value = (1 << counter_bits) - 1
+        self.cells = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = row_hashes(depth, seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        """``weight`` carries the observed parameter value."""
+        data = encode_key(key)
+        value = min(weight, self._max_value)
+        for row, fn in enumerate(self._hashes):
+            col = fn.hash_bytes(data) % self.width
+            if value > self.cells[row, col]:
+                self.cells[row, col] = value
+
+    def query(self, key: KeyLike) -> int:
+        data = encode_key(key)
+        return int(
+            min(
+                self.cells[row, fn.hash_bytes(data) % self.width]
+                for row, fn in enumerate(self._hashes)
+            )
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.depth * self.width * self.counter_bits // 8

@@ -1,0 +1,72 @@
+"""TowerSketch (SketchINT, ICNP 2021): stacked arrays of shrinking counters.
+
+Rows use progressively smaller bit-width counters but proportionally more of
+them, so the many mice flows land in cheap counters while elephants survive
+in the wide rows.  A row's counter that saturates is treated as +infinity at
+query time; the estimate is the minimum over non-saturated rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.sketches.base import KeyLike, Sketch, encode_key, row_hashes
+
+#: Default tower shape: (bit_width, relative_width_multiplier) per row.
+DEFAULT_LAYOUT = ((2, 4), (4, 2), (8, 1))
+
+
+class TowerSketch(Sketch):
+    """Frequency sketch adapted to skewed traffic.
+
+    ``base_width`` is the number of counters in the *widest-counter* row;
+    each row ``(bits, mult)`` in ``layout`` holds ``base_width * mult``
+    counters of ``bits`` bits.
+    """
+
+    def __init__(
+        self,
+        base_width: int,
+        layout: Sequence[Tuple[int, int]] = DEFAULT_LAYOUT,
+        seed: int = 0x66,
+    ) -> None:
+        if base_width <= 0:
+            raise ValueError("base_width must be positive")
+        self.layout = tuple(layout)
+        self.rows = []
+        for bits, mult in self.layout:
+            width = base_width * mult
+            self.rows.append(
+                {
+                    "bits": bits,
+                    "width": width,
+                    "sat": (1 << bits) - 1,
+                    "cells": np.zeros(width, dtype=np.int64),
+                }
+            )
+        self._hashes = row_hashes(len(self.rows), seed)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        data = encode_key(key)
+        for row, fn in zip(self.rows, self._hashes):
+            col = fn.hash_bytes(data) % row["width"]
+            row["cells"][col] = min(row["sat"], int(row["cells"][col]) + weight)
+
+    def query(self, key: KeyLike) -> int:
+        data = encode_key(key)
+        best = None
+        for row, fn in zip(self.rows, self._hashes):
+            value = int(row["cells"][fn.hash_bytes(data) % row["width"]])
+            if value >= row["sat"]:
+                continue  # saturated counter: +infinity
+            best = value if best is None else min(best, value)
+        if best is None:
+            # All rows saturated: report the largest representable value.
+            best = max(row["sat"] for row in self.rows)
+        return best
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(row["width"] * row["bits"] for row in self.rows) // 8

@@ -1,0 +1,147 @@
+"""UnivMon (Liu et al., SIGCOMM 2016): universal streaming.
+
+``L`` levels of sampled substreams (level ``l`` keeps keys whose first ``l``
+hash bits are zero), each summarized by a Count Sketch plus a heavy-hitter
+set.  Any function ``sum_i g(f_i)`` of the per-flow frequencies is estimated
+by the recursive universal estimator, which gives entropy (``g = x ln x``),
+cardinality (``g = 1``), and heavy hitters from a single data structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Set
+
+import numpy as np
+
+from repro.dataplane.hashing import HashFunction
+from repro.sketches.base import KeyLike, Sketch, encode_key, row_hashes
+
+
+class CountSketch(Sketch):
+    """Count Sketch: unbiased frequency estimator (median of signed rows)."""
+
+    def __init__(self, width: int, depth: int = 5, seed: int = 0xAA) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self.counters = np.zeros((depth, width), dtype=np.int64)
+        self._index_hashes = row_hashes(depth, seed)
+        self._sign_hashes = row_hashes(depth, seed + 0x5151)
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        data = encode_key(key)
+        for row in range(self.depth):
+            col = self._index_hashes[row].hash_bytes(data) % self.width
+            sign = 1 if self._sign_hashes[row].hash_bytes(data) & 1 else -1
+            self.counters[row, col] += sign * weight
+
+    def query(self, key: KeyLike) -> int:
+        data = encode_key(key)
+        values = []
+        for row in range(self.depth):
+            col = self._index_hashes[row].hash_bytes(data) % self.width
+            sign = 1 if self._sign_hashes[row].hash_bytes(data) & 1 else -1
+            values.append(sign * int(self.counters[row, col]))
+        return int(np.median(values))
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.depth * self.width * 4
+
+
+class _Level:
+    """One sampled substream: Count Sketch + top-k heavy hitter tracking."""
+
+    def __init__(self, width: int, depth: int, top_k: int, seed: int) -> None:
+        self.sketch = CountSketch(width, depth, seed)
+        self.top_k = top_k
+        self.keys: Set[bytes] = set()
+        self.raw_keys: Dict[bytes, KeyLike] = {}
+
+    def update(self, key: KeyLike, key_bytes: bytes, weight: int) -> None:
+        self.sketch.update(key_bytes, weight)
+        if key_bytes not in self.keys:
+            if len(self.keys) < 4 * self.top_k:
+                self.keys.add(key_bytes)
+                self.raw_keys[key_bytes] = key
+
+    def heavy_hitters(self) -> List:
+        """Top-k tracked keys by estimated frequency."""
+        scored = [(self.sketch.query(kb), kb) for kb in self.keys]
+        top = heapq.nlargest(self.top_k, scored)
+        return [(est, self.raw_keys[kb]) for est, kb in top]
+
+
+class UnivMon(Sketch):
+    """Universal sketch over ``levels`` sampled substreams."""
+
+    def __init__(
+        self,
+        width: int,
+        depth: int = 5,
+        levels: int = 14,
+        top_k: int = 32,
+        seed: int = 0xBB,
+    ) -> None:
+        if levels <= 0:
+            raise ValueError("levels must be positive")
+        self.levels = [
+            _Level(width, depth, top_k, seed + 0x101 * i) for i in range(levels)
+        ]
+        self._sample_hash = HashFunction(seed + 0xFEED)
+        self.total_packets = 0
+
+    def _sample_level(self, key_bytes: bytes) -> int:
+        """Number of leading sampling stages the key passes (0..levels)."""
+        h = self._sample_hash.hash_bytes(key_bytes)
+        passes = 0
+        while passes < len(self.levels) - 1 and (h >> passes) & 1:
+            passes += 1
+        return passes
+
+    def update(self, key: KeyLike, weight: int = 1) -> None:
+        key_bytes = encode_key(key)
+        self.total_packets += weight
+        max_level = self._sample_level(key_bytes)
+        for level in range(max_level + 1):
+            self.levels[level].update(key, key_bytes, weight)
+
+    # -- universal estimation ---------------------------------------------------
+
+    def g_sum(self, g: Callable[[float], float]) -> float:
+        """Recursive estimator of ``sum_flows g(frequency)``."""
+        estimate = 0.0
+        bottom = len(self.levels) - 1
+        for level in range(bottom, -1, -1):
+            hh = self.levels[level].heavy_hitters()
+            if level == bottom:
+                estimate = sum(g(max(1.0, est)) for est, _ in hh)
+                continue
+            carried = 2.0 * estimate
+            correction = 0.0
+            for est, key in hh:
+                key_bytes = encode_key(key)
+                sampled_next = self._sample_level(key_bytes) >= level + 1
+                correction += g(max(1.0, est)) * (1.0 - 2.0 * (1.0 if sampled_next else 0.0))
+            estimate = carried + correction
+        return max(0.0, estimate)
+
+    def estimate_entropy(self) -> float:
+        """Flow entropy ``H = ln(N) - (1/N) sum f ln f`` via ``g = x ln x``."""
+        n = max(1, self.total_packets)
+        y = self.g_sum(lambda x: x * math.log(x))
+        return max(0.0, math.log(n) - y / n)
+
+    def estimate_cardinality(self) -> float:
+        return self.g_sum(lambda x: 1.0)
+
+    def heavy_hitters(self, threshold: int) -> Set:
+        """Keys at level 0 whose estimated frequency reaches ``threshold``."""
+        return {key for est, key in self.levels[0].heavy_hitters() if est >= threshold}
+
+    @property
+    def memory_bytes(self) -> int:
+        return sum(level.sketch.memory_bytes for level in self.levels)

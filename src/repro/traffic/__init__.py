@@ -1,0 +1,34 @@
+"""Traffic substrate: packets, flows, synthetic traces, and ground truth.
+
+The paper evaluates on a WIDE 2020 backbone trace that is not redistributable;
+per the reproduction's substitution rule we generate seeded synthetic traces
+with the statistical properties the experiments depend on (heavy-tailed Zipf
+flow sizes, configurable distinct-flow counts, attack scenarios).  Traces are
+stored columnar (NumPy) so exact ground truth is vectorized.
+"""
+
+from repro.traffic.flows import FlowKeyDef, KEY_5TUPLE, KEY_DST_IP, KEY_IP_PAIR, KEY_SRC_IP
+from repro.traffic.generators import (
+    ddos_trace,
+    portscan_trace,
+    superspreader_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.traffic.packet import Packet
+from repro.traffic.trace import Trace
+
+__all__ = [
+    "FlowKeyDef",
+    "KEY_5TUPLE",
+    "KEY_DST_IP",
+    "KEY_IP_PAIR",
+    "KEY_SRC_IP",
+    "Packet",
+    "Trace",
+    "ddos_trace",
+    "portscan_trace",
+    "superspreader_trace",
+    "uniform_trace",
+    "zipf_trace",
+]

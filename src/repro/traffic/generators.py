@@ -1,0 +1,230 @@
+"""Seeded synthetic trace generators.
+
+These replace the WIDE 2020 trace used by the paper (not redistributable).
+The accuracy experiments depend on flow-count and skew, not trace identity, so
+each generator documents the statistical property it provides:
+
+* :func:`zipf_trace` -- heavy-tailed per-flow packet counts (Zipf ``alpha``),
+  the backbone-like workload for frequency/heavy-hitter/entropy experiments.
+* :func:`uniform_trace` -- equal-size flows, the adversarial case for
+  counter sketches.
+* :func:`ddos_trace` -- a few victim destinations contacted by many distinct
+  sources (multi-key distinct counting, Fig. 14c).
+* :func:`superspreader_trace` -- a few sources contacting many destinations
+  (worm detection).
+* :func:`portscan_trace` -- IP pairs touching many distinct destination ports.
+
+All generators are deterministic given ``seed`` and return time-sorted
+:class:`~repro.traffic.trace.Trace` objects with microsecond timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.traffic.trace import Trace
+
+_PORT_LO, _PORT_HI = 1024, 65535
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _random_hosts(rng: np.random.Generator, n: int, prefix: int = 0x0A000000) -> np.ndarray:
+    """Distinct host addresses under a /8 prefix (defaults to 10.0.0.0/8)."""
+    # 24 random bits under the prefix; sampling without replacement keeps
+    # flows distinct.
+    space = 1 << 24
+    if n > space:
+        raise ValueError(f"cannot draw {n} distinct hosts from a /8")
+    hosts = rng.choice(space, size=n, replace=False).astype(np.int64)
+    return hosts | prefix
+
+
+def _zipf_sizes(rng: np.random.Generator, num_flows: int, num_packets: int, alpha: float) -> np.ndarray:
+    """Per-flow packet counts: Zipf-ranked, scaled to sum ~= num_packets."""
+    ranks = np.arange(1, num_flows + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    weights /= weights.sum()
+    sizes = np.maximum(1, np.round(weights * num_packets)).astype(np.int64)
+    rng.shuffle(sizes)
+    return sizes
+
+
+def _assemble(
+    rng: np.random.Generator,
+    src: np.ndarray,
+    dst: np.ndarray,
+    sport: np.ndarray,
+    dport: np.ndarray,
+    proto: np.ndarray,
+    sizes: np.ndarray,
+    duration_us: int,
+    start_us: int,
+) -> Trace:
+    """Expand per-flow tuples into interleaved, time-stamped packets."""
+    flow_ids = np.repeat(np.arange(len(sizes)), sizes)
+    rng.shuffle(flow_ids)
+    n = len(flow_ids)
+    timestamps = np.sort(rng.integers(0, max(duration_us, 1), size=n)) + start_us
+    pkt_bytes = np.clip(
+        rng.lognormal(mean=6.0, sigma=0.8, size=n).astype(np.int64), 64, 1500
+    )
+    # Queue metadata: a slow sinusoidal load pattern plus noise, so Max
+    # attributes have non-trivial per-flow answers.
+    phase = 2 * np.pi * (timestamps - start_us) / max(duration_us, 1)
+    queue_length = (
+        2000 + 1500 * np.sin(phase) + rng.normal(0, 300, size=n)
+    ).clip(0, 2**20).astype(np.int64)
+    queue_delay = (queue_length * 0.64).astype(np.int64)  # ~cell drain time
+    return Trace(
+        {
+            "src_ip": src[flow_ids],
+            "dst_ip": dst[flow_ids],
+            "src_port": sport[flow_ids],
+            "dst_port": dport[flow_ids],
+            "protocol": proto[flow_ids],
+            "timestamp": timestamps.astype(np.int64),
+            "pkt_bytes": pkt_bytes,
+            "queue_length": queue_length,
+            "queue_delay": queue_delay,
+        }
+    )
+
+
+def zipf_trace(
+    num_flows: int = 10_000,
+    num_packets: int = 100_000,
+    alpha: float = 1.1,
+    duration_us: int = 1_000_000,
+    start_us: int = 0,
+    seed: Optional[int] = 0,
+    src_prefix: int = 0x0A000000,
+    dst_prefix: int = 0x14000000,
+) -> Trace:
+    """A WIDE-like trace: ``num_flows`` distinct 5-tuples, Zipf flow sizes.
+
+    ``src_prefix``/``dst_prefix`` place hosts under specific /8s so filtered
+    tasks (e.g. Fig. 12b's task A on 10.0.0.0/8) see controllable shares.
+    """
+    rng = _rng(seed)
+    src = _random_hosts(rng, num_flows, src_prefix)
+    dst = _random_hosts(rng, num_flows, dst_prefix)
+    sport = rng.integers(_PORT_LO, _PORT_HI, size=num_flows).astype(np.int64)
+    dport = rng.integers(_PORT_LO, _PORT_HI, size=num_flows).astype(np.int64)
+    proto = rng.choice([6, 17], size=num_flows, p=[0.85, 0.15]).astype(np.int64)
+    sizes = _zipf_sizes(rng, num_flows, num_packets, alpha)
+    return _assemble(rng, src, dst, sport, dport, proto, sizes, duration_us, start_us)
+
+
+def uniform_trace(
+    num_flows: int = 10_000,
+    packets_per_flow: int = 10,
+    duration_us: int = 1_000_000,
+    start_us: int = 0,
+    seed: Optional[int] = 0,
+) -> Trace:
+    """Equal-size flows: the hard case for frequency sketches."""
+    rng = _rng(seed)
+    src = _random_hosts(rng, num_flows, 0x0A000000)
+    dst = _random_hosts(rng, num_flows, 0x14000000)
+    sport = rng.integers(_PORT_LO, _PORT_HI, size=num_flows).astype(np.int64)
+    dport = rng.integers(_PORT_LO, _PORT_HI, size=num_flows).astype(np.int64)
+    proto = np.full(num_flows, 6, dtype=np.int64)
+    sizes = np.full(num_flows, packets_per_flow, dtype=np.int64)
+    return _assemble(rng, src, dst, sport, dport, proto, sizes, duration_us, start_us)
+
+
+def ddos_trace(
+    num_victims: int = 20,
+    sources_per_victim: int = 2_000,
+    background_flows: int = 5_000,
+    background_packets: int = 50_000,
+    duration_us: int = 1_000_000,
+    seed: Optional[int] = 0,
+) -> Trace:
+    """DDoS-victim workload: each victim DstIP sees many distinct SrcIPs.
+
+    Victims receive one packet from each of ``sources_per_victim`` distinct
+    sources; the rest is a Zipf background.  Ground truth for Fig. 14c is
+    ``trace.distinct_counts(KEY_DST_IP, KEY_SRC_IP)``.
+    """
+    rng = _rng(seed)
+    victims = _random_hosts(rng, num_victims, 0x14000000)
+    attack_n = num_victims * sources_per_victim
+    attack_src = _random_hosts(rng, attack_n, 0x0A000000)
+    attack_dst = np.repeat(victims, sources_per_victim)
+    sport = rng.integers(_PORT_LO, _PORT_HI, size=attack_n).astype(np.int64)
+    dport = np.full(attack_n, 80, dtype=np.int64)
+    proto = np.full(attack_n, 6, dtype=np.int64)
+    sizes = np.ones(attack_n, dtype=np.int64)
+    attack = _assemble(rng, attack_src, attack_dst, sport, dport, proto, sizes, duration_us, 0)
+    background = zipf_trace(
+        num_flows=background_flows,
+        num_packets=background_packets,
+        duration_us=duration_us,
+        seed=None if seed is None else seed + 1,
+    )
+    return Trace.concatenate([attack, background]).sorted_by_time()
+
+
+def superspreader_trace(
+    num_spreaders: int = 10,
+    contacts_per_spreader: int = 3_000,
+    background_flows: int = 5_000,
+    background_packets: int = 50_000,
+    duration_us: int = 1_000_000,
+    seed: Optional[int] = 0,
+) -> Trace:
+    """Worm-like workload: a few SrcIPs contact many distinct DstIPs."""
+    rng = _rng(seed)
+    spreaders = _random_hosts(rng, num_spreaders, 0x0A000000)
+    n = num_spreaders * contacts_per_spreader
+    src = np.repeat(spreaders, contacts_per_spreader)
+    dst = _random_hosts(rng, n, 0x14000000)
+    sport = rng.integers(_PORT_LO, _PORT_HI, size=n).astype(np.int64)
+    dport = rng.integers(_PORT_LO, _PORT_HI, size=n).astype(np.int64)
+    proto = np.full(n, 6, dtype=np.int64)
+    sizes = np.ones(n, dtype=np.int64)
+    scan = _assemble(rng, src, dst, sport, dport, proto, sizes, duration_us, 0)
+    background = zipf_trace(
+        num_flows=background_flows,
+        num_packets=background_packets,
+        duration_us=duration_us,
+        seed=None if seed is None else seed + 1,
+    )
+    return Trace.concatenate([scan, background]).sorted_by_time()
+
+
+def portscan_trace(
+    num_scanners: int = 10,
+    ports_per_scan: int = 1_000,
+    background_flows: int = 5_000,
+    background_packets: int = 50_000,
+    duration_us: int = 1_000_000,
+    seed: Optional[int] = 0,
+) -> Trace:
+    """Port-scan workload: IP pairs touching many distinct DstPorts."""
+    rng = _rng(seed)
+    scanners = _random_hosts(rng, num_scanners, 0x0A000000)
+    targets = _random_hosts(rng, num_scanners, 0x14000000)
+    n = num_scanners * ports_per_scan
+    src = np.repeat(scanners, ports_per_scan)
+    dst = np.repeat(targets, ports_per_scan)
+    dport = np.concatenate(
+        [rng.choice(65536, size=ports_per_scan, replace=False) for _ in range(num_scanners)]
+    ).astype(np.int64)
+    sport = rng.integers(_PORT_LO, _PORT_HI, size=n).astype(np.int64)
+    proto = np.full(n, 6, dtype=np.int64)
+    sizes = np.ones(n, dtype=np.int64)
+    scan = _assemble(rng, src, dst, sport, dport, proto, sizes, duration_us, 0)
+    background = zipf_trace(
+        num_flows=background_flows,
+        num_packets=background_packets,
+        duration_us=duration_us,
+        seed=None if seed is None else seed + 1,
+    )
+    return Trace.concatenate([scan, background]).sorted_by_time()

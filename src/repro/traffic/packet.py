@@ -1,0 +1,75 @@
+"""Packet model.
+
+A packet carries the candidate-key header fields (5-tuple + timestamp) and
+the standard metadata FlyMon exposes as CMU parameters (packet size, queue
+length, queue delay).  Field names match :mod:`repro.dataplane.phv` specs so
+packets can be fed straight into hash units and match tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Field order used when packing packets to/from columnar storage.
+PACKET_FIELDS = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+    "timestamp",
+    "pkt_bytes",
+    "queue_length",
+    "queue_delay",
+)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet's header fields and data-plane metadata.
+
+    ``timestamp`` is in microseconds from the start of the trace (wraps at 32
+    bits like a hardware timestamp would).  ``queue_length`` and
+    ``queue_delay`` model the egress-queue metadata Tofino exposes.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int = 6
+    timestamp: int = 0
+    pkt_bytes: int = 64
+    queue_length: int = 0
+    queue_delay: int = 0
+
+    def fields(self) -> Dict[str, int]:
+        """Mutable field mapping for pipeline traversal (fresh dict)."""
+        return {
+            "src_ip": self.src_ip,
+            "dst_ip": self.dst_ip,
+            "src_port": self.src_port,
+            "dst_port": self.dst_port,
+            "protocol": self.protocol,
+            "timestamp": self.timestamp,
+            "pkt_bytes": self.pkt_bytes,
+            "queue_length": self.queue_length,
+            "queue_delay": self.queue_delay,
+        }
+
+    def five_tuple(self) -> tuple:
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol)
+
+
+def ip(a: int, b: int, c: int, d: int) -> int:
+    """Dotted-quad helper: ``ip(10, 0, 0, 1) == 0x0A000001``."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet {octet} out of range")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def format_ip(value: int) -> str:
+    """Inverse of :func:`ip` for logs and examples."""
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))

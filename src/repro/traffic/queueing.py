@@ -1,0 +1,74 @@
+"""Egress-queue simulation: realistic queue_length / queue_delay metadata.
+
+The Max-attribute tasks (congestion detection, HOL blocking -- Table 1)
+consume per-packet queue depth and delay, which Tofino exposes as intrinsic
+metadata.  The generators fill these columns with a synthetic load pattern;
+this module instead *derives* them from the packet arrival process with a
+fluid single-server queue: packets drain at ``drain_bytes_per_us``, each
+arrival observes the backlog ahead of it.
+
+Use :func:`apply_queue_model` to replace a trace's queue columns with the
+simulated ones -- experiments then measure congestion that is actually
+caused by the traffic's burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.trace import Trace
+
+
+@dataclass(frozen=True)
+class QueueModel:
+    """A fluid FIFO egress queue.
+
+    ``drain_bytes_per_us`` is the service rate (e.g. 12.5 B/us = 100 Mb/s;
+    1250 B/us = 10 Gb/s).  ``capacity_bytes`` bounds the backlog (tail-drop
+    depth); queue length saturates there, as a real buffer would.
+    """
+
+    drain_bytes_per_us: float = 125.0  # 1 Gb/s
+    capacity_bytes: int = 1 << 20
+
+    def simulate(self, timestamps: np.ndarray, pkt_bytes: np.ndarray):
+        """Per-packet ``(queue_length_bytes, queue_delay_us)`` at arrival.
+
+        The queue length a packet records is the backlog *in front of it*;
+        its queueing delay is that backlog divided by the drain rate.
+        """
+        if self.drain_bytes_per_us <= 0:
+            raise ValueError("drain rate must be positive")
+        n = len(timestamps)
+        lengths = np.zeros(n, dtype=np.int64)
+        delays = np.zeros(n, dtype=np.int64)
+        backlog = 0.0
+        last_ts = int(timestamps[0]) if n else 0
+        for i in range(n):
+            ts = int(timestamps[i])
+            backlog = max(0.0, backlog - (ts - last_ts) * self.drain_bytes_per_us)
+            last_ts = ts
+            lengths[i] = int(min(backlog, self.capacity_bytes))
+            delays[i] = int(lengths[i] / self.drain_bytes_per_us)
+            if backlog + pkt_bytes[i] <= self.capacity_bytes:
+                backlog += float(pkt_bytes[i])
+            # else: tail drop -- the packet still traverses the pipeline and
+            # is observed by measurement, but adds no backlog.
+        return lengths, delays
+
+
+def apply_queue_model(trace: Trace, model: QueueModel = QueueModel()) -> Trace:
+    """A copy of ``trace`` whose queue columns come from the queue model.
+
+    The trace must be time-sorted (generator output is).
+    """
+    ts = trace.columns["timestamp"]
+    if len(ts) > 1 and (np.diff(ts) < 0).any():
+        raise ValueError("trace must be sorted by timestamp")
+    lengths, delays = model.simulate(ts, trace.columns["pkt_bytes"])
+    columns = dict(trace.columns)
+    columns["queue_length"] = lengths
+    columns["queue_delay"] = delays
+    return Trace(columns)

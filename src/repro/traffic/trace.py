@@ -1,0 +1,141 @@
+"""Columnar packet traces with epoching and ground-truth helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.traffic import flows as flows_mod
+from repro.traffic.flows import FlowKeyDef
+from repro.traffic.packet import PACKET_FIELDS, Packet
+
+
+class Trace:
+    """An ordered packet trace stored as NumPy columns.
+
+    Columns are keyed by :data:`repro.traffic.packet.PACKET_FIELDS`; every
+    column has the same length.  Iteration yields per-packet field dicts
+    (cheap enough for the per-packet CMU datapath) or :class:`Packet` views.
+    """
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        missing = [f for f in PACKET_FIELDS if f not in columns]
+        if missing:
+            raise ValueError(f"trace is missing columns: {missing}")
+        lengths = {len(columns[f]) for f in PACKET_FIELDS}
+        if len(lengths) != 1:
+            raise ValueError(f"column length mismatch: {lengths}")
+        self.columns: Dict[str, np.ndarray] = {
+            f: np.asarray(columns[f], dtype=np.int64) for f in PACKET_FIELDS
+        }
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def from_packets(packets: List[Packet]) -> "Trace":
+        cols = {f: np.array([getattr(p, f) for p in packets], dtype=np.int64)
+                for f in PACKET_FIELDS}
+        return Trace(cols)
+
+    @staticmethod
+    def empty() -> "Trace":
+        return Trace({f: np.array([], dtype=np.int64) for f in PACKET_FIELDS})
+
+    @staticmethod
+    def concatenate(traces: List["Trace"]) -> "Trace":
+        if not traces:
+            return Trace.empty()
+        cols = {
+            f: np.concatenate([t.columns[f] for t in traces]) for f in PACKET_FIELDS
+        }
+        return Trace(cols)
+
+    def sorted_by_time(self) -> "Trace":
+        order = np.argsort(self.columns["timestamp"], kind="stable")
+        return self.select(order)
+
+    def select(self, indices: np.ndarray) -> "Trace":
+        return Trace({f: self.columns[f][indices] for f in PACKET_FIELDS})
+
+    # -- basics --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns["timestamp"])
+
+    def __iter__(self) -> Iterator[Dict[str, int]]:
+        return self.iter_fields()
+
+    def iter_fields(self) -> Iterator[Dict[str, int]]:
+        """Yield one mutable ``{field: value}`` dict per packet, in order."""
+        cols = [self.columns[f] for f in PACKET_FIELDS]
+        for row in zip(*cols):
+            yield dict(zip(PACKET_FIELDS, (int(v) for v in row)))
+
+    def iter_packets(self) -> Iterator[Packet]:
+        for fields in self.iter_fields():
+            yield Packet(**fields)
+
+    def packet(self, i: int) -> Packet:
+        return Packet(**{f: int(self.columns[f][i]) for f in PACKET_FIELDS})
+
+    @property
+    def duration_us(self) -> int:
+        ts = self.columns["timestamp"]
+        return int(ts.max() - ts.min()) if len(ts) else 0
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the trace as a compressed ``.npz`` archive."""
+        np.savez_compressed(path, **self.columns)
+
+    @staticmethod
+    def load(path) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(path) as data:
+            return Trace({f: data[f] for f in PACKET_FIELDS})
+
+    # -- epoching --------------------------------------------------------------
+
+    def split_epochs(self, num_epochs: int) -> List["Trace"]:
+        """Split into ``num_epochs`` equal time windows (by timestamp)."""
+        if num_epochs <= 0:
+            raise ValueError("num_epochs must be positive")
+        if len(self) == 0:
+            return [Trace.empty() for _ in range(num_epochs)]
+        ts = self.columns["timestamp"]
+        lo, hi = ts.min(), ts.max() + 1
+        edges = np.linspace(lo, hi, num_epochs + 1)
+        out = []
+        for i in range(num_epochs):
+            mask = (ts >= edges[i]) & (ts < edges[i + 1])
+            out.append(self.select(np.nonzero(mask)[0]))
+        return out
+
+    # -- ground truth ------------------------------------------------------------
+
+    def flow_sizes(self, key: FlowKeyDef, by_bytes: bool = False) -> Dict[Tuple[int, ...], int]:
+        weight = self.columns["pkt_bytes"] if by_bytes else None
+        return flows_mod.flow_sizes(self.columns, key, weight)
+
+    def distinct_counts(self, key: FlowKeyDef, param: FlowKeyDef) -> Dict[Tuple[int, ...], int]:
+        return flows_mod.distinct_counts(self.columns, key, param)
+
+    def max_values(self, key: FlowKeyDef, param_field: str) -> Dict[Tuple[int, ...], int]:
+        return flows_mod.max_values(self.columns, key, self.columns[param_field])
+
+    def cardinality(self, key: FlowKeyDef) -> int:
+        return flows_mod.cardinality(self.columns, key)
+
+    def heavy_hitters(self, key: FlowKeyDef, threshold: int, by_bytes: bool = False) -> set:
+        return flows_mod.heavy_hitters(self.flow_sizes(key, by_bytes), threshold)
+
+    def entropy(self, key: FlowKeyDef) -> float:
+        return flows_mod.empirical_entropy(self.flow_sizes(key).values())
+
+    def max_interarrival(self, key: FlowKeyDef) -> Dict[Tuple[int, ...], int]:
+        return flows_mod.max_interarrival(self.columns, key)
+
+    def filter_mask(self, mask: np.ndarray) -> "Trace":
+        return self.select(np.nonzero(mask)[0])

@@ -1,0 +1,143 @@
+"""Unit tests for the control-plane estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.entropy import entropy_from_distribution, normalized_entropy
+from repro.analysis.estimators import (
+    alpha_m,
+    coupon_collector_inversion,
+    harmonic,
+    hll_estimate,
+    linear_counting_estimate,
+    mrac_em,
+    rho32,
+    tune_coupon_probability,
+)
+
+
+class TestRho32:
+    def test_all_zero(self):
+        assert rho32(0) == 33
+        assert rho32(0, skip_bits=16) == 17
+
+    def test_msb_set(self):
+        assert rho32(0x80000000) == 1
+
+    def test_leading_zeros(self):
+        assert rho32(0x00008000) == 17
+
+    def test_skip_bits_window(self):
+        # Only the low 16 bits are considered with skip_bits=16.
+        assert rho32(0xFFFF0000, skip_bits=16) == 17
+        assert rho32(0x00008000, skip_bits=16) == 1
+
+
+class TestAlphaM:
+    def test_known_small_values(self):
+        assert alpha_m(16) == 0.673
+        assert alpha_m(64) == 0.709
+
+    def test_large_m_limit(self):
+        assert 0.71 < alpha_m(1 << 14) < 0.7213
+
+
+class TestHllEstimate:
+    def test_empty_registers(self):
+        assert hll_estimate(np.zeros(64)) < 5
+
+    def test_scaling(self):
+        """Synthetic registers for n items: E[max rho] ~ log2(n/m) + const."""
+        m = 1024
+        rng = np.random.default_rng(3)
+        for n in (5_000, 50_000):
+            per_bucket = n // m
+            regs = rng.geometric(0.5, size=(m, per_bucket)).max(axis=1)
+            est = hll_estimate(regs)
+            assert 0.5 * n < est < 2.0 * n
+
+    def test_zero_length(self):
+        assert hll_estimate([]) == 0.0
+
+
+class TestLinearCounting:
+    def test_basic_inversion(self):
+        # 1000 bits, 393 zeros -> -1000 ln(0.393) ~ 934
+        est = linear_counting_estimate(1000, 393)
+        assert est == pytest.approx(-1000 * math.log(0.393))
+
+    def test_saturated(self):
+        assert linear_counting_estimate(100, 0) == pytest.approx(100 * math.log(100))
+
+    def test_empty(self):
+        assert linear_counting_estimate(0, 0) == 0.0
+        assert linear_counting_estimate(64, 64) == pytest.approx(0.0)
+
+
+class TestCoupons:
+    def test_harmonic(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_tuning_hits_threshold_in_expectation(self):
+        m, threshold = 16, 500
+        p = tune_coupon_probability(m, threshold)
+        expected = coupon_collector_inversion(m, m, p)
+        assert expected == pytest.approx(threshold, rel=0.01)
+
+    def test_tuning_clamped_for_tiny_thresholds(self):
+        p = tune_coupon_probability(16, 1)
+        assert p <= 1 / 16
+
+    def test_inversion_monotone(self):
+        p = tune_coupon_probability(16, 500)
+        values = [coupon_collector_inversion(j, 16, p) for j in range(17)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+
+    def test_inversion_validation(self):
+        with pytest.raises(ValueError):
+            coupon_collector_inversion(17, 16, 0.01)
+
+
+class TestMracEm:
+    def test_empty(self):
+        assert mrac_em([], 64) == {}
+
+    def test_no_collisions_is_identity(self):
+        counters = [3] * 10 + [0] * 1000
+        phi = mrac_em(counters, 1010, iterations=5)
+        assert phi.get(3, 0) == pytest.approx(10, rel=0.2)
+
+    def test_collision_splitting(self):
+        """At high load, buckets of value 2 are mostly two colliding 1s."""
+        rng = np.random.default_rng(5)
+        m, n = 256, 256  # load factor 1 with all flows of size 1
+        buckets = np.bincount(rng.integers(0, m, size=n), minlength=m)
+        phi = mrac_em(buckets, m, iterations=30)
+        est_flows = sum(phi.values())
+        assert abs(est_flows - n) / n < 0.15
+        # Essentially all estimated flows should have size 1.
+        assert phi.get(1, 0) / est_flows > 0.9
+
+    def test_large_values_preserved(self):
+        phi = mrac_em([10_000, 1, 1], 64, max_size=100)
+        assert phi.get(10_000, 0) >= 1
+
+
+class TestEntropyHelpers:
+    def test_uniform_distribution(self):
+        # 8 flows of size 1: H = ln 8.
+        assert entropy_from_distribution({1: 8}) == pytest.approx(math.log(8))
+
+    def test_single_flow(self):
+        assert entropy_from_distribution({100: 1}) == 0.0
+
+    def test_ignores_non_positive(self):
+        assert entropy_from_distribution({0: 5, -1: 2}) == 0.0
+
+    def test_normalized_bounds(self):
+        assert normalized_entropy({1: 8}) == pytest.approx(1.0)
+        assert normalized_entropy({5: 1}) == 0.0

@@ -1,0 +1,76 @@
+"""Unit tests for the evaluation metrics (Appendix C)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    average_relative_error,
+    f1_score,
+    false_positive_rate,
+    precision_recall,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(10, 10) == 0.0
+
+    def test_symmetric_magnitude(self):
+        assert relative_error(10, 15) == pytest.approx(0.5)
+        assert relative_error(10, 5) == pytest.approx(0.5)
+
+    def test_zero_truth(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(0, 5) == math.inf
+
+
+class TestAverageRelativeError:
+    def test_perfect_estimator(self):
+        truth = {"a": 5, "b": 7}
+        assert average_relative_error(truth, truth.__getitem__) == 0.0
+
+    def test_constant_offset(self):
+        truth = {"a": 10, "b": 20}
+        are = average_relative_error(truth, lambda k: truth[k] * 1.1)
+        assert are == pytest.approx(0.1)
+
+    def test_empty_truth(self):
+        assert average_relative_error({}, lambda k: 0) == 0.0
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        assert f1_score({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_half_precision(self):
+        p, r = precision_recall({"a", "b"}, {"a"})
+        assert p == 0.5 and r == 1.0
+
+    def test_half_recall(self):
+        p, r = precision_recall({"a"}, {"a", "b"})
+        assert p == 1.0 and r == 0.5
+
+    def test_f1_is_harmonic_mean(self):
+        f1 = f1_score({"a", "x"}, {"a", "b"})
+        assert f1 == pytest.approx(0.5)
+
+    def test_empty_reported_with_truth(self):
+        assert f1_score(set(), {"a"}) == 0.0
+
+    def test_both_empty(self):
+        assert f1_score(set(), set()) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert f1_score({"x"}, {"a"}) == 0.0
+
+
+class TestFalsePositiveRate:
+    def test_no_negatives(self):
+        assert false_positive_rate({"a"}, []) == 0.0
+
+    def test_rate(self):
+        reported = {"a", "b"}
+        negatives = ["a", "c", "d", "e"]
+        assert false_positive_rate(reported, negatives) == pytest.approx(0.25)

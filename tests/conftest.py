@@ -1,0 +1,23 @@
+"""Shared fixtures for the FlyMon reproduction test suite."""
+
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.traffic import zipf_trace
+
+
+@pytest.fixture
+def small_trace():
+    """A deterministic 10k-packet Zipf trace (1k flows)."""
+    return zipf_trace(num_flows=1_000, num_packets=10_000, seed=42)
+
+
+@pytest.fixture
+def controller():
+    """A three-group controller (enough for every chained algorithm)."""
+    return FlyMonController(num_groups=3)
+
+
+@pytest.fixture
+def single_group_controller():
+    return FlyMonController(num_groups=1)

@@ -1,0 +1,104 @@
+"""Unit tests for the adaptive memory manager."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveMemoryManager, fill_factor
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic import KEY_SRC_IP, zipf_trace
+
+
+def make_manager(memory=256, register_size=1 << 12, **kwargs):
+    controller = FlyMonController(num_groups=1, register_size=register_size)
+    handle = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=memory,
+            depth=3,
+            algorithm="cms",
+        )
+    )
+    manager = AdaptiveMemoryManager(
+        controller=controller,
+        handle=handle,
+        min_memory=register_size // 32,
+        max_memory=register_size,
+        **kwargs,
+    )
+    return controller, manager
+
+
+class TestFillFactor:
+    def test_empty_task(self):
+        _, manager = make_manager()
+        assert fill_factor(manager.handle) == 0.0
+
+    def test_grows_with_flows(self):
+        controller, manager = make_manager(memory=1024)
+        sparse = zipf_trace(num_flows=50, num_packets=200, seed=60)
+        controller.process_trace(sparse)
+        low = fill_factor(manager.handle)
+        dense = zipf_trace(num_flows=2000, num_packets=4000, seed=61)
+        controller.process_trace(dense)
+        assert fill_factor(manager.handle) > low > 0.0
+
+
+class TestAdaptiveLoop:
+    def test_grows_under_load(self):
+        controller, manager = make_manager(memory=128)
+        heavy = zipf_trace(num_flows=3000, num_packets=6000, seed=62)
+        before = manager.memory
+        controller.process_trace(heavy)
+        decision = manager.end_of_epoch()
+        assert decision.action == "grow"
+        assert manager.memory == 2 * before
+
+    def test_shrinks_when_idle(self):
+        controller, manager = make_manager(memory=2048)
+        light = zipf_trace(num_flows=20, num_packets=100, seed=63)
+        controller.process_trace(light)
+        decision = manager.end_of_epoch()
+        assert decision.action == "shrink"
+        assert manager.memory == 1024
+
+    def test_holds_in_band(self):
+        controller, manager = make_manager(memory=1024)
+        # ~35% fill: inside [shrink_below, grow_above].
+        moderate = zipf_trace(num_flows=450, num_packets=900, seed=64)
+        controller.process_trace(moderate)
+        decision = manager.end_of_epoch()
+        assert decision.action == "hold"
+
+    def test_respects_bounds(self):
+        controller, manager = make_manager(memory=128)
+        manager.max_memory = 256
+        heavy = zipf_trace(num_flows=3000, num_packets=6000, seed=65)
+        for _ in range(4):
+            controller.process_trace(heavy)
+            manager.end_of_epoch()
+        assert manager.memory <= 256
+
+    def test_converges_through_a_spike(self):
+        """The control loop tracks a spike up and back down."""
+        controller, manager = make_manager(memory=128)
+        def epoch_load(flows):
+            controller.process_trace(
+                zipf_trace(num_flows=flows, num_packets=2 * flows, seed=flows)
+            )
+            return manager.end_of_epoch()
+
+        for _ in range(4):
+            epoch_load(3000)  # surge
+        peak = manager.memory
+        assert peak >= 1024
+        for _ in range(6):
+            epoch_load(15)  # calm
+        assert manager.memory < peak
+
+    def test_history_recorded(self):
+        controller, manager = make_manager()
+        controller.process_trace(zipf_trace(num_flows=50, num_packets=100, seed=66))
+        manager.end_of_epoch()
+        manager.end_of_epoch()
+        assert [d.epoch for d in manager.history] == [0, 1]

@@ -1,0 +1,103 @@
+"""Unit tests for both address-translation strategies (§3.3, Fig. 9)."""
+
+import pytest
+
+from repro.core.address_translation import (
+    ShiftTranslation,
+    TcamTranslation,
+    make_translation,
+    tcam_usage_fraction,
+)
+from repro.core.memory import MemRange
+
+
+class TestShiftTranslation:
+    def test_full_register_is_identity(self):
+        tr = ShiftTranslation(1024, MemRange(0, 1024))
+        assert tr.shift == 0
+        assert tr.translate(37) == 37
+
+    def test_half_partition(self):
+        tr = ShiftTranslation(1024, MemRange(512, 512))
+        assert tr.shift == 1
+        assert tr.translate(0) == 512
+        assert tr.translate(1023) == 512 + 511
+
+    def test_all_addresses_land_in_range(self):
+        mem = MemRange(256, 128)
+        tr = ShiftTranslation(1024, mem)
+        for addr in range(1024):
+            assert mem.contains(tr.translate(addr))
+
+    def test_uniform_spread(self):
+        """Every bucket of the partition is reachable and equally loaded."""
+        mem = MemRange(0, 64)
+        tr = ShiftTranslation(256, mem)
+        hits = {}
+        for addr in range(256):
+            hits[tr.translate(addr)] = hits.get(tr.translate(addr), 0) + 1
+        assert set(hits) == set(range(64))
+        assert set(hits.values()) == {4}
+
+    def test_two_table_rules(self):
+        assert ShiftTranslation(1024, MemRange(0, 256)).table_rules() == 2
+
+    def test_phv_cost_grows_with_partitions(self):
+        costs = [ShiftTranslation.phv_bits_for(p) for p in (8, 16, 32, 64)]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_phv_cost_validation(self):
+        with pytest.raises(ValueError):
+            ShiftTranslation.phv_bits_for(3)
+
+
+class TestTcamTranslation:
+    def test_identity_inside_target(self):
+        tr = TcamTranslation(1024, MemRange(512, 256))
+        assert tr.translate(600) == 600
+
+    def test_maps_other_chunks_into_target(self):
+        mem = MemRange(512, 256)
+        tr = TcamTranslation(1024, mem)
+        for addr in range(1024):
+            assert mem.contains(tr.translate(addr))
+
+    def test_entry_count_is_chunks_minus_one(self):
+        tr = TcamTranslation(1024, MemRange(0, 256))
+        assert tr.tcam_entries() == 3
+        assert len(tr.entry_plan()) == 3
+
+    def test_entry_plan_offsets_are_correct(self):
+        register = 64
+        mem = MemRange(16, 16)
+        tr = TcamTranslation(register, mem)
+        for lo, hi, offset in tr.entry_plan():
+            for addr in range(lo, hi + 1):
+                assert (addr + offset) % register == tr.translate(addr)
+
+    def test_preserves_low_bits(self):
+        """TCAM translation keeps ``addr mod length`` (Fig. 9's ADD action)."""
+        tr = TcamTranslation(1024, MemRange(256, 256))
+        assert tr.translate(700) % 256 == 700 % 256
+
+
+class TestFactory:
+    def test_dispatch(self):
+        assert isinstance(make_translation("shift", 64, MemRange(0, 32)), ShiftTranslation)
+        assert isinstance(make_translation("tcam", 64, MemRange(0, 32)), TcamTranslation)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_translation("bogus", 64, MemRange(0, 32))
+
+
+class TestFigure11Accounting:
+    def test_32_partitions_within_15_percent(self):
+        """§3.3: 32 partitions need <15% of one stage's TCAM."""
+        assert tcam_usage_fraction(32) < 0.15
+
+    def test_usage_superlinear_in_partitions(self):
+        fractions = [tcam_usage_fraction(p) for p in (8, 16, 32, 64)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] / fractions[0] > 8

@@ -1,0 +1,144 @@
+"""Correctness tests for cross-group result chaining.
+
+Chained algorithms (SuMax(Sum), Counter Braids, max inter-arrival) depend on
+upstream CMUs exporting results into the PHV *before* downstream groups
+process the packet.  These tests pin the ordering contract and check the
+chained semantics against hand-computed references on tiny inputs.
+"""
+
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.core.params import result_field
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic import KEY_SRC_IP
+from repro.traffic.packet import Packet
+from repro.traffic.trace import Trace
+
+
+def packet_fields(src_ip: int, timestamp: int = 0) -> dict:
+    return Packet(src_ip=src_ip, dst_ip=1, src_port=2, dst_port=3,
+                  timestamp=timestamp).fields()
+
+
+class TestResultExportOrdering:
+    def test_groups_process_in_ascending_id_order(self):
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=1024,
+                depth=3,
+                algorithm="sumax_sum",
+            )
+        )
+        assert handle.groups_used == (0, 1, 2)
+        fields = packet_fields(0x0A000001)
+        controller.process_packet(fields)
+        # Every row exported a result for this packet.
+        for row in handle.rows:
+            assert result_field(row.group.group_id, row.cmu.index) in fields
+
+    def test_sumax_chain_tracks_exact_count_without_collisions(self):
+        """One flow, no collisions: every row's counter equals the count."""
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=1024,
+                depth=3,
+                algorithm="sumax_sum",
+            )
+        )
+        for i in range(7):
+            controller.process_packet(packet_fields(0x0A000001, timestamp=i))
+        assert handle.algorithm.query((0x0A000001,)) == 7
+
+    def test_sumax_conservative_update_on_forced_collision(self):
+        """Two flows sharing row-0's bucket: conservative update keeps the
+        *other* rows' counters at the per-flow truth, so the min query stays
+        below plain-CMS's inflated answer."""
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=64,  # min partition: plenty of collisions
+                depth=3,
+                algorithm="sumax_sum",
+            )
+        )
+        flows = [0x0A000000 + i for i in range(300)]
+        for ts, src in enumerate(flows * 3):
+            controller.process_packet(packet_fields(src, timestamp=ts))
+        # Every flow was seen exactly 3 times; conservative update can still
+        # overestimate, but never underestimates.
+        estimates = [handle.algorithm.query((src,)) for src in flows]
+        assert all(est >= 3 for est in estimates)
+
+    def test_counter_braids_overflow_chains_to_next_group(self):
+        controller = FlyMonController(num_groups=2)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=1024,
+                depth=2,
+                algorithm="counter_braids",
+            )
+        )
+        # 40 packets of one flow: layer 1 (4-bit counter) saturates at 15;
+        # the remaining 25 increments land in layer 2.
+        for i in range(40):
+            controller.process_packet(packet_fields(0x0A000001, timestamp=i))
+        assert handle.algorithm.query((0x0A000001,)) == 40
+        high_row = handle.rows[1]
+        assert int(high_row.read().sum()) == 40 - 15
+
+    def test_interarrival_chain_computes_exact_gap_without_collisions(self):
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("packet_interval"),
+                memory=1024,
+                depth=1,
+                algorithm="max_interarrival",
+            )
+        )
+        for ts in (100, 250, 300, 900, 950):
+            controller.process_packet(packet_fields(0x0A000001, timestamp=ts))
+        # Gaps: 150, 50, 600, 50 -> max 600.
+        assert handle.algorithm.query((0x0A000001,)) == 600
+
+    def test_interarrival_first_packet_records_no_interval(self):
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("packet_interval"),
+                memory=1024,
+                depth=1,
+                algorithm="max_interarrival",
+            )
+        )
+        controller.process_packet(packet_fields(0x0A000001, timestamp=5000))
+        assert handle.algorithm.query((0x0A000001,)) == 0
+
+    def test_interarrival_single_packet_flows_stay_zero(self):
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("packet_interval"),
+                memory=1024,
+                depth=1,
+                algorithm="max_interarrival",
+            )
+        )
+        for i, src in enumerate(range(0x0A000001, 0x0A000020)):
+            controller.process_packet(packet_fields(src, timestamp=1000 * i))
+        for src in range(0x0A000001, 0x0A000020):
+            assert handle.algorithm.query((src,)) == 0

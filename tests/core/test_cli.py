@@ -1,0 +1,51 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["run", "fig11", "--full"])
+        assert args.full is True
+
+
+class TestCommands:
+    def test_list_algorithms(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cms", "beaucoup", "hll", "max_interarrival", "odd_sketch"):
+            assert name in out
+        assert "<unavailable" not in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out and "TCAM" in out
+
+    def test_run_fig02(self, capsys):
+        assert main(["run", "fig02"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_every_experiment_is_importable(self):
+        import importlib
+
+        for module_name in EXPERIMENTS.values():
+            module = importlib.import_module(module_name)
+            assert callable(module.run)
+            assert callable(module.format_result)

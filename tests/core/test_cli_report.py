@@ -1,0 +1,21 @@
+"""Unit tests for the combined-report CLI command."""
+
+import pytest
+
+from repro.cli import FAST_EXPERIMENTS, main
+
+
+class TestReport:
+    def test_fast_report_written(self, tmp_path, capsys):
+        output = tmp_path / "REPORT.md"
+        assert main(["report", "--fast-only", "--output", str(output)]) == 0
+        text = output.read_text()
+        assert text.startswith("# FlyMon reproduction report")
+        for name in FAST_EXPERIMENTS:
+            assert f"## {name}" in text
+
+    def test_report_contains_tables(self, tmp_path):
+        output = tmp_path / "r.md"
+        main(["report", "--fast-only", "--output", str(output)])
+        text = output.read_text()
+        assert "Figure 2" in text and "Table 3" in text

@@ -1,0 +1,174 @@
+"""Unit tests for the CMU datapath and CMU Groups."""
+
+import pytest
+
+from repro.core.cmu import Cmu, CmuTaskConfig, TaskConflictError
+from repro.core.cmu_group import CmuGroup, GROUP_STAGES
+from repro.core.compression import KeySelector
+from repro.core.memory import MemRange
+from repro.core.operations import OP_COND_ADD, OP_MAX
+from repro.core.params import ConstParam, FieldParam, IdentityProcessor, result_field
+from repro.core.task import TaskFilter
+from repro.dataplane.hashing import HashMask
+
+
+def make_config(task_id=1, mem=None, op=OP_COND_ADD, task_filter=None, **kwargs):
+    return CmuTaskConfig(
+        task_id=task_id,
+        filter=task_filter or TaskFilter.match_all(),
+        key_selector=kwargs.pop("key_selector", KeySelector((0,), 0, 16)),
+        p1=kwargs.pop("p1", ConstParam(1)),
+        p2=kwargs.pop("p2", ConstParam((1 << 16) - 1)),
+        p1_processor=kwargs.pop("p1_processor", IdentityProcessor()),
+        mem=mem or MemRange(0, 1 << 16),
+        op=op,
+        **kwargs,
+    )
+
+
+class TestCmuInstall:
+    def test_install_and_remove(self):
+        cmu = Cmu(0, 0)
+        cmu.install_task(make_config())
+        assert cmu.task_ids == [1]
+        cmu.remove_task(1)
+        assert cmu.task_ids == []
+
+    def test_duplicate_task_rejected(self):
+        cmu = Cmu(0, 0)
+        cmu.install_task(make_config())
+        with pytest.raises(ValueError):
+            cmu.install_task(make_config())
+
+    def test_conflicting_filters_rejected(self):
+        cmu = Cmu(0, 0)
+        cmu.install_task(make_config(task_id=1, mem=MemRange(0, 1 << 15)))
+        with pytest.raises(TaskConflictError):
+            cmu.install_task(make_config(task_id=2, mem=MemRange(1 << 15, 1 << 15)))
+
+    def test_disjoint_filters_coexist(self):
+        cmu = Cmu(0, 0)
+        f1 = TaskFilter.of(src_ip=(0x0A000000, 8))
+        f2 = TaskFilter.of(src_ip=(0x14000000, 8))
+        cmu.install_task(make_config(task_id=1, task_filter=f1, mem=MemRange(0, 1 << 15)))
+        cmu.install_task(
+            make_config(task_id=2, task_filter=f2, mem=MemRange(1 << 15, 1 << 15))
+        )
+        assert cmu.task_ids == [1, 2]
+
+    def test_sampled_tasks_may_share_traffic(self):
+        cmu = Cmu(0, 0)
+        cmu.install_task(make_config(task_id=1, mem=MemRange(0, 1 << 15)))
+        cmu.install_task(
+            make_config(task_id=2, mem=MemRange(1 << 15, 1 << 15), sample_prob=0.5)
+        )
+        assert len(cmu.task_ids) == 2
+
+    def test_memory_beyond_register_rejected(self):
+        cmu = Cmu(0, 0, register_size=1024)
+        with pytest.raises(ValueError):
+            cmu.install_task(make_config(mem=MemRange(1024, 1024)))
+
+    def test_prep_tcam_accounting(self):
+        cmu = Cmu(0, 0)
+        cmu.install_task(make_config(mem=MemRange(0, 1 << 14), strategy="tcam"))
+        assert cmu.prep_tcam_entries() == 3  # 4 chunks - 1
+
+
+class TestCmuDatapath:
+    def test_counts_matching_packets(self):
+        group = CmuGroup(0, register_size=1 << 10)
+        grant = group.keys.acquire({"src_ip": 32})
+        for unit, mask in grant.new_masks:
+            group.hash_units[unit].set_mask(mask)
+        cmu = group.cmus[0]
+        cmu.install_task(
+            make_config(
+                key_selector=grant.selector.with_slice(0, 10),
+                mem=MemRange(0, 1 << 10),
+                p2=ConstParam((1 << 16) - 1),
+            )
+        )
+        fields = {"src_ip": 0x0A000001}
+        for _ in range(5):
+            group.process(dict(fields))
+        compressed = group.compress(fields)
+        index = cmu.index_for(1, compressed)
+        assert cmu.register.read(index) == 5
+
+    def test_filter_excludes_packets(self):
+        group = CmuGroup(0, register_size=1 << 10)
+        grant = group.keys.acquire({"src_ip": 32})
+        for unit, mask in grant.new_masks:
+            group.hash_units[unit].set_mask(mask)
+        cmu = group.cmus[0]
+        cmu.install_task(
+            make_config(
+                task_filter=TaskFilter.of(src_ip=(0x0A000000, 8)),
+                key_selector=grant.selector.with_slice(0, 10),
+                mem=MemRange(0, 1 << 10),
+            )
+        )
+        group.process({"src_ip": 0x14000001})  # 20.0.0.1: outside the filter
+        assert cmu.read_task_memory(1).sum() == 0
+
+    def test_result_exported_to_phv(self):
+        group = CmuGroup(0, register_size=1 << 10)
+        grant = group.keys.acquire({"src_ip": 32})
+        for unit, mask in grant.new_masks:
+            group.hash_units[unit].set_mask(mask)
+        group.cmus[0].install_task(
+            make_config(
+                key_selector=grant.selector.with_slice(0, 10),
+                mem=MemRange(0, 1 << 10),
+            )
+        )
+        fields = {"src_ip": 1}
+        group.process(fields)
+        assert fields[result_field(0, 0)] == 1  # first Cond-ADD returns 1
+
+    def test_sampling_thins_updates(self):
+        group = CmuGroup(0, register_size=1 << 10)
+        grant = group.keys.acquire({"src_ip": 32})
+        for unit, mask in grant.new_masks:
+            group.hash_units[unit].set_mask(mask)
+        cmu = group.cmus[0]
+        cmu.install_task(
+            make_config(
+                key_selector=grant.selector.with_slice(0, 10),
+                mem=MemRange(0, 1 << 10),
+                sample_prob=0.25,
+            )
+        )
+        for ts in range(2000):
+            group.process({"src_ip": 7, "timestamp": ts})
+        count = cmu.read_task_memory(1).sum()
+        assert 300 <= count <= 700  # ~500 expected at p = 0.25
+
+    def test_reset_task_memory(self):
+        cmu = Cmu(0, 0, register_size=1024)
+        cmu.install_task(make_config(mem=MemRange(0, 1024)))
+        cmu.register.write(5, 99)
+        cmu.reset_task_memory(1)
+        assert cmu.register.read(5) == 0
+
+
+class TestCmuGroup:
+    def test_group_shape(self):
+        group = CmuGroup(3)
+        assert group.num_cmus == 3
+        assert len(group.hash_units) == 3
+        assert group.max_selectable_keys() == 6
+
+    def test_stage_demands_cover_all_four_stages(self):
+        demands = CmuGroup(0).stage_demands()
+        assert set(demands) == set(GROUP_STAGES)
+
+    def test_operation_stage_holds_salus(self):
+        demands = CmuGroup(0).stage_demands()
+        assert demands["operation"].salus == 3
+        assert demands["compression"].salus == 0
+
+    def test_phv_demand_is_compressed_keys_plus_exports(self):
+        group = CmuGroup(0)
+        assert group.phv_demand_bits() == 32 * 3 + 2 * 16 * 3

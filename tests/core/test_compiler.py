@@ -1,0 +1,97 @@
+"""Unit tests for the task compiler (rules, undo, dedup)."""
+
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.dataplane.runtime import RULE_KIND_HASH_MASK, RULE_KIND_TABLE
+from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
+
+
+def deploy(controller, **kwargs):
+    defaults = dict(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=16_384,
+        depth=3,
+        algorithm="cms",
+    )
+    defaults.update(kwargs)
+    return controller.add_task(MeasurementTask(**defaults))
+
+
+class TestRuleCounts:
+    def test_first_deployment_includes_hash_mask(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller)
+        assert handle.install_report.hash_mask_rules == 1
+
+    def test_key_reuse_avoids_hash_mask(self):
+        from repro.core.task import TaskFilter
+
+        controller = FlyMonController(num_groups=1)
+        deploy(controller, filter=TaskFilter.of(src_ip=(0x0A000000, 8)))
+        second = deploy(controller, filter=TaskFilter.of(src_ip=(0x14000000, 8)))
+        assert second.install_report.hash_mask_rules == 0
+
+    def test_preconfigured_keys_avoid_hash_masks(self):
+        controller = FlyMonController(
+            num_groups=1, preconfigure_keys=(KEY_SRC_IP,)
+        )
+        handle = deploy(controller)
+        assert handle.install_report.hash_mask_rules == 0
+
+    def test_shift_strategy_installs_fewer_rules(self):
+        tcam_ctl = FlyMonController(num_groups=1, strategy="tcam")
+        shift_ctl = FlyMonController(num_groups=1, strategy="shift")
+        tcam_handle = deploy(tcam_ctl, memory=2048)
+        shift_handle = deploy(shift_ctl, memory=2048)
+        assert shift_handle.rules_installed < tcam_handle.rules_installed
+
+    def test_beaucoup_coupon_entries_shared_within_group(self):
+        controller = FlyMonController(num_groups=1)
+        d3 = controller.add_task(
+            MeasurementTask(
+                key=KEY_DST_IP,
+                attribute=AttributeSpec.distinct(KEY_SRC_IP),
+                memory=16_384,
+                depth=3,
+                algorithm="beaucoup",
+                threshold=512,
+            )
+        )
+        other = FlyMonController(num_groups=1)
+        d1 = other.add_task(
+            MeasurementTask(
+                key=KEY_DST_IP,
+                attribute=AttributeSpec.distinct(KEY_SRC_IP),
+                memory=16_384,
+                depth=1,
+                algorithm="beaucoup",
+                threshold=512,
+            )
+        )
+        # d=3 shares the coupon table: it costs less than 3x the d=1 rules.
+        assert d3.rules_installed < 3 * d1.rules_installed
+
+
+class TestUndo:
+    def test_remove_restores_cmu_state(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller)
+        cmus = [row.cmu for row in handle.rows]
+        assert all(cmu.task_ids for cmu in cmus)
+        controller.remove_task(handle)
+        assert all(not cmu.task_ids for cmu in cmus)
+
+    def test_register_zeroed_at_deploy(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller)
+        # Dirty the register behind the controller's back, then redeploy
+        # into the same range: the reset rule must zero it.
+        cmu = handle.rows[0].cmu
+        mem = handle.rows[0].mem
+        controller.remove_task(handle)
+        cmu.register.write(mem.base + 1, 77)
+        fresh = deploy(controller)
+        assert fresh.rows[0].read().sum() == 0

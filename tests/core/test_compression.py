@@ -1,0 +1,136 @@
+"""Unit tests for compressed-key management and key selectors (§3.1.1)."""
+
+import pytest
+
+from repro.core.compression import (
+    CompressedKeyManager,
+    KeyExhaustedError,
+    KeySelector,
+    row_slices,
+)
+from repro.dataplane.hashing import DynamicHashUnit, HashMask
+from repro.dataplane.phv import STANDARD_HEADER_FIELDS
+
+
+def make_manager(units=3):
+    hash_units = [
+        DynamicHashUnit(i, STANDARD_HEADER_FIELDS, seed=100 + i) for i in range(units)
+    ]
+    return CompressedKeyManager(hash_units), hash_units
+
+
+class TestKeySelector:
+    def test_single_unit_slice(self):
+        sel = KeySelector((0,), offset=8, width=16)
+        assert sel.compute([0xAABBCCDD]) == 0xBBCC
+
+    def test_xor_pair(self):
+        sel = KeySelector((0, 1))
+        assert sel.compute([0xF0F0, 0x0F0F]) == 0xFFFF
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeySelector((0, 1, 2))
+        with pytest.raises(ValueError):
+            KeySelector((0,), offset=20, width=16)
+        with pytest.raises(ValueError):
+            KeySelector((0,), width=0)
+
+    def test_with_slice(self):
+        sel = KeySelector((1,)).with_slice(4, 8)
+        assert sel.units == (1,) and sel.offset == 4 and sel.width == 8
+
+
+class TestAcquire:
+    def test_fresh_acquire_configures_free_unit(self):
+        mgr, _ = make_manager()
+        grant = mgr.acquire({"src_ip": 32})
+        assert len(grant.new_masks) == 1
+        assert grant.selector.units == (grant.new_masks[0][0],)
+
+    def test_exact_reuse_needs_no_rules(self):
+        mgr, _ = make_manager()
+        first = mgr.acquire({"src_ip": 32})
+        second = mgr.acquire({"src_ip": 32})
+        assert second.new_masks == []
+        assert second.selector.units == first.selector.units
+
+    def test_xor_composition_of_two_existing(self):
+        """IP-pair = C(SrcIP) xor C(DstIP) without a new hash mask (§3.1.1)."""
+        mgr, _ = make_manager()
+        a = mgr.acquire({"src_ip": 32})
+        b = mgr.acquire({"dst_ip": 32})
+        pair = mgr.acquire({"src_ip": 32, "dst_ip": 32})
+        assert pair.new_masks == []
+        assert set(pair.selector.units) == {a.selector.units[0], b.selector.units[0]}
+
+    def test_partial_plus_free_unit(self):
+        mgr, _ = make_manager()
+        mgr.acquire({"src_ip": 32})
+        pair = mgr.acquire({"src_ip": 32, "src_port": 16})
+        # One new mask for the remainder (src_port), XOR'd with the existing.
+        assert len(pair.new_masks) == 1
+        assert dict(pair.new_masks[0][1].field_bits) == {"src_port": 16}
+        assert len(pair.selector.units) == 2
+
+    def test_exhaustion(self):
+        mgr, _ = make_manager(units=2)
+        mgr.acquire({"src_ip": 32})
+        mgr.acquire({"dst_ip": 32})
+        with pytest.raises(KeyExhaustedError):
+            mgr.acquire({"src_port": 16})
+
+    def test_empty_key_rejected(self):
+        mgr, _ = make_manager()
+        with pytest.raises(ValueError):
+            mgr.acquire({})
+
+    def test_prefix_masks_are_distinct_keys(self):
+        mgr, _ = make_manager()
+        full = mgr.acquire({"src_ip": 32})
+        prefix = mgr.acquire({"src_ip": 24})
+        assert full.selector.units != prefix.selector.units
+
+
+class TestRelease:
+    def test_release_frees_unit_for_reconfiguration(self):
+        mgr, _ = make_manager(units=1)
+        grant = mgr.acquire({"src_ip": 32})
+        mgr.release(grant.selector)
+        regrant = mgr.acquire({"dst_ip": 32})
+        assert len(regrant.new_masks) == 1
+
+    def test_refcounted_release(self):
+        mgr, _ = make_manager(units=1)
+        g1 = mgr.acquire({"src_ip": 32})
+        g2 = mgr.acquire({"src_ip": 32})
+        mgr.release(g1.selector)
+        # Still referenced by g2: the mask stays committed.
+        assert mgr.has_mask({"src_ip": 32})
+        mgr.release(g2.selector)
+        assert not mgr.has_mask({"src_ip": 32})
+
+    def test_mask_overlap_scoring(self):
+        mgr, _ = make_manager()
+        mgr.acquire({"src_ip": 32})
+        assert mgr.mask_overlap({"src_ip": 32}) == 1
+        assert mgr.mask_overlap({"dst_ip": 32}) == 0
+
+
+class TestRowSlices:
+    def test_distinct_offsets(self):
+        slices = row_slices(3, 16)
+        assert slices == [(0, 16), (8, 16), (16, 16)]
+
+    def test_single_row(self):
+        assert row_slices(1, 16) == [(0, 16)]
+
+    def test_slices_fit_in_word(self):
+        for depth in (1, 2, 3, 4):
+            for bits in (8, 12, 16):
+                for offset, width in row_slices(depth, bits):
+                    assert offset + width <= 32
+
+    def test_invalid_address_bits(self):
+        with pytest.raises(ValueError):
+            row_slices(3, 0)

@@ -1,0 +1,162 @@
+"""Unit tests for the FlyMon control plane."""
+
+import pytest
+
+from repro.core.controller import FlyMonController, PlacementError
+from repro.core.memory import MODE_EFFICIENT
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
+
+
+def freq_task(memory=4096, **kwargs):
+    defaults = dict(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=3,
+        algorithm="cms",
+    )
+    defaults.update(kwargs)
+    return MeasurementTask(**defaults)
+
+
+class TestDeployment:
+    def test_add_task_returns_queryable_handle(self, controller):
+        handle = controller.add_task(freq_task())
+        assert handle.algorithm_name == "cms"
+        assert len(handle.rows) == 3
+        assert handle.deployment_ms > 0
+
+    def test_rules_counted(self, controller):
+        handle = controller.add_task(freq_task())
+        assert handle.rules_installed > 3  # init + prep + reset per row
+
+    def test_depth_rows_on_distinct_cmus(self, controller):
+        handle = controller.add_task(freq_task())
+        cmus = {(row.group.group_id, row.cmu.index) for row in handle.rows}
+        assert len(cmus) == 3
+
+    def test_remove_task_recycles_resources(self, controller):
+        free_before = dict(controller.free_buckets())
+        handle = controller.add_task(freq_task())
+        controller.remove_task(handle)
+        assert controller.free_buckets() == free_before
+        assert controller.tasks == []
+
+    def test_remove_twice_rejected(self, controller):
+        handle = controller.add_task(freq_task())
+        controller.remove_task(handle)
+        with pytest.raises(KeyError):
+            controller.remove_task(handle)
+
+    def test_unknown_algorithm_rejected(self, controller):
+        with pytest.raises(KeyError):
+            controller.add_task(freq_task(algorithm="nope"))
+
+    def test_default_algorithm_chosen_by_attribute(self, controller):
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("queue_length"),
+                memory=1024,
+            )
+        )
+        assert handle.algorithm_name == "sumax_max"
+
+    def test_memory_quantized_accurate_mode(self, controller):
+        handle = controller.add_task(freq_task(memory=3000))
+        assert all(row.mem.length == 4096 for row in handle.rows)
+
+    def test_memory_quantized_efficient_mode(self):
+        controller = FlyMonController(num_groups=1, memory_mode=MODE_EFFICIENT)
+        handle = controller.add_task(freq_task(memory=4500))
+        assert all(row.mem.length == 4096 for row in handle.rows)
+
+
+class TestPlacementPolicy:
+    def test_key_reuse_prefers_same_group(self, controller):
+        h1 = controller.add_task(
+            freq_task(memory=1024, filter=TaskFilter.of(src_ip=(0x0A000000, 8)))
+        )
+        h2 = controller.add_task(
+            freq_task(
+                memory=1024,
+                filter=TaskFilter.of(src_ip=(0x14000000, 8)),
+            )
+        )
+        # Same key, disjoint filter: greedy placement lands on the same group
+        # to reuse the configured hash mask.
+        assert h1.groups_used == h2.groups_used
+
+    def test_conflicting_filters_spread_to_other_groups(self, controller):
+        h1 = controller.add_task(freq_task(memory=1024))
+        h2 = controller.add_task(freq_task(memory=1024))
+        # Both match all traffic: they cannot share CMUs, so the second task
+        # must land on a different group.
+        assert set(h1.groups_used).isdisjoint(h2.groups_used)
+
+    def test_placement_error_when_full(self):
+        controller = FlyMonController(num_groups=1)
+        controller.add_task(freq_task(memory=1024))
+        with pytest.raises(PlacementError):
+            controller.add_task(freq_task(memory=1024))
+
+    def test_chained_algorithm_needs_enough_groups(self):
+        controller = FlyMonController(num_groups=2)
+        with pytest.raises(PlacementError):
+            controller.add_task(freq_task(algorithm="sumax_sum"))
+
+    def test_chained_algorithm_uses_consecutive_groups(self, controller):
+        handle = controller.add_task(freq_task(algorithm="sumax_sum", memory=1024))
+        assert handle.groups_used == (0, 1, 2)
+
+    def test_memory_exhaustion_is_placement_error(self):
+        controller = FlyMonController(num_groups=1, register_size=1 << 12)
+        controller.add_task(freq_task(memory=1 << 12))
+        with pytest.raises(PlacementError):
+            controller.add_task(
+                freq_task(
+                    memory=1 << 12,
+                    filter=TaskFilter.of(src_ip=(0x0A000000, 8)),
+                )
+            )
+
+
+class TestResize:
+    def test_resize_allocates_new_memory(self, controller, small_trace):
+        handle = controller.add_task(freq_task(memory=1024))
+        controller.process_trace(small_trace)
+        bigger = controller.resize_task(handle, new_memory=4096)
+        assert all(row.mem.length == 4096 for row in bigger.rows)
+        # The old handle is gone; the new one is registered.
+        assert [t.task_id for t in controller.tasks] == [bigger.task_id]
+
+    def test_resize_starts_fresh(self, controller, small_trace):
+        handle = controller.add_task(freq_task(memory=1024))
+        controller.process_trace(small_trace)
+        resized = controller.resize_task(handle, new_memory=2048)
+        assert all(row.read().sum() == 0 for row in resized.rows)
+
+
+class TestMultitasking:
+    def test_96_isolated_tasks_on_one_group(self):
+        """§5.1: 32 memory partitions x 3 CMUs = 96 concurrent tasks."""
+        controller = FlyMonController(num_groups=1, register_size=1 << 15)
+        min_part = (1 << 15) // 32
+        handles = []
+        for i in range(96):
+            handles.append(
+                controller.add_task(
+                    MeasurementTask(
+                        key=KEY_SRC_IP,
+                        attribute=AttributeSpec.frequency(),
+                        memory=min_part,
+                        depth=1,
+                        algorithm="cms",
+                        filter=TaskFilter.of(src_ip=((10 + (i % 32)) << 24, 8)),
+                    )
+                )
+            )
+        assert len(controller.tasks) == 96
+        groups = {g for h in handles for g in h.groups_used}
+        assert groups == {0}

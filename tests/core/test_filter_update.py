@@ -1,0 +1,88 @@
+"""Unit tests for runtime filter updates (§3.4's task-modification API)."""
+
+import pytest
+
+from repro.core.cmu import TaskConflictError
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic import KEY_SRC_IP
+from repro.traffic.packet import Packet
+
+
+def deploy(controller, src_octet=10, memory=2048):
+    return controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=memory,
+            depth=1,
+            algorithm="cms",
+            filter=TaskFilter.of(src_ip=(src_octet << 24, 8)),
+        )
+    )
+
+
+def send(controller, src_ip, n=1):
+    for i in range(n):
+        controller.process_packet(
+            Packet(src_ip, 1, 2, 3, timestamp=i).fields()
+        )
+
+
+class TestFilterUpdate:
+    def test_redirects_traffic_selection(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller, src_octet=10)
+        send(controller, 0x0A000001, n=5)   # matched (10/8)
+        send(controller, 0x14000001, n=3)   # not matched (20/8)
+        assert handle.rows[0].read().sum() == 5
+
+        controller.update_task_filter(
+            handle, TaskFilter.of(src_ip=(0x14000000, 8))
+        )
+        send(controller, 0x0A000001, n=7)   # now ignored
+        send(controller, 0x14000001, n=2)   # now counted
+        assert handle.rows[0].read().sum() == 5 + 2
+
+    def test_preserves_register_state(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller)
+        send(controller, 0x0A000001, n=9)
+        before = handle.rows[0].read().copy()
+        controller.update_task_filter(
+            handle, TaskFilter.of(src_ip=(0x14000000, 8))
+        )
+        assert (handle.rows[0].read() == before).all()
+
+    def test_handle_reflects_new_filter(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller)
+        new_filter = TaskFilter.of(src_ip=(0x14000000, 8))
+        controller.update_task_filter(handle, new_filter)
+        assert handle.task.filter == new_filter
+
+    def test_update_advances_control_plane_clock(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller)
+        before = controller.runtime.now_ms
+        controller.update_task_filter(
+            handle, TaskFilter.of(src_ip=(0x14000000, 8))
+        )
+        assert controller.runtime.now_ms > before
+
+    def test_conflicting_update_rejected(self):
+        controller = FlyMonController(num_groups=1)
+        a = deploy(controller, src_octet=10)
+        deploy(controller, src_octet=20)
+        # Updating A onto B's prefix would put two tasks on one packet.
+        with pytest.raises(TaskConflictError):
+            controller.update_task_filter(
+                a, TaskFilter.of(src_ip=(0x14000000, 8))
+            )
+
+    def test_unknown_task_rejected_at_cmu_level(self):
+        controller = FlyMonController(num_groups=1)
+        handle = deploy(controller)
+        cmu = handle.rows[0].cmu
+        with pytest.raises(KeyError):
+            cmu.update_task_filter(99999, TaskFilter.match_all())

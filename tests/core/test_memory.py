@@ -1,0 +1,115 @@
+"""Unit tests for the buddy allocator and memory quantization (§3.3, §3.4)."""
+
+import pytest
+
+from repro.core.memory import (
+    BuddyAllocator,
+    MODE_ACCURATE,
+    MODE_EFFICIENT,
+    MemRange,
+    OutOfMemoryError,
+    round_memory,
+)
+
+
+class TestMemRange:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            MemRange(base=3, length=4)
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            MemRange(base=0, length=3)
+
+    def test_contains(self):
+        r = MemRange(base=8, length=8)
+        assert r.contains(8) and r.contains(15) and not r.contains(16)
+
+
+class TestRoundMemory:
+    def test_power_of_two_unchanged(self):
+        assert round_memory(1024, MODE_ACCURATE) == 1024
+
+    def test_accurate_rounds_up(self):
+        """Accurate mode never allocates less than requested (§3.4)."""
+        assert round_memory(1025, MODE_ACCURATE) == 2048
+        assert round_memory(5, MODE_ACCURATE) == 8
+
+    def test_efficient_rounds_to_nearest(self):
+        assert round_memory(1100, MODE_EFFICIENT) == 1024
+        assert round_memory(1900, MODE_EFFICIENT) == 2048
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            round_memory(0)
+        with pytest.raises(ValueError):
+            round_memory(10, "bogus")
+
+
+class TestBuddyAllocator:
+    def test_allocations_are_disjoint(self):
+        alloc = BuddyAllocator(1024)
+        ranges = [alloc.allocate(128) for _ in range(8)]
+        covered = set()
+        for r in ranges:
+            span = set(range(r.base, r.end))
+            assert not span & covered
+            covered |= span
+        assert covered == set(range(1024))
+
+    def test_exhaustion(self):
+        alloc = BuddyAllocator(256)
+        alloc.allocate(256)
+        with pytest.raises(OutOfMemoryError):
+            alloc.allocate(32)
+
+    def test_free_and_coalesce(self):
+        alloc = BuddyAllocator(256)
+        ranges = [alloc.allocate(32) for _ in range(8)]
+        for r in ranges:
+            alloc.free(r)
+        # Fully coalesced: a max-size block is available again.
+        assert alloc.allocate(256).length == 256
+
+    def test_min_block_size_is_register_over_32(self):
+        """§5.1: a CMU splits into at most 32 partitions."""
+        alloc = BuddyAllocator(1 << 16)
+        tiny = alloc.allocate(1)
+        assert tiny.length == (1 << 16) // 32
+
+    def test_32_partitions_supported(self):
+        alloc = BuddyAllocator(1 << 16, max_partitions=32)
+        ranges = [alloc.allocate((1 << 16) // 32) for _ in range(32)]
+        assert len(ranges) == 32
+        assert alloc.free_buckets == 0
+
+    def test_double_free_rejected(self):
+        alloc = BuddyAllocator(64)
+        r = alloc.allocate(32)
+        alloc.free(r)
+        with pytest.raises(ValueError):
+            alloc.free(r)
+
+    def test_non_power_of_two_rejected(self):
+        alloc = BuddyAllocator(64)
+        with pytest.raises(ValueError):
+            alloc.allocate(3)
+
+    def test_oversized_rejected(self):
+        alloc = BuddyAllocator(64)
+        with pytest.raises(ValueError):
+            alloc.allocate(128)
+
+    def test_can_allocate_is_accurate(self):
+        alloc = BuddyAllocator(128, max_partitions=4)
+        assert alloc.can_allocate(64)
+        alloc.allocate(64)
+        alloc.allocate(64)
+        assert not alloc.can_allocate(32)
+
+    def test_largest_free_block_tracks_fragmentation(self):
+        alloc = BuddyAllocator(128, max_partitions=4)
+        a = alloc.allocate(32)
+        assert alloc.largest_free_block() == 64
+        alloc.free(a)
+        assert alloc.largest_free_block() == 128

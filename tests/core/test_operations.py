@@ -1,0 +1,120 @@
+"""Unit tests for the reduced stateful operation set (Appendix A)."""
+
+import pytest
+
+from repro.core.operations import (
+    OP_AND_OR,
+    OP_COND_ADD,
+    OP_MAX,
+    OP_XOR,
+    REDUCED_OPERATION_SET,
+    load_reduced_operation_set,
+)
+from repro.dataplane.register import MAX_REGISTER_ACTIONS, Register
+
+
+@pytest.fixture
+def reg():
+    register = Register(64, bit_width=16)
+    load_reduced_operation_set(register)
+    return register
+
+
+class TestReducedSet:
+    def test_three_core_operations_loaded(self):
+        register = Register(16)
+        load_reduced_operation_set(register, with_xor=False)
+        assert set(register.action_names) == set(REDUCED_OPERATION_SET)
+
+    def test_leaves_expansion_room(self):
+        """§3.1.2: only three of Tofino's four action slots are required."""
+        assert len(REDUCED_OPERATION_SET) == MAX_REGISTER_ACTIONS - 1
+
+    def test_xor_fills_the_reserved_slot(self):
+        """§6: the reserved fourth slot hosts XOR for Odd Sketch."""
+        register = Register(16)
+        load_reduced_operation_set(register, with_xor=True)
+        assert len(register.action_names) == MAX_REGISTER_ACTIONS
+        assert OP_XOR in register.action_names
+
+
+class TestXor:
+    def test_parity_flip(self, reg):
+        reg.execute(OP_XOR, 0, 0b0110, 0)
+        assert reg.read(0) == 0b0110
+        reg.execute(OP_XOR, 0, 0b0010, 0)
+        assert reg.read(0) == 0b0100
+
+    def test_double_insert_cancels(self, reg):
+        """The Odd Sketch property: even multiplicities vanish."""
+        for _ in range(2):
+            reg.execute(OP_XOR, 1, 0b1000, 0)
+        assert reg.read(1) == 0
+
+    def test_exports_pre_update_word(self, reg):
+        assert reg.execute(OP_XOR, 0, 0b1, 0) == 0
+        assert reg.execute(OP_XOR, 0, 0b10, 0) == 0b1
+
+
+class TestCondAdd:
+    def test_adds_below_bound(self, reg):
+        result = reg.execute(OP_COND_ADD, 0, 5, 100)
+        assert result == 5 and reg.read(0) == 5
+
+    def test_returns_post_update_value(self, reg):
+        reg.execute(OP_COND_ADD, 0, 5, 100)
+        assert reg.execute(OP_COND_ADD, 0, 3, 100) == 8
+
+    def test_saturation_returns_zero(self, reg):
+        reg.write(0, 100)
+        assert reg.execute(OP_COND_ADD, 0, 5, 100) == 0
+        assert reg.read(0) == 100
+
+    def test_unconditional_with_max_bound(self, reg):
+        """p2 = max turns Cond-ADD into CMS's unconditional ADD."""
+        bound = (1 << 16) - 1
+        for i in range(10):
+            reg.execute(OP_COND_ADD, 1, 7, bound)
+        assert reg.read(1) == 70
+
+    def test_tower_style_high_bit_counting(self, reg):
+        """Counting in the top 4 bits of a 16-bit bucket (Appendix D)."""
+        one = 1 << 12
+        sat = ((1 << 4) - 1) << 12
+        for _ in range(20):
+            reg.execute(OP_COND_ADD, 2, one, sat)
+        assert reg.read(2) >> 12 == 15  # saturated at the 4-bit cap
+
+
+class TestMax:
+    def test_stores_maximum(self, reg):
+        reg.execute(OP_MAX, 0, 10, 0)
+        reg.execute(OP_MAX, 0, 5, 0)
+        reg.execute(OP_MAX, 0, 20, 0)
+        assert reg.read(0) == 20
+
+    def test_exports_previous_value_on_update(self, reg):
+        """The pre-update word is what the inter-arrival task needs (§4)."""
+        assert reg.execute(OP_MAX, 0, 10, 0) == 0
+        assert reg.execute(OP_MAX, 0, 25, 0) == 10
+
+    def test_exports_zero_when_not_updated(self, reg):
+        reg.execute(OP_MAX, 0, 10, 0)
+        assert reg.execute(OP_MAX, 0, 3, 0) == 0
+
+
+class TestAndOr:
+    def test_or_side(self, reg):
+        reg.execute(OP_AND_OR, 0, 0b0101, 1)
+        reg.execute(OP_AND_OR, 0, 0b0010, 1)
+        assert reg.read(0) == 0b0111
+
+    def test_and_side(self, reg):
+        reg.write(0, 0b1111)
+        reg.execute(OP_AND_OR, 0, 0b0110, 0)
+        assert reg.read(0) == 0b0110
+
+    def test_exports_pre_update_word(self, reg):
+        """New-flow detection reads the word before the OR lands."""
+        assert reg.execute(OP_AND_OR, 0, 0b1, 1) == 0
+        assert reg.execute(OP_AND_OR, 0, 0b10, 1) == 0b1

@@ -1,0 +1,127 @@
+"""Unit tests for parameter selectors and preparation-stage processors."""
+
+import pytest
+
+from repro.analysis.estimators import rho32
+from repro.core.compression import KeySelector
+from repro.core.params import (
+    BitSelectProcessor,
+    CompressedKeyParam,
+    ComplementProcessor,
+    ConstParam,
+    FieldParam,
+    IdentityProcessor,
+    InterarrivalProcessor,
+    MinResultsParam,
+    OneHotCouponProcessor,
+    OverflowIndicatorProcessor,
+    ResultParam,
+    RhoProcessor,
+    param_field,
+    result_field,
+)
+
+
+class TestSelectors:
+    def test_const(self):
+        assert ConstParam(7).value({}, []) == 7
+
+    def test_field(self):
+        assert FieldParam("pkt_bytes").value({"pkt_bytes": 123}, []) == 123
+        assert FieldParam("missing").value({}, []) == 0
+
+    def test_compressed_key(self):
+        sel = CompressedKeyParam(KeySelector((1,), 0, 16))
+        assert sel.value({}, [0, 0xDEADBEEF]) == 0xBEEF
+
+    def test_result(self):
+        fields = {result_field(2, 1): 42}
+        assert ResultParam(2, 1).value(fields, []) == 42
+
+    def test_min_results_skips_non_updated_rows(self):
+        fields = {result_field(0, 0): 10, result_field(1, 0): 0}
+        sel = MinResultsParam(((0, 0), (1, 0)))
+        assert sel.value(fields, []) == 10
+
+    def test_min_results_all_zero(self):
+        sel = MinResultsParam(((0, 0),))
+        assert sel.value({}, []) == 0
+
+
+class TestProcessors:
+    def test_identity(self):
+        assert IdentityProcessor().apply(9, {}) == 9
+        assert IdentityProcessor().tcam_entries() == 0
+
+    def test_one_hot_coupon_in_range(self):
+        proc = OneHotCouponProcessor(num_coupons=8, prob=1.0 / 16)
+        outputs = {proc.apply(v, {}) for v in range(0, 2**32, 2**28)}
+        for out in outputs:
+            assert out == 0 or bin(out).count("1") == 1
+
+    def test_one_hot_coupon_no_draw_region(self):
+        proc = OneHotCouponProcessor(num_coupons=4, prob=1.0 / 64)
+        # Hash values far beyond 4/64 of the space draw nothing.
+        assert proc.apply(2**31, {}) == 0
+
+    def test_one_hot_coupon_deterministic(self):
+        proc = OneHotCouponProcessor(num_coupons=8, prob=1.0 / 16)
+        assert proc.apply(12345, {}) == proc.apply(12345, {})
+
+    def test_one_hot_tcam_cost(self):
+        assert OneHotCouponProcessor(16, 1 / 32).tcam_entries() == 17
+
+    def test_one_hot_validation(self):
+        with pytest.raises(ValueError):
+            OneHotCouponProcessor(num_coupons=4, prob=0.5)  # 4 * 0.5 > 1
+
+    def test_bit_select(self):
+        proc = BitSelectProcessor(16)
+        assert proc.apply(5, {}) == 1 << 5
+        assert proc.apply(21, {}) == 1 << 5  # mod 16
+
+    def test_rho_matches_reference(self):
+        proc = RhoProcessor(skip_bits=4)
+        for v in (0, 1, 0x0FFFFFFF, 0x00000800):
+            assert proc.apply(v, {}) == rho32(v, skip_bits=4)
+
+    def test_complement(self):
+        proc = ComplementProcessor(width=16)
+        assert proc.apply(0x0000, {}) == 0xFFFF
+        assert proc.apply(0xFFFF, {}) == 0x0000
+        assert proc.tcam_entries() == 0
+
+    def test_overflow_indicator(self):
+        proc = OverflowIndicatorProcessor(increment=1)
+        assert proc.apply(0, {}) == 1  # upstream saturated
+        assert proc.apply(5, {}) == 0  # upstream still counting
+
+
+class TestInterarrivalProcessor:
+    def test_interval_computed_from_previous(self):
+        proc = InterarrivalProcessor()
+        assert proc.apply(100, {"timestamp": 150}) == 50
+
+    def test_zero_previous_means_new_flow(self):
+        assert InterarrivalProcessor().apply(0, {"timestamp": 150}) == 0
+
+    def test_bloom_gate_zeroes_first_packet(self):
+        proc = InterarrivalProcessor(bloom_group=0, bloom_cmu=1)
+        fields = {
+            "timestamp": 150,
+            result_field(0, 1): 0b0000,  # pre-update word: bit absent
+            param_field(0, 1): 0b0100,
+        }
+        assert proc.apply(100, fields) == 0
+
+    def test_bloom_gate_passes_known_flow(self):
+        proc = InterarrivalProcessor(bloom_group=0, bloom_cmu=1)
+        fields = {
+            "timestamp": 150,
+            result_field(0, 1): 0b0100,  # bit already set
+            param_field(0, 1): 0b0100,
+        }
+        assert proc.apply(100, fields) == 50
+
+    def test_never_negative(self):
+        assert InterarrivalProcessor().apply(500, {"timestamp": 100}) == 0

@@ -1,0 +1,92 @@
+"""Unit tests for cross-stacking placement (§3.2, Fig. 8, Fig. 13b/c)."""
+
+import pytest
+
+from repro.core.cmu_group import CmuGroup
+from repro.core.placement import (
+    apply_placements,
+    cmus_deployable,
+    max_groups,
+    plan_cross_stacking,
+    stacking_utilization,
+)
+from repro.dataplane.pipeline import Pipeline
+
+
+class TestPlanning:
+    def test_nine_groups_in_twelve_stages(self):
+        """The paper's headline: 9 CMU Groups (27 CMUs) per pipeline."""
+        assert max_groups(12) == 9
+
+    def test_four_stages_fit_one_group(self):
+        assert max_groups(4) == 1
+
+    def test_too_few_stages(self):
+        assert max_groups(2) == 0
+
+    def test_shift_one_stage_placement(self):
+        placements = plan_cross_stacking(12)
+        assert len(placements) == 9
+        for g, placement in enumerate(placements):
+            assert placement.first_stage == g
+            assert placement.stage_of("operation") == g + 3
+
+    def test_over_subscription_rejected(self):
+        with pytest.raises(ValueError):
+            plan_cross_stacking(12, 10)
+
+
+class TestApplication:
+    def test_full_stack_fits_capacity(self):
+        """Cross-stacked groups never exceed any stage's resources."""
+        pipeline = Pipeline(num_stages=12)
+        groups = [CmuGroup(g) for g in range(9)]
+        apply_placements(pipeline, groups, plan_cross_stacking(12, 9))
+        for stage in pipeline.stages:
+            for resource, fraction in stage.utilization().items():
+                assert fraction <= 1.0, (stage.index, resource)
+
+    def test_middle_stages_fully_loaded(self):
+        """In the steady-state region every MAU stage hosts one stage of four
+        different groups, so hash units are 100% used there."""
+        pipeline = Pipeline(num_stages=12)
+        groups = [CmuGroup(g) for g in range(9)]
+        apply_placements(pipeline, groups, plan_cross_stacking(12, 9))
+        middle = pipeline.stage(5)
+        assert middle.utilization()["hash_units"] == pytest.approx(1.0)
+        assert middle.utilization()["salus"] == pytest.approx(0.75)
+
+
+class TestFigure13b:
+    def test_utilization_increases_with_stages(self):
+        hash_series = [
+            stacking_utilization(n)["hash_units"] for n in (4, 6, 8, 10, 12)
+        ]
+        assert hash_series == sorted(hash_series)
+
+    def test_twelve_stage_headline_numbers(self):
+        """§5.2: at 12 stages hash reaches 75% and SALU 56.25%."""
+        util = stacking_utilization(12)
+        assert util["hash_units"] == pytest.approx(0.75)
+        assert util["salus"] == pytest.approx(0.5625)
+
+
+class TestFigure13c:
+    def test_compression_beats_full_copy_for_large_keys(self):
+        phv_free = 1900
+        small = cmus_deployable(32, phv_free, with_compression=False)
+        large = cmus_deployable(360, phv_free, with_compression=False)
+        compressed = cmus_deployable(360, phv_free, with_compression=True)
+        assert compressed >= 5 * large  # "5x more CMUs" at 350+ bits
+        assert small >= large
+
+    def test_compression_capped_by_stages(self):
+        assert cmus_deployable(32, 10**6, with_compression=True) == 27
+
+    def test_full_copy_shrinks_with_key_size(self):
+        phv_free = 1900
+        series = [
+            cmus_deployable(bits, phv_free, with_compression=False)
+            for bits in (32, 64, 104, 360)
+        ]
+        assert series == sorted(series, reverse=True)

@@ -1,0 +1,64 @@
+"""Unit tests for Appendix E's pipeline splicing (mirror + recirculate)."""
+
+import pytest
+
+from repro.core.cmu_group import CmuGroup
+from repro.core.placement import (
+    apply_spliced_placements,
+    plan_spliced_stacking,
+    recirculation_overhead,
+)
+from repro.dataplane.pipeline import Pipeline
+
+
+class TestSplicedPlanning:
+    def test_twelve_groups_in_twelve_stages(self):
+        """Appendix E: 9 regular + 3 spliced groups in one pipeline."""
+        placements = plan_spliced_stacking(12)
+        assert len(placements) == 12
+        spliced = [p for p in placements if p.first_stage + 3 >= 12]
+        assert len(spliced) == 3
+
+    def test_spliced_groups_wrap(self):
+        placements = plan_spliced_stacking(12)
+        last = placements[-1]
+        assert last.first_stage == 11
+        # Its operation stage wraps onto stage (11 + 3) % 12 = 2.
+        assert last.stage_of("operation") % 12 == 2
+
+
+class TestSplicedApplication:
+    def test_full_splice_fits_capacity(self):
+        """With 12 groups every MAU stage hosts exactly one C/I/P/O, using
+        hash units and SALUs at their stage maxima but never beyond."""
+        pipeline = Pipeline(num_stages=12)
+        groups = [CmuGroup(g) for g in range(12)]
+        apply_spliced_placements(pipeline, groups, plan_spliced_stacking(12))
+        for stage in pipeline.stages:
+            util = stage.utilization()
+            assert util["hash_units"] == pytest.approx(1.0)
+            assert util["salus"] == pytest.approx(0.75)
+            assert all(v <= 1.0 + 1e-9 for v in util.values())
+
+    def test_splice_beats_regular_stacking(self):
+        regular = Pipeline(num_stages=12)
+        groups = [CmuGroup(g) for g in range(9)]
+        from repro.core.placement import apply_placements, plan_cross_stacking
+
+        apply_placements(regular, groups, plan_cross_stacking(12, 9))
+        spliced = Pipeline(num_stages=12)
+        groups12 = [CmuGroup(g) for g in range(12)]
+        apply_spliced_placements(spliced, groups12, plan_spliced_stacking(12))
+        assert spliced.utilization()["salus"] > regular.utilization()["salus"]
+
+
+class TestRecirculationOverhead:
+    def test_no_spliced_traffic_is_free(self):
+        assert recirculation_overhead(0.0) == 0.0
+
+    def test_proportional_to_mirrored_traffic(self):
+        assert recirculation_overhead(0.25) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recirculation_overhead(1.5)

@@ -1,0 +1,102 @@
+"""Unit tests for filter splitting and split-task deployment (§3.1.1)."""
+
+import pytest
+
+from repro.analysis.metrics import average_relative_error
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic import KEY_SRC_IP, zipf_trace
+
+
+class TestFilterSplit:
+    def test_paper_example(self):
+        """10.0.0.0/8 splits into 10.0.0.0/9 and 10.128.0.0/9."""
+        parent = TaskFilter.of(src_ip=(0x0A000000, 8))
+        low, high = parent.split("src_ip")
+        assert dict(low.prefixes)["src_ip"] == (0x0A000000, 9)
+        assert dict(high.prefixes)["src_ip"] == (0x0A800000, 9)
+
+    def test_halves_are_disjoint_and_cover_parent(self):
+        parent = TaskFilter.of(src_ip=(0x0A000000, 8))
+        low, high = parent.split("src_ip")
+        assert not low.intersects(high)
+        for probe in (0x0A000001, 0x0A7FFFFF, 0x0A800000, 0x0AFFFFFF):
+            fields = {"src_ip": probe}
+            assert parent.matches(fields)
+            assert low.matches(fields) != high.matches(fields)
+
+    def test_split_unconstrained_field(self):
+        low, high = TaskFilter.match_all().split("src_ip")
+        assert low.matches({"src_ip": 0x00000001})
+        assert high.matches({"src_ip": 0x80000001})
+        assert not low.intersects(high)
+
+    def test_exact_match_cannot_split(self):
+        exact = TaskFilter.of(src_ip=(0x0A000001, 32))
+        with pytest.raises(ValueError):
+            exact.split("src_ip")
+
+    def test_unknown_field(self):
+        with pytest.raises(KeyError):
+            TaskFilter.match_all().split("bogus")
+
+
+class TestSplitTaskDeployment:
+    def make_task(self, memory=2048):
+        # The parent filter owns 10.0.0.0/8 (where the generator's sources
+        # live), so its /9 halves each receive a share of the traffic.
+        return MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=memory,
+            depth=3,
+            algorithm="cms",
+            filter=TaskFilter.of(src_ip=(0x0A000000, 8)),
+        )
+
+    def test_split_deploys_two_subtasks(self):
+        controller = FlyMonController(num_groups=3)
+        split = controller.add_split_task(self.make_task())
+        assert len(split.subtasks) == 2
+        assert len(controller.tasks) == 2
+
+    def test_queries_route_to_owning_subtask(self):
+        controller = FlyMonController(num_groups=3)
+        split = controller.add_split_task(self.make_task())
+        trace = zipf_trace(num_flows=1000, num_packets=10_000, seed=9)
+        controller.process_trace(trace)
+        truth = trace.flow_sizes(KEY_SRC_IP)
+        are = average_relative_error(truth, split.query)
+        assert are < 0.3
+        # Sanity: each subtask observed a non-trivial share.
+        shares = [
+            sum(int(row.read().sum()) for row in sub.rows)
+            for sub in split.subtasks
+        ]
+        assert all(s > 0 for s in shares)
+
+    def test_split_reduces_collision_error(self):
+        """The point of §3.1.1's subtasks: halved populations per CMU."""
+        trace = zipf_trace(num_flows=4000, num_packets=20_000, seed=10)
+        truth = trace.flow_sizes(KEY_SRC_IP)
+
+        whole = FlyMonController(num_groups=3)
+        whole_handle = whole.add_task(self.make_task(memory=512))
+        whole.process_trace(trace)
+        are_whole = average_relative_error(truth, whole_handle.algorithm.query)
+
+        split_ctl = FlyMonController(num_groups=3)
+        split = split_ctl.add_split_task(self.make_task(memory=512))
+        split_ctl.process_trace(trace)
+        are_split = average_relative_error(truth, split.query)
+
+        assert are_split < are_whole
+
+    def test_reset(self):
+        controller = FlyMonController(num_groups=3)
+        split = controller.add_split_task(self.make_task())
+        controller.process_trace(zipf_trace(num_flows=100, num_packets=1000, seed=3))
+        split.reset()
+        assert all(
+            row.read().sum() == 0 for sub in split.subtasks for row in sub.rows
+        )

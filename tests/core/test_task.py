@@ -1,0 +1,116 @@
+"""Unit tests for the task abstraction: attributes, filters, definitions."""
+
+import pytest
+
+from repro.core.task import (
+    Attribute,
+    AttributeSpec,
+    MeasurementTask,
+    TaskFilter,
+    next_task_id,
+)
+from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
+
+
+class TestAttributeSpec:
+    def test_factories(self):
+        assert AttributeSpec.frequency().kind is Attribute.FREQUENCY
+        assert AttributeSpec.frequency("pkt_bytes").param == "pkt_bytes"
+        assert AttributeSpec.distinct(KEY_SRC_IP).param is KEY_SRC_IP
+        assert AttributeSpec.maximum("queue_length").kind is Attribute.MAX
+
+    def test_describe(self):
+        assert AttributeSpec.frequency(1).describe() == "frequency(1)"
+        assert "src_ip" in AttributeSpec.distinct(KEY_SRC_IP).describe()
+
+
+class TestTaskFilter:
+    def test_match_all(self):
+        assert TaskFilter.match_all().matches({"src_ip": 123})
+
+    def test_prefix_match(self):
+        f = TaskFilter.of(src_ip=(0x0A000000, 8))
+        assert f.matches({"src_ip": 0x0A123456})
+        assert not f.matches({"src_ip": 0x0B000000})
+
+    def test_multi_field(self):
+        f = TaskFilter.of(src_ip=(0x0A000000, 8), dst_port=(80, 16))
+        assert f.matches({"src_ip": 0x0A000001, "dst_port": 80})
+        assert not f.matches({"src_ip": 0x0A000001, "dst_port": 443})
+
+    def test_value_masked_to_prefix(self):
+        f = TaskFilter.of(src_ip=(0x0A1234FF, 16))
+        assert f.matches({"src_ip": 0x0A12FFFF})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            TaskFilter.of(bogus=(1, 8))
+
+    def test_to_ternary_round_trip(self):
+        f = TaskFilter.of(src_ip=(0x0A000000, 8))
+        tf = f.to_ternary()["src_ip"]
+        assert tf.matches(0x0AFFFFFF) and not tf.matches(0x0B000000)
+
+    def test_describe(self):
+        assert TaskFilter.match_all().describe() == "*"
+        assert "src_ip" in TaskFilter.of(src_ip=(0x0A000000, 8)).describe()
+
+
+class TestFilterIntersection:
+    def test_disjoint_prefixes_do_not_intersect(self):
+        a = TaskFilter.of(src_ip=(0x0A000000, 8))
+        b = TaskFilter.of(src_ip=(0x14000000, 8))
+        assert not a.intersects(b)
+
+    def test_nested_prefixes_intersect(self):
+        """§3.3's example: 10.0.0.0/24 and 10.0.0.0/16 overlap."""
+        a = TaskFilter.of(src_ip=(0x0A000000, 24))
+        b = TaskFilter.of(src_ip=(0x0A000000, 16))
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_match_all_intersects_everything(self):
+        assert TaskFilter.match_all().intersects(TaskFilter.of(src_ip=(1, 32)))
+
+    def test_different_fields_intersect(self):
+        a = TaskFilter.of(src_ip=(0x0A000000, 8))
+        b = TaskFilter.of(dst_ip=(0x14000000, 8))
+        assert a.intersects(b)
+
+    def test_half_space_split_disjoint(self):
+        """The paper's subtask split: /9 halves of a /8 are disjoint."""
+        a = TaskFilter.of(src_ip=(0x0A000000, 9))
+        b = TaskFilter.of(src_ip=(0x0A800000, 9))
+        assert not a.intersects(b)
+
+
+class TestMeasurementTask:
+    def make(self, **kwargs):
+        defaults = dict(
+            key=KEY_DST_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=1024,
+        )
+        defaults.update(kwargs)
+        return MeasurementTask(**defaults)
+
+    def test_defaults(self):
+        task = self.make()
+        assert task.depth == 3 and task.sample_prob == 1.0
+        assert task.filter.matches({})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(memory=0)
+        with pytest.raises(ValueError):
+            self.make(depth=0)
+        with pytest.raises(ValueError):
+            self.make(sample_prob=0.0)
+        with pytest.raises(ValueError):
+            self.make(sample_prob=1.5)
+
+    def test_describe_mentions_key_and_attribute(self):
+        text = self.make().describe()
+        assert "dst_ip" in text and "frequency" in text
+
+    def test_task_ids_monotonic(self):
+        assert next_task_id() < next_task_id()

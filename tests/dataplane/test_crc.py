@@ -1,0 +1,65 @@
+"""Unit tests for the table-driven CRC-32 variants."""
+
+import zlib
+
+import pytest
+
+from repro.dataplane.crc import (
+    Crc32,
+    POLY_CRC32,
+    POLY_CRC32C,
+    STANDARD_POLYNOMIALS,
+    crc_family,
+)
+
+
+class TestCrc32:
+    def test_ieee_polynomial_matches_zlib(self):
+        """Our reflected CRC-32 over the IEEE polynomial is zlib's crc32."""
+        crc = Crc32(POLY_CRC32)
+        for data in (b"", b"a", b"123456789", b"flymon" * 37):
+            assert crc.compute(data) == zlib.crc32(data)
+
+    def test_crc32c_check_value(self):
+        """CRC-32C of '123456789' is the published check value 0xE3069283."""
+        assert Crc32(POLY_CRC32C).compute(b"123456789") == 0xE3069283
+
+    def test_polynomials_differ(self):
+        data = b"same input"
+        outputs = {Crc32(p).compute(data) for p in STANDARD_POLYNOMIALS}
+        assert len(outputs) == len(STANDARD_POLYNOMIALS)
+
+    def test_deterministic(self):
+        crc = Crc32(POLY_CRC32C)
+        assert crc.compute(b"x") == crc.compute(b"x")
+
+    def test_invalid_polynomial(self):
+        with pytest.raises(ValueError):
+            Crc32(0)
+        with pytest.raises(ValueError):
+            Crc32(1 << 33)
+
+    def test_single_bit_sensitivity(self):
+        crc = Crc32(POLY_CRC32C)
+        assert crc.compute(b"\x00\x00") != crc.compute(b"\x01\x00")
+
+
+class TestCrcFamily:
+    def test_family_size(self):
+        assert len(crc_family(6)) == 6
+
+    def test_standard_polynomials_first(self):
+        family = crc_family(4)
+        assert [c.poly for c in family] == list(STANDARD_POLYNOMIALS)
+
+    def test_derived_polynomials_are_odd_and_distinct(self):
+        family = crc_family(10)
+        polys = [c.poly for c in family]
+        assert len(set(polys)) == 10
+        for poly in polys[4:]:
+            assert poly & 1  # odd polynomial (degree-0 term present)
+
+    def test_family_members_disagree_on_inputs(self):
+        family = crc_family(8)
+        data = b"distribution"
+        assert len({c.compute(data) for c in family}) == 8

@@ -1,0 +1,110 @@
+"""Unit tests for hash functions and dynamic hash units."""
+
+import pytest
+
+from repro.dataplane.hashing import (
+    DynamicHashUnit,
+    HashFunction,
+    HashMask,
+    hash_family,
+)
+from repro.dataplane.phv import STANDARD_HEADER_FIELDS
+
+
+class TestHashFunction:
+    def test_deterministic(self):
+        fn = HashFunction(1)
+        assert fn.hash_bytes(b"abc") == fn.hash_bytes(b"abc")
+
+    def test_seed_changes_output(self):
+        assert HashFunction(1).hash_bytes(b"abc") != HashFunction(2).hash_bytes(b"abc")
+
+    def test_output_is_32_bit(self):
+        for data in (b"", b"x", b"flymon" * 100):
+            assert 0 <= HashFunction(7).hash_bytes(data) < 2**32
+
+    def test_hash_int_matches_width_encoding(self):
+        fn = HashFunction(3)
+        assert fn.hash_int(5, width=32) == fn.hash_bytes((5).to_bytes(4, "little"))
+
+    def test_family_members_differ(self):
+        fns = hash_family(4)
+        outputs = {fn.hash_bytes(b"key") for fn in fns}
+        assert len(outputs) == 4
+
+    def test_avalanche(self):
+        """Flipping one input bit should flip roughly half the output bits."""
+        fn = HashFunction(9)
+        a = fn.hash_bytes(b"\x00\x00\x00\x00")
+        b = fn.hash_bytes(b"\x01\x00\x00\x00")
+        assert 8 <= bin(a ^ b).count("1") <= 24
+
+
+class TestHashMask:
+    def test_of_sorts_fields(self):
+        mask = HashMask.of({"b": 2, "a": 1})
+        assert mask.field_bits == (("a", 1), ("b", 2))
+
+    def test_empty(self):
+        assert HashMask().is_empty
+        assert not HashMask.of({"src_ip": 32}).is_empty
+
+    def test_describe(self):
+        assert HashMask.of({"src_ip": 24}).describe() == "src_ip/24"
+
+
+class TestDynamicHashUnit:
+    def make(self):
+        return DynamicHashUnit(0, STANDARD_HEADER_FIELDS, seed=99)
+
+    def test_unconfigured_returns_zero(self):
+        assert self.make().compute({"src_ip": 1}) == 0
+
+    def test_mask_install_and_compute(self):
+        unit = self.make()
+        unit.set_mask(HashMask.of({"src_ip": 32}))
+        h1 = unit.compute({"src_ip": 0x0A000001})
+        h2 = unit.compute({"src_ip": 0x0A000002})
+        assert h1 != 0 and h1 != h2
+
+    def test_prefix_mask_ignores_low_bits(self):
+        unit = self.make()
+        unit.set_mask(HashMask.of({"src_ip": 24}))
+        # Same /24, different host byte: identical compressed key.
+        assert unit.compute({"src_ip": 0x0A000001}) == unit.compute({"src_ip": 0x0A0000FF})
+        # Different /24: different key.
+        assert unit.compute({"src_ip": 0x0A000101}) != unit.compute({"src_ip": 0x0A000001})
+
+    def test_mask_on_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            self.make().set_mask(HashMask.of({"nonexistent": 8}))
+
+    def test_mask_wider_than_field_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().set_mask(HashMask.of({"protocol": 16}))
+
+    def test_reconfiguration_changes_function(self):
+        unit = self.make()
+        unit.set_mask(HashMask.of({"src_ip": 32}))
+        before = unit.compute({"src_ip": 5, "dst_ip": 9})
+        unit.set_mask(HashMask.of({"dst_ip": 32}))
+        after = unit.compute({"src_ip": 5, "dst_ip": 9})
+        assert before != after
+
+    def test_multi_field_mask_uses_all_fields(self):
+        unit = self.make()
+        unit.set_mask(HashMask.of({"src_ip": 32, "dst_ip": 32}))
+        base = unit.compute({"src_ip": 1, "dst_ip": 2})
+        assert unit.compute({"src_ip": 1, "dst_ip": 3}) != base
+        assert unit.compute({"src_ip": 2, "dst_ip": 2}) != base
+
+    def test_clear_mask(self):
+        unit = self.make()
+        unit.set_mask(HashMask.of({"src_ip": 32}))
+        unit.clear_mask()
+        assert unit.compute({"src_ip": 1}) == 0
+
+    def test_missing_field_treated_as_zero(self):
+        unit = self.make()
+        unit.set_mask(HashMask.of({"src_ip": 32}))
+        assert unit.compute({}) == unit.compute({"src_ip": 0})

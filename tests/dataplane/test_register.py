@@ -1,0 +1,88 @@
+"""Unit tests for SALU registers and register actions."""
+
+import pytest
+
+from repro.dataplane.register import MAX_REGISTER_ACTIONS, Register, RegisterAction
+
+
+def add_action():
+    return RegisterAction("add", lambda stored, p1, p2: (stored + p1, stored + p1))
+
+
+class TestRegisterConstruction:
+    def test_requires_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            Register(1000)
+
+    def test_requires_valid_bit_width(self):
+        with pytest.raises(ValueError):
+            Register(16, bit_width=12)
+
+    def test_total_bits(self):
+        assert Register(1024, 16).total_bits == 16384
+
+
+class TestActions:
+    def test_action_limit_matches_tofino(self):
+        reg = Register(16)
+        for i in range(MAX_REGISTER_ACTIONS):
+            reg.load_action(RegisterAction(f"a{i}", lambda s, p1, p2: (s, s)))
+        with pytest.raises(RuntimeError):
+            reg.load_action(RegisterAction("extra", lambda s, p1, p2: (s, s)))
+
+    def test_duplicate_name_rejected(self):
+        reg = Register(16)
+        reg.load_action(add_action())
+        with pytest.raises(ValueError):
+            reg.load_action(add_action())
+
+    def test_unknown_action_rejected(self):
+        reg = Register(16)
+        with pytest.raises(KeyError):
+            reg.execute("nope", 0, 1, 0)
+
+    def test_execute_updates_and_returns(self):
+        reg = Register(16)
+        reg.load_action(add_action())
+        assert reg.execute("add", 3, 5, 0) == 5
+        assert reg.read(3) == 5
+        assert reg.execute("add", 3, 2, 0) == 7
+
+    def test_values_clamped_to_bit_width(self):
+        reg = Register(16, bit_width=8)
+        reg.load_action(add_action())
+        reg.execute("add", 0, 300, 0)
+        assert reg.read(0) == 300 & 0xFF
+
+    def test_index_wraps_to_size(self):
+        reg = Register(16)
+        reg.load_action(add_action())
+        reg.execute("add", 16 + 3, 1, 0)
+        assert reg.read(3) == 1
+
+
+class TestControlPlaneAccess:
+    def test_read_range_is_a_copy(self):
+        reg = Register(16)
+        reg.write(2, 9)
+        view = reg.read_range(0, 4)
+        view[2] = 0
+        assert reg.read(2) == 9
+
+    def test_read_range_bounds(self):
+        reg = Register(16)
+        with pytest.raises(IndexError):
+            reg.read_range(8, 16)
+
+    def test_reset_range_only_touches_range(self):
+        reg = Register(16)
+        reg.write(1, 5)
+        reg.write(8, 7)
+        reg.reset_range(0, 8)
+        assert reg.read(1) == 0 and reg.read(8) == 7
+
+    def test_full_reset(self):
+        reg = Register(16)
+        reg.write(0, 1)
+        reg.reset()
+        assert reg.read(0) == 0

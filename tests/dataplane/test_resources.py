@@ -1,0 +1,98 @@
+"""Unit tests for the resource-vector algebra and stage capacities."""
+
+import pytest
+
+from repro.dataplane.resources import (
+    NUM_STAGES,
+    STAGE_CAPACITY,
+    ResourceVector,
+    pipeline_capacity,
+    sram_blocks_for,
+)
+
+
+class TestResourceVector:
+    def test_addition_is_elementwise(self):
+        a = ResourceVector(hash_units=1, salus=2)
+        b = ResourceVector(hash_units=3, vliw=4)
+        c = a + b
+        assert c.hash_units == 4
+        assert c.salus == 2
+        assert c.vliw == 4
+
+    def test_subtraction(self):
+        a = ResourceVector(tcam_blocks=10)
+        b = ResourceVector(tcam_blocks=4)
+        assert (a - b).tcam_blocks == 6
+
+    def test_scalar_multiplication_both_sides(self):
+        v = ResourceVector(salus=2) * 3
+        assert v.salus == 6
+        assert (2 * ResourceVector(vliw=5)).vliw == 10
+
+    def test_fits_within_true_on_equal(self):
+        assert STAGE_CAPACITY.fits_within(STAGE_CAPACITY)
+
+    def test_fits_within_false_when_any_dimension_exceeds(self):
+        demand = ResourceVector(salus=STAGE_CAPACITY.salus + 1)
+        assert not demand.fits_within(STAGE_CAPACITY)
+
+    def test_utilization_fractions(self):
+        demand = ResourceVector(hash_units=3, salus=3)
+        util = demand.utilization(STAGE_CAPACITY)
+        assert util["hash_units"] == pytest.approx(0.5)
+        assert util["salus"] == pytest.approx(0.75)
+
+    def test_utilization_zero_capacity_is_zero(self):
+        util = ResourceVector(phv_bits=10).utilization(STAGE_CAPACITY)
+        assert util["phv_bits"] == 0.0
+
+    def test_zero_vector(self):
+        assert ResourceVector.zero().as_tuple() == (0,) * 7
+
+
+class TestCalibration:
+    """The Figure 8 percentages must fall out of the capacity constants."""
+
+    def test_compression_hash_share_is_half(self):
+        assert 3 / STAGE_CAPACITY.hash_units == pytest.approx(0.5)
+
+    def test_operation_salu_share_is_three_quarters(self):
+        assert 3 / STAGE_CAPACITY.salus == pytest.approx(0.75)
+
+    def test_initialization_vliw_share_is_quarter(self):
+        assert 8 / STAGE_CAPACITY.vliw == pytest.approx(0.25)
+
+    def test_preparation_tcam_share_is_half(self):
+        assert 12 / STAGE_CAPACITY.tcam_blocks == pytest.approx(0.5)
+
+    def test_initialization_tcam_share_is_eighth(self):
+        assert 3 / STAGE_CAPACITY.tcam_blocks == pytest.approx(0.125)
+
+
+class TestPipelineCapacity:
+    def test_aggregates_stage_resources(self):
+        cap = pipeline_capacity()
+        assert cap.salus == NUM_STAGES * STAGE_CAPACITY.salus
+
+    def test_phv_is_pipeline_wide(self):
+        assert pipeline_capacity().phv_bits == 4096
+
+    def test_custom_stage_count(self):
+        assert pipeline_capacity(4).hash_units == 4 * STAGE_CAPACITY.hash_units
+
+
+class TestSramBlocks:
+    def test_exact_block(self):
+        # 8192 buckets x 16 bits = 16 KB = one block.
+        assert sram_blocks_for(8192, 16) == pytest.approx(1.0)
+
+    def test_scales_with_bit_width(self):
+        assert sram_blocks_for(8192, 32) == pytest.approx(2.0)
+
+    def test_zero_buckets(self):
+        assert sram_blocks_for(0, 32) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sram_blocks_for(-1, 16)

@@ -1,0 +1,83 @@
+"""Unit tests for the runtime-rule API and its latency model."""
+
+import pytest
+
+from repro.dataplane.runtime import (
+    HASH_MASK_RULE_MS,
+    RULE_KIND_HASH_MASK,
+    RULE_KIND_TABLE,
+    RuntimeApi,
+    RuntimeRule,
+    SOFTWARE_BASE_MS,
+    TABLE_RULE_BATCHED_MS,
+    TABLE_RULE_SINGLE_MS,
+)
+
+
+def table_rule(log, tag):
+    return RuntimeRule(
+        kind=RULE_KIND_TABLE,
+        target="t",
+        description=tag,
+        apply=lambda: log.append(("apply", tag)),
+        undo=lambda: log.append(("undo", tag)),
+    )
+
+
+class TestLatencyModel:
+    def test_unbatched_costs_full_rates(self):
+        assert RuntimeApi.model_latency(2, 1, batch=False) == pytest.approx(
+            2 * TABLE_RULE_SINGLE_MS + HASH_MASK_RULE_MS
+        )
+
+    def test_batched_table_rules_amortize(self):
+        batched = RuntimeApi.model_latency(10, 0, batch=True)
+        unbatched = RuntimeApi.model_latency(10, 0, batch=False)
+        assert batched < unbatched
+        assert batched == pytest.approx(SOFTWARE_BASE_MS + 10 * TABLE_RULE_BATCHED_MS)
+
+    def test_first_hash_mask_pays_full_cost(self):
+        with_mask = RuntimeApi.model_latency(0, 1, batch=True)
+        assert with_mask >= HASH_MASK_RULE_MS
+
+    def test_empty_install_is_free(self):
+        assert RuntimeApi.model_latency(0, 0) == 0.0
+
+    def test_millisecond_scale(self):
+        """§5.1: every algorithm deploys well within 100 ms."""
+        assert RuntimeApi.model_latency(40, 2, batch=True) < 100
+
+
+class TestRuntimeApi:
+    def test_install_applies_rules_and_advances_clock(self):
+        api = RuntimeApi()
+        log = []
+        report = api.install([table_rule(log, "a"), table_rule(log, "b")])
+        assert [t for _, t in log] == ["a", "b"]
+        assert report.rules_installed == 2
+        assert api.now_ms == pytest.approx(report.latency_ms)
+
+    def test_remove_deployment_undoes_in_reverse(self):
+        api = RuntimeApi()
+        log = []
+        api.install([table_rule(log, "a"), table_rule(log, "b")], deployment="d")
+        log.clear()
+        api.remove_deployment("d")
+        assert log == [("undo", "b"), ("undo", "a")]
+
+    def test_remove_unknown_deployment_is_noop(self):
+        api = RuntimeApi()
+        report = api.remove_deployment("ghost")
+        assert report.rules_installed == 0
+
+    def test_hash_mask_rules_counted_separately(self):
+        api = RuntimeApi()
+        rule = RuntimeRule(
+            kind=RULE_KIND_HASH_MASK, target="h", description="", apply=lambda: None
+        )
+        report = api.install([rule])
+        assert report.hash_mask_rules == 1 and report.table_rules == 0
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeRule(kind="bogus", target="", description="", apply=lambda: None)

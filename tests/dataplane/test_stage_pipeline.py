@@ -1,0 +1,105 @@
+"""Unit tests for MAU stages, the pipeline, and the PHV layout."""
+
+import pytest
+
+from repro.dataplane.phv import FieldSpec, Phv, PhvBudgetError, PhvLayout
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.resources import STAGE_CAPACITY, ResourceVector
+from repro.dataplane.stage import MauStage, StageResourceError
+
+
+class TestPhvLayout:
+    def test_allocation_tracks_bits(self):
+        layout = PhvLayout(100)
+        layout.allocate(FieldSpec("a", 32))
+        assert layout.used_bits == 32 and layout.free_bits == 68
+
+    def test_budget_enforced(self):
+        layout = PhvLayout(40)
+        layout.allocate(FieldSpec("a", 32))
+        with pytest.raises(PhvBudgetError):
+            layout.allocate(FieldSpec("b", 16))
+
+    def test_idempotent_for_same_spec(self):
+        layout = PhvLayout(64)
+        layout.allocate(FieldSpec("a", 32))
+        layout.allocate(FieldSpec("a", 32))
+        assert layout.used_bits == 32
+
+    def test_conflicting_width_rejected(self):
+        layout = PhvLayout(64)
+        layout.allocate(FieldSpec("a", 32))
+        with pytest.raises(ValueError):
+            layout.allocate(FieldSpec("a", 16))
+
+    def test_free_releases_bits(self):
+        layout = PhvLayout(32)
+        layout.allocate(FieldSpec("a", 32))
+        layout.free("a")
+        layout.allocate(FieldSpec("b", 32))
+
+
+class TestPhv:
+    def test_values_masked_to_width(self):
+        layout = PhvLayout(64)
+        layout.allocate(FieldSpec("port", 16))
+        phv = Phv(layout, {"port": 0x12345})
+        assert phv["port"] == 0x2345
+
+    def test_unallocated_field_rejected(self):
+        phv = Phv(PhvLayout(8))
+        with pytest.raises(KeyError):
+            phv["missing"]
+
+    def test_get_with_default(self):
+        assert Phv(PhvLayout(8)).get("missing", 7) == 7
+
+
+class TestMauStage:
+    def test_allocate_and_release(self):
+        stage = MauStage(0)
+        stage.allocate("x", ResourceVector(salus=2))
+        assert stage.used.salus == 2
+        stage.release("x")
+        assert stage.used.salus == 0
+
+    def test_over_allocation_rejected(self):
+        stage = MauStage(0)
+        with pytest.raises(StageResourceError):
+            stage.allocate("x", ResourceVector(salus=STAGE_CAPACITY.salus + 1))
+
+    def test_duplicate_owner_rejected(self):
+        stage = MauStage(0)
+        stage.allocate("x", ResourceVector(salus=1))
+        with pytest.raises(ValueError):
+            stage.allocate("x", ResourceVector(salus=1))
+
+    def test_hooks_run_in_order(self):
+        stage = MauStage(0)
+        seen = []
+        stage.add_hook(lambda f: seen.append(1))
+        stage.add_hook(lambda f: seen.append(2))
+        stage.process({})
+        assert seen == [1, 2]
+
+
+class TestPipeline:
+    def test_process_traverses_stages_in_order(self):
+        pipe = Pipeline(num_stages=3)
+        order = []
+        for i, stage in enumerate(pipe.stages):
+            stage.add_hook(lambda f, i=i: order.append(i))
+        pipe.process({})
+        assert order == [0, 1, 2]
+
+    def test_utilization_includes_phv(self):
+        pipe = Pipeline(num_stages=2)
+        pipe.phv_layout.allocate(FieldSpec("k", 2048))
+        util = pipe.utilization()
+        assert util["phv_bits"] == pytest.approx(0.5)
+
+    def test_total_used_aggregates(self):
+        pipe = Pipeline(num_stages=2)
+        pipe.stage(0).allocate("a", ResourceVector(salus=1))
+        pipe.stage(1).allocate("b", ResourceVector(salus=2))
+        assert pipe.total_used().salus == 3

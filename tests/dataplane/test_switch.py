@@ -1,0 +1,80 @@
+"""Unit tests for the Tofino switch model and Figure 2's static footprints."""
+
+import pytest
+
+from repro.dataplane.switch import (
+    FIGURE2_SKETCHES,
+    StaticSketchSpec,
+    TofinoSwitch,
+    static_sketch_utilization,
+)
+
+
+class TestTofinoSwitch:
+    def test_bare_switch_starts_empty(self):
+        switch = TofinoSwitch()
+        assert all(v == 0.0 for v in switch.utilization().values())
+
+    def test_baseline_charges_every_resource(self):
+        switch = TofinoSwitch(with_baseline=True)
+        util = switch.utilization()
+        for resource, fraction in util.items():
+            assert fraction > 0.0, resource
+            assert fraction < 1.0, resource
+
+    def test_packet_traversal(self):
+        switch = TofinoSwitch()
+        seen = []
+        switch.pipeline.stage(0).add_hook(lambda f: seen.append(f["src_ip"]))
+        switch.process_packet({"src_ip": 7})
+        assert seen == [7]
+
+
+class TestStaticSketchFootprints:
+    def test_rows_drive_hash_and_salu(self):
+        spec = StaticSketchSpec("x", rows=3, buckets_per_row=1024, bucket_bits=32)
+        vec = spec.footprint()
+        assert vec.hash_units == 3 and vec.salus == 3
+
+    def test_sram_rounds_up_to_row_blocks(self):
+        # Tiny rows still consume one SRAM block each.
+        spec = StaticSketchSpec("x", rows=3, buckets_per_row=16, bucket_bits=1)
+        assert spec.footprint().sram_blocks == pytest.approx(3.0)
+
+    def test_figure2_reports_all_sketches_plus_sum(self):
+        table = static_sketch_utilization()
+        assert set(table) == {"BloomFilter", "CMS", "HLL", "MRAC", "Sum"}
+        for row in table.values():
+            assert set(row) == {
+                "hash_unit",
+                "logical_table_id",
+                "stateful_alu",
+                "stateful_memory",
+            }
+
+    def test_sum_is_elementwise_total(self):
+        table = static_sketch_utilization()
+        for resource in table["Sum"]:
+            individual = sum(
+                table[name][resource] for name in table if name != "Sum"
+            )
+            assert table["Sum"][resource] == pytest.approx(individual)
+
+    def test_coexistence_pressure(self):
+        """Figure 2's point: the four sketches together already occupy a
+        noticeable share of at least one resource."""
+        table = static_sketch_utilization()
+        assert max(table["Sum"].values()) > 0.1
+
+    def test_max_static_keys_is_about_four(self):
+        """§2.2 / CocoSketch: no more than ~4 single-key sketches fit in a
+        typical scenario alongside switch.p4."""
+        from repro.dataplane.switch import max_static_keys
+
+        assert 2 <= max_static_keys() <= 5
+
+    def test_smaller_sketches_fit_more(self):
+        from repro.dataplane.switch import FIGURE2_SKETCHES, max_static_keys
+
+        tiny = FIGURE2_SKETCHES[0]  # 3-row Bloom filter, 1-bit buckets
+        assert max_static_keys(tiny) > max_static_keys()

@@ -1,0 +1,118 @@
+"""Unit tests for match-action tables and TCAM range expansion."""
+
+import pytest
+
+from repro.dataplane.tables import (
+    ExactMatchTable,
+    TableEntry,
+    TableFullError,
+    TernaryField,
+    TernaryMatchTable,
+    range_to_ternary,
+)
+
+
+class TestTernaryField:
+    def test_exact(self):
+        tf = TernaryField.exact(5, 8)
+        assert tf.matches(5) and not tf.matches(4)
+
+    def test_wildcard_matches_everything(self):
+        tf = TernaryField.wildcard()
+        assert tf.matches(0) and tf.matches(2**32 - 1)
+
+    def test_prefix(self):
+        tf = TernaryField.prefix(0x0A000000, 8, 32)
+        assert tf.matches(0x0AFFFFFF)
+        assert not tf.matches(0x0B000000)
+
+    def test_prefix_zero_is_wildcard(self):
+        assert TernaryField.prefix(123, 0, 32).matches(0)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            TernaryField.prefix(0, 33, 32)
+
+
+class TestRangeToTernary:
+    def test_power_of_two_aligned_range_is_one_entry(self):
+        assert len(range_to_ternary(16, 31, 8)) == 1
+
+    def test_full_range_is_one_entry(self):
+        entries = range_to_ternary(0, 255, 8)
+        assert len(entries) == 1
+        assert entries[0].mask == 0
+
+    def test_single_value(self):
+        entries = range_to_ternary(7, 7, 8)
+        assert len(entries) == 1
+        assert entries[0].matches(7) and not entries[0].matches(6)
+
+    def test_covers_exactly_the_range(self):
+        lo, hi, width = 100, 227, 10
+        entries = range_to_ternary(lo, hi, width)
+        for v in range(1 << width):
+            inside = any(e.matches(v) for e in entries)
+            assert inside == (lo <= v <= hi), v
+
+    def test_worst_case_bound(self):
+        # Classic result: at most 2w - 2 prefixes for any range of width w.
+        for lo, hi in [(1, 2**10 - 2), (3, 997), (511, 513)]:
+            assert len(range_to_ternary(lo, hi, 10)) <= 2 * 10 - 2
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            range_to_ternary(5, 4, 8)
+        with pytest.raises(ValueError):
+            range_to_ternary(0, 256, 8)
+
+
+class TestExactMatchTable:
+    def test_insert_and_lookup(self):
+        table = ExactMatchTable("t", ["src_ip"])
+        table.insert_exact({"src_ip": 10}, {"src_ip": 32}, "act", {"x": 1})
+        action, args = table.lookup({"src_ip": 10})
+        assert action == "act" and args == {"x": 1}
+
+    def test_miss_returns_default(self):
+        table = ExactMatchTable("t", ["src_ip"])
+        table.set_default("drop")
+        assert table.lookup({"src_ip": 1}) == ("drop", {})
+
+    def test_unknown_key_field_rejected(self):
+        table = ExactMatchTable("t", ["src_ip"])
+        entry = TableEntry.build({"dst_ip": TernaryField.exact(1, 32)}, "a")
+        with pytest.raises(KeyError):
+            table.insert(entry)
+
+    def test_capacity_enforced(self):
+        table = ExactMatchTable("t", ["src_ip"], max_entries=1)
+        table.insert_exact({"src_ip": 1}, {"src_ip": 32}, "a")
+        with pytest.raises(TableFullError):
+            table.insert_exact({"src_ip": 2}, {"src_ip": 32}, "a")
+
+
+class TestTernaryMatchTable:
+    def test_priority_order(self):
+        table = TernaryMatchTable("t", ["addr"])
+        table.insert(
+            TableEntry.build({"addr": TernaryField.wildcard()}, "low", priority=0)
+        )
+        table.insert(
+            TableEntry.build({"addr": TernaryField.exact(5, 8)}, "high", priority=10)
+        )
+        assert table.lookup({"addr": 5})[0] == "high"
+        assert table.lookup({"addr": 6})[0] == "low"
+
+    def test_insert_range_counts_physical_entries(self):
+        table = TernaryMatchTable("t", ["addr"])
+        installed = table.insert_range("addr", 100, 227, 10, "map", {"off": 3})
+        assert len(installed) == table.tcam_entry_count()
+        assert table.lookup({"addr": 150})[0] == "map"
+        assert table.lookup({"addr": 99})[0] is None
+
+    def test_remove_where(self):
+        table = TernaryMatchTable("t", ["addr"])
+        table.insert_range("addr", 0, 63, 8, "a")
+        removed = table.remove_where(lambda e: e.action == "a")
+        assert removed >= 1 and len(table) == 0

@@ -1,0 +1,100 @@
+"""Tests for the experiment harness plumbing and the fast harnesses.
+
+The slow accuracy sweeps (Fig. 12b, 14a-g) are exercised by
+``pytest benchmarks/``; here we test the shared helpers plus every harness
+cheap enough for the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    appendix_b_collisions,
+    fig02_footprint,
+    fig08_stage_usage,
+    fig11_address_translation,
+    fig12a_forwarding,
+    fig13_resources,
+)
+from repro.experiments.common import (
+    BUCKET_BYTES,
+    buckets_for_bytes,
+    evaluation_trace,
+    format_table,
+    memory_bytes,
+    pow2_at_least,
+)
+
+
+class TestCommonHelpers:
+    def test_pow2_at_least(self):
+        assert pow2_at_least(1) == 64  # register floor
+        assert pow2_at_least(64) == 64
+        assert pow2_at_least(65) == 128
+        assert pow2_at_least(4096) == 4096
+
+    def test_buckets_for_bytes_round_trip(self):
+        buckets = buckets_for_bytes(64 * 1024, rows=3)
+        # Nearest power of two to (64 KB / 3 rows / 4 B) ~ 5461 -> 4096.
+        assert buckets == 4096
+        assert memory_bytes(buckets, rows=3) == buckets * 3 * BUCKET_BYTES
+
+    def test_buckets_floor(self):
+        assert buckets_for_bytes(1) == 64
+
+    def test_evaluation_trace_cached_and_deterministic(self):
+        a = evaluation_trace(True)
+        b = evaluation_trace(True)
+        assert a is b  # lru_cache
+
+    def test_format_table_alignment(self):
+        text = format_table(["col", "x"], [["a", 1], ["bbbb", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+class TestFastHarnesses:
+    def test_fig02(self):
+        result = fig02_footprint.run()
+        assert "Sum" in result["utilization"]
+        assert "Figure 2" in fig02_footprint.format_result(result)
+
+    def test_fig11(self):
+        result = fig11_address_translation.run()
+        assert result["tcam_usage"][32] < 0.15
+        assert "PHV bits" in fig11_address_translation.format_result(result)
+
+    def test_fig12a_deterministic(self):
+        a = fig12a_forwarding.run(seed=1)
+        b = fig12a_forwarding.run(seed=1)
+        assert a["summary"] == b["summary"]
+
+    def test_fig12a_event_schedule(self):
+        result = fig12a_forwarding.run()
+        assert len(result["events"]) == 9
+        assert [e["time_s"] for e in result["events"]] == [
+            10.0 * i for i in range(1, 10)
+        ]
+
+    def test_fig13(self):
+        result = fig13_resources.run()
+        assert result["fig13b"]["series"][12]["hash"] == pytest.approx(0.75)
+        text = fig13_resources.format_result(result)
+        assert "Figure 13a" in text and "Figure 13c" in text
+
+    def test_fig08_matches_paper_exactly(self):
+        """The Figure 8 per-stage percentages emerge from the calibrated
+        capacities with zero error."""
+        result = fig08_stage_usage.run()
+        for stage, shares in result["paper"].items():
+            for resource, fraction in shares.items():
+                assert result["measured"][stage][resource] == pytest.approx(
+                    fraction
+                ), (stage, resource)
+
+    def test_appendix_b(self):
+        result = appendix_b_collisions.run()
+        for row in result["rows"]:
+            assert abs(row["measured"] - row["analytic"]) < max(
+                0.5 * row["analytic"], 0.005
+            )

@@ -1,0 +1,112 @@
+"""Adversarial and edge-condition tests: empty traffic, one flow, uniform
+flows, minimum partitions, counter saturation."""
+
+import pytest
+
+from repro.analysis.metrics import average_relative_error
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic import KEY_SRC_IP, Trace, uniform_trace, zipf_trace
+from repro.traffic.packet import Packet
+
+
+def cms_task(memory=2048, depth=3):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=depth,
+        algorithm="cms",
+    )
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_trace(self):
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(cms_task())
+        controller.process_trace(Trace.empty())
+        assert all(row.read().sum() == 0 for row in handle.rows)
+        assert handle.algorithm.query((0x0A000001,)) == 0
+
+    def test_query_before_any_traffic(self):
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(cms_task())
+        assert handle.algorithm.query((123,)) == 0
+
+    def test_single_flow_exact(self):
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(cms_task())
+        trace = Trace.from_packets(
+            [Packet(0x0A000001, 1, 2, 3, timestamp=i) for i in range(100)]
+        )
+        controller.process_trace(trace)
+        assert handle.algorithm.query((0x0A000001,)) == 100
+
+    def test_controller_without_tasks_forwards(self):
+        controller = FlyMonController(num_groups=2)
+        trace = zipf_trace(num_flows=50, num_packets=500, seed=30)
+        controller.process_trace(trace)  # must not raise
+
+
+class TestUniformTraffic:
+    def test_uniform_flows_are_the_hard_case(self):
+        """Equal-size flows: CMS error is pure collision noise, and at load
+        factor >> 1 every estimate is inflated, never deflated."""
+        trace = uniform_trace(num_flows=2000, packets_per_flow=5, seed=31)
+        # A small register so the allocation really is 256 buckets per row
+        # (the default register's minimum partition would floor it at 2048).
+        controller = FlyMonController(num_groups=1, register_size=256)
+        handle = controller.add_task(cms_task(memory=256))
+        controller.process_trace(trace)
+        truth = trace.flow_sizes(KEY_SRC_IP)
+        assert all(handle.algorithm.query(f) >= 5 for f in truth)
+        are = average_relative_error(truth, handle.algorithm.query)
+        assert are > 0.5  # heavy collisions by construction
+
+    def test_more_memory_fixes_it(self):
+        trace = uniform_trace(num_flows=2000, packets_per_flow=5, seed=31)
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(cms_task(memory=16_384))
+        controller.process_trace(trace)
+        truth = trace.flow_sizes(KEY_SRC_IP)
+        assert average_relative_error(truth, handle.algorithm.query) < 0.05
+
+
+class TestSaturation:
+    def test_counter_saturates_instead_of_wrapping(self):
+        """Cond-ADD's bound prevents wraparound: a 32-bit bucket pinned at
+        its maximum stays there."""
+        controller = FlyMonController(num_groups=1, bucket_bits=16)
+        handle = controller.add_task(cms_task(memory=1024, depth=1))
+        fields_proto = Packet(0x0A000001, 1, 2, 3).fields()
+        cmu = handle.rows[0].cmu
+        # Pre-load the bucket near the 16-bit cap, then push past it.
+        compressed = handle.rows[0].group.compress(fields_proto)
+        index = cmu.index_for(handle.task_id, compressed)
+        cmu.register.write(index, (1 << 16) - 2)
+        for i in range(10):
+            fields = dict(fields_proto)
+            fields["timestamp"] = i
+            controller.process_packet(fields)
+        assert cmu.register.read(index) == (1 << 16) - 1
+
+    def test_min_partition_still_functions(self):
+        controller = FlyMonController(num_groups=1, register_size=1 << 11)
+        handle = controller.add_task(cms_task(memory=1, depth=1))
+        # Rounded up to the minimum partition (register/32 = 64 buckets).
+        assert handle.rows[0].mem.length == (1 << 11) // 32
+        controller.process_packet(Packet(0x0A000001, 1, 2, 3).fields())
+        assert handle.rows[0].read().sum() == 1
+
+
+class TestManyEpochsStability:
+    def test_repeated_reset_cycles(self):
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(cms_task())
+        trace = zipf_trace(num_flows=100, num_packets=1000, seed=32)
+        truth = trace.flow_sizes(KEY_SRC_IP)
+        for _ in range(5):
+            controller.process_trace(trace)
+            are = average_relative_error(truth, handle.algorithm.query)
+            assert are < 0.1
+            handle.reset()

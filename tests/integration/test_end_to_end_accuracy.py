@@ -1,0 +1,247 @@
+"""Integration tests: every built-in algorithm deployed end-to-end on a
+controller, fed a real trace, and scored against exact ground truth."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    average_relative_error,
+    f1_score,
+    relative_error,
+)
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic import KEY_5TUPLE, KEY_DST_IP, KEY_SRC_IP, ddos_trace, zipf_trace
+
+TRACE = zipf_trace(num_flows=2_000, num_packets=20_000, seed=1234)
+TRUTH_SIZES = TRACE.flow_sizes(KEY_SRC_IP)
+
+
+def deploy_and_run(task, num_groups=3, trace=TRACE):
+    controller = FlyMonController(num_groups=num_groups)
+    handle = controller.add_task(task)
+    controller.process_trace(trace)
+    return controller, handle
+
+
+class TestFrequencyAlgorithms:
+    def test_cms_accuracy(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=8192,
+                algorithm="cms",
+            )
+        )
+        assert average_relative_error(TRUTH_SIZES, handle.algorithm.query) < 0.1
+
+    def test_cms_never_underestimates(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=2048,
+                algorithm="cms",
+            )
+        )
+        for flow, true_count in TRUTH_SIZES.items():
+            assert handle.algorithm.query(flow) >= true_count
+
+    def test_sumax_beats_cms_at_tight_memory(self):
+        _, cms = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=1024,
+                algorithm="cms",
+            )
+        )
+        _, sumax = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=1024,
+                algorithm="sumax_sum",
+            )
+        )
+        are_cms = average_relative_error(TRUTH_SIZES, cms.algorithm.query)
+        are_sumax = average_relative_error(TRUTH_SIZES, sumax.algorithm.query)
+        assert are_sumax <= are_cms
+
+    def test_heavy_hitter_f1(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=8192,
+                algorithm="cms",
+            )
+        )
+        truth = TRACE.heavy_hitters(KEY_SRC_IP, 100)
+        reported = handle.algorithm.heavy_hitters(TRUTH_SIZES.keys(), 100)
+        assert f1_score(reported, truth) > 0.95
+
+    def test_tower_accurate_for_mice(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=4096,
+                algorithm="tower",
+            )
+        )
+        mice = {k: v for k, v in TRUTH_SIZES.items() if v <= 100}
+        assert average_relative_error(mice, handle.algorithm.query) < 0.2
+
+    def test_counter_braids_exact_for_most_flows(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=16384,
+                algorithm="counter_braids",
+            )
+        )
+        exact = sum(
+            1 for k, v in TRUTH_SIZES.items() if handle.algorithm.query(k) == v
+        )
+        assert exact / len(TRUTH_SIZES) > 0.8
+
+    def test_byte_counting(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency("pkt_bytes"),
+                memory=8192,
+                algorithm="cms",
+            )
+        )
+        truth_bytes = TRACE.flow_sizes(KEY_SRC_IP, by_bytes=True)
+        assert average_relative_error(truth_bytes, handle.algorithm.query) < 0.15
+
+
+class TestDistinctAlgorithms:
+    def test_hll_cardinality(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.distinct(KEY_5TUPLE),
+                memory=2048,
+                algorithm="hll",
+            )
+        )
+        true = TRACE.cardinality(KEY_5TUPLE)
+        assert relative_error(true, handle.algorithm.estimate()) < 0.1
+
+    def test_linear_counting_cardinality(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.distinct(KEY_5TUPLE),
+                memory=1024,
+                algorithm="linear_counting",
+            )
+        )
+        true = TRACE.cardinality(KEY_5TUPLE)
+        assert relative_error(true, handle.algorithm.estimate()) < 0.05
+
+    def test_beaucoup_ddos_victims(self):
+        trace = ddos_trace(
+            num_victims=8,
+            sources_per_victim=1200,
+            background_flows=2000,
+            background_packets=10000,
+            seed=77,
+        )
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_DST_IP,
+                attribute=AttributeSpec.distinct(KEY_SRC_IP),
+                memory=16384,
+                depth=3,
+                algorithm="beaucoup",
+                threshold=512,
+            )
+        )
+        controller.process_trace(trace)
+        counts = trace.distinct_counts(KEY_DST_IP, KEY_SRC_IP)
+        truth = {k for k, v in counts.items() if v >= 512}
+        reported = handle.algorithm.alarms(counts.keys())
+        assert f1_score(reported, truth) > 0.85
+
+    def test_mrac_entropy(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.frequency(),
+                memory=8192,
+                algorithm="mrac",
+            ),
+            num_groups=1,
+        )
+        true = TRACE.entropy(KEY_5TUPLE)
+        est = handle.algorithm.estimate_entropy(iterations=25)
+        assert relative_error(true, est) < 0.05
+
+
+class TestExistenceAndMax:
+    def test_bloom_no_false_negatives(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.existence(),
+                memory=2048,
+                algorithm="bloom",
+            ),
+            num_groups=1,
+        )
+        for flow in TRUTH_SIZES:
+            assert handle.algorithm.contains(flow)
+
+    def test_bloom_low_false_positives(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.existence(),
+                memory=2048,
+                algorithm="bloom",
+            ),
+            num_groups=1,
+        )
+        probes = zipf_trace(num_flows=3000, num_packets=3000, seed=999)
+        negatives = set(probes.flow_sizes(KEY_SRC_IP)) - set(TRUTH_SIZES)
+        fp = sum(1 for flow in negatives if handle.algorithm.contains(flow))
+        assert fp / len(negatives) < 0.02
+
+    def test_max_queue_length(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("queue_length"),
+                memory=8192,
+                algorithm="sumax_max",
+            ),
+            num_groups=1,
+        )
+        truth = {
+            k: v for k, v in TRACE.max_values(KEY_SRC_IP, "queue_length").items() if v > 0
+        }
+        # MAX never underestimates; collisions only inflate.
+        for flow, true_max in truth.items():
+            assert handle.algorithm.query(flow) >= true_max
+        assert average_relative_error(truth, handle.algorithm.query) < 0.25
+
+    def test_max_interarrival(self):
+        _, handle = deploy_and_run(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("packet_interval"),
+                memory=8192,
+                depth=3,
+                algorithm="max_interarrival",
+            )
+        )
+        truth = {k: v for k, v in TRACE.max_interarrival(KEY_SRC_IP).items() if v > 0}
+        are = average_relative_error(truth, handle.algorithm.query)
+        assert are < 0.5

@@ -1,0 +1,146 @@
+"""Stress test: a heterogeneous task zoo co-resident on one controller.
+
+Exercises the controller's placement, key sharing, and memory management
+with many different algorithms deployed simultaneously -- the operating
+regime the paper's introduction motivates.
+"""
+
+import pytest
+
+from repro.analysis.metrics import f1_score, relative_error
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic import (
+    KEY_5TUPLE,
+    KEY_DST_IP,
+    KEY_SRC_IP,
+    Trace,
+    ddos_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    controller = FlyMonController(num_groups=9)
+    trace = ddos_trace(
+        num_victims=5,
+        sources_per_victim=1200,
+        background_flows=3000,
+        background_packets=15_000,
+        seed=50,
+    )
+    handles = {}
+    handles["hll"] = controller.add_task(
+        MeasurementTask(
+            key=KEY_5TUPLE,
+            attribute=AttributeSpec.distinct(KEY_5TUPLE),
+            memory=2048,
+            depth=1,
+            algorithm="hll",
+        )
+    )
+    handles["beaucoup"] = controller.add_task(
+        MeasurementTask(
+            key=KEY_DST_IP,
+            attribute=AttributeSpec.distinct(KEY_SRC_IP),
+            memory=16_384,
+            depth=3,
+            algorithm="beaucoup",
+            threshold=512,
+        )
+    )
+    handles["cms"] = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=8192,
+            depth=3,
+            algorithm="cms",
+            threshold=200,
+        )
+    )
+    handles["maxq"] = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.maximum("queue_length"),
+            memory=8192,
+            depth=3,
+            algorithm="sumax_max",
+            filter=TaskFilter.of(dst_port=(80, 16)),
+        )
+    )
+    handles["bloom"] = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.existence(),
+            memory=2048,
+            depth=3,
+            algorithm="bloom",
+            filter=TaskFilter.of(protocol=(17, 8)),
+        )
+    )
+    handles["sumax"] = controller.add_task(
+        MeasurementTask(
+            key=KEY_DST_IP,
+            attribute=AttributeSpec.frequency("pkt_bytes"),
+            memory=8192,
+            depth=3,
+            algorithm="sumax_sum",
+        )
+    )
+    controller.process_trace(trace)
+    return controller, trace, handles
+
+
+class TestMixedWorkload:
+    def test_all_tasks_deployed(self, deployment):
+        controller, _, handles = deployment
+        assert len(controller.tasks) == len(handles)
+
+    def test_cardinality_still_accurate(self, deployment):
+        _, trace, handles = deployment
+        est = handles["hll"].algorithm.estimate()
+        true = trace.cardinality(KEY_5TUPLE)
+        assert relative_error(true, est) < 0.1
+
+    def test_ddos_victims_found(self, deployment):
+        _, trace, handles = deployment
+        counts = trace.distinct_counts(KEY_DST_IP, KEY_SRC_IP)
+        truth = {k for k, v in counts.items() if v >= 512}
+        reported = handles["beaucoup"].algorithm.alarms(counts.keys())
+        assert f1_score(reported, truth) > 0.8
+
+    def test_heavy_hitters_via_digests(self, deployment):
+        _, trace, handles = deployment
+        truth = trace.heavy_hitters(KEY_SRC_IP, 200)
+        reported = handles["cms"].algorithm.data_plane_heavy_hitters()
+        assert f1_score(reported, truth) > 0.9
+
+    def test_filtered_tasks_only_saw_their_traffic(self, deployment):
+        _, trace, handles = deployment
+        udp = trace.filter_mask(trace.columns["protocol"] == 17)
+        udp_sources = set(udp.flow_sizes(KEY_SRC_IP))
+        bloom = handles["bloom"].algorithm
+        assert all(bloom.contains(f) for f in udp_sources)
+
+    def test_byte_counts_never_underestimate(self, deployment):
+        _, trace, handles = deployment
+        truth = trace.flow_sizes(KEY_DST_IP, by_bytes=True)
+        sample = list(truth.items())[:100]
+        for flow, true_bytes in sample:
+            assert handles["sumax"].algorithm.query(flow) >= true_bytes * 0.99
+
+    def test_controller_stats_consistent(self, deployment):
+        controller, _, handles = deployment
+        stats = controller.stats()
+        assert stats["tasks"] == len(handles)
+        assert 0.0 < stats["memory_utilization"] < 1.0
+
+    def test_teardown_releases_everything(self, deployment):
+        controller, _, handles = deployment
+        for handle in list(handles.values()):
+            controller.remove_task(handle)
+        handles.clear()
+        stats = controller.stats()
+        assert stats["tasks"] == 0
+        assert stats["memory_utilization"] == 0.0

@@ -1,0 +1,127 @@
+"""Integration tests: network-wide coordination and heavy-changer analysis."""
+
+import pytest
+
+from repro.analysis.changers import change_magnitudes, heavy_changers
+from repro.core.controller import FlyMonController
+from repro.core.network import NetworkCoordinator
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic import KEY_5TUPLE, KEY_SRC_IP, Trace, zipf_trace
+
+
+def freq_task(memory=8192, **kwargs):
+    defaults = dict(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=3,
+        algorithm="cms",
+    )
+    defaults.update(kwargs)
+    return MeasurementTask(**defaults)
+
+
+class TestNetworkCoordinator:
+    def test_deploy_everywhere(self):
+        net = NetworkCoordinator(["leaf1", "leaf2", "spine"])
+        handle = net.deploy_everywhere(freq_task())
+        assert set(handle.per_switch) == {"leaf1", "leaf2", "spine"}
+        assert net.total_deployment_ms(handle) > 0
+
+    def test_frequency_sums_across_edges(self):
+        """Edge-partitioned traffic: per-flow totals sum across switches."""
+        net = NetworkCoordinator(["leaf1", "leaf2"])
+        handle = net.deploy_everywhere(freq_task())
+        t1 = zipf_trace(num_flows=500, num_packets=5000, seed=1)
+        t2 = zipf_trace(num_flows=500, num_packets=5000, seed=2)
+        net.process({"leaf1": t1, "leaf2": t2})
+        merged_truth = Trace.concatenate([t1, t2]).flow_sizes(KEY_SRC_IP)
+        errors = [
+            abs(handle.query_sum(flow) - count) / count
+            for flow, count in merged_truth.items()
+        ]
+        assert sum(errors) / len(errors) < 0.2
+
+    def test_hll_merge_does_not_double_count(self):
+        """The same flows crossing two switches count once after merge."""
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.distinct(KEY_5TUPLE),
+                memory=2048,
+                depth=1,
+                algorithm="hll",
+            )
+        )
+        shared = zipf_trace(num_flows=2000, num_packets=6000, seed=5)
+        net.process({"a": shared, "b": shared})
+        merged = handle.merged_cardinality()
+        true = shared.cardinality(KEY_5TUPLE)
+        assert abs(merged - true) / true < 0.15
+
+    def test_hll_merge_unions_disjoint_populations(self):
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.distinct(KEY_5TUPLE),
+                memory=2048,
+                depth=1,
+                algorithm="hll",
+            )
+        )
+        t1 = zipf_trace(num_flows=1500, num_packets=3000, seed=7)
+        t2 = zipf_trace(num_flows=1500, num_packets=3000, seed=8)
+        net.process({"a": t1, "b": t2})
+        merged = handle.merged_cardinality()
+        assert abs(merged - 3000) / 3000 < 0.15
+
+    def test_remove_everywhere(self):
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(freq_task())
+        net.remove_everywhere(handle)
+        assert all(not c.tasks for c in net.switches.values())
+
+    def test_empty_coordinator_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkCoordinator([])
+
+
+class TestHeavyChangers:
+    def test_detects_epoch_over_epoch_change(self):
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(freq_task())
+
+        epoch1 = zipf_trace(num_flows=800, num_packets=8000, seed=11)
+        controller.process_trace(epoch1)
+        before = {
+            flow: handle.algorithm.query(flow)
+            for flow in epoch1.flow_sizes(KEY_SRC_IP)
+        }
+        handle.reset()
+
+        # Epoch 2: the same flows plus one source suddenly surging.
+        surge_src = int(epoch1.columns["src_ip"][0])
+        controller.process_trace(epoch1)
+        # Drive 1500 extra packets from the surge source.
+        for _ in range(1500):
+            controller.process_packet(
+                {"src_ip": surge_src, "dst_ip": 1, "src_port": 2, "dst_port": 3,
+                 "protocol": 6, "timestamp": 0, "pkt_bytes": 64,
+                 "queue_length": 0, "queue_delay": 0}
+            )
+
+        after_query = handle.algorithm.query
+        changed = heavy_changers(
+            before.get, after_query, before.keys(), threshold=1000
+        )
+        assert (surge_src,) in changed
+        assert len(changed) <= 3  # only the surging source (plus CMS noise)
+
+    def test_change_magnitudes_sorted(self):
+        before = {"a": 10, "b": 100}.get
+        after = {"a": 500, "b": 110}.get
+        ranked = change_magnitudes(before, after, ["a", "b"])
+        assert list(ranked) == ["a", "b"]
+        assert ranked["a"] == 490

@@ -1,0 +1,72 @@
+"""Integration test: CMU-hosted Odd Sketch set similarity (§6 expansion)."""
+
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic import KEY_SRC_IP, Trace, zipf_trace
+
+
+def odd_task(dst_octet: int) -> MeasurementTask:
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.distinct(KEY_SRC_IP),
+        memory=4096,
+        depth=1,
+        algorithm="odd_sketch",
+        filter=TaskFilter.of(dst_ip=(dst_octet << 24, 8)),
+    )
+
+
+class TestOddSketchOnCmu:
+    def setup_method(self):
+        self.controller = FlyMonController(num_groups=1)
+        self.task_a = self.controller.add_task(odd_task(20))
+        self.task_b = self.controller.add_task(odd_task(40))
+
+    def _drive(self, seed_a=1, seed_b=1, flows=1200):
+        trace_a = zipf_trace(
+            num_flows=flows, num_packets=flows, seed=seed_a, dst_prefix=20 << 24
+        )
+        trace_b = zipf_trace(
+            num_flows=flows, num_packets=flows, seed=seed_b, dst_prefix=40 << 24
+        )
+        self.controller.process_trace(trace_a)
+        self.controller.process_trace(trace_b)
+        return trace_a, trace_b
+
+    def test_identical_source_sets(self):
+        # Same generator seed -> identical source populations.
+        trace_a, trace_b = self._drive(seed_a=1, seed_b=1)
+        assert set(trace_a.flow_sizes(KEY_SRC_IP)) == set(
+            trace_b.flow_sizes(KEY_SRC_IP)
+        )
+        assert self.task_a.algorithm.jaccard(self.task_b.algorithm) > 0.9
+
+    def test_disjoint_source_sets(self):
+        trace_a, trace_b = self._drive(seed_a=1, seed_b=999)
+        sa = set(trace_a.flow_sizes(KEY_SRC_IP))
+        sb = set(trace_b.flow_sizes(KEY_SRC_IP))
+        assert len(sa & sb) == 0
+        assert self.task_a.algorithm.jaccard(self.task_b.algorithm) < 0.1
+
+    def test_size_estimates(self):
+        trace_a, _ = self._drive()
+        true_size = len(set(trace_a.flow_sizes(KEY_SRC_IP)))
+        est = self.task_a.algorithm.estimate_size()
+        assert abs(est - true_size) / true_size < 0.15
+
+    def test_incompatible_partition_sizes_rejected(self):
+        controller = FlyMonController(num_groups=1)
+        a = controller.add_task(odd_task(20))
+        small = MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.distinct(KEY_SRC_IP),
+            memory=2048,
+            depth=1,
+            algorithm="odd_sketch",
+            filter=TaskFilter.of(dst_ip=(40 << 24, 8)),
+        )
+        b = controller.add_task(small)
+        with pytest.raises(ValueError):
+            a.algorithm.symmetric_difference(b.algorithm)

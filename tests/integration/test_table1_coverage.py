@@ -1,0 +1,250 @@
+"""Integration coverage of Table 1: every measurement task the paper lists
+is expressible as a FlyMon task and produces sane answers end-to-end."""
+
+import pytest
+
+from repro.analysis.changers import heavy_changers
+from repro.analysis.metrics import f1_score, relative_error
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic import (
+    KEY_5TUPLE,
+    KEY_DST_IP,
+    KEY_IP_PAIR,
+    KEY_SRC_IP,
+    ddos_trace,
+    portscan_trace,
+    superspreader_trace,
+    zipf_trace,
+)
+from repro.traffic.flows import FlowKeyDef
+
+KEY_DST_PORT = FlowKeyDef.of("dst_port")
+
+
+def run_task(task, trace, num_groups=3):
+    controller = FlyMonController(num_groups=num_groups)
+    handle = controller.add_task(task)
+    controller.process_trace(trace)
+    return handle
+
+
+class TestTable1Tasks:
+    def test_ddos_victim(self):
+        """DstIP x Distinct(SrcIP) -> BeauCoup."""
+        trace = ddos_trace(
+            num_victims=6, sources_per_victim=1000,
+            background_flows=1500, background_packets=8000, seed=1,
+        )
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_DST_IP,
+                attribute=AttributeSpec.distinct(KEY_SRC_IP),
+                memory=16_384,
+                depth=3,
+                algorithm="beaucoup",
+                threshold=512,
+            ),
+            trace,
+            num_groups=1,
+        )
+        counts = trace.distinct_counts(KEY_DST_IP, KEY_SRC_IP)
+        truth = {k for k, v in counts.items() if v >= 512}
+        assert f1_score(handle.algorithm.alarms(counts.keys()), truth) > 0.8
+
+    def test_worm_superspreader(self):
+        """SrcIP x Distinct(DstIP) -> BeauCoup."""
+        trace = superspreader_trace(
+            num_spreaders=5, contacts_per_spreader=1500,
+            background_flows=1500, background_packets=8000, seed=2,
+        )
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.distinct(KEY_DST_IP),
+                memory=16_384,
+                depth=3,
+                algorithm="beaucoup",
+                threshold=1000,
+            ),
+            trace,
+            num_groups=1,
+        )
+        counts = trace.distinct_counts(KEY_SRC_IP, KEY_DST_IP)
+        truth = {k for k, v in counts.items() if v >= 1000}
+        assert f1_score(handle.algorithm.alarms(counts.keys()), truth) > 0.8
+
+    def test_port_scan(self):
+        """IP-pair x Distinct(DstPort) -> BeauCoup."""
+        trace = portscan_trace(
+            num_scanners=4, ports_per_scan=800,
+            background_flows=1500, background_packets=8000, seed=3,
+        )
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_IP_PAIR,
+                attribute=AttributeSpec.distinct(KEY_DST_PORT),
+                memory=16_384,
+                depth=3,
+                algorithm="beaucoup",
+                threshold=500,
+            ),
+            trace,
+            num_groups=1,
+        )
+        counts = trace.distinct_counts(KEY_IP_PAIR, KEY_DST_PORT)
+        truth = {k for k, v in counts.items() if v >= 500}
+        assert f1_score(handle.algorithm.alarms(counts.keys()), truth) > 0.8
+
+    def test_cardinality(self):
+        """FlowID distinct counting -> HLL."""
+        trace = zipf_trace(num_flows=4000, num_packets=20_000, seed=4)
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.distinct(KEY_5TUPLE),
+                memory=2048,
+                depth=1,
+                algorithm="hll",
+            ),
+            trace,
+            num_groups=1,
+        )
+        assert relative_error(
+            trace.cardinality(KEY_5TUPLE), handle.algorithm.estimate()
+        ) < 0.1
+
+    def test_per_flow_size_packets_and_bytes(self):
+        """FlowID x Frequency(1) and Frequency(bytes) -> CMS."""
+        trace = zipf_trace(num_flows=1000, num_packets=10_000, seed=5)
+        for param in (1, "pkt_bytes"):
+            handle = run_task(
+                MeasurementTask(
+                    key=KEY_5TUPLE,
+                    attribute=AttributeSpec.frequency(param),
+                    memory=8192,
+                    depth=3,
+                    algorithm="cms",
+                ),
+                trace,
+                num_groups=1,
+            )
+            truth = trace.flow_sizes(KEY_5TUPLE, by_bytes=param == "pkt_bytes")
+            sample = list(truth.items())[:50]
+            for flow, count in sample:
+                assert handle.algorithm.query(flow) >= min(count, 2**32 - 1) * 0.99
+
+    def test_heavy_hitter(self):
+        trace = zipf_trace(num_flows=2000, num_packets=20_000, seed=6)
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=8192,
+                depth=3,
+                algorithm="sumax_sum",
+            ),
+            trace,
+        )
+        truth_sizes = trace.flow_sizes(KEY_SRC_IP)
+        truth = {k for k, v in truth_sizes.items() if v >= 200}
+        reported = handle.algorithm.heavy_hitters(truth_sizes.keys(), 200)
+        assert f1_score(reported, truth) > 0.9
+
+    def test_heavy_changer(self):
+        """Two frequency epochs diffed in the control plane."""
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.frequency(),
+                memory=8192,
+                depth=3,
+                algorithm="cms",
+            )
+        )
+        epoch1 = zipf_trace(num_flows=500, num_packets=5000, seed=7)
+        controller.process_trace(epoch1)
+        flows = list(epoch1.flow_sizes(KEY_SRC_IP))
+        before = {f: handle.algorithm.query(f) for f in flows}
+        handle.reset()
+        surge = int(epoch1.columns["src_ip"][0])
+        controller.process_trace(epoch1)
+        for _ in range(800):
+            controller.process_packet(
+                {"src_ip": surge, "dst_ip": 1, "src_port": 1, "dst_port": 1,
+                 "protocol": 6, "timestamp": 0, "pkt_bytes": 64,
+                 "queue_length": 0, "queue_delay": 0}
+            )
+        changed = heavy_changers(before.get, handle.algorithm.query, flows, 500)
+        assert (surge,) in changed
+
+    def test_black_list_existence(self):
+        """FlowID existence check -> Bloom Filter."""
+        trace = zipf_trace(num_flows=500, num_packets=2000, seed=8)
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.existence(),
+                memory=2048,
+                depth=3,
+                algorithm="bloom",
+            ),
+            trace,
+            num_groups=1,
+        )
+        assert all(
+            handle.algorithm.contains(f) for f in trace.flow_sizes(KEY_SRC_IP)
+        )
+
+    def test_congestion_max_queue_length(self):
+        trace = zipf_trace(num_flows=500, num_packets=5000, seed=9)
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.maximum("queue_length"),
+                memory=8192,
+                depth=3,
+                algorithm="sumax_max",
+            ),
+            trace,
+            num_groups=1,
+        )
+        truth = trace.max_values(KEY_5TUPLE, "queue_length")
+        for flow, value in list(truth.items())[:50]:
+            assert handle.algorithm.query(flow) >= value
+
+    def test_hol_max_queue_delay(self):
+        trace = zipf_trace(num_flows=500, num_packets=5000, seed=10)
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_5TUPLE,
+                attribute=AttributeSpec.maximum("queue_delay"),
+                memory=8192,
+                depth=3,
+                algorithm="sumax_max",
+            ),
+            trace,
+            num_groups=1,
+        )
+        truth = trace.max_values(KEY_5TUPLE, "queue_delay")
+        for flow, value in list(truth.items())[:50]:
+            assert handle.algorithm.query(flow) >= value
+
+    def test_packet_interval(self):
+        trace = zipf_trace(num_flows=500, num_packets=5000, seed=11)
+        handle = run_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("packet_interval"),
+                memory=8192,
+                depth=2,
+                algorithm="max_interarrival",
+            ),
+            trace,
+        )
+        truth = {k: v for k, v in trace.max_interarrival(KEY_SRC_IP).items() if v > 0}
+        errors = [
+            relative_error(v, handle.algorithm.query(k)) for k, v in truth.items()
+        ]
+        assert sum(errors) / len(errors) < 0.6

@@ -1,0 +1,91 @@
+"""Property-based tests on the CMU datapath itself."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic import KEY_SRC_IP
+from repro.traffic.packet import Packet
+
+
+def fresh_controller():
+    return FlyMonController(num_groups=1, place_on_pipeline=False)
+
+
+def cms_task(depth=1, task_filter=None, memory=2048):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=depth,
+        algorithm="cms",
+        filter=task_filter or TaskFilter.match_all(),
+    )
+
+
+packet_lists = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=150
+)
+
+
+@given(packet_lists)
+@settings(max_examples=25, deadline=None)
+def test_total_count_conservation(src_ips):
+    """A d=1 Cond-ADD row's counters sum to exactly the matched packets."""
+    controller = fresh_controller()
+    handle = controller.add_task(cms_task(depth=1))
+    for i, src in enumerate(src_ips):
+        controller.process_packet(Packet(src, 1, 2, 3, timestamp=i).fields())
+    assert int(handle.rows[0].read().sum()) == len(src_ips)
+
+
+@given(packet_lists)
+@settings(max_examples=20, deadline=None)
+def test_point_queries_never_underestimate(src_ips):
+    controller = fresh_controller()
+    handle = controller.add_task(cms_task(depth=3, memory=256))
+    truth = {}
+    for i, src in enumerate(src_ips):
+        controller.process_packet(Packet(src, 1, 2, 3, timestamp=i).fields())
+        truth[src] = truth.get(src, 0) + 1
+    for src, count in truth.items():
+        assert handle.algorithm.query((src,)) >= count
+
+
+@given(packet_lists)
+@settings(max_examples=20, deadline=None)
+def test_disjoint_filters_partition_traffic(src_ips):
+    """Two tasks on complementary half-spaces: every packet is counted by
+    exactly one of them."""
+    controller = fresh_controller()
+    low, high = TaskFilter.match_all().split("src_ip")
+    a = controller.add_task(cms_task(depth=1, task_filter=low))
+    b = controller.add_task(cms_task(depth=1, task_filter=high))
+    for i, src in enumerate(src_ips):
+        controller.process_packet(Packet(src, 1, 2, 3, timestamp=i).fields())
+    counted = int(a.rows[0].read().sum()) + int(b.rows[0].read().sum())
+    assert counted == len(src_ips)
+
+
+@given(
+    packet_lists,
+    st.integers(min_value=6, max_value=10),  # log2(register size)
+)
+@settings(max_examples=15, deadline=None)
+def test_updates_stay_inside_task_partition(src_ips, log_size):
+    """No task ever writes outside its allocated memory range."""
+    controller = FlyMonController(
+        num_groups=1, register_size=1 << log_size, place_on_pipeline=False
+    )
+    handle = controller.add_task(cms_task(depth=1, memory=1 << (log_size - 2)))
+    for i, src in enumerate(src_ips):
+        controller.process_packet(Packet(src, 1, 2, 3, timestamp=i).fields())
+    register = handle.rows[0].cmu.register
+    mem = handle.rows[0].mem
+    outside = [
+        register.read(i)
+        for i in range(register.size)
+        if not mem.contains(i)
+    ]
+    assert all(v == 0 for v in outside)

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.address_translation import ShiftTranslation, TcamTranslation
+from repro.core.memory import BuddyAllocator, MemRange, OutOfMemoryError, round_memory
+from repro.dataplane.hashing import HashFunction
+from repro.dataplane.tables import range_to_ternary
+from repro.sketches import BloomFilter, CountMinSketch, HyperLogLog, SuMaxSum
+from repro.traffic.flows import FlowKeyDef
+
+
+# ---------------------------------------------------------------------------
+# TCAM range expansion
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=200)
+def test_range_expansion_exactly_covers_range(data):
+    width = data.draw(st.integers(min_value=1, max_value=12))
+    lo = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    hi = data.draw(st.integers(min_value=lo, max_value=(1 << width) - 1))
+    entries = range_to_ternary(lo, hi, width)
+    assert len(entries) <= max(1, 2 * width - 2)
+    for v in range(1 << width):
+        assert any(e.matches(v) for e in entries) == (lo <= v <= hi)
+
+
+# ---------------------------------------------------------------------------
+# Address translation
+# ---------------------------------------------------------------------------
+
+register_sizes = st.sampled_from([64, 256, 1024, 4096])
+
+
+@given(st.data())
+@settings(max_examples=200)
+def test_translations_land_in_partition(data):
+    size = data.draw(register_sizes)
+    length = data.draw(st.sampled_from([size >> s for s in range(0, 6) if size >> s >= 2]))
+    base = data.draw(st.integers(min_value=0, max_value=size // length - 1)) * length
+    address = data.draw(st.integers(min_value=0, max_value=size - 1))
+    mem = MemRange(base, length)
+    for cls in (ShiftTranslation, TcamTranslation):
+        assert mem.contains(cls(size, mem).translate(address))
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_shift_translation_is_uniform(data):
+    size = data.draw(st.sampled_from([64, 128, 256]))
+    length = data.draw(st.sampled_from([size // 2, size // 4]))
+    mem = MemRange(0, length)
+    tr = ShiftTranslation(size, mem)
+    hits = [0] * length
+    for addr in range(size):
+        hits[tr.translate(addr) - mem.base] += 1
+    assert len(set(hits)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Buddy allocator
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.sampled_from([32, 64, 128, 256]), min_size=1, max_size=24))
+@settings(max_examples=100)
+def test_allocator_never_overlaps_and_survives_churn(lengths):
+    alloc = BuddyAllocator(1024, max_partitions=32)
+    live = []
+    for i, length in enumerate(lengths):
+        try:
+            r = alloc.allocate(length)
+        except OutOfMemoryError:
+            if live:
+                alloc.free(live.pop(0))
+            continue
+        for other in live:
+            assert r.end <= other.base or other.end <= r.base
+        live.append(r)
+        if i % 3 == 2 and live:
+            alloc.free(live.pop())
+    # Invariant: allocated + free == register size.
+    allocated = sum(r.length for r in alloc.allocated_ranges)
+    assert allocated + alloc.free_buckets == 1024
+
+
+@given(st.integers(min_value=1, max_value=10**6))
+def test_round_memory_accurate_never_shrinks(requested):
+    rounded = round_memory(requested, "accurate")
+    assert rounded >= requested
+    assert rounded & (rounded - 1) == 0
+
+
+@given(st.integers(min_value=1, max_value=10**6))
+def test_round_memory_efficient_within_factor_two(requested):
+    rounded = round_memory(requested, "efficient")
+    assert rounded & (rounded - 1) == 0
+    assert requested / 2 <= rounded <= requested * 2
+
+
+# ---------------------------------------------------------------------------
+# Hashing (Appendix B: collision behaviour)
+# ---------------------------------------------------------------------------
+
+
+@given(st.binary(min_size=0, max_size=64), st.integers(min_value=0, max_value=2**32 - 1))
+def test_hash_is_pure(data, seed):
+    fn = HashFunction(seed)
+    assert fn.hash_bytes(data) == fn.hash_bytes(data)
+    assert 0 <= fn.hash_bytes(data) < 2**32
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**31), min_size=100, max_size=300))
+@settings(max_examples=20)
+def test_collision_rate_matches_appendix_b(keys):
+    """P(collision) ~ 1 - e^{-n/m} for n keys in an m-sized digest domain."""
+    m = 1 << 12
+    fn = HashFunction(0xAB)
+    digests = [fn.hash_int(k) % m for k in keys]
+    collided = len(digests) - len(set(digests))
+    n = len(keys)
+    expected = n * (1 - math.exp(-n / m))
+    # Loose bound: within 5x + slack of the analytic expectation.
+    assert collided <= 5 * expected + 5
+
+
+# ---------------------------------------------------------------------------
+# Sketch invariants
+# ---------------------------------------------------------------------------
+
+key_lists = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=1, max_size=500
+)
+
+
+@given(key_lists)
+@settings(max_examples=50)
+def test_cms_one_sided_error(keys):
+    cms = CountMinSketch(width=64, depth=3)
+    truth = {}
+    for k in keys:
+        cms.update(k)
+        truth[k] = truth.get(k, 0) + 1
+    for k, count in truth.items():
+        assert cms.query(k) >= count
+
+
+@given(key_lists)
+@settings(max_examples=50)
+def test_sumax_bounded_by_cms(keys):
+    cms = CountMinSketch(width=64, depth=3, seed=0xD)
+    sm = SuMaxSum(width=64, depth=3, seed=0xD)
+    truth = {}
+    for k in keys:
+        cms.update(k)
+        sm.update(k)
+        truth[k] = truth.get(k, 0) + 1
+    for k, count in truth.items():
+        assert count <= sm.query(k) <= cms.query(k)
+
+
+@given(key_lists)
+@settings(max_examples=50)
+def test_bloom_no_false_negatives(keys):
+    bf = BloomFilter(num_bits=2048, num_hashes=3)
+    for k in keys:
+        bf.add(("item", k))
+    assert all(("item", k) in bf for k in keys)
+
+
+@given(st.sets(st.integers(), min_size=1, max_size=1000))
+@settings(max_examples=30)
+def test_hll_estimate_scales_with_cardinality(keys):
+    hll = HyperLogLog(precision_bits=10)
+    for k in keys:
+        hll.update(k)
+    estimate = hll.estimate()
+    assert 0.5 * len(keys) <= estimate <= 2.0 * len(keys)
+
+
+# ---------------------------------------------------------------------------
+# Flow keys
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=1, max_value=32),
+)
+def test_prefix_extraction_idempotent(ip_value, prefix):
+    key = FlowKeyDef.of(("src_ip", prefix))
+    flow = key.extract({"src_ip": ip_value})
+    reconstructed = flow[0] << (32 - prefix)
+    assert key.extract({"src_ip": reconstructed}) == flow

@@ -1,0 +1,107 @@
+"""Unit tests for Bloom Filter, TowerSketch, and Counter Braids baselines."""
+
+import pytest
+
+from repro.sketches import BloomFilter, CounterBraids, TowerSketch
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(num_bits=4096, num_hashes=3)
+        keys = [f"k{i}" for i in range(200)]
+        for key in keys:
+            bf.add(key)
+        assert all(key in bf for key in keys)
+
+    def test_false_positive_rate_matches_theory(self):
+        bf = BloomFilter(num_bits=8192, num_hashes=3, seed=7)
+        n = 500
+        for i in range(n):
+            bf.add(("in", i))
+        probes = 5000
+        fp = sum(1 for i in range(probes) if ("out", i) in bf)
+        expected = bf.expected_false_positive_rate(n)
+        assert fp / probes < max(4 * expected, 0.02)
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(num_bits=64)
+        assert "x" not in bf
+
+    def test_fill_fraction(self):
+        bf = BloomFilter(num_bits=100, num_hashes=1)
+        assert bf.fill_fraction == 0.0
+        bf.add("x")
+        assert bf.fill_fraction == pytest.approx(0.01)
+
+    def test_memory_bytes(self):
+        assert BloomFilter(num_bits=8192).memory_bytes == 1024
+
+
+class TestTowerSketch:
+    def test_small_flows_exact_without_collisions(self):
+        tower = TowerSketch(base_width=4096)
+        tower.update("mouse")
+        tower.update("mouse")
+        assert tower.query("mouse") == 2
+
+    def test_saturated_rows_skipped(self):
+        tower = TowerSketch(base_width=4096)
+        for _ in range(10):
+            tower.update("elephant")
+        # The 2-bit row saturates at 3; the 8-bit row still counts.
+        assert tower.query("elephant") == 10
+
+    def test_all_rows_saturated_reports_cap(self):
+        tower = TowerSketch(base_width=256)
+        for _ in range(500):
+            tower.update("huge")
+        assert tower.query("huge") == 255
+
+    def test_memory_is_sum_of_rows(self):
+        tower = TowerSketch(base_width=1024)
+        # (2 bits x 4096) + (4 bits x 2048) + (8 bits x 1024) = 3072 bytes.
+        assert tower.memory_bytes == 3072
+
+    def test_never_underestimates_below_cap(self):
+        tower = TowerSketch(base_width=64)
+        truth = {}
+        for i in range(500):
+            key = f"k{i % 40}"
+            tower.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            if count < 255:
+                assert tower.query(key) >= min(count, 255) or tower.query(key) >= count
+
+
+class TestCounterBraids:
+    def test_decode_exact_at_low_load(self):
+        cb = CounterBraids(layer1_width=512, layer2_width=128, layer1_bits=4)
+        truth = {f"k{i}": (i % 7) + 1 for i in range(60)}
+        for key, count in truth.items():
+            for _ in range(count):
+                cb.update(key)
+        decoded = cb.decode(truth.keys())
+        exact = sum(1 for k in truth if decoded[k] == truth[k])
+        assert exact >= 0.9 * len(truth)
+
+    def test_overflow_carries_to_layer2(self):
+        cb = CounterBraids(layer1_width=64, layer2_width=32, layer1_bits=2)
+        for _ in range(100):
+            cb.update("big")
+        assert cb.layer2.sum() > 0
+        decoded = cb.decode(["big"])
+        assert decoded["big"] >= 50
+
+    def test_total_count_preserved_in_layer1_mod(self):
+        cb = CounterBraids(layer1_width=128, layer2_width=64, layer1_bits=4)
+        cb.update("x", weight=3)
+        assert cb.layer1.sum() == 3 * cb.depth
+
+    def test_memory_accounting(self):
+        cb = CounterBraids(layer1_width=1024, layer2_width=256, layer1_bits=4)
+        assert cb.memory_bytes == (1024 * 4 + 256 * 32) // 8
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            CounterBraids(layer1_width=0, layer2_width=8)

@@ -1,0 +1,106 @@
+"""Unit tests for CMS and SuMax baselines."""
+
+import pytest
+
+from repro.sketches import CountMinSketch, SuMaxMax, SuMaxSum
+
+
+class TestCountMinSketch:
+    def test_exact_without_collisions(self):
+        cms = CountMinSketch(width=1024, depth=3)
+        for _ in range(5):
+            cms.update("flow-a")
+        cms.update("flow-b", weight=3)
+        assert cms.query("flow-a") == 5
+        assert cms.query("flow-b") == 3
+
+    def test_never_underestimates(self):
+        cms = CountMinSketch(width=32, depth=3)
+        truth = {}
+        for i in range(300):
+            key = f"k{i % 50}"
+            cms.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert cms.query(key) >= count
+
+    def test_weighted_updates(self):
+        cms = CountMinSketch(width=256, depth=3)
+        cms.update("x", weight=10)
+        cms.update("x", weight=5)
+        assert cms.query("x") == 15
+
+    def test_unseen_key_can_be_zero(self):
+        cms = CountMinSketch(width=4096, depth=3)
+        cms.update("x")
+        assert cms.query("never-seen") >= 0
+
+    def test_memory_accounting(self):
+        assert CountMinSketch(width=1024, depth=3).memory_bytes == 3 * 1024 * 4
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+
+    def test_heavy_hitters(self):
+        cms = CountMinSketch(width=2048, depth=3)
+        for _ in range(100):
+            cms.update("big")
+        cms.update("small")
+        hh = cms.heavy_hitters(["big", "small"], threshold=50)
+        assert hh == {"big"}
+
+    def test_counter_saturation(self):
+        cms = CountMinSketch(width=16, depth=1, counter_bits=8)
+        for _ in range(300):
+            cms.update("x")
+        assert cms.query("x") == 255
+
+
+class TestSuMaxSum:
+    def test_exact_without_collisions(self):
+        sm = SuMaxSum(width=1024, depth=3)
+        for _ in range(7):
+            sm.update("a")
+        assert sm.query("a") == 7
+
+    def test_never_underestimates(self):
+        sm = SuMaxSum(width=32, depth=3)
+        truth = {}
+        for i in range(300):
+            key = f"k{i % 40}"
+            sm.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sm.query(key) >= count
+
+    def test_no_worse_than_cms_on_shared_workload(self):
+        cms = CountMinSketch(width=64, depth=3, seed=0x77)
+        sm = SuMaxSum(width=64, depth=3, seed=0x77)
+        keys = [f"k{i % 100}" for i in range(2000)]
+        for key in keys:
+            cms.update(key)
+            sm.update(key)
+        total_cms = sum(cms.query(f"k{i}") for i in range(100))
+        total_sm = sum(sm.query(f"k{i}") for i in range(100))
+        assert total_sm <= total_cms
+
+
+class TestSuMaxMax:
+    def test_tracks_maximum(self):
+        mx = SuMaxMax(width=512, depth=3)
+        mx.update("f", weight=10)
+        mx.update("f", weight=50)
+        mx.update("f", weight=20)
+        assert mx.query("f") == 50
+
+    def test_never_underestimates(self):
+        mx = SuMaxMax(width=16, depth=2)
+        truth = {}
+        for i in range(200):
+            key = f"k{i % 30}"
+            value = (i * 37) % 1000
+            mx.update(key, weight=value)
+            truth[key] = max(truth.get(key, 0), value)
+        for key, value in truth.items():
+            assert mx.query(key) >= value

@@ -1,0 +1,123 @@
+"""Unit tests for HLL, Linear Counting, and BeauCoup baselines."""
+
+import pytest
+
+from repro.sketches import BeauCoup, HyperLogLog, LinearCounting
+from repro.sketches.beaucoup import tune_coupon_probability
+
+
+class TestHyperLogLog:
+    def test_empty_estimate_near_zero(self):
+        assert HyperLogLog(precision_bits=8).estimate() < 5
+
+    def test_estimate_within_expected_error(self):
+        hll = HyperLogLog(precision_bits=10)
+        n = 20_000
+        for i in range(n):
+            hll.update(i)
+        # Standard error ~ 1.04 / sqrt(1024) ~ 3.3%; allow 4 sigma.
+        assert abs(hll.estimate() - n) / n < 0.13
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(precision_bits=8)
+        for _ in range(10):
+            for i in range(100):
+                hll.update(i)
+        assert hll.estimate() < 200
+
+    def test_small_range_linear_counting_regime(self):
+        hll = HyperLogLog(precision_bits=10)
+        for i in range(20):
+            hll.update(i)
+        assert abs(hll.estimate() - 20) <= 3
+
+    def test_merge_equals_union(self):
+        a = HyperLogLog(precision_bits=8, seed=1)
+        b = HyperLogLog(precision_bits=8, seed=1)
+        for i in range(500):
+            a.update(i)
+        for i in range(250, 750):
+            b.update(i)
+        a.merge(b)
+        assert abs(a.estimate() - 750) / 750 < 0.25
+
+    def test_merge_mismatched_precision_rejected(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(8).merge(HyperLogLog(9))
+
+    def test_precision_bounds(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision_bits=3)
+
+    def test_memory_bytes(self):
+        assert HyperLogLog(precision_bits=10).memory_bytes == 1024
+
+
+class TestLinearCounting:
+    def test_accurate_at_low_load(self):
+        lc = LinearCounting(num_bits=8192)
+        for i in range(1000):
+            lc.update(i)
+        assert abs(lc.estimate() - 1000) / 1000 < 0.05
+
+    def test_duplicates_ignored(self):
+        lc = LinearCounting(num_bits=1024)
+        for _ in range(5):
+            for i in range(50):
+                lc.update(i)
+        assert abs(lc.estimate() - 50) <= 10
+
+    def test_saturation_returns_upper_bound(self):
+        lc = LinearCounting(num_bits=16)
+        for i in range(10_000):
+            lc.update(i)
+        assert lc.estimate() > 16
+
+
+class TestBeauCoup:
+    def test_coupon_probability_tuning(self):
+        p = tune_coupon_probability(16, 512)
+        assert 0 < p <= 1 / 16
+
+    def test_alarm_fires_near_threshold(self):
+        bc = BeauCoup(slots=4096, threshold=100, num_coupons=16, seed=3)
+        for i in range(1000):
+            bc.update("victim", attribute_value=("v", i))
+        assert "victim" in bc.alarms()
+
+    def test_no_alarm_for_small_keys(self):
+        bc = BeauCoup(slots=4096, threshold=500, num_coupons=16, seed=3)
+        for i in range(10):
+            bc.update("quiet", attribute_value=("q", i))
+        assert "quiet" not in bc.alarms()
+
+    def test_duplicate_values_make_no_progress(self):
+        bc = BeauCoup(slots=4096, threshold=50, num_coupons=8, seed=4)
+        for _ in range(10_000):
+            bc.update("key", attribute_value="same-value")
+        assert "key" not in bc.alarms()
+
+    def test_estimate_distinct_monotone(self):
+        bc = BeauCoup(slots=8192, threshold=200, num_coupons=16, seed=5)
+        checkpoints = []
+        for i in range(400):
+            bc.update("k", attribute_value=("x", i))
+            if i in (50, 150, 350):
+                checkpoints.append(bc.estimate_distinct("k"))
+        assert checkpoints == sorted(checkpoints)
+
+    def test_depth_reduces_false_alarms(self):
+        """With d tables a slot collision in one table cannot alone complete
+        a key's coupons."""
+        bc = BeauCoup(slots=64, threshold=100, num_coupons=8, depth=3, seed=6)
+        for key in range(50):
+            for i in range(20):
+                bc.update(("small", key), attribute_value=(key, i))
+        small_alarms = {k for k in bc.alarms() if k[0] == "small"}
+        assert len(small_alarms) <= 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BeauCoup(slots=0, threshold=10)
+        with pytest.raises(ValueError):
+            BeauCoup(slots=10, threshold=10, num_coupons=64)

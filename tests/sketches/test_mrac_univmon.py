@@ -1,0 +1,109 @@
+"""Unit tests for MRAC (EM) and UnivMon baselines."""
+
+import math
+
+import pytest
+
+from repro.sketches import Mrac, UnivMon
+from repro.sketches.univmon import CountSketch
+
+
+class TestCountSketch:
+    def test_unbiased_point_queries(self):
+        cs = CountSketch(width=1024, depth=5)
+        for _ in range(50):
+            cs.update("a")
+        assert abs(cs.query("a") - 50) <= 5
+
+    def test_signed_counters_can_go_negative(self):
+        cs = CountSketch(width=4, depth=1)
+        for i in range(100):
+            cs.update(f"k{i}")
+        assert cs.counters.min() <= cs.counters.max()
+
+    def test_memory(self):
+        assert CountSketch(width=256, depth=5).memory_bytes == 256 * 5 * 4
+
+
+class TestMrac:
+    def test_counters_partition_packets(self):
+        mrac = Mrac(width=64)
+        for i in range(500):
+            mrac.update(f"k{i % 20}")
+        assert mrac.counters.sum() == 500
+
+    def test_distribution_recovers_flow_count(self):
+        mrac = Mrac(width=4096)
+        num_flows = 800
+        for i in range(num_flows):
+            for _ in range((i % 3) + 1):
+                mrac.update(f"k{i}")
+        est_flows = mrac.estimate_flow_count(iterations=20)
+        assert abs(est_flows - num_flows) / num_flows < 0.15
+
+    def test_entropy_estimate_close(self):
+        mrac = Mrac(width=4096)
+        truth_sizes = []
+        for i in range(600):
+            size = (i % 5) + 1
+            truth_sizes.append(size)
+            for _ in range(size):
+                mrac.update(f"k{i}")
+        total = sum(truth_sizes)
+        h_true = -sum((s / total) * math.log(s / total) for s in truth_sizes)
+        h_est = mrac.estimate_entropy(iterations=20)
+        assert abs(h_est - h_true) / h_true < 0.1
+
+    def test_empty_distribution(self):
+        assert Mrac(width=16).estimate_distribution() == {}
+
+    def test_large_counters_kept_as_elephants(self):
+        mrac = Mrac(width=256)
+        mrac.update("elephant", weight=10_000)
+        dist = mrac.estimate_distribution(max_size=100)
+        assert dist.get(10_000, 0) >= 1
+
+
+class TestUnivMon:
+    def make_populated(self, num_flows=400, seed=0xBB):
+        um = UnivMon(width=512, depth=5, levels=10, top_k=64, seed=seed)
+        for i in range(num_flows):
+            for _ in range((i % 9) + 1):
+                um.update(("flow", i))
+        return um
+
+    def test_sampling_levels_halve(self):
+        um = UnivMon(width=64, levels=8, top_k=1024)
+        for i in range(2000):
+            um.update(i)
+        # Level l receives roughly half of level l-1's distinct keys.
+        sizes = [len(level.keys) for level in um.levels[:4]]
+        for a, b in zip(sizes, sizes[1:]):
+            assert b < a
+
+    def test_cardinality_estimate(self):
+        um = self.make_populated()
+        est = um.estimate_cardinality()
+        assert abs(est - 400) / 400 < 0.6
+
+    def test_entropy_estimate(self):
+        um = self.make_populated()
+        sizes = [(i % 9) + 1 for i in range(400)]
+        total = sum(sizes)
+        h_true = -sum((s / total) * math.log(s / total) for s in sizes)
+        h_est = um.estimate_entropy()
+        assert abs(h_est - h_true) / h_true < 0.35
+
+    def test_heavy_hitters_found(self):
+        um = UnivMon(width=1024, depth=5, levels=8, top_k=32)
+        for _ in range(500):
+            um.update("elephant")
+        for i in range(200):
+            um.update(("mouse", i))
+        assert "elephant" in um.heavy_hitters(threshold=250)
+
+    def test_total_packets_tracked(self):
+        um = UnivMon(width=64, levels=4)
+        for _ in range(25):
+            um.update("x")
+        assert um.total_packets == 25

@@ -1,0 +1,84 @@
+"""Unit tests for the standalone Odd Sketch."""
+
+import pytest
+
+from repro.sketches import OddSketch
+from repro.sketches.oddsketch import (
+    jaccard_from_difference,
+    symmetric_difference_estimate,
+)
+
+
+class TestEstimatorMath:
+    def test_zero_bits_means_empty_difference(self):
+        assert symmetric_difference_estimate(0, 1024) == 0.0
+
+    def test_saturation_bound(self):
+        assert symmetric_difference_estimate(512, 1024) == 1024.0
+
+    def test_monotone_in_odd_bits(self):
+        values = [symmetric_difference_estimate(z, 1024) for z in range(0, 500, 50)]
+        assert values == sorted(values)
+
+    def test_jaccard_identical_sets(self):
+        assert jaccard_from_difference(100, 100, 0) == 1.0
+
+    def test_jaccard_disjoint_sets(self):
+        assert jaccard_from_difference(100, 100, 200) == 0.0
+
+    def test_jaccard_half_overlap(self):
+        # |A| = |B| = 100, 50 shared -> union 150, intersection 50.
+        assert jaccard_from_difference(100, 100, 100) == pytest.approx(1 / 3)
+
+
+class TestOddSketch:
+    def test_size_estimate(self):
+        sk = OddSketch(num_bits=8192)
+        for i in range(1000):
+            sk.update(("item", i))
+        assert abs(sk.estimate_size() - 1000) / 1000 < 0.1
+
+    def test_even_multiplicity_cancels(self):
+        sk = OddSketch(num_bits=1024)
+        for _ in range(2):
+            for i in range(100):
+                sk.update(("item", i))
+        assert sk.odd_bit_count() == 0
+
+    def test_even_weight_skipped(self):
+        sk = OddSketch(num_bits=64)
+        sk.update("x", weight=4)
+        assert sk.odd_bit_count() == 0
+
+    def test_symmetric_difference(self):
+        a = OddSketch(num_bits=8192, seed=5)
+        b = OddSketch(num_bits=8192, seed=5)
+        shared = [("s", i) for i in range(500)]
+        only_a = [("a", i) for i in range(250)]
+        only_b = [("b", i) for i in range(250)]
+        for item in shared + only_a:
+            a.update(item)
+        for item in shared + only_b:
+            b.update(item)
+        est = a.symmetric_difference(b)
+        assert abs(est - 500) / 500 < 0.15
+
+    def test_jaccard_estimate(self):
+        a = OddSketch(num_bits=8192, seed=5)
+        b = OddSketch(num_bits=8192, seed=5)
+        for i in range(600):
+            a.update(i)
+        for i in range(300, 900):
+            b.update(i)
+        # |A| = |B| = 600, intersection 300, union 900 -> J = 1/3.
+        est = a.jaccard(b, a.estimate_size(), b.estimate_size())
+        assert abs(est - 1 / 3) < 0.1
+
+    def test_incompatible_sketches_rejected(self):
+        with pytest.raises(ValueError):
+            OddSketch(64, seed=1).symmetric_difference(OddSketch(64, seed=2))
+        with pytest.raises(ValueError):
+            OddSketch(64, seed=1).symmetric_difference(OddSketch(128, seed=1))
+
+    def test_memory(self):
+        assert OddSketch(num_bits=8192).memory_bytes == 1024

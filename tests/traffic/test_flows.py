@@ -1,0 +1,118 @@
+"""Unit tests for flow-key definitions and exact ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.flows import (
+    FlowKeyDef,
+    KEY_5TUPLE,
+    KEY_DST_IP,
+    KEY_IP_PAIR,
+    KEY_SRC_IP,
+    empirical_entropy,
+    flow_size_distribution,
+)
+from repro.traffic.packet import Packet
+from repro.traffic.trace import Trace
+
+
+def tiny_trace():
+    packets = [
+        Packet(src_ip=1, dst_ip=10, src_port=5, dst_port=80, timestamp=0),
+        Packet(src_ip=1, dst_ip=10, src_port=5, dst_port=80, timestamp=10),
+        Packet(src_ip=1, dst_ip=11, src_port=5, dst_port=80, timestamp=25),
+        Packet(src_ip=2, dst_ip=10, src_port=6, dst_port=80, timestamp=30),
+    ]
+    return Trace.from_packets(packets)
+
+
+class TestFlowKeyDef:
+    def test_of_full_field(self):
+        assert KEY_SRC_IP.total_bits == 32
+        assert KEY_SRC_IP.describe() == "src_ip"
+
+    def test_of_prefix(self):
+        key = FlowKeyDef.of(("src_ip", 24))
+        assert key.total_bits == 24
+        assert key.describe() == "src_ip/24"
+
+    def test_extract_prefix_drops_host_bits(self):
+        key = FlowKeyDef.of(("src_ip", 24))
+        a = key.extract({"src_ip": 0x0A000001})
+        b = key.extract({"src_ip": 0x0A0000FF})
+        assert a == b == (0x0A0000,)
+
+    def test_extract_matches_extract_columns(self):
+        trace = tiny_trace()
+        rows = KEY_5TUPLE.extract_columns(trace.columns)
+        for i, fields in enumerate(trace.iter_fields()):
+            assert tuple(rows[i]) == KEY_5TUPLE.extract(fields)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            FlowKeyDef.of("no_such_field")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            FlowKeyDef.of()
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            FlowKeyDef.of(("src_ip", 40))
+
+    def test_mask_spec(self):
+        assert KEY_IP_PAIR.mask_spec() == {"src_ip": 32, "dst_ip": 32}
+
+
+class TestGroundTruth:
+    def test_flow_sizes(self):
+        sizes = tiny_trace().flow_sizes(KEY_SRC_IP)
+        assert sizes == {(1,): 3, (2,): 1}
+
+    def test_flow_sizes_by_bytes(self):
+        trace = tiny_trace()
+        sizes = trace.flow_sizes(KEY_SRC_IP, by_bytes=True)
+        assert sizes[(1,)] == 3 * 64 and sizes[(2,)] == 64
+
+    def test_distinct_counts(self):
+        counts = tiny_trace().distinct_counts(KEY_SRC_IP, KEY_DST_IP)
+        assert counts == {(1,): 2, (2,): 1}
+
+    def test_cardinality(self):
+        assert tiny_trace().cardinality(KEY_5TUPLE) == 3
+        assert tiny_trace().cardinality(KEY_SRC_IP) == 2
+
+    def test_heavy_hitters(self):
+        assert tiny_trace().heavy_hitters(KEY_SRC_IP, 2) == {(1,)}
+
+    def test_max_values(self):
+        trace = Trace.from_packets(
+            [
+                Packet(1, 2, 3, 4, queue_length=10),
+                Packet(1, 2, 3, 4, queue_length=30),
+                Packet(9, 2, 3, 4, queue_length=20),
+            ]
+        )
+        assert trace.max_values(KEY_SRC_IP, "queue_length") == {(1,): 30, (9,): 20}
+
+    def test_max_interarrival(self):
+        gaps = tiny_trace().max_interarrival(KEY_SRC_IP)
+        # Flow 1 arrives at 0, 10, 25 -> max gap 15; flow 2 has one packet.
+        assert gaps == {(1,): 15, (2,): 0}
+
+    def test_entropy_uniform_flows(self):
+        trace = Trace.from_packets(
+            [Packet(i, 0, 0, 0) for i in range(4)]
+        )
+        assert trace.entropy(KEY_SRC_IP) == pytest.approx(np.log(4))
+
+    def test_entropy_single_flow_is_zero(self):
+        trace = Trace.from_packets([Packet(1, 0, 0, 0)] * 5)
+        assert trace.entropy(KEY_SRC_IP) == 0.0
+
+    def test_flow_size_distribution(self):
+        dist = flow_size_distribution([1, 1, 3, 3, 3, 7])
+        assert dist == {1: 2, 3: 3, 7: 1}
+
+    def test_empirical_entropy_empty(self):
+        assert empirical_entropy([]) == 0.0

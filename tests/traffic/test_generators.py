@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    KEY_5TUPLE,
+    KEY_DST_IP,
+    KEY_IP_PAIR,
+    KEY_SRC_IP,
+    ddos_trace,
+    portscan_trace,
+    superspreader_trace,
+    uniform_trace,
+    zipf_trace,
+)
+from repro.traffic.flows import FlowKeyDef
+
+
+class TestZipfTrace:
+    def test_deterministic_given_seed(self):
+        a = zipf_trace(num_flows=100, num_packets=1000, seed=5)
+        b = zipf_trace(num_flows=100, num_packets=1000, seed=5)
+        assert np.array_equal(a.columns["src_ip"], b.columns["src_ip"])
+
+    def test_seed_changes_trace(self):
+        a = zipf_trace(num_flows=100, num_packets=1000, seed=5)
+        b = zipf_trace(num_flows=100, num_packets=1000, seed=6)
+        assert not np.array_equal(a.columns["src_ip"], b.columns["src_ip"])
+
+    def test_flow_count_exact(self):
+        trace = zipf_trace(num_flows=500, num_packets=5000, seed=1)
+        assert trace.cardinality(KEY_5TUPLE) == 500
+
+    def test_packet_count_close_to_request(self):
+        trace = zipf_trace(num_flows=500, num_packets=5000, seed=1)
+        assert 4000 <= len(trace) <= 6500
+
+    def test_heavy_tail(self):
+        """With alpha > 1, the largest flow dominates the median flow."""
+        trace = zipf_trace(num_flows=1000, num_packets=50_000, alpha=1.2, seed=2)
+        sizes = sorted(trace.flow_sizes(KEY_5TUPLE).values())
+        assert sizes[-1] > 100 * sizes[len(sizes) // 2]
+
+    def test_timestamps_sorted_and_bounded(self):
+        trace = zipf_trace(num_flows=50, num_packets=500, duration_us=10_000, seed=3)
+        ts = trace.columns["timestamp"]
+        assert np.all(np.diff(ts) >= 0)
+        assert ts.max() < 10_000
+
+    def test_packet_sizes_realistic(self):
+        trace = zipf_trace(num_flows=50, num_packets=500, seed=3)
+        sizes = trace.columns["pkt_bytes"]
+        assert sizes.min() >= 64 and sizes.max() <= 1500
+
+
+class TestUniformTrace:
+    def test_all_flows_equal_size(self):
+        trace = uniform_trace(num_flows=100, packets_per_flow=7, seed=4)
+        sizes = set(trace.flow_sizes(KEY_5TUPLE).values())
+        assert sizes == {7}
+
+
+class TestScenarioTraces:
+    def test_ddos_victims_have_many_sources(self):
+        trace = ddos_trace(
+            num_victims=5,
+            sources_per_victim=300,
+            background_flows=500,
+            background_packets=2000,
+            seed=8,
+        )
+        counts = trace.distinct_counts(KEY_DST_IP, KEY_SRC_IP)
+        victims = [k for k, v in counts.items() if v >= 290]
+        assert len(victims) == 5
+
+    def test_superspreaders_contact_many_destinations(self):
+        trace = superspreader_trace(
+            num_spreaders=3,
+            contacts_per_spreader=400,
+            background_flows=300,
+            background_packets=1000,
+            seed=9,
+        )
+        counts = trace.distinct_counts(KEY_SRC_IP, KEY_DST_IP)
+        spreaders = [k for k, v in counts.items() if v >= 390]
+        assert len(spreaders) == 3
+
+    def test_portscan_pairs_touch_many_ports(self):
+        trace = portscan_trace(
+            num_scanners=2,
+            ports_per_scan=250,
+            background_flows=300,
+            background_packets=1000,
+            seed=10,
+        )
+        counts = trace.distinct_counts(KEY_IP_PAIR, FlowKeyDef.of("dst_port"))
+        scanners = [k for k, v in counts.items() if v >= 250]
+        assert len(scanners) == 2
+
+    def test_scenarios_time_sorted(self):
+        trace = ddos_trace(
+            num_victims=2,
+            sources_per_victim=50,
+            background_flows=100,
+            background_packets=300,
+            seed=11,
+        )
+        assert np.all(np.diff(trace.columns["timestamp"]) >= 0)

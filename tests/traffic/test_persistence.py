@@ -1,0 +1,29 @@
+"""Unit tests for trace save/load."""
+
+import numpy as np
+
+from repro.traffic import Trace, zipf_trace
+
+
+class TestTracePersistence:
+    def test_round_trip(self, tmp_path):
+        trace = zipf_trace(num_flows=200, num_packets=2000, seed=4)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == len(trace)
+        for name, column in trace.columns.items():
+            assert np.array_equal(loaded.columns[name], column)
+
+    def test_ground_truth_survives(self, tmp_path):
+        from repro.traffic import KEY_SRC_IP
+
+        trace = zipf_trace(num_flows=100, num_packets=1000, seed=5)
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        assert Trace.load(path).flow_sizes(KEY_SRC_IP) == trace.flow_sizes(KEY_SRC_IP)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        Trace.empty().save(path)
+        assert len(Trace.load(path)) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the egress-queue model."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import Trace, zipf_trace
+from repro.traffic.flows import KEY_SRC_IP
+from repro.traffic.queueing import QueueModel, apply_queue_model
+
+
+class TestQueueModel:
+    def test_idle_queue_stays_empty(self):
+        model = QueueModel(drain_bytes_per_us=1000.0)
+        # Packets far apart: every arrival sees an empty queue.
+        ts = np.array([0, 10_000, 20_000], dtype=np.int64)
+        sizes = np.array([100, 100, 100], dtype=np.int64)
+        lengths, delays = model.simulate(ts, sizes)
+        assert (lengths == 0).all() and (delays == 0).all()
+
+    def test_burst_builds_backlog(self):
+        model = QueueModel(drain_bytes_per_us=1.0)
+        ts = np.zeros(5, dtype=np.int64)  # simultaneous burst
+        sizes = np.full(5, 100, dtype=np.int64)
+        lengths, _ = model.simulate(ts, sizes)
+        # Packet i observes i * 100 bytes of backlog.
+        assert list(lengths) == [0, 100, 200, 300, 400]
+
+    def test_delay_is_backlog_over_rate(self):
+        model = QueueModel(drain_bytes_per_us=2.0)
+        ts = np.zeros(3, dtype=np.int64)
+        sizes = np.full(3, 100, dtype=np.int64)
+        lengths, delays = model.simulate(ts, sizes)
+        for length, delay in zip(lengths, delays):
+            assert delay == length // 2
+
+    def test_queue_drains_between_bursts(self):
+        model = QueueModel(drain_bytes_per_us=1.0)
+        ts = np.array([0, 0, 500], dtype=np.int64)
+        sizes = np.array([100, 100, 100], dtype=np.int64)
+        lengths, _ = model.simulate(ts, sizes)
+        # 200 bytes backlog drains fully within 500 us at 1 B/us.
+        assert lengths[2] == 0
+
+    def test_capacity_caps_backlog(self):
+        model = QueueModel(drain_bytes_per_us=0.001, capacity_bytes=250)
+        ts = np.zeros(10, dtype=np.int64)
+        sizes = np.full(10, 100, dtype=np.int64)
+        lengths, _ = model.simulate(ts, sizes)
+        assert lengths.max() <= 250
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            QueueModel(drain_bytes_per_us=0).simulate(
+                np.array([0]), np.array([1])
+            )
+
+
+class TestApplyQueueModel:
+    def test_replaces_queue_columns_only(self):
+        trace = zipf_trace(num_flows=200, num_packets=2000, seed=6)
+        modeled = apply_queue_model(trace, QueueModel(drain_bytes_per_us=50.0))
+        assert np.array_equal(modeled.columns["src_ip"], trace.columns["src_ip"])
+        assert not np.array_equal(
+            modeled.columns["queue_length"], trace.columns["queue_length"]
+        )
+
+    def test_congestion_task_sees_modeled_queues(self):
+        """End-to-end: a Max(queue_length) task measures the queue model."""
+        from repro.core.controller import FlyMonController
+        from repro.core.task import AttributeSpec, MeasurementTask
+
+        trace = apply_queue_model(
+            zipf_trace(num_flows=300, num_packets=5000, seed=7),
+            QueueModel(drain_bytes_per_us=20.0),
+        )
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=AttributeSpec.maximum("queue_length"),
+                memory=8192,
+                depth=3,
+                algorithm="sumax_max",
+            )
+        )
+        controller.process_trace(trace)
+        truth = trace.max_values(KEY_SRC_IP, "queue_length")
+        for flow, value in list(truth.items())[:50]:
+            assert handle.algorithm.query(flow) >= value
+
+    def test_unsorted_trace_rejected(self):
+        trace = zipf_trace(num_flows=10, num_packets=100, seed=8)
+        shuffled = trace.select(np.random.default_rng(0).permutation(len(trace)))
+        with pytest.raises(ValueError):
+            apply_queue_model(shuffled)

@@ -1,0 +1,83 @@
+"""Unit tests for the columnar trace container."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.packet import PACKET_FIELDS, Packet, format_ip, ip
+from repro.traffic.trace import Trace
+
+
+class TestPacketHelpers:
+    def test_ip_round_trip(self):
+        value = ip(10, 1, 2, 3)
+        assert value == 0x0A010203
+        assert format_ip(value) == "10.1.2.3"
+
+    def test_ip_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            ip(256, 0, 0, 0)
+
+    def test_fields_covers_all_columns(self):
+        assert set(Packet(1, 2, 3, 4).fields()) == set(PACKET_FIELDS)
+
+    def test_five_tuple(self):
+        assert Packet(1, 2, 3, 4, 17).five_tuple() == (1, 2, 3, 4, 17)
+
+
+class TestTrace:
+    def test_from_packets_round_trip(self):
+        packets = [Packet(1, 2, 3, 4, timestamp=7), Packet(5, 6, 7, 8, timestamp=9)]
+        trace = Trace.from_packets(packets)
+        assert len(trace) == 2
+        assert trace.packet(1).src_ip == 5
+        assert list(trace.iter_packets())[0].timestamp == 7
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError):
+            Trace({"src_ip": np.array([1])})
+
+    def test_length_mismatch_rejected(self):
+        cols = {f: np.array([1]) for f in PACKET_FIELDS}
+        cols["dst_ip"] = np.array([1, 2])
+        with pytest.raises(ValueError):
+            Trace(cols)
+
+    def test_empty(self):
+        trace = Trace.empty()
+        assert len(trace) == 0 and trace.duration_us == 0
+
+    def test_concatenate_and_sort(self):
+        a = Trace.from_packets([Packet(1, 0, 0, 0, timestamp=10)])
+        b = Trace.from_packets([Packet(2, 0, 0, 0, timestamp=5)])
+        merged = Trace.concatenate([a, b]).sorted_by_time()
+        assert [p.src_ip for p in merged.iter_packets()] == [2, 1]
+
+    def test_split_epochs_partitions_all_packets(self):
+        packets = [Packet(i, 0, 0, 0, timestamp=i * 10) for i in range(20)]
+        trace = Trace.from_packets(packets)
+        epochs = trace.split_epochs(4)
+        assert len(epochs) == 4
+        assert sum(len(e) for e in epochs) == 20
+        # Time ordering across epochs is preserved.
+        boundaries = [e.columns["timestamp"] for e in epochs if len(e)]
+        for earlier, later in zip(boundaries, boundaries[1:]):
+            assert earlier.max() < later.min()
+
+    def test_split_epochs_empty_trace(self):
+        assert all(len(e) == 0 for e in Trace.empty().split_epochs(3))
+
+    def test_split_epochs_invalid(self):
+        with pytest.raises(ValueError):
+            Trace.empty().split_epochs(0)
+
+    def test_iter_fields_values_are_python_ints(self):
+        trace = Trace.from_packets([Packet(1, 2, 3, 4)])
+        fields = next(iter(trace))
+        assert all(isinstance(v, int) for v in fields.values())
+
+    def test_filter_mask(self):
+        trace = Trace.from_packets(
+            [Packet(1, 0, 0, 0), Packet(2, 0, 0, 0), Packet(3, 0, 0, 0)]
+        )
+        picked = trace.filter_mask(trace.columns["src_ip"] > 1)
+        assert len(picked) == 2
