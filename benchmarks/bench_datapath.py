@@ -8,6 +8,8 @@ forwarding path).
 
 import pytest
 
+from conftest import run_once_timed, write_bench_json
+
 from repro.core.controller import FlyMonController
 from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
 from repro.traffic import KEY_SRC_IP, zipf_trace
@@ -41,20 +43,25 @@ def _drive(controller, packets):
     return len(packets)
 
 
-def test_throughput_one_task(benchmark, packets):
-    controller = make_controller(1)
-    processed = benchmark.pedantic(
-        _drive, args=(controller, packets), rounds=1, iterations=1
-    )
+def _throughput_bench(benchmark, packets, num_tasks: int, name: str) -> None:
+    controller = make_controller(num_tasks)
+    processed, seconds = run_once_timed(benchmark, _drive, controller, packets)
     assert processed == len(packets)
+    write_bench_json(
+        name,
+        seconds=seconds,
+        packets=processed,
+        packets_per_second=processed / seconds if seconds else None,
+        params={"tasks": num_tasks},
+    )
+
+
+def test_throughput_one_task(benchmark, packets):
+    _throughput_bench(benchmark, packets, 1, "throughput_one_task")
 
 
 def test_throughput_three_tasks(benchmark, packets):
-    controller = make_controller(3)
-    processed = benchmark.pedantic(
-        _drive, args=(controller, packets), rounds=1, iterations=1
-    )
-    assert processed == len(packets)
+    _throughput_bench(benchmark, packets, 3, "throughput_three_tasks")
 
 
 def test_compression_stage_cost(benchmark):
@@ -73,4 +80,11 @@ def test_compression_stage_cost(benchmark):
             group.compress(fields)
         return True
 
-    assert benchmark.pedantic(compress_many, rounds=1, iterations=1)
+    ok, seconds = run_once_timed(benchmark, compress_many)
+    assert ok
+    write_bench_json(
+        "compression_stage_cost",
+        seconds=seconds,
+        compressions_per_second=1000 / seconds if seconds else None,
+        params={"hash_units": 3},
+    )

@@ -1,0 +1,88 @@
+"""Micro-benchmark: telemetry cost on the simulated datapath hot path.
+
+Quantifies (a) the *disabled* overhead of the instrumented
+``Pipeline.process`` against the uninstrumented loop body -- the guarded
+flag check must stay under 5% (also enforced by
+``tests/dataplane/test_telemetry_overhead.py``) -- and (b) the *enabled*
+cost with per-stage counters and 1-in-64 sampled spans, so users can judge
+whether to leave telemetry on during experiments.
+"""
+
+from conftest import run_once_timed, write_bench_json
+
+from repro import telemetry
+from repro.dataplane.pipeline import Pipeline
+
+PACKETS = 20_000
+
+
+def build_pipeline() -> Pipeline:
+    pipeline = Pipeline()
+    for stage in pipeline.stages:
+        stage.add_hook(lambda fields: None)
+    return pipeline
+
+
+def drive(fn, fields, n=PACKETS):
+    for _ in range(n):
+        fn(fields)
+    return n
+
+
+def test_disabled_overhead(benchmark):
+    pipeline = build_pipeline()
+    fields = {"src_ip": 0x0A000001, "dst_ip": 0x14000002}
+
+    def uninstrumented(packet_fields, pipeline=pipeline):
+        # The exact pre-instrumentation body of Pipeline.process.
+        for stage in pipeline.stages:
+            stage.process(packet_fields)
+
+    telemetry.disable()
+    drive(uninstrumented, fields, 2_000)  # warm-up
+    drive(pipeline.process, fields, 2_000)
+
+    def compare():
+        from time import perf_counter
+
+        base = instrumented = float("inf")
+        for _ in range(5):
+            t0 = perf_counter()
+            drive(uninstrumented, fields)
+            base = min(base, perf_counter() - t0)
+            t0 = perf_counter()
+            drive(pipeline.process, fields)
+            instrumented = min(instrumented, perf_counter() - t0)
+        return base, instrumented
+
+    (base, instrumented), seconds = run_once_timed(benchmark, compare)
+    overhead = instrumented / base - 1.0
+    write_bench_json(
+        "telemetry_overhead",
+        seconds=seconds,
+        packets=PACKETS,
+        baseline_seconds=base,
+        instrumented_disabled_seconds=instrumented,
+        disabled_overhead_fraction=overhead,
+        params={"stages": pipeline.num_stages, "hooks_per_stage": 1},
+    )
+    assert overhead < 0.05, f"telemetry-disabled overhead {overhead:.1%} >= 5%"
+
+
+def test_enabled_cost(benchmark):
+    pipeline = build_pipeline()
+    fields = {"src_ip": 0x0A000001, "dst_ip": 0x14000002}
+    telemetry.reset()
+    telemetry.enable(sample_interval=64)
+    try:
+        processed, seconds = run_once_timed(benchmark, drive, pipeline.process, fields)
+    finally:
+        telemetry.disable()
+    write_bench_json(
+        "telemetry_enabled_cost",
+        seconds=seconds,
+        packets=processed,
+        packets_per_second=processed / seconds if seconds else None,
+        params={"sample_interval": 64, "stages": pipeline.num_stages},
+    )
+    assert processed == PACKETS

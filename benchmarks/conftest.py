@@ -5,13 +5,27 @@ harness once (``rounds=1`` -- these are end-to-end evaluation regenerations,
 not micro-benchmarks) and prints the paper-style rows so ``pytest
 benchmarks/ --benchmark-only`` reproduces the whole evaluation section.
 
+Besides the printed rows, every bench persists a machine-readable
+``BENCH_<name>.json`` (wall time, parameters, any extra payload) under
+``benchmarks/results/`` -- override the directory with ``FLYMON_BENCH_DIR``
+-- so the performance trajectory across commits can be tracked.
+
 Set ``FLYMON_FULL=1`` in the environment to run at full (paper-like) scale
 instead of the quick CI scale.
 """
 
+import json
 import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
 
 import pytest
+
+RESULTS_DIR = Path(
+    os.environ.get("FLYMON_BENCH_DIR", Path(__file__).resolve().parent / "results")
+)
 
 
 @pytest.fixture(scope="session")
@@ -19,6 +33,51 @@ def quick() -> bool:
     return os.environ.get("FLYMON_FULL", "") != "1"
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+def write_bench_json(name: str, **payload) -> Path:
+    """Persist one bench's machine-readable result as ``BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload.setdefault("name", name)
+    payload.setdefault("python", platform.python_version())
+    payload.setdefault("machine", platform.machine())
+    payload.setdefault(
+        "recorded_at", datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path
+
+
+def _bench_name(benchmark, fn) -> str:
+    raw = getattr(benchmark, "name", None) or fn.__name__
+    raw = raw.split("[")[0]  # strip any parametrization id
+    return raw[5:] if raw.startswith("test_") else raw
+
+
+def run_once(benchmark, fn, *args, params=None, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Also writes ``BENCH_<name>.json`` (name derived from the test) with the
+    measured wall time and the call parameters.
+    """
+    result, seconds = run_once_timed(benchmark, fn, *args, **kwargs)
+    write_bench_json(
+        _bench_name(benchmark, fn),
+        seconds=seconds,
+        params=params if params is not None else dict(kwargs),
+    )
+    return result
+
+
+def run_once_timed(benchmark, fn, *args, **kwargs):
+    """Like :func:`run_once` but returns ``(result, seconds)`` and writes no
+    JSON -- for benches that derive throughput figures before persisting."""
+    timing = {}
+
+    def timed(*call_args, **call_kwargs):
+        start = time.perf_counter()
+        out = fn(*call_args, **call_kwargs)
+        timing["seconds"] = time.perf_counter() - start
+        return out
+
+    result = benchmark.pedantic(timed, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return result, timing["seconds"]

@@ -4,17 +4,23 @@ Usage::
 
     python -m repro list-algorithms
     python -m repro list-experiments
-    python -m repro run <experiment> [--full]
+    python -m repro run <experiment> [--full] [--telemetry PATH]
+    python -m repro stats [--experiment NAME | --input PATH] [--format FMT]
     python -m repro demo
 
 ``run`` accepts the experiment names printed by ``list-experiments``
-(e.g. ``fig13`` or ``table3``) and prints the paper-style rows.
+(e.g. ``fig13`` or ``table3``) and prints the paper-style rows.  With
+``--telemetry PATH`` the run executes with telemetry enabled and dumps the
+full control-plane event log plus a metrics snapshot to ``PATH`` as JSON.
+``stats`` renders such an artifact (or produces a fresh one by running an
+experiment) as a summary, Prometheus text, or JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 from typing import List, Optional
 
@@ -54,6 +60,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="paper-like workload scale (slower) instead of the quick scale",
+    )
+    run.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and dump the event log + metrics snapshot "
+        "to PATH as JSON after the run",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="telemetry snapshot: events, metrics, utilization"
+    )
+    stats.add_argument(
+        "--experiment",
+        choices=sorted(EXPERIMENTS),
+        default="table3",
+        help="experiment to run under telemetry (default: table3)",
+    )
+    stats.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help="render an existing --telemetry artifact instead of running",
+    )
+    stats.add_argument(
+        "--format",
+        choices=("summary", "prometheus", "json"),
+        default="summary",
+        help="output format (default: summary)",
     )
 
     report = sub.add_parser(
@@ -117,10 +152,108 @@ def cmd_list_experiments() -> int:
     return 0
 
 
-def cmd_run(experiment: str, full: bool) -> int:
+def _datapath_probe(num_packets: int = 512) -> None:
+    """Drive a small deployment + trace so a telemetry dump always carries
+    datapath signals (pipeline/stage/register counters, sampled spans,
+    utilization gauges) even for control-plane-only experiments."""
+    from repro.core.controller import FlyMonController
+    from repro.core.task import AttributeSpec, MeasurementTask
+    from repro.traffic import KEY_SRC_IP, zipf_trace
+
+    controller = FlyMonController(num_groups=3)
+    handle = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=4096,
+            depth=3,
+            algorithm="cms",
+        )
+    )
+    trace = zipf_trace(num_flows=128, num_packets=num_packets, seed=7)
+    controller.process_trace(trace)
+    controller.record_telemetry()
+    controller.remove_task(handle)
+
+
+def _run_with_telemetry(experiment: str, full: bool, path: str):
+    """Run an experiment instrumented; dump the artifact to ``path``."""
+    from repro import telemetry
+
+    module = importlib.import_module(EXPERIMENTS[experiment])
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        result = module.run(quick=not full)
+        _datapath_probe()
+        snapshot = telemetry.write_artifact(
+            path,
+            meta={
+                "experiment": experiment,
+                "scale": "full" if full else "quick",
+                "sample_interval": telemetry.TELEMETRY.tracer.sample_interval,
+                "datapath_probe": True,
+            },
+        )
+    finally:
+        telemetry.disable()
+    return module, result, snapshot
+
+
+def cmd_run(experiment: str, full: bool, telemetry_path: Optional[str] = None) -> int:
+    if telemetry_path is not None:
+        parent = os.path.dirname(telemetry_path) or "."
+        if not os.path.isdir(parent):
+            print(
+                f"error: telemetry path directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
+        module, result, snapshot = _run_with_telemetry(
+            experiment, full, telemetry_path
+        )
+        print(module.format_result(result))
+        events = len(snapshot["events"])
+        print(f"telemetry: {events} events -> {telemetry_path}")
+        return 0
     module = importlib.import_module(EXPERIMENTS[experiment])
     result = module.run(quick=not full)
     print(module.format_result(result))
+    return 0
+
+
+def cmd_stats(experiment: str, input_path: Optional[str], format: str) -> int:
+    import json
+
+    from repro import telemetry
+
+    if input_path is not None:
+        try:
+            snapshot = telemetry.load_artifact(input_path)
+        except FileNotFoundError:
+            print(f"error: no telemetry artifact at {input_path}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {input_path} is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+    else:
+        module = importlib.import_module(EXPERIMENTS[experiment])
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            module.run(quick=True)
+            _datapath_probe()
+            snapshot = telemetry.build_snapshot(
+                meta={"experiment": experiment, "scale": "quick"}
+            )
+        finally:
+            telemetry.disable()
+    if format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+    elif format == "prometheus":
+        print(telemetry.to_prometheus(snapshot["metrics"]), end="")
+    else:
+        print(telemetry.summarize(snapshot))
     return 0
 
 
@@ -166,7 +299,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list-experiments":
         return cmd_list_experiments()
     if args.command == "run":
-        return cmd_run(args.experiment, args.full)
+        return cmd_run(args.experiment, args.full, args.telemetry)
+    if args.command == "stats":
+        return cmd_stats(args.experiment, args.input, args.format)
     if args.command == "report":
         return cmd_report(args.output, args.fast_only)
     if args.command == "demo":

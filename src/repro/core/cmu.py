@@ -39,6 +39,7 @@ from repro.core.task import TaskFilter
 from repro.dataplane.hashing import HashFunction
 from repro.dataplane.register import Register
 from repro.dataplane.tables import TableEntry, TernaryMatchTable
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 #: Filter fields every task-selection table matches on.
 FILTER_FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "protocol")
@@ -102,6 +103,8 @@ class Cmu:
         self._sample_hash = HashFunction(0x5A5A ^ (group_id << 8) ^ index)
         #: Data-plane digests: {task_id: set of reported flow keys}.
         self._digests: Dict[int, set] = {}
+        #: Cached telemetry handle (bound on first use while enabled).
+        self._access_counter = None
 
     # -- control plane ------------------------------------------------------
 
@@ -236,6 +239,14 @@ class Cmu:
         p1 = config.p1_processor.apply(p1, fields)
         # Operation: stateful update; export result and processed p1.
         result = self.register.execute(config.op, index, p1, p2)
+        if _TELEMETRY.enabled:
+            if self._access_counter is None:
+                self._access_counter = _TELEMETRY.registry.counter(
+                    "flymon_register_accesses_total",
+                    group=str(self.group_id),
+                    cmu=str(self.index),
+                )
+            self._access_counter.inc()
         fields[result_field(self.group_id, self.index)] = result
         fields[param_field(self.group_id, self.index)] = p1
         # Data-plane alarm digest (threshold-crossing report).

@@ -17,6 +17,7 @@ from repro.core.compression import CompressedKeyManager
 from repro.dataplane.hashing import DynamicHashUnit
 from repro.dataplane.phv import STANDARD_HEADER_FIELDS, FieldSpec
 from repro.dataplane.resources import ResourceVector, sram_blocks_for
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 #: Stage labels in pipeline order.
 STAGE_COMPRESSION = "compression"
@@ -56,6 +57,8 @@ class CmuGroup:
         self.cmus = [
             Cmu(group_id, i, register_size, bucket_bits) for i in range(num_cmus)
         ]
+        #: Cached telemetry handle (bound on first use while enabled).
+        self._packet_counter = None
 
     # -- data plane ---------------------------------------------------------
 
@@ -65,6 +68,12 @@ class CmuGroup:
 
     def process(self, fields: Dict[str, int]) -> None:
         """Run one packet through all four stages of the group."""
+        if _TELEMETRY.enabled:
+            if self._packet_counter is None:
+                self._packet_counter = _TELEMETRY.registry.counter(
+                    "flymon_group_packets_total", group=str(self.group_id)
+                )
+            self._packet_counter.inc()
         compressed = self.compress(fields)
         for cmu in self.cmus:
             cmu.process(fields, compressed)

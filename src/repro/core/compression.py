@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dataplane.hashing import DynamicHashUnit, HashMask
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 HASH_KEY_BITS = 32
 
@@ -65,6 +66,12 @@ class KeyGrant:
 
     selector: KeySelector
     new_masks: List[Tuple[int, HashMask]]
+
+    @property
+    def reused(self) -> bool:
+        """Whether the grant was served purely from already-configured units
+        (no hash-mask rules needed -- the fast path of §3.4)."""
+        return not self.new_masks
 
 
 class CompressedKeyManager:
@@ -119,14 +126,14 @@ class CompressedKeyManager:
         exact = self._find_committed(target)
         if exact is not None:
             self._refcounts[exact] += 1
-            return KeyGrant(KeySelector((exact,)), [])
+            return self._granted(KeyGrant(KeySelector((exact,)), []))
 
         pair = self._find_xor_pair(target)
         if pair is not None:
             a, b = pair
             self._refcounts[a] += 1
             self._refcounts[b] += 1
-            return KeyGrant(KeySelector((a, b)), [])
+            return self._granted(KeyGrant(KeySelector((a, b)), []))
 
         # Prefer configuring a free unit with only the *remainder* of the key
         # and composing by XOR (§3.4's example: an existing C(SrcIP) plus a
@@ -138,21 +145,33 @@ class CompressedKeyManager:
             self._committed[free] = remainder
             self._refcounts[existing] += 1
             self._refcounts[free] += 1
-            return KeyGrant(KeySelector((existing, free)), [(free, remainder)])
+            return self._granted(
+                KeyGrant(KeySelector((existing, free)), [(free, remainder)])
+            )
 
         free = self._find_free()
         if free is not None:
             self._committed[free] = target
             self._refcounts[free] += 1
-            return KeyGrant(KeySelector((free,)), [(free, target)])
+            return self._granted(KeyGrant(KeySelector((free,)), [(free, target)]))
 
         raise KeyExhaustedError(
             f"no hash unit available for key {target.describe()} "
             f"(committed: {[m.describe() if m else '-' for m in self._committed.values()]})"
         )
 
+    @staticmethod
+    def _granted(grant: KeyGrant) -> KeyGrant:
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter(
+                "flymon_key_grants_total", reused=str(grant.reused).lower()
+            ).inc()
+        return grant
+
     def release(self, selector: KeySelector) -> None:
         """Drop references; fully-released units become reconfigurable."""
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter("flymon_key_releases_total").inc()
         for unit in selector.units:
             if self._refcounts[unit] > 0:
                 self._refcounts[unit] -= 1

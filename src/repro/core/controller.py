@@ -36,6 +36,18 @@ from repro.core.placement import apply_placements, max_groups, plan_cross_stacki
 from repro.core.task import Attribute, MeasurementTask, next_task_id
 from repro.dataplane.pipeline import Pipeline
 from repro.dataplane.runtime import InstallReport, RuntimeApi
+from repro.telemetry import (
+    EV_KEY_GRANT,
+    EV_KEY_RELEASE,
+    EV_PLACEMENT_DECISION,
+    EV_TASK_ADD,
+    EV_TASK_FILTER_UPDATE,
+    EV_TASK_REMOVE,
+    EV_TASK_RESIZE,
+    EV_TASK_SPLIT,
+    TELEMETRY as _TELEMETRY,
+    update_resource_gauges,
+)
 from repro.traffic.flows import FlowKeyDef
 from repro.traffic.trace import Trace
 
@@ -148,7 +160,10 @@ class FlyMonController:
                 self.pipeline, self.groups, plan_cross_stacking(num_stages, num_groups)
             )
         self._allocators: Dict[Tuple[int, int], BuddyAllocator] = {
-            (group.group_id, cmu.index): BuddyAllocator(cmu.register_size)
+            (group.group_id, cmu.index): BuddyAllocator(
+                cmu.register_size,
+                owner=f"cmug{group.group_id}/cmu{cmu.index}",
+            )
             for group in self.groups
             for cmu in group.cmus
         }
@@ -185,11 +200,22 @@ class FlyMonController:
             for m in algorithm.row_memory(base_memory)
         ]
 
-        window, error = self._find_window(task, algorithm, layout, row_memory)
+        window, score, error = self._find_window(task, algorithm, layout, row_memory)
         if window is None:
             raise PlacementError(error or "no feasible placement")
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_PLACEMENT_DECISION,
+                task_id=task_id,
+                algorithm=algorithm_name,
+                groups=[g.group_id for g in window],
+                key_reuse_score=score,
+                rows=len(row_memory),
+            )
 
-        rows, grants = self._claim_window(task, algorithm, layout, row_memory, window)
+        rows, grants = self._claim_window(
+            task, algorithm, layout, row_memory, window, task_id=task_id
+        )
         ctx = PlanContext(
             task=task,
             task_id=task_id,
@@ -215,6 +241,18 @@ class FlyMonController:
             _mem=[(row.cmu, row.mem) for row in rows],
         )
         self._handles[task_id] = handle
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_TASK_ADD,
+                task_id=task_id,
+                algorithm=algorithm_name,
+                memory=base_memory,
+                groups=list(handle.groups_used),
+                rules=report.rules_installed,
+                latency_ms=report.latency_ms,
+            )
+            _TELEMETRY.registry.counter("flymon_task_adds_total").inc()
+            _TELEMETRY.registry.gauge("flymon_tasks_active").set(len(self._handles))
         return handle
 
     def remove_task(self, handle: TaskHandle) -> InstallReport:
@@ -226,7 +264,23 @@ class FlyMonController:
             self._allocators[(cmu.group_id, cmu.index)].free(mem)
         for group, grant in handle._grants:
             group.keys.release(grant.selector)
+            if _TELEMETRY.enabled:
+                _TELEMETRY.events.emit(
+                    EV_KEY_RELEASE,
+                    task_id=handle.task_id,
+                    group=group.group_id,
+                    units=list(grant.selector.units),
+                )
         del self._handles[handle.task_id]
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_TASK_REMOVE,
+                task_id=handle.task_id,
+                rules_removed=report.rules_installed,
+                latency_ms=report.latency_ms,
+            )
+            _TELEMETRY.registry.counter("flymon_task_removes_total").inc()
+            _TELEMETRY.registry.gauge("flymon_tasks_active").set(len(self._handles))
         return report
 
     def update_task_filter(self, handle: TaskHandle, new_filter) -> TaskHandle:
@@ -258,6 +312,13 @@ class FlyMonController:
         self.runtime.install(rules, batch=True)
         handle.task = dataclasses.replace(handle.task, filter=new_filter)
         handle.algorithm.task = handle.task
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_TASK_FILTER_UPDATE,
+                task_id=handle.task_id,
+                filter=new_filter.describe(),
+                rules=len(rules),
+            )
         return handle
 
     def add_split_task(self, task: MeasurementTask, field: str = "src_ip") -> "SplitTaskHandle":
@@ -272,6 +333,12 @@ class FlyMonController:
         low_filter, high_filter = task.filter.split(field)
         low = self.add_task(dataclasses.replace(task, filter=low_filter))
         high = self.add_task(dataclasses.replace(task, filter=high_filter))
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_TASK_SPLIT,
+                field=field,
+                subtask_ids=[low.task_id, high.task_id],
+            )
         return SplitTaskHandle(task=task, subtasks=(low, high))
 
     def resize_task(self, handle: TaskHandle, new_memory: int) -> TaskHandle:
@@ -292,12 +359,28 @@ class FlyMonController:
         except PlacementError:
             self.remove_task(handle)
             try:
-                return self.add_task(new_task)
+                new_handle = self.add_task(new_task)
             except PlacementError:
                 self.add_task(handle.task)  # restore the old allocation
                 raise
+            self._emit_resize(handle, new_handle, "remove_then_add")
+            return new_handle
         self.remove_task(handle)
+        self._emit_resize(handle, new_handle, "make_before_break")
         return new_handle
+
+    def _emit_resize(
+        self, old: TaskHandle, new: TaskHandle, strategy: str
+    ) -> None:
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_TASK_RESIZE,
+                task_id=old.task_id,
+                new_task_id=new.task_id,
+                old_memory=old.task.memory,
+                new_memory=new.task.memory,
+                strategy=strategy,
+            )
 
     @property
     def tasks(self) -> List[TaskHandle]:
@@ -308,7 +391,16 @@ class FlyMonController:
     # ------------------------------------------------------------------
 
     def process_packet(self, fields: Dict[str, int]) -> None:
-        """Run one packet through every group in pipeline order."""
+        """Run one packet through every group in pipeline order.
+
+        With a placed pipeline the packet traverses the MAU stages and each
+        group executes at its operation stage (the hooks that
+        :func:`apply_placements` attached); without one, groups run
+        directly.  Either way the groups see the packet in pipeline order.
+        """
+        if self.pipeline is not None:
+            self.pipeline.process(fields)
+            return
         for group in self.groups:
             group.process(fields)
 
@@ -357,6 +449,14 @@ class FlyMonController:
             return {}
         return self.pipeline.utilization()
 
+    def record_telemetry(self, scope: str = "pipeline") -> Dict[str, float]:
+        """Publish live pipeline utilization as telemetry gauges."""
+        utilization = self.utilization()
+        if utilization:
+            update_resource_gauges(utilization, _TELEMETRY.registry, scope=scope)
+        _TELEMETRY.registry.gauge("flymon_tasks_active").set(len(self._handles))
+        return utilization
+
     # ------------------------------------------------------------------
     # Placement internals
     # ------------------------------------------------------------------
@@ -367,15 +467,20 @@ class FlyMonController:
         algorithm: CmuAlgorithm,
         layout: Sequence[int],
         row_memory: Sequence[int],
-    ) -> Tuple[Optional[List[CmuGroup]], Optional[str]]:
+    ) -> Tuple[Optional[List[CmuGroup]], int, Optional[str]]:
         """Best window of ``len(layout)`` consecutive groups for the task.
 
         Windows able to host the task are ranked by how many of the needed
         hash masks they already have (the greedy reuse strategy of §3.4).
+        Returns ``(window, key_reuse_score, error)``.
         """
         span = len(layout)
         if span > len(self.groups):
-            return None, f"task needs {span} groups; controller has {len(self.groups)}"
+            return (
+                None,
+                -1,
+                f"task needs {span} groups; controller has {len(self.groups)}",
+            )
         best: Tuple[int, Optional[List[CmuGroup]]] = (-1, None)
         last_error = None
         for start in range(len(self.groups) - span + 1):
@@ -391,7 +496,7 @@ class FlyMonController:
             )
             if score > best[0]:
                 best = (score, window)
-        return best[1], last_error
+        return best[1], best[0], last_error
 
     def _window_feasible(
         self,
@@ -439,6 +544,7 @@ class FlyMonController:
         layout: Sequence[int],
         row_memory: Sequence[int],
         window: Sequence[CmuGroup],
+        task_id: Optional[int] = None,
     ) -> Tuple[List[RowSlot], List[Tuple[CmuGroup, KeyGrant]]]:
         rows: List[RowSlot] = []
         grants: List[Tuple[CmuGroup, KeyGrant]] = []
@@ -450,12 +556,14 @@ class FlyMonController:
             for group, rows_here in zip(window, layout):
                 key_grant = group.keys.acquire(task.key.mask_spec())
                 grants.append((group, key_grant))
+                self._emit_key_grant(task_id, group, key_grant, role="key")
                 param_grant = None
                 if param_key is not None:
                     if not isinstance(param_key, FlowKeyDef):
                         raise TypeError("parameter key must be a FlowKeyDef")
                     param_grant = group.keys.acquire(param_key.mask_spec())
                     grants.append((group, param_grant))
+                    self._emit_key_grant(task_id, group, param_grant, role="param")
                 cmus = self._placeable_cmus(group, task, rows_here, row_memory, row_index)
                 if cmus is None:
                     raise PlacementError(
@@ -482,3 +590,18 @@ class FlyMonController:
                 group.keys.release(grant.selector)
             raise PlacementError(str(exc)) from exc
         return rows, grants
+
+    @staticmethod
+    def _emit_key_grant(
+        task_id: Optional[int], group: CmuGroup, grant: KeyGrant, role: str
+    ) -> None:
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_KEY_GRANT,
+                task_id=task_id,
+                group=group.group_id,
+                role=role,
+                units=list(grant.selector.units),
+                reused=grant.reused,
+                new_masks=len(grant.new_masks),
+            )

@@ -16,6 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.telemetry import (
+    EV_MEM_ALLOC,
+    EV_MEM_FREE,
+    EV_MEM_SPLIT,
+    TELEMETRY as _TELEMETRY,
+)
+
 MODE_ACCURATE = "accurate"
 MODE_EFFICIENT = "efficient"
 
@@ -64,9 +71,18 @@ class OutOfMemoryError(RuntimeError):
 
 
 class BuddyAllocator:
-    """Buddy allocation over ``size`` buckets with a minimum block size."""
+    """Buddy allocation over ``size`` buckets with a minimum block size.
 
-    def __init__(self, size: int, max_partitions: int = DEFAULT_MAX_PARTITIONS) -> None:
+    ``owner`` is a purely descriptive label (e.g. ``"cmug0/cmu1"``) attached
+    to the telemetry events this allocator emits while telemetry is enabled.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        max_partitions: int = DEFAULT_MAX_PARTITIONS,
+        owner: Optional[str] = None,
+    ) -> None:
         if size <= 0 or size & (size - 1):
             raise ValueError("size must be a positive power of two")
         if max_partitions <= 0 or max_partitions & (max_partitions - 1):
@@ -74,6 +90,7 @@ class BuddyAllocator:
         if max_partitions > size:
             raise ValueError("max_partitions cannot exceed size")
         self.size = size
+        self.owner = owner
         self.min_block = size // max_partitions
         # free lists per block length
         self._free: Dict[int, List[int]] = {size: [0]}
@@ -106,11 +123,30 @@ class BuddyAllocator:
                 f"no free block of {length} buckets (free: {self.free_buckets})"
             )
         base = self._free[block].pop()
+        telemetry_on = _TELEMETRY.enabled
         while block > length:
             block >>= 1
             # Keep the low half, release the buddy (high half).
             self._free.setdefault(block, []).append(base + block)
+            if telemetry_on:
+                _TELEMETRY.registry.counter("flymon_mem_splits_total").inc()
+                _TELEMETRY.events.emit(
+                    EV_MEM_SPLIT,
+                    owner=self.owner,
+                    base=base,
+                    block=block,
+                    buddy=base + block,
+                )
         self._allocated[base] = length
+        if telemetry_on:
+            _TELEMETRY.registry.counter("flymon_mem_allocs_total").inc()
+            _TELEMETRY.events.emit(
+                EV_MEM_ALLOC,
+                owner=self.owner,
+                base=base,
+                length=length,
+                free_buckets=self.free_buckets,
+            )
         return MemRange(base, length)
 
     def free(self, mem: MemRange) -> None:
@@ -129,6 +165,16 @@ class BuddyAllocator:
             else:
                 break
         self._free.setdefault(length, []).append(base)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter("flymon_mem_frees_total").inc()
+            _TELEMETRY.events.emit(
+                EV_MEM_FREE,
+                owner=self.owner,
+                base=mem.base,
+                length=mem.length,
+                coalesced_block=length,
+                free_buckets=self.free_buckets,
+            )
 
     def _validate_length(self, length: int) -> int:
         if length <= 0 or length & (length - 1):

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.cmu_group import GROUP_STAGES, CmuGroup
+from repro.core.cmu_group import GROUP_STAGES, STAGE_OPERATION, CmuGroup
 from repro.dataplane.phv import FieldSpec
 from repro.dataplane.pipeline import Pipeline
 from repro.dataplane.resources import ResourceVector
@@ -58,7 +58,14 @@ def apply_placements(
     placements: List[GroupPlacement],
 ) -> None:
     """Charge each group's per-stage demands to the pipeline (admission-
-    controlled), plus its PHV reservation."""
+    controlled), plus its PHV reservation, and attach the group's packet
+    processing as a hook on its operation stage.
+
+    The hook makes ``Pipeline.process`` the real datapath: a packet
+    traversing the pipeline executes each placed group's four-stage logic at
+    that group's operation stage, in pipeline order -- which is also what
+    keeps multi-group PHV result chaining correct.
+    """
     if len(groups) != len(placements):
         raise ValueError("groups and placements must align")
     for group, placement in zip(groups, placements):
@@ -66,6 +73,7 @@ def apply_placements(
         for stage_name, demand in demands.items():
             stage = pipeline.stage(placement.stage_of(stage_name))
             stage.allocate(f"cmug{group.group_id}/{stage_name}", demand)
+        pipeline.stage(placement.stage_of(STAGE_OPERATION)).add_hook(group.process)
         pipeline.phv_layout.allocate(
             FieldSpec(f"cmug{group.group_id}/keys", group.phv_demand_bits())
         )
@@ -104,6 +112,10 @@ def apply_spliced_placements(
         for stage_name, demand in group.stage_demands().items():
             stage = pipeline.stage(placement.stage_of(stage_name) % n)
             stage.allocate(f"cmug{group.group_id}/{stage_name}", demand)
+        # No datapath hook here: a spliced group's operation stage wraps to
+        # the *front* of the pipeline and physically runs on the
+        # recirculated second pass, so single-pass hook ordering would be
+        # wrong.  Spliced placement stays resource-accounting only.
         pipeline.phv_layout.allocate(
             FieldSpec(f"cmug{group.group_id}/keys", group.phv_demand_bits())
         )

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, MutableMapping
+from time import perf_counter
+from typing import Dict, List, MutableMapping, Optional
 
 from repro.dataplane.phv import PhvLayout
 from repro.dataplane.resources import (
@@ -12,6 +13,7 @@ from repro.dataplane.resources import (
     STAGE_CAPACITY,
 )
 from repro.dataplane.stage import MauStage
+from repro.telemetry import TELEMETRY as _TELEMETRY
 
 
 class Pipeline:
@@ -19,6 +21,10 @@ class Pipeline:
 
     Packets traverse stages in order; each stage runs its attached hooks over
     the packet's mutable field mapping (the simulated PHV).
+
+    When telemetry is enabled, :meth:`process` counts packets per stage and
+    records sampled timing spans (``flymon_pipeline_process_seconds``); when
+    disabled, the only added cost is one flag check per packet.
     """
 
     def __init__(
@@ -33,6 +39,10 @@ class Pipeline:
             MauStage(i, stage_capacity) for i in range(num_stages)
         ]
         self.phv_layout = PhvLayout(phv_budget_bits)
+        #: Lazily-built telemetry handles (created on the first traced packet).
+        self._stage_counters: Optional[list] = None
+        self._packet_counter = None
+        self._span_histogram = None
 
     @property
     def num_stages(self) -> int:
@@ -43,8 +53,34 @@ class Pipeline:
 
     def process(self, fields: MutableMapping[str, int]) -> None:
         """Run one packet through every stage in order."""
+        if _TELEMETRY.enabled:
+            self._process_traced(fields)
+            return
         for stage in self.stages:
             stage.process(fields)
+
+    def _process_traced(self, fields: MutableMapping[str, int]) -> None:
+        if self._stage_counters is None:
+            self._bind_telemetry()
+        self._packet_counter.inc()
+        sampled = _TELEMETRY.tracer.should_sample()
+        start = perf_counter() if sampled else 0.0
+        for stage, hits in zip(self.stages, self._stage_counters):
+            hits.inc()
+            stage.process(fields)
+        if sampled:
+            self._span_histogram.observe(perf_counter() - start)
+
+    def _bind_telemetry(self) -> None:
+        registry = _TELEMETRY.registry
+        self._packet_counter = registry.counter("flymon_pipeline_packets_total")
+        self._stage_counters = [
+            registry.counter("flymon_stage_packets_total", stage=str(stage.index))
+            for stage in self.stages
+        ]
+        self._span_histogram = _TELEMETRY.tracer.span_histogram(
+            "flymon_pipeline_process"
+        )
 
     # -- aggregate accounting -----------------------------------------------
 

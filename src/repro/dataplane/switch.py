@@ -25,6 +25,7 @@ from repro.dataplane.resources import (
     sram_blocks_for,
 )
 from repro.dataplane.runtime import RuntimeApi
+from repro.telemetry import TELEMETRY as _TELEMETRY, update_resource_gauges
 
 #: Fractions of each pipeline-wide resource the switch.p4 baseline occupies.
 #: Approximated from Figure 13a's left bars.
@@ -79,6 +80,12 @@ class TofinoSwitch:
 
     def utilization(self) -> Dict[str, float]:
         return self.pipeline.utilization()
+
+    def record_telemetry(self, scope: str = "switch") -> Dict[str, float]:
+        """Publish the live ResourceVector utilization as telemetry gauges."""
+        utilization = self.utilization()
+        update_resource_gauges(utilization, _TELEMETRY.registry, scope=scope)
+        return utilization
 
     def process_packet(self, fields: dict) -> None:
         self.pipeline.process(fields)

@@ -1,0 +1,108 @@
+"""FlyMon reproduction telemetry: metrics, events, tracing, exporters.
+
+One process-wide :class:`Telemetry` singleton (``TELEMETRY``) bundles the
+metrics registry, the control-plane event log, and the datapath tracer.
+Telemetry is **disabled by default**; instrumented hot paths guard all work
+behind a single ``TELEMETRY.enabled`` attribute check so the disabled cost
+is one branch.  The singleton instance is never replaced -- modules may
+safely cache the reference at import time.
+
+Typical use::
+
+    from repro import telemetry
+
+    telemetry.enable(sample_interval=64)
+    ...  # deploy tasks, process traffic
+    telemetry.TELEMETRY.events.of_type(telemetry.EV_TASK_ADD)
+    print(telemetry.to_prometheus(telemetry.TELEMETRY.registry))
+    telemetry.disable()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.events import (  # noqa: F401  (re-exported taxonomy)
+    EV_KEY_GRANT,
+    EV_KEY_RELEASE,
+    EV_MEM_ALLOC,
+    EV_MEM_FREE,
+    EV_MEM_SPLIT,
+    EV_PLACEMENT_DECISION,
+    EV_RULES_INSTALL,
+    EV_RULES_REMOVE,
+    EV_TASK_ADD,
+    EV_TASK_FILTER_UPDATE,
+    EV_TASK_REMOVE,
+    EV_TASK_RESIZE,
+    EV_TASK_SPLIT,
+    EVENT_TYPES,
+    Event,
+    EventLog,
+)
+from repro.telemetry.export import (  # noqa: F401
+    RESOURCE_GAUGE,
+    build_snapshot,
+    load_artifact,
+    summarize,
+    to_prometheus,
+    update_resource_gauges,
+    write_artifact,
+)
+from repro.telemetry.metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import DEFAULT_SAMPLE_INTERVAL, Tracer  # noqa: F401
+
+
+class Telemetry:
+    """The bundle hot paths consult: ``enabled`` flag + registry/log/tracer."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.events = EventLog()
+        self.tracer = Tracer(self.registry)
+
+    def enable(self, sample_interval: Optional[int] = None) -> "Telemetry":
+        if sample_interval is not None:
+            self.tracer.set_sample_interval(sample_interval)
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        return self
+
+    def reset(self) -> "Telemetry":
+        """Zero metrics and clear events; enabled state is unchanged.
+
+        Metric instances are reset in place, so handles cached by
+        instrumented modules (CMUs, pipelines) remain registered.
+        """
+        self.registry.reset()
+        self.events.clear()
+        return self
+
+
+#: The process-wide instance every instrumented module consults.
+TELEMETRY = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    return TELEMETRY
+
+
+def enable(sample_interval: Optional[int] = None) -> Telemetry:
+    return TELEMETRY.enable(sample_interval=sample_interval)
+
+
+def disable() -> Telemetry:
+    return TELEMETRY.disable()
+
+
+def reset() -> Telemetry:
+    return TELEMETRY.reset()

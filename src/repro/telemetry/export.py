@@ -1,0 +1,172 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, resource gauges.
+
+Both exporters work from :meth:`MetricsRegistry.snapshot`'s plain-dict form,
+so a dumped artifact (``repro run ... --telemetry out.json``) can be
+re-rendered later (``repro stats --input out.json --format prometheus``)
+without the live registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+
+SnapshotDict = Dict[str, List[Dict[str, object]]]
+
+#: Gauge family holding live ResourceVector utilization fractions.
+RESOURCE_GAUGE = "flymon_resource_utilization"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, object], extra: str = "") -> str:
+    parts = [
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == float("inf"):
+        return "+Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def to_prometheus(source: Union[MetricsRegistry, SnapshotDict]) -> str:
+    """Render metrics in the Prometheus text exposition format (v0.0.4).
+
+    One ``# TYPE`` line per family; histograms expand into cumulative
+    ``_bucket`` series plus ``_sum``/``_count``.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    # All samples of a family must be contiguous under one # TYPE line, so
+    # group by family name first (snapshot order interleaves label sets).
+    families: Dict[str, List[str]] = {}
+    types: Dict[str, str] = {}
+    for kind in ("counters", "gauges"):
+        prom_type = kind[:-1]  # "counter" / "gauge"
+        for entry in snapshot.get(kind, ()):
+            name = str(entry["name"])
+            types[name] = prom_type
+            families.setdefault(name, []).append(
+                f"{name}{_render_labels(entry['labels'])} "
+                f"{_format_value(entry['value'])}"
+            )
+    for entry in snapshot.get("histograms", ()):
+        name = str(entry["name"])
+        types[name] = "histogram"
+        samples = families.setdefault(name, [])
+        labels = entry["labels"]
+        for bound, cumulative in entry["buckets"]:
+            le = "+Inf" if bound in ("+Inf", float("inf")) else _format_value(bound)
+            le_label = 'le="' + le + '"'
+            samples.append(
+                f"{name}_bucket{_render_labels(labels, extra=le_label)} "
+                f"{_format_value(cumulative)}"
+            )
+        samples.append(
+            f"{name}_sum{_render_labels(labels)} {_format_value(entry['sum'])}"
+        )
+        samples.append(
+            f"{name}_count{_render_labels(labels)} {_format_value(entry['count'])}"
+        )
+    lines: List[str] = []
+    for name, samples in families.items():
+        lines.append(f"# TYPE {name} {types[name]}")
+        lines.extend(samples)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def update_resource_gauges(
+    utilization: Mapping[str, float],
+    registry: MetricsRegistry,
+    scope: str = "pipeline",
+) -> None:
+    """Publish a ``ResourceVector``-style utilization mapping as gauges.
+
+    ``utilization`` is the ``{resource: fraction}`` dict that
+    ``Pipeline.utilization()`` / ``TofinoSwitch.utilization()`` return.
+    """
+    for resource, fraction in utilization.items():
+        registry.gauge(RESOURCE_GAUGE, scope=scope, resource=resource).set(fraction)
+
+
+def build_snapshot(
+    telemetry=None, meta: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """The full telemetry artifact: metadata, event log, metrics snapshot."""
+    if telemetry is None:
+        from repro.telemetry import TELEMETRY as telemetry  # noqa: F811
+    return {
+        "meta": dict(meta or {}),
+        "events": telemetry.events.to_dicts(),
+        "event_counts": telemetry.events.type_counts(),
+        "events_dropped": telemetry.events.dropped,
+        "metrics": telemetry.registry.snapshot(),
+    }
+
+
+def write_artifact(
+    path: str, telemetry=None, meta: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """Dump :func:`build_snapshot` to ``path`` as JSON; returns the snapshot."""
+    snapshot = build_snapshot(telemetry, meta=meta)
+    with open(path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return snapshot
+
+
+def load_artifact(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def summarize(snapshot: Mapping[str, object]) -> str:
+    """Terse human-readable rendering of an artifact (``repro stats``)."""
+    lines: List[str] = []
+    meta = snapshot.get("meta") or {}
+    if meta:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        lines.append(f"meta: {rendered}")
+    counts = snapshot.get("event_counts") or {}
+    lines.append(f"control-plane events: {sum(counts.values())}")
+    for event_type in sorted(counts):
+        lines.append(f"  {event_type:<22} {counts[event_type]}")
+    metrics = snapshot.get("metrics") or {}
+    counters = metrics.get("counters", [])
+    gauges = metrics.get("gauges", [])
+    histograms = metrics.get("histograms", [])
+    lines.append(
+        f"metrics: {len(counters)} counters, {len(gauges)} gauges, "
+        f"{len(histograms)} histograms"
+    )
+    for entry in sorted(
+        counters, key=lambda e: (-float(e["value"]), str(e["name"])))[:12]:
+        labels = _render_labels(entry["labels"])
+        lines.append(f"  {entry['name']}{labels} = {_format_value(entry['value'])}")
+    for entry in gauges:
+        if entry["name"] == RESOURCE_GAUGE and entry["value"]:
+            labels = dict(entry["labels"])
+            lines.append(
+                f"  utilization[{labels.get('scope')}/{labels.get('resource')}]"
+                f" = {float(entry['value']):.1%}"
+            )
+    for entry in histograms:
+        if entry["count"]:
+            mean = float(entry["sum"]) / float(entry["count"])
+            lines.append(
+                f"  {entry['name']}{_render_labels(entry['labels'])}: "
+                f"n={entry['count']} mean={mean:.3g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is a plain dict keyed by ``(name, sorted label pairs)``; metric
+instances are tiny ``__slots__`` objects whose update methods are single
+attribute mutations (atomic under the GIL -- no locks anywhere).  Handles
+returned by :meth:`MetricsRegistry.counter` & friends are stable: callers on
+hot paths cache them once and call ``inc()``/``observe()`` directly, so the
+per-event cost is one attribute store.  :meth:`MetricsRegistry.reset` zeroes
+values *in place* (it never discards instances), which keeps cached handles
+valid across experiment runs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram upper bounds for second-scale timings (sampled spans).
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0,
+)
+
+#: Default histogram upper bounds for modeled control-plane latencies (ms).
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_pairs(labels: Mapping[str, object]) -> LabelPairs:
+    pairs = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+        pairs.append((key, str(labels[key])))
+    return tuple(pairs)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (utilization, active tasks)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts on export, Prometheus-style)."""
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, labels: LabelPairs, bounds: Sequence[float]
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending with ``+Inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_TYPE_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricsRegistry:
+    """Get-or-create store of every metric in the process.
+
+    A (name, labels) pair always maps to the same instance; requesting an
+    existing name with a different metric type raises, so a metric family
+    never mixes types (which would break the Prometheus exposition).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelPairs], Metric] = {}
+        self._families: Dict[str, type] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, bounds=buckets)
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        labels: Mapping[str, object],
+        **kwargs: object,
+    ) -> Metric:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        key = (name, _label_pairs(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{_TYPE_NAMES[type(metric)]}"
+                )
+            return metric
+        family = self._families.get(name)
+        if family is not None and family is not cls:
+            raise ValueError(
+                f"metric family {name!r} already registered as "
+                f"{_TYPE_NAMES[family]}"
+            )
+        metric = cls(name, key[1], **kwargs)
+        self._metrics[key] = metric
+        self._families[name] = cls
+        return metric
+
+    # -- inspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[Metric]:
+        return iter(self._metrics.values())
+
+    def families(self) -> Dict[str, str]:
+        """``{family name: metric type}`` in registration order."""
+        return {name: _TYPE_NAMES[cls] for name, cls in self._families.items()}
+
+    def get(self, name: str, **labels: object) -> Optional[Metric]:
+        return self._metrics.get((name, _label_pairs(labels)))
+
+    def value(self, name: str, **labels: object) -> Optional[float]:
+        metric = self.get(name, **labels)
+        if metric is None or isinstance(metric, Histogram):
+            return None
+        return metric.value
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """JSON-friendly dump of every metric, grouped by type."""
+        out: Dict[str, List[Dict[str, object]]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for metric in self._metrics.values():
+            entry: Dict[str, object] = {
+                "name": metric.name,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = [
+                    ["+Inf" if bound == float("inf") else bound, count]
+                    for bound, count in metric.cumulative()
+                ]
+                entry["sum"] = metric.sum
+                entry["count"] = metric.count
+                out["histograms"].append(entry)
+            elif isinstance(metric, Gauge):
+                entry["value"] = metric.value
+                out["gauges"].append(entry)
+            else:
+                entry["value"] = metric.value
+                out["counters"].append(entry)
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric in place; cached handles stay valid."""
+        for metric in self._metrics.values():
+            metric._reset()

@@ -1,0 +1,66 @@
+"""Sampled timing spans for the datapath.
+
+Timing every simulated packet would dominate the hot path, so spans are
+*sampled*: :meth:`Tracer.should_sample` is a counter decrement that returns
+``True`` once every ``sample_interval`` calls, and only sampled packets pay
+the two ``perf_counter`` reads.  Observed durations land in a histogram
+named ``<name>_seconds`` in the shared registry.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.metrics import DEFAULT_SECONDS_BUCKETS, Histogram, MetricsRegistry
+
+#: Sample one packet in this many by default (§hot-path budget).
+DEFAULT_SAMPLE_INTERVAL = 64
+
+
+class Tracer:
+    """Sampling decision + span recording over a :class:`MetricsRegistry`."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
+    ) -> None:
+        self.registry = registry
+        self.set_sample_interval(sample_interval)
+
+    def set_sample_interval(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.sample_interval = interval
+        self._countdown = interval
+
+    def should_sample(self) -> bool:
+        """Deterministic 1-in-N sampling decision (one decrement per call)."""
+        self._countdown -= 1
+        if self._countdown:
+            return False
+        self._countdown = self.sample_interval
+        return True
+
+    def span_histogram(self, name: str, **labels: object) -> Histogram:
+        return self.registry.histogram(
+            f"{name}_seconds", buckets=DEFAULT_SECONDS_BUCKETS, **labels
+        )
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[None]:
+        """Unconditionally time a block into ``<name>_seconds``.
+
+        For control-plane paths (rule installs, queries) where per-call
+        timing is affordable; the datapath uses :meth:`should_sample` plus
+        explicit ``perf_counter`` reads instead to skip the context-manager
+        overhead on unsampled packets.
+        """
+        histogram = self.span_histogram(name, **labels)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(time.perf_counter() - start)

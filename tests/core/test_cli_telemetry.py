@@ -1,0 +1,103 @@
+"""CLI telemetry: `repro run --telemetry` artifacts and `repro stats`."""
+
+import json
+import re
+
+import pytest
+
+from repro import telemetry
+from repro.cli import build_parser, main
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$"
+)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    """One instrumented table3 run shared by every test in this module."""
+    path = tmp_path_factory.mktemp("telemetry") / "table3.json"
+    assert main(["run", "table3", "--telemetry", str(path)]) == 0
+    with open(path) as fh:
+        return str(path), json.load(fh)
+
+
+class TestParser:
+    def test_run_telemetry_flag(self):
+        args = build_parser().parse_args(["run", "table3", "--telemetry", "/tmp/t.json"])
+        assert args.telemetry == "/tmp/t.json"
+        assert build_parser().parse_args(["run", "table3"]).telemetry is None
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.experiment == "table3"
+        assert args.format == "summary"
+        assert args.input is None
+
+    def test_stats_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--format", "xml"])
+
+
+class TestRunWithTelemetry:
+    def test_artifact_has_rich_event_log(self, artifact):
+        _, snapshot = artifact
+        counts = snapshot["event_counts"]
+        assert len(counts) >= 5, f"expected >=5 event types, got {sorted(counts)}"
+        for ev_type in counts:
+            assert ev_type in telemetry.EVENT_TYPES
+        assert counts["task_add"] > 0 and counts["rules_install"] > 0
+        assert snapshot["events_dropped"] == 0
+        assert snapshot["meta"]["experiment"] == "table3"
+        assert snapshot["meta"]["datapath_probe"] is True
+
+    def test_artifact_has_nonzero_datapath_counters(self, artifact):
+        _, snapshot = artifact
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in snapshot["metrics"]["counters"]
+        }
+        assert counters[("flymon_pipeline_packets_total", ())] > 0
+        stage_hits = [
+            v for (name, _), v in counters.items()
+            if name == "flymon_stage_packets_total"
+        ]
+        assert len(stage_hits) == 12 and all(v > 0 for v in stage_hits)
+        register_hits = [
+            v for (name, _), v in counters.items()
+            if name == "flymon_register_accesses_total"
+        ]
+        assert register_hits and all(v > 0 for v in register_hits)
+
+    def test_leaves_global_telemetry_disabled(self, artifact):
+        assert telemetry.TELEMETRY.enabled is False
+
+
+class TestStats:
+    def test_summary_from_artifact(self, artifact, capsys):
+        path, _ = artifact
+        assert main(["stats", "--input", path]) == 0
+        out = capsys.readouterr().out
+        assert "task_add" in out
+        assert "flymon_pipeline_packets_total" in out
+
+    def test_prometheus_from_artifact_parses(self, artifact, capsys):
+        path, _ = artifact
+        assert main(["stats", "--input", path, "--format", "prometheus"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        families = []
+        for line in lines:
+            if line.startswith("# TYPE"):
+                families.append(line.split()[2])
+            else:
+                assert SAMPLE_RE.match(line), line
+        assert len(families) == len(set(families))
+        assert "flymon_resource_utilization" in families
+
+    def test_json_from_artifact_round_trips(self, artifact, capsys):
+        path, snapshot = artifact
+        assert main(["stats", "--input", path, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == snapshot

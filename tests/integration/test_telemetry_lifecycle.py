@@ -1,0 +1,148 @@
+"""End-to-end telemetry: a task lifecycle emits the expected event story.
+
+Deploy -> update filter -> resize -> remove on a live controller, with
+telemetry enabled, then assert the control-plane event log tells that story
+in order, with consistent task IDs, and that the datapath counters reflect
+the packets actually processed.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic import KEY_SRC_IP, zipf_trace
+
+
+@pytest.fixture
+def enabled_telemetry():
+    state = telemetry.enable(sample_interval=16)
+    state.reset()
+    yield state
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _task(memory: int = 4096) -> MeasurementTask:
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=3,
+        algorithm="cms",
+    )
+
+
+class TestLifecycleEvents:
+    def test_add_reconfigure_remove_sequence(self, enabled_telemetry):
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(_task())
+        controller.update_task_filter(
+            handle, TaskFilter.of(src_ip=(10 << 24, 8))
+        )
+        resized = controller.resize_task(handle, 8192)
+        controller.remove_task(resized)
+
+        log = enabled_telemetry.events
+        # At least five distinct event types appear.
+        assert len(log.type_counts()) >= 5
+
+        # The headline lifecycle, in order.
+        story = [
+            e for e in log
+            if e.type in (
+                telemetry.EV_TASK_ADD,
+                telemetry.EV_TASK_FILTER_UPDATE,
+                telemetry.EV_TASK_RESIZE,
+                telemetry.EV_TASK_REMOVE,
+            )
+        ]
+        assert [e.type for e in story] == [
+            telemetry.EV_TASK_ADD,
+            telemetry.EV_TASK_FILTER_UPDATE,
+            telemetry.EV_TASK_ADD,      # resize deploys the new allocation first
+            telemetry.EV_TASK_REMOVE,   # ... then removes the old one
+            telemetry.EV_TASK_RESIZE,   # ... and records the swap
+            telemetry.EV_TASK_REMOVE,   # the final explicit removal
+        ]
+        assert [e.seq for e in story] == sorted(e.seq for e in story)
+
+        # Task IDs are consistent across the story.
+        first_id = story[0].data["task_id"]
+        new_id = resized.task_id
+        assert story[1].data["task_id"] == first_id
+        assert story[2].data["task_id"] == new_id
+        assert story[3].data["task_id"] == first_id
+        resize = story[4]
+        assert resize.data["task_id"] == first_id
+        assert resize.data["new_task_id"] == new_id
+        assert resize.data["strategy"] == "make_before_break"
+        assert resize.data["old_memory"] == 4096
+        assert resize.data["new_memory"] == 8192
+        assert story[5].data["task_id"] == new_id
+
+    def test_supporting_events_reference_the_task(self, enabled_telemetry):
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(_task())
+        task_id = handle.task_id
+
+        log = enabled_telemetry.events
+        placement = log.of_type(telemetry.EV_PLACEMENT_DECISION)
+        assert len(placement) == 1
+        assert placement[0].data["task_id"] == task_id
+        assert placement[0].data["groups"] == list(handle.groups_used)
+
+        grants = log.query(telemetry.EV_KEY_GRANT, task_id=task_id)
+        assert grants, "deploying a task must grant compressed keys"
+        assert all(isinstance(g.data["reused"], bool) for g in grants)
+
+        allocs = log.of_type(telemetry.EV_MEM_ALLOC)
+        assert len(allocs) == 3  # one row per depth-3 CMS row
+        assert all(a.data["owner"].startswith("cmug") for a in allocs)
+
+        installs = log.of_type(telemetry.EV_RULES_INSTALL)
+        assert installs and installs[0].data["deployment"] == f"task{task_id}"
+
+        # Placement decided before keys were granted, before rules installed.
+        assert placement[0].seq < grants[0].seq < installs[-1].seq
+
+        controller.remove_task(handle)
+        frees = log.of_type(telemetry.EV_MEM_FREE)
+        releases = log.query(telemetry.EV_KEY_RELEASE, task_id=task_id)
+        assert len(frees) == 3 and releases
+
+    def test_datapath_counters_track_processed_packets(self, enabled_telemetry):
+        controller = FlyMonController(num_groups=3)
+        controller.add_task(_task())
+        trace = zipf_trace(num_flows=64, num_packets=300, seed=3)
+        packets = sum(1 for _ in trace.iter_fields())
+        controller.process_trace(trace)
+
+        registry = enabled_telemetry.registry
+        assert registry.value("flymon_pipeline_packets_total") == packets
+        for stage in range(12):
+            assert (
+                registry.value("flymon_stage_packets_total", stage=str(stage))
+                == packets
+            )
+        for group in range(3):
+            assert (
+                registry.value("flymon_group_packets_total", group=str(group))
+                == packets
+            )
+        # Sampled spans: one per sample_interval packets.
+        spans = registry.get("flymon_pipeline_process_seconds")
+        assert spans.count == packets // 16
+
+        controller.record_telemetry()
+        assert registry.value(
+            "flymon_resource_utilization", scope="pipeline", resource="hash_units"
+        ) > 0
+
+    def test_disabled_telemetry_emits_nothing(self):
+        telemetry.disable()
+        telemetry.reset()
+        controller = FlyMonController(num_groups=3)
+        handle = controller.add_task(_task())
+        controller.remove_task(handle)
+        assert len(telemetry.TELEMETRY.events) == 0

@@ -1,0 +1,93 @@
+"""Unit tests for the control-plane event log."""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import (
+    EV_MEM_ALLOC,
+    EV_TASK_ADD,
+    EV_TASK_REMOVE,
+    EventLog,
+)
+
+
+class TestEmit:
+    def test_sequence_and_timestamps_are_monotonic(self):
+        log = EventLog()
+        events = [log.emit(EV_TASK_ADD, task_id=i) for i in range(5)]
+        assert [e.seq for e in events] == [1, 2, 3, 4, 5]
+        assert all(a.ts_ms <= b.ts_ms for a, b in zip(events, events[1:]))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().emit("task_added")  # not in the taxonomy
+
+    def test_payload_round_trips(self):
+        log = EventLog()
+        log.emit(EV_TASK_ADD, task_id=3, groups=[0, 1], latency_ms=7.2)
+        event = list(log)[0]
+        assert event.data["groups"] == [0, 1]
+        assert event.to_dict()["task_id"] == 3
+
+
+class TestQuery:
+    def _populated(self):
+        log = EventLog()
+        log.emit(EV_TASK_ADD, task_id=1)
+        log.emit(EV_MEM_ALLOC, owner="cmug0/cmu0", base=0, length=64)
+        log.emit(EV_TASK_ADD, task_id=2)
+        log.emit(EV_TASK_REMOVE, task_id=1)
+        return log
+
+    def test_by_type(self):
+        log = self._populated()
+        assert [e.data["task_id"] for e in log.of_type(EV_TASK_ADD)] == [1, 2]
+
+    def test_by_payload(self):
+        log = self._populated()
+        assert {e.type for e in log.query(task_id=1)} == {EV_TASK_ADD, EV_TASK_REMOVE}
+
+    def test_since_seq_and_predicate(self):
+        log = self._populated()
+        assert len(log.query(since_seq=2)) == 2
+        assert len(log.query(predicate=lambda e: "owner" in e.data)) == 1
+
+    def test_type_counts(self):
+        assert self._populated().type_counts() == {
+            EV_TASK_ADD: 2,
+            EV_MEM_ALLOC: 1,
+            EV_TASK_REMOVE: 1,
+        }
+
+
+class TestCapacityAndExport:
+    def test_bounded_capacity_drops_oldest_keeps_seq(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit(EV_TASK_ADD, task_id=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.seq for e in log] == [3, 4, 5]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit(EV_TASK_ADD, task_id=1)
+        log.emit(EV_TASK_REMOVE, task_id=1)
+        path = tmp_path / "events.jsonl"
+        assert log.dump_jsonl(str(path)) == 2
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == [EV_TASK_ADD, EV_TASK_REMOVE]
+        assert all({"seq", "ts_ms", "task_id"} <= set(r) for r in records)
+
+    def test_empty_log_dumps_empty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert EventLog().dump_jsonl(str(path)) == 0
+        assert path.read_text() == ""
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(EV_TASK_ADD, task_id=1)
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0

@@ -1,0 +1,117 @@
+"""Exporter tests: Prometheus text format validity and JSON snapshots."""
+
+import json
+import re
+
+from repro import telemetry
+from repro.telemetry.events import EV_TASK_ADD, EventLog
+from repro.telemetry.export import (
+    RESOURCE_GAUGE,
+    build_snapshot,
+    load_artifact,
+    summarize,
+    to_prometheus,
+    update_resource_gauges,
+    write_artifact,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+#: One valid exposition sample line: name, optional labels, numeric value.
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?'
+    r" (-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$"
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("flymon_pipeline_packets_total").inc(100)
+    registry.counter("flymon_stage_packets_total", stage="0").inc(100)
+    registry.counter("flymon_stage_packets_total", stage="1").inc(100)
+    registry.gauge("flymon_tasks_active").set(3)
+    histogram = registry.histogram("flymon_span_seconds", buckets=(0.001, 0.1))
+    histogram.observe(0.0005)
+    histogram.observe(0.05)
+    return registry
+
+
+class TestPrometheus:
+    def test_every_line_parses(self):
+        text = to_prometheus(_populated_registry())
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+$", line), line
+            else:
+                assert SAMPLE_RE.match(line), line
+
+    def test_no_duplicate_families_and_contiguous_samples(self):
+        text = to_prometheus(_populated_registry())
+        lines = text.strip().splitlines()
+        families = [l.split()[2] for l in lines if l.startswith("# TYPE")]
+        assert len(families) == len(set(families))
+        # Samples of a family must all sit under its TYPE line.
+        current = None
+        seen_done = set()
+        for line in lines:
+            if line.startswith("# TYPE"):
+                if current is not None:
+                    seen_done.add(current)
+                current = line.split()[2]
+                assert current not in seen_done
+            else:
+                name = line.split("{")[0].split(" ")[0]
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name.startswith(current) or base == current
+
+    def test_histogram_expansion(self):
+        text = to_prometheus(_populated_registry())
+        assert '# TYPE flymon_span_seconds histogram' in text
+        assert 'flymon_span_seconds_bucket{le="0.001"} 1' in text
+        assert 'flymon_span_seconds_bucket{le="+Inf"} 2' in text
+        assert "flymon_span_seconds_count 2" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total", tag='a"b\\c\nd').inc()
+        text = to_prometheus(registry)
+        assert 'tag="a\\"b\\\\c\\nd"' in text
+
+    def test_renders_from_snapshot_dict(self):
+        registry = _populated_registry()
+        assert to_prometheus(registry.snapshot()) == to_prometheus(registry)
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestResourceGauges:
+    def test_utilization_mapping_becomes_gauges(self):
+        registry = MetricsRegistry()
+        update_resource_gauges({"hash_units": 0.75, "salus": 0.5}, registry)
+        assert registry.value(RESOURCE_GAUGE, scope="pipeline", resource="hash_units") == 0.75
+        assert registry.value(RESOURCE_GAUGE, scope="pipeline", resource="salus") == 0.5
+
+
+class TestArtifacts:
+    def test_write_and_load_round_trip(self, tmp_path):
+        state = telemetry.Telemetry()
+        state.registry.counter("c_total").inc(4)
+        state.events = EventLog()
+        state.events.emit(EV_TASK_ADD, task_id=9)
+        path = tmp_path / "artifact.json"
+        written = write_artifact(str(path), state, meta={"experiment": "unit"})
+        loaded = load_artifact(str(path))
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["meta"]["experiment"] == "unit"
+        assert loaded["event_counts"] == {EV_TASK_ADD: 1}
+        assert loaded["events"][0]["task_id"] == 9
+
+    def test_summarize_mentions_events_and_metrics(self):
+        state = telemetry.Telemetry()
+        state.registry.counter("flymon_task_adds_total").inc(2)
+        state.events.emit(EV_TASK_ADD, task_id=1)
+        text = summarize(build_snapshot(state, meta={"experiment": "x"}))
+        assert "task_add" in text
+        assert "flymon_task_adds_total" in text
+        assert "experiment=x" in text

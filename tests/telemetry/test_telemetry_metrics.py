@@ -1,0 +1,126 @@
+"""Unit tests for counters, gauges, histograms, and the registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("packets_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("packets_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_name_and_labels_share_an_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits_total", stage="3")
+        b = registry.counter("hits_total", stage="3")
+        c = registry.counter("hits_total", stage="4")
+        assert a is b and a is not c
+        a.inc()
+        assert registry.value("hits_total", stage="3") == 1
+        assert registry.value("hits_total", stage="4") == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("tasks_active")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 3
+
+    def test_gauges_can_go_negative(self):
+        gauge = MetricsRegistry().gauge("drift")
+        gauge.dec(5)
+        assert gauge.value == -5
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram("lat_ms", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        cumulative = dict(histogram.cumulative())
+        assert cumulative[1.0] == 1
+        assert cumulative[10.0] == 2
+        assert cumulative[100.0] == 3
+        assert cumulative[float("inf")] == 4
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(555.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(10.0, 1.0))
+
+    def test_default_ms_buckets_are_usable(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=DEFAULT_MS_BUCKETS)
+        histogram.observe(16.0)
+        assert histogram.count == 1
+
+
+class TestRegistry:
+    def test_type_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", label="other")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_name", **{"0bad": "v"})
+
+    def test_reset_zeroes_in_place_keeping_handles(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        histogram = registry.histogram("h_seconds")
+        counter.inc(7)
+        histogram.observe(0.1)
+        registry.reset()
+        assert counter.value == 0
+        assert histogram.count == 0 and histogram.sum == 0
+        counter.inc()  # the cached handle still feeds the registry
+        assert registry.value("c_total") == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", kind="a").inc(2)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h_seconds").observe(1e-4)
+        snapshot = registry.snapshot()
+        assert {e["name"] for e in snapshot["counters"]} == {"c_total"}
+        assert snapshot["counters"][0]["labels"] == {"kind": "a"}
+        assert snapshot["gauges"][0]["value"] == 0.5
+        hist = snapshot["histograms"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1][0] == "+Inf"
+        assert registry.families() == {
+            "c_total": "counter",
+            "g": "gauge",
+            "h_seconds": "histogram",
+        }
+
+    def test_metric_classes_exported(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("a"), Counter)
+        assert isinstance(registry.gauge("b"), Gauge)
+        assert isinstance(registry.histogram("c"), Histogram)

@@ -1,0 +1,64 @@
+"""Tracer sampling and span tests, plus singleton behavior."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+
+class TestSampling:
+    def test_one_in_n(self):
+        tracer = Tracer(MetricsRegistry(), sample_interval=4)
+        decisions = [tracer.should_sample() for _ in range(12)]
+        assert decisions.count(True) == 3
+        assert decisions[3] and decisions[7] and decisions[11]
+
+    def test_interval_one_samples_everything(self):
+        tracer = Tracer(MetricsRegistry(), sample_interval=1)
+        assert all(tracer.should_sample() for _ in range(5))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Tracer(MetricsRegistry(), sample_interval=0)
+
+
+class TestSpans:
+    def test_span_records_into_named_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("install", deployment="task1"):
+            pass
+        histogram = registry.get("install_seconds", deployment="task1")
+        assert histogram.count == 1
+        assert histogram.sum >= 0
+
+    def test_span_records_even_on_exception(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with pytest.raises(RuntimeError):
+            with tracer.span("fail"):
+                raise RuntimeError("boom")
+        assert registry.get("fail_seconds").count == 1
+
+
+class TestSingleton:
+    def test_disabled_by_default(self):
+        assert telemetry.TELEMETRY.enabled is False
+
+    def test_enable_disable_reset(self):
+        state = telemetry.enable(sample_interval=16)
+        try:
+            assert state is telemetry.TELEMETRY
+            assert state.enabled
+            assert state.tracer.sample_interval == 16
+            state.registry.counter("tmp_total").inc()
+            state.events.emit(telemetry.EV_TASK_ADD, task_id=1)
+            telemetry.reset()
+            assert state.registry.value("tmp_total") == 0
+            assert len(state.events) == 0
+            assert state.enabled  # reset does not flip the flag
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert telemetry.TELEMETRY.enabled is False
