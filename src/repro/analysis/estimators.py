@@ -38,6 +38,19 @@ def rho32(value: int, skip_bits: int = 0) -> int:
     return usable - value.bit_length() + 1
 
 
+def rho32_batch(values: np.ndarray, skip_bits: int = 0) -> np.ndarray:
+    """Vectorized :func:`rho32` over an integer array.
+
+    ``np.frexp`` on exact float64 integers yields the bit length directly
+    (``v = m * 2**e`` with ``0.5 <= m < 1``), which is exact for the 32-bit
+    values the data path produces.
+    """
+    usable = 32 - skip_bits
+    v = np.asarray(values, dtype=np.int64) & ((1 << usable) - 1)
+    _, exp = np.frexp(v.astype(np.float64))
+    return np.where(v == 0, usable + 1, usable - exp + 1).astype(np.int64)
+
+
 def hll_estimate(registers: Sequence[int]) -> float:
     """Bias-corrected HLL cardinality with small/large-range corrections."""
     regs = np.asarray(registers, dtype=np.float64)

@@ -68,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable telemetry and dump the event log + metrics snapshot "
         "to PATH as JSON after the run",
     )
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="datapath batch size for trace replays (0 forces the scalar "
+        "reference path; default: the engine's built-in size). Both paths "
+        "are bit-identical -- this only trades speed",
+    )
 
     stats = sub.add_parser(
         "stats", help="telemetry snapshot: events, metrics, utilization"
@@ -200,7 +209,16 @@ def _run_with_telemetry(experiment: str, full: bool, path: str):
     return module, result, snapshot
 
 
-def cmd_run(experiment: str, full: bool, telemetry_path: Optional[str] = None) -> int:
+def cmd_run(
+    experiment: str,
+    full: bool,
+    telemetry_path: Optional[str] = None,
+    batch_size: Optional[int] = None,
+) -> int:
+    if batch_size is not None:
+        # Experiment drivers read FLYMON_BATCH_SIZE via
+        # repro.experiments.common.default_batch_size.
+        os.environ["FLYMON_BATCH_SIZE"] = str(batch_size)
     if telemetry_path is not None:
         parent = os.path.dirname(telemetry_path) or "."
         if not os.path.isdir(parent):
@@ -299,7 +317,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list-experiments":
         return cmd_list_experiments()
     if args.command == "run":
-        return cmd_run(args.experiment, args.full, args.telemetry)
+        return cmd_run(args.experiment, args.full, args.telemetry, args.batch_size)
     if args.command == "stats":
         return cmd_stats(args.experiment, args.input, args.format)
     if args.command == "report":

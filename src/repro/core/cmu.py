@@ -69,13 +69,39 @@ class CmuTaskConfig:
     priority: int = 0
     alarm_threshold: Optional[int] = None
     digest_key: Optional[object] = None  # FlowKeyDef, kept loose for layering
+    #: Address translation resolved at install time -- on hardware the
+    #: translation *is* a set of rules installed once per task, so building
+    #: it per packet was pure model overhead.  ``Cmu.install_task`` fills it.
+    cached_translation: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     def translation(self, register_size: int):
+        cached = self.cached_translation
+        if cached is not None and cached.register_size == register_size:
+            return cached
         return make_translation(self.strategy, register_size, self.mem)
 
 
 class TaskConflictError(RuntimeError):
     """A task's filter intersects an existing task on the same CMU."""
+
+
+@dataclass(frozen=True)
+class CmuTaskPlan:
+    """A task's configuration flattened for batched execution.
+
+    Built once per install/update/remove (never per packet or per batch):
+    everything :meth:`Cmu.process_batch` needs -- the resolved address
+    translation, the sampling threshold in hash units, and whether the alarm
+    path is armed -- so the batch loop is pure numpy kernels plus dictionary-
+    free attribute reads.
+    """
+
+    config: CmuTaskConfig
+    translation: object
+    sample_threshold: Optional[float]  # None = always run; else hash < threshold
+    alarm_armed: bool
 
 
 class Cmu:
@@ -96,6 +122,7 @@ class Cmu:
             f"cmug{group_id}/cmu{index}/select_task", FILTER_FIELDS
         )
         self._configs: Dict[int, CmuTaskConfig] = {}
+        self._plans: Dict[int, CmuTaskPlan] = {}
         self._entries: Dict[int, TableEntry] = {}
         #: Preparation-stage TCAM entries per task (address translation +
         #: parameter preprocessing) -- the Fig. 11a accounting.
@@ -147,10 +174,12 @@ class Cmu:
             args={"task_id": config.task_id},
             priority=config.priority,
         )
+        translation = make_translation(config.strategy, self.register_size, config.mem)
+        config = replace(config, cached_translation=translation)
         self.task_table.insert(entry)
         self._entries[config.task_id] = entry
         self._configs[config.task_id] = config
-        translation = config.translation(self.register_size)
+        self._plans[config.task_id] = self._compile_plan(config)
         prep = config.p1_processor.tcam_entries()
         if config.strategy == "tcam":
             prep += translation.tcam_entries()
@@ -185,14 +214,29 @@ class Cmu:
         self.task_table.insert(new_entry)
         self.task_table.remove(old_entry)
         self._entries[task_id] = new_entry
-        self._configs[task_id] = replace(config, filter=new_filter)
+        new_config = replace(config, filter=new_filter)
+        self._configs[task_id] = new_config
+        self._plans[task_id] = self._compile_plan(new_config)
 
     def remove_task(self, task_id: int) -> None:
         entry = self._entries.pop(task_id, None)
         if entry is not None:
             self.task_table.remove(entry)
         self._configs.pop(task_id, None)
+        self._plans.pop(task_id, None)
         self._prep_tcam.pop(task_id, None)
+
+    def _compile_plan(self, config: CmuTaskConfig) -> CmuTaskPlan:
+        return CmuTaskPlan(
+            config=config,
+            translation=config.translation(self.register_size),
+            sample_threshold=(
+                config.sample_prob * 2.0**32 if config.sample_prob < 1.0 else None
+            ),
+            alarm_armed=(
+                config.alarm_threshold is not None and config.digest_key is not None
+            ),
+        )
 
     def prep_tcam_entries(self) -> int:
         return sum(self._prep_tcam.values())
@@ -258,6 +302,88 @@ class Cmu:
             self._digests.setdefault(config.task_id, set()).add(
                 config.digest_key.extract(fields)
             )
+
+    def process_batch(self, batch, compressed: Sequence[np.ndarray]) -> None:
+        """Run a whole :class:`~repro.traffic.batch.PacketBatch` through the
+        CMU -- bit-identical to calling :meth:`process` per packet in order.
+
+        Equivalence rests on three structural facts: the task table selects
+        exactly one task per packet (so per-task row sets partition the
+        batch), co-located tasks occupy disjoint memory partitions (the
+        allocator's invariant, so per-task execution order cannot interact),
+        and within one task :meth:`Register.execute_batch` serializes
+        duplicate buckets by occurrence rank.  ``compressed`` holds one int64
+        array per hash unit, full batch length.
+        """
+        if not self._plans:
+            return
+        n = len(batch)
+        if n == 0:
+            return
+        task_ids = self.task_table.classify_batch(batch, "task_id", n)
+        total_rows = 0
+        for task_id, plan in self._plans.items():
+            rows = np.nonzero(task_ids == task_id)[0]
+            if rows.size == 0:
+                continue
+            config = plan.config
+            if plan.sample_threshold is not None:
+                rows = rows[self._sampled_batch(config, batch, rows)]
+                if rows.size == 0:
+                    continue
+            total_rows += rows.size
+            comp_rows = [c[rows] for c in compressed]
+            # Initialization: key + raw parameters.
+            address = config.key_selector.compute_batch(comp_rows)
+            p1 = config.p1.value_batch(batch, comp_rows, rows)
+            p2 = config.p2.value_batch(batch, comp_rows, rows)
+            # Preparation: address translation + parameter preprocessing.
+            index = plan.translation.translate_batch(address)
+            p1 = config.p1_processor.apply_batch(p1, batch, rows)
+            # Operation: stateful update; export result and processed p1.
+            results = self.register.execute_batch(config.op, index, p1, p2)
+            batch.ensure(result_field(self.group_id, self.index))[rows] = results
+            batch.ensure(param_field(self.group_id, self.index))[rows] = p1
+            if plan.alarm_armed:
+                hits = rows[results >= config.alarm_threshold]
+                if hits.size:
+                    digests = self._digests.setdefault(task_id, set())
+                    key_rows = self._digest_key_rows(config.digest_key, batch, hits)
+                    digests.update(map(tuple, key_rows.tolist()))
+        if total_rows and _TELEMETRY.enabled:
+            if self._access_counter is None:
+                self._access_counter = _TELEMETRY.registry.counter(
+                    "flymon_register_accesses_total",
+                    group=str(self.group_id),
+                    cmu=str(self.index),
+                )
+            self._access_counter.inc(total_rows)
+
+    @staticmethod
+    def _digest_key_rows(digest_key, batch, rows: np.ndarray) -> np.ndarray:
+        """Columnar ``FlowKeyDef.extract`` for the alarm rows."""
+        from repro.traffic.flows import FIELD_WIDTHS
+
+        cols = []
+        for name, bits in digest_key.parts:
+            width = FIELD_WIDTHS[name]
+            col = batch.get(name)[rows] & ((1 << width) - 1)
+            cols.append(col >> (width - bits))
+        return np.stack(cols, axis=1)
+
+    def _sampled_batch(
+        self, config: CmuTaskConfig, batch, rows: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`_sampled`: boolean keep-mask over ``rows``."""
+        ts = batch.get("timestamp")[rows].astype(np.uint64)
+        src = batch.get("src_ip")[rows].astype(np.uint64)
+        mixed = (
+            (ts << np.uint64(32))
+            ^ (src << np.uint64(8))
+            ^ np.uint64(config.task_id & 0xFF)
+        )
+        h = self._sample_hash.hash_int_batch(mixed, width=64)
+        return h < config.sample_prob * 2.0**32
 
     def _sampled(self, config: CmuTaskConfig, fields: Mapping[str, int]) -> bool:
         """Deterministic per-packet coin for probabilistic execution (§5.3)."""

@@ -78,6 +78,29 @@ class CmuGroup:
         for cmu in self.cmus:
             cmu.process(fields, compressed)
 
+    def compress_batch(self, batch) -> List:
+        """Columnar :meth:`compress`: one int64 key array per hash unit."""
+        return [unit.compute_batch(batch) for unit in self.hash_units]
+
+    def process_batch(self, batch) -> None:
+        """Run a whole :class:`~repro.traffic.batch.PacketBatch` through all
+        four stages -- bit-identical to :meth:`process` per packet in order.
+
+        The compressed keys depend only on header fields (never on CMU
+        exports), so they are computed once up front; CMUs then run in
+        pipeline order over the whole batch, each reading upstream exports
+        from the batch's result columns.
+        """
+        if _TELEMETRY.enabled:
+            if self._packet_counter is None:
+                self._packet_counter = _TELEMETRY.registry.counter(
+                    "flymon_group_packets_total", group=str(self.group_id)
+                )
+            self._packet_counter.inc(len(batch))
+        compressed = self.compress_batch(batch)
+        for cmu in self.cmus:
+            cmu.process_batch(batch, compressed)
+
     # -- capacity queries ------------------------------------------------------
 
     @property

@@ -51,6 +51,14 @@ class KeySelector:
             value ^= compressed[unit]
         return (value >> self.offset) & ((1 << self.width) - 1)
 
+    def compute_batch(self, compressed):
+        """Columnar :meth:`compute`: ``compressed`` holds one int64 array per
+        hash unit (aligned element-wise); returns the selected-key array."""
+        value = compressed[self.units[0]]
+        for unit in self.units[1:]:
+            value = value ^ compressed[unit]
+        return (value >> self.offset) & ((1 << self.width) - 1)
+
     def with_slice(self, offset: int, width: int) -> "KeySelector":
         return KeySelector(self.units, offset, width)
 

@@ -404,7 +404,27 @@ class FlyMonController:
         for group in self.groups:
             group.process(fields)
 
-    def process_trace(self, trace: Trace) -> None:
+    def process_batch(self, batch) -> None:
+        """Run a :class:`~repro.traffic.batch.PacketBatch` through every
+        group in pipeline order -- the batched dual of :meth:`process_packet`,
+        bit-identical to processing the batch's packets one at a time."""
+        if self.pipeline is not None:
+            self.pipeline.process_batch(batch)
+            return
+        for group in self.groups:
+            group.process_batch(batch)
+
+    def process_trace(self, trace: Trace, batch_size: Optional[int] = None) -> None:
+        """Replay a trace through the datapath.
+
+        ``batch_size=None`` keeps the scalar reference path (one dict per
+        packet); an integer streams the trace as column-slice batches of that
+        size through the vectorized engine instead.
+        """
+        if batch_size is not None:
+            for batch in trace.iter_batches(batch_size):
+                self.process_batch(batch)
+            return
         for fields in trace.iter_fields():
             self.process_packet(fields)
 

@@ -22,7 +22,17 @@ configure the exports accordingly and document the choice here.
 
 from __future__ import annotations
 
-from repro.dataplane.register import Register, RegisterAction
+import numpy as np
+
+from repro.dataplane.register import (
+    Register,
+    RegisterAction,
+    chain_all,
+    segmented_compose_masks,
+    segmented_cummax,
+    segmented_cumsum,
+    segmented_cumxor,
+)
 
 OP_COND_ADD = "cond_add"
 OP_MAX = "max"
@@ -65,6 +75,84 @@ def _xor(stored: int, p1: int, p2: int):
     return stored ^ p1, stored
 
 
+# -- vectorized kernels -------------------------------------------------------
+#
+# Element-wise duals of the scalar actions over int64 arrays, used by
+# Register.execute_batch.  Each returns (new_values, results) pre-masking;
+# the register masks to the bucket width on store/export, exactly like the
+# scalar path.
+
+
+def _cond_add_batch(stored: np.ndarray, p1: np.ndarray, p2: np.ndarray):
+    updated = stored < p2
+    new_values = np.where(updated, stored + p1, stored)
+    return new_values, np.where(updated, new_values, 0)
+
+
+def _max_batch(stored: np.ndarray, p1: np.ndarray, p2: np.ndarray):
+    updated = stored < p1
+    return np.where(updated, p1, stored), np.where(updated, stored, 0)
+
+
+def _and_or_batch(stored: np.ndarray, p1: np.ndarray, p2: np.ndarray):
+    return np.where(p2 == 0, stored & p1, stored | p1), stored
+
+
+def _xor_batch(stored: np.ndarray, p1: np.ndarray, p2: np.ndarray):
+    return stored ^ p1, stored
+
+
+# -- chain kernels ------------------------------------------------------------
+#
+# Whole duplicate-bucket chains folded in closed form (see
+# RegisterAction.chain_fn): rows arrive sorted by bucket in arrival order,
+# ``stored`` holds each bucket's pre-chain value, ``seg_start`` marks chain
+# starts.  Each returns (per-row post-state, per-row exports, validity).
+
+
+def _cond_add_chain(stored, p1, p2, seg_start, value_mask):
+    """Running sums, valid only while every step's condition held and no
+    intermediate exceeded the bucket width (else saturation/wrap makes the
+    fold non-linear and the chain is re-run exactly)."""
+    post = stored + segmented_cumsum(p1, seg_start)
+    prev = post - p1
+    ok = chain_all((prev < p2) & (post <= value_mask), seg_start)
+    return post, post, ok
+
+
+def _max_chain(stored, p1, p2, seg_start, value_mask):
+    """Running maxima; always exact.  The export is the pre-update word on
+    update (the previous maximum), else 0 -- exactly the scalar action."""
+    cm = segmented_cummax(p1, seg_start)
+    prev = np.empty_like(cm)
+    prev[1:] = cm[:-1]
+    prev[seg_start] = stored[seg_start]
+    prev = np.maximum(prev, stored)
+    updated = prev < p1
+    return np.maximum(prev, p1), np.where(updated, prev, 0), None
+
+
+def _and_or_chain(stored, p1, p2, seg_start, value_mask):
+    """AND/OR chains composed as (and-mask, or-mask) pairs; always exact."""
+    A = np.where(p2 == 0, p1, value_mask)
+    B = np.where(p2 == 0, 0, p1)
+    A, B = segmented_compose_masks(A, B, seg_start)
+    pre_a = np.empty_like(A)
+    pre_b = np.empty_like(B)
+    pre_a[1:] = A[:-1]
+    pre_b[1:] = B[:-1]
+    pre_a[seg_start] = value_mask
+    pre_b[seg_start] = 0
+    return (stored & A) | B, (stored & pre_a) | pre_b, None
+
+
+def _xor_chain(stored, p1, p2, seg_start, value_mask):
+    """Running parity; always exact (exports the pre-update word)."""
+    inc = segmented_cumxor(p1, seg_start)
+    new_values = stored ^ inc
+    return new_values, new_values ^ p1, None
+
+
 def load_reduced_operation_set(register: Register, with_xor: bool = True) -> None:
     """Pre-load the FlyMon operations into a register's SALU.
 
@@ -72,8 +160,12 @@ def load_reduced_operation_set(register: Register, with_xor: bool = True) -> Non
     the §6 expansion that enables Odd Sketch.  Pass ``False`` to model the
     paper's as-published three-operation configuration.
     """
-    register.load_action(RegisterAction(OP_COND_ADD, _cond_add))
-    register.load_action(RegisterAction(OP_MAX, _max))
-    register.load_action(RegisterAction(OP_AND_OR, _and_or))
+    register.load_action(
+        RegisterAction(OP_COND_ADD, _cond_add, _cond_add_batch, _cond_add_chain)
+    )
+    register.load_action(RegisterAction(OP_MAX, _max, _max_batch, _max_chain))
+    register.load_action(
+        RegisterAction(OP_AND_OR, _and_or, _and_or_batch, _and_or_chain)
+    )
     if with_xor:
-        register.load_action(RegisterAction(OP_XOR, _xor))
+        register.load_action(RegisterAction(OP_XOR, _xor, _xor_batch, _xor_chain))

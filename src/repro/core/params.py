@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence, Tuple
 
-from repro.analysis.estimators import rho32
+import numpy as np
+
+from repro.analysis.estimators import rho32, rho32_batch
 from repro.core.compression import KeySelector
 
 
@@ -40,9 +42,18 @@ def param_field(group_id: int, cmu_index: int) -> str:
 
 
 class ParamSelector:
-    """Where a parameter's raw value comes from (before preprocessing)."""
+    """Where a parameter's raw value comes from (before preprocessing).
+
+    :meth:`value_batch` is the columnar dual of :meth:`value`: ``batch`` is a
+    :class:`repro.traffic.batch.PacketBatch`, ``compressed`` holds one int64
+    array per hash unit *already aligned to* ``rows`` (the batch positions of
+    this task's packets), and the result is one int64 array per row.
+    """
 
     def value(self, fields: Mapping[str, int], compressed: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def value_batch(self, batch, compressed, rows: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
     def vliw_slots(self) -> int:
@@ -57,6 +68,9 @@ class ConstParam(ParamSelector):
     def value(self, fields, compressed) -> int:
         return self.constant
 
+    def value_batch(self, batch, compressed, rows) -> np.ndarray:
+        return np.full(len(rows), self.constant, dtype=np.int64)
+
 
 @dataclass(frozen=True)
 class FieldParam(ParamSelector):
@@ -66,6 +80,9 @@ class FieldParam(ParamSelector):
 
     def value(self, fields, compressed) -> int:
         return int(fields.get(self.field, 0))
+
+    def value_batch(self, batch, compressed, rows) -> np.ndarray:
+        return batch.get(self.field)[rows]
 
 
 @dataclass(frozen=True)
@@ -78,6 +95,9 @@ class CompressedKeyParam(ParamSelector):
     def value(self, fields, compressed) -> int:
         return self.selector.compute(compressed)
 
+    def value_batch(self, batch, compressed, rows) -> np.ndarray:
+        return self.selector.compute_batch(compressed)
+
 
 @dataclass(frozen=True)
 class ResultParam(ParamSelector):
@@ -88,6 +108,9 @@ class ResultParam(ParamSelector):
 
     def value(self, fields, compressed) -> int:
         return int(fields.get(result_field(self.group_id, self.cmu_index), 0))
+
+    def value_batch(self, batch, compressed, rows) -> np.ndarray:
+        return batch.get(result_field(self.group_id, self.cmu_index))[rows]
 
 
 @dataclass(frozen=True)
@@ -109,6 +132,15 @@ class MinResultsParam(ParamSelector):
         nonzero = [v for v in values if v > 0]
         return min(nonzero) if nonzero else 0
 
+    def value_batch(self, batch, compressed, rows) -> np.ndarray:
+        stacked = np.stack(
+            [batch.get(result_field(g, c))[rows] for g, c in self.refs]
+        )
+        sentinel = np.iinfo(np.int64).max
+        masked = np.where(stacked > 0, stacked, sentinel)
+        lowest = masked.min(axis=0)
+        return np.where(lowest == sentinel, 0, lowest)
+
     def vliw_slots(self) -> int:
         return len(self.refs)
 
@@ -119,9 +151,16 @@ class MinResultsParam(ParamSelector):
 
 
 class ParamProcessor:
-    """A preparation-stage transform of the first parameter."""
+    """A preparation-stage transform of the first parameter.
+
+    :meth:`apply_batch` is the columnar dual of :meth:`apply` over the rows
+    of one task within a batch, element-wise identical to the scalar form.
+    """
 
     def apply(self, value: int, fields: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def apply_batch(self, values: np.ndarray, batch, rows: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
     def tcam_entries(self) -> int:
@@ -145,6 +184,9 @@ class ParamProcessor:
 class IdentityProcessor(ParamProcessor):
     def apply(self, value, fields) -> int:
         return value
+
+    def apply_batch(self, values, batch, rows) -> np.ndarray:
+        return values
 
 
 @dataclass(frozen=True)
@@ -172,6 +214,14 @@ class OneHotCouponProcessor(ParamProcessor):
         idx = (value & 0xFFFFFFFF) // width
         return (1 << idx) if idx < self.num_coupons else 0
 
+    def apply_batch(self, values, batch, rows) -> np.ndarray:
+        width = int(self.prob * 2.0**32)
+        if width == 0:
+            return np.zeros(len(values), dtype=np.int64)
+        idx = (values & 0xFFFFFFFF) // width
+        drawn = idx < self.num_coupons
+        return np.where(drawn, np.left_shift(1, np.where(drawn, idx, 0)), 0)
+
     def tcam_entries(self) -> int:
         return self.num_coupons + 1
 
@@ -189,6 +239,9 @@ class BitSelectProcessor(ParamProcessor):
     def apply(self, value, fields) -> int:
         return 1 << (value % self.bucket_bits)
 
+    def apply_batch(self, values, batch, rows) -> np.ndarray:
+        return np.left_shift(1, values % self.bucket_bits)
+
     def tcam_entries(self) -> int:
         return self.bucket_bits
 
@@ -202,6 +255,9 @@ class RhoProcessor(ParamProcessor):
 
     def apply(self, value, fields) -> int:
         return rho32(value, skip_bits=self.skip_bits)
+
+    def apply_batch(self, values, batch, rows) -> np.ndarray:
+        return rho32_batch(values, skip_bits=self.skip_bits)
 
     def tcam_entries(self) -> int:
         # One prefix entry per possible leading-zero count.
@@ -224,6 +280,9 @@ class ComplementProcessor(ParamProcessor):
     def apply(self, value, fields) -> int:
         return (~value) & ((1 << self.width) - 1)
 
+    def apply_batch(self, values, batch, rows) -> np.ndarray:
+        return (~values) & ((1 << self.width) - 1)
+
 
 @dataclass(frozen=True)
 class OverflowIndicatorProcessor(ParamProcessor):
@@ -235,6 +294,9 @@ class OverflowIndicatorProcessor(ParamProcessor):
 
     def apply(self, value, fields) -> int:
         return self.increment if value == 0 else 0
+
+    def apply_batch(self, values, batch, rows) -> np.ndarray:
+        return np.where(values == 0, self.increment, 0).astype(np.int64)
 
     def tcam_entries(self) -> int:
         return 2
@@ -266,6 +328,15 @@ class InterarrivalProcessor(ParamProcessor):
                 return 0  # first packet of this flow
         now = int(fields.get(self.time_field, 0))
         return max(0, now - value)
+
+    def apply_batch(self, values, batch, rows) -> np.ndarray:
+        now = batch.get(self.time_field)[rows]
+        out = np.maximum(0, now - values)
+        if self.bloom_group >= 0:
+            old_word = batch.get(result_field(self.bloom_group, self.bloom_cmu))[rows]
+            bit = batch.get(param_field(self.bloom_group, self.bloom_cmu))[rows]
+            out = np.where((bit != 0) & ((old_word & bit) == 0), 0, out)
+        return np.where(values == 0, 0, out)
 
     def tcam_entries(self) -> int:
         return 2

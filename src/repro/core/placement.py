@@ -73,7 +73,9 @@ def apply_placements(
         for stage_name, demand in demands.items():
             stage = pipeline.stage(placement.stage_of(stage_name))
             stage.allocate(f"cmug{group.group_id}/{stage_name}", demand)
-        pipeline.stage(placement.stage_of(STAGE_OPERATION)).add_hook(group.process)
+        pipeline.stage(placement.stage_of(STAGE_OPERATION)).add_hook(
+            group.process, group.process_batch
+        )
         pipeline.phv_layout.allocate(
             FieldSpec(f"cmug{group.group_id}/keys", group.phv_demand_bits())
         )

@@ -20,6 +20,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.dataplane.phv import FieldSpec
 
 HASH_WIDTH = 32
@@ -35,6 +37,53 @@ def _fmix32(h: int) -> int:
     h = (h * 0xC2B2AE35) & HASH_MASK
     h ^= h >> 16
     return h
+
+
+def _fmix32_batch(h: np.ndarray) -> np.ndarray:
+    """:func:`_fmix32` over a uint32 array (wrap-around multiply matches the
+    scalar's explicit 32-bit masking)."""
+    h = h.astype(np.uint32, copy=True)
+    h ^= h >> np.uint32(16)
+    h *= np.uint32(0x85EBCA6B)
+    h ^= h >> np.uint32(13)
+    h *= np.uint32(0xC2B2AE35)
+    h ^= h >> np.uint32(16)
+    return h
+
+
+def _zlib_crc_table() -> np.ndarray:
+    """The reflected CRC-32 (IEEE/zlib) byte table as a uint32 array."""
+    entries = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0xEDB88320 if crc & 1 else crc >> 1
+        entries.append(crc)
+    return np.array(entries, dtype=np.uint32)
+
+
+_CRC32_TABLE = _zlib_crc_table()
+
+
+def crc32_batch(data: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized ``zlib.crc32(row, seed)`` over an ``(n, L)`` uint8 matrix.
+
+    The byte loop runs over the fixed message length ``L`` (a handful of
+    bytes per hash-unit input) while each step is a table lookup vectorized
+    over the whole batch -- bit-identical to the scalar zlib call.
+    """
+    data = np.ascontiguousarray(data, dtype=np.uint8)
+    crc = np.full(data.shape[0], (seed ^ 0xFFFFFFFF) & 0xFFFFFFFF, dtype=np.uint32)
+    for j in range(data.shape[1]):
+        crc = (crc >> np.uint32(8)) ^ _CRC32_TABLE[(crc ^ data[:, j]) & np.uint32(0xFF)]
+    return crc ^ np.uint32(0xFFFFFFFF)
+
+
+def uint64_le_bytes(values: np.ndarray, nbytes: int = 8) -> np.ndarray:
+    """Little-endian byte matrix ``(n, nbytes)`` of a uint64 array -- the
+    columnar dual of ``int.to_bytes(nbytes, "little")``."""
+    values = np.ascontiguousarray(values, dtype="<u8")
+    return values.view(np.uint8).reshape(len(values), 8)[:, :nbytes]
 
 
 class HashFunction:
@@ -56,6 +105,18 @@ class HashFunction:
         nbytes = max(1, (width + 7) // 8)
         return self.hash_bytes(int(value).to_bytes(nbytes, "little", signed=False))
 
+    def hash_bytes_batch(self, data: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`hash_bytes` over an ``(n, L)`` uint8 matrix."""
+        return _fmix32_batch(crc32_batch(data, self.seed) ^ np.uint32(self.seed))
+
+    def hash_int_batch(self, values: np.ndarray, width: int = 64) -> np.ndarray:
+        """Row-wise :meth:`hash_int` over a non-negative integer array
+        (``width`` at most 64 -- the widths the datapath uses)."""
+        if width > 64:
+            raise ValueError("hash_int_batch supports widths up to 64 bits")
+        nbytes = max(1, (width + 7) // 8)
+        return self.hash_bytes_batch(uint64_le_bytes(values, nbytes)).astype(np.int64)
+
     def __repr__(self) -> str:
         return f"HashFunction(seed={self.seed:#010x})"
 
@@ -74,6 +135,9 @@ class _CrcAdapter:
 
     def hash_bytes(self, data: bytes) -> int:
         return self._crc.compute(data)
+
+    def hash_bytes_batch(self, data: np.ndarray) -> np.ndarray:
+        return self._crc.compute_batch(data)
 
 
 @dataclass(frozen=True)
@@ -192,6 +256,44 @@ class DynamicHashUnit:
             if value >> 32:
                 pieces.append(struct.pack("<I", value >> 32))
         return self._fn.hash_bytes(b"".join(pieces))
+
+    def compute_batch(self, batch) -> np.ndarray:
+        """Columnar :meth:`compute`: one 32-bit key per packet of ``batch``.
+
+        ``batch`` is a :class:`repro.traffic.batch.PacketBatch` (or anything
+        with ``__len__`` and ``get(name) -> ndarray``).  The packed message
+        per packet is the same fixed-width ``<IH``-per-field layout the
+        scalar path builds, so hashes are bit-identical.
+        """
+        n = len(batch)
+        if self._mask.is_empty:
+            return np.zeros(n, dtype=np.int64)
+        mask_bits = dict(self._mask.field_bits)
+        parts = []
+        for name in self._order:
+            bits = mask_bits.get(name)
+            if bits is None:
+                continue
+            spec = self._specs[name]
+            if spec.width > 32:
+                # Wide fields can spill a second word (the scalar path's
+                # `value >> 32` branch); fall back to per-row hashing.
+                return np.array(
+                    [self.compute(fields) for fields in batch.iter_fields()],
+                    dtype=np.int64,
+                )
+            values = (batch.get(name) & spec.mask) >> (spec.width - bits)
+            parts.append((values, bits))
+        data = np.empty((n, 6 * len(parts)), dtype=np.uint8)
+        offset = 0
+        for values, bits in parts:
+            data[:, offset : offset + 4] = (
+                values.astype("<u4").view(np.uint8).reshape(n, 4)
+            )
+            data[:, offset + 4] = bits & 0xFF
+            data[:, offset + 5] = (bits >> 8) & 0xFF
+            offset += 6
+        return self._fn.hash_bytes_batch(data).astype(np.int64)
 
     def __repr__(self) -> str:
         return f"DynamicHashUnit(id={self.unit_id}, mask={self._mask.describe()})"

@@ -71,6 +71,32 @@ class Pipeline:
         if sampled:
             self._span_histogram.observe(perf_counter() - start)
 
+    def process_batch(self, batch) -> None:
+        """Run a whole :class:`~repro.traffic.batch.PacketBatch` through every
+        stage in order -- the batched dual of :meth:`process`.
+
+        Telemetry counters advance by the batch length (packets, not
+        batches); timing spans cover one batch traversal.
+        """
+        if _TELEMETRY.enabled:
+            self._process_batch_traced(batch)
+            return
+        for stage in self.stages:
+            stage.process_batch(batch)
+
+    def _process_batch_traced(self, batch) -> None:
+        if self._stage_counters is None:
+            self._bind_telemetry()
+        n = len(batch)
+        self._packet_counter.inc(n)
+        sampled = _TELEMETRY.tracer.should_sample()
+        start = perf_counter() if sampled else 0.0
+        for stage, hits in zip(self.stages, self._stage_counters):
+            hits.inc(n)
+            stage.process_batch(batch)
+        if sampled:
+            self._span_histogram.observe(perf_counter() - start)
+
     def _bind_telemetry(self) -> None:
         registry = _TELEMETRY.registry
         self._packet_counter = registry.counter("flymon_pipeline_packets_total")

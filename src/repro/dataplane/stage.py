@@ -11,6 +11,28 @@ class StageResourceError(RuntimeError):
     """Raised when an allocation exceeds a stage's resource capacity."""
 
 
+def _apply_scalar_hook(hook, batch) -> None:
+    """Exact per-row fallback for hooks without a batched dual.
+
+    Rows are materialized as dicts, run through the hook in order, and any
+    fields the hook wrote are folded back into the batch's columns, so
+    downstream batched hooks observe the same PHV state the scalar pipeline
+    would have produced.
+    """
+    import numpy as np
+
+    rows = batch.to_fields_dicts()
+    names = set(batch.column_names)
+    for fields in rows:
+        hook(fields)
+        names.update(fields)
+    for name in names:
+        column = np.fromiter(
+            (fields.get(name, 0) for fields in rows), dtype=np.int64, count=len(rows)
+        )
+        batch.set(name, column)
+
+
 class MauStage:
     """One match-action unit stage.
 
@@ -24,6 +46,8 @@ class MauStage:
         self.capacity = capacity
         self._allocations: Dict[str, ResourceVector] = {}
         self._hooks: List[Callable[[Mapping[str, int]], None]] = []
+        #: Optional batched dual per scalar hook (same attachment order).
+        self._batch_hooks: Dict[Callable, Callable] = {}
 
     # -- resource accounting ----------------------------------------------
 
@@ -56,16 +80,37 @@ class MauStage:
 
     # -- packet processing --------------------------------------------------
 
-    def add_hook(self, hook: Callable[[Mapping[str, int]], None]) -> None:
-        """Attach per-packet logic (executed in attachment order)."""
+    def add_hook(
+        self,
+        hook: Callable[[Mapping[str, int]], None],
+        batch_hook: Callable = None,
+    ) -> None:
+        """Attach per-packet logic (executed in attachment order).
+
+        ``batch_hook`` is the optional columnar dual taking a
+        :class:`~repro.traffic.batch.PacketBatch`; hooks attached without one
+        fall back to exact per-row execution under :meth:`process_batch`.
+        """
         self._hooks.append(hook)
+        if batch_hook is not None:
+            self._batch_hooks[hook] = batch_hook
 
     def remove_hook(self, hook: Callable[[Mapping[str, int]], None]) -> None:
         self._hooks.remove(hook)
+        self._batch_hooks.pop(hook, None)
 
     def process(self, fields: Mapping[str, int]) -> None:
         for hook in self._hooks:
             hook(fields)
+
+    def process_batch(self, batch) -> None:
+        """Run every hook over a whole batch, in attachment order."""
+        for hook in self._hooks:
+            batch_hook = self._batch_hooks.get(hook)
+            if batch_hook is not None:
+                batch_hook(batch)
+            else:
+                _apply_scalar_hook(hook, batch)
 
     def __repr__(self) -> str:
         return f"MauStage(index={self.index}, owners={self.owners()})"

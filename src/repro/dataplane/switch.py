@@ -90,6 +90,10 @@ class TofinoSwitch:
     def process_packet(self, fields: dict) -> None:
         self.pipeline.process(fields)
 
+    def process_batch(self, batch) -> None:
+        """Run a :class:`~repro.traffic.batch.PacketBatch` through the pipe."""
+        self.pipeline.process_batch(batch)
+
 
 # ---------------------------------------------------------------------------
 # Static (conventional) sketch deployment footprints -- Figure 2.

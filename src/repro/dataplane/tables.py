@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class TernaryField:
@@ -150,6 +152,51 @@ class MatchActionTable:
             if entry.matches(fields):
                 return entry.action, entry.args_dict()
         return self.default_action, dict(self.default_args)
+
+    def match_batch(self, batch, n: Optional[int] = None) -> np.ndarray:
+        """Winning entry position per packet of a columnar batch.
+
+        ``batch`` is a :class:`repro.traffic.batch.PacketBatch` (anything
+        with ``get(name) -> ndarray`` works).  Returns an ``int64`` array
+        whose element is the index into :attr:`entries` of the
+        highest-priority matching entry, or ``-1`` where only the default
+        action applies -- the batched dual of :meth:`lookup`, iterating the
+        (few) installed entries instead of the (many) packets.
+        """
+        if n is None:
+            n = len(batch)
+        out = np.full(n, -1, dtype=np.int64)
+        unassigned = np.ones(n, dtype=bool)
+        for pos, entry in enumerate(self._entries):
+            if not unassigned.any():
+                break
+            candidate = unassigned.copy()
+            for name, tf in entry.match:
+                column = batch.get(name)
+                candidate &= (column & tf.mask) == (tf.value & tf.mask)
+            out[candidate] = pos
+            unassigned &= ~candidate
+        return out
+
+    def classify_batch(
+        self, batch, arg: str, n: Optional[int] = None, default: int = -1
+    ) -> np.ndarray:
+        """Per-packet value of integer action argument ``arg``.
+
+        The batched task-selection primitive: for a CMU's task table,
+        ``classify_batch(batch, "task_id")`` yields the task-id vector.
+        Packets matching no entry (or an entry/default without ``arg``) get
+        ``default``.
+        """
+        positions = self.match_batch(batch, n)
+        out = np.full(len(positions), default, dtype=np.int64)
+        for pos, entry in enumerate(self._entries):
+            value = entry.args_dict().get(arg)
+            if value is not None:
+                out[positions == pos] = int(value)
+        if self.default_action is not None and arg in self.default_args:
+            out[positions == -1] = int(self.default_args[arg])
+        return out
 
 
 class TableFullError(RuntimeError):

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.traffic import Trace, ddos_trace, zipf_trace
 
@@ -67,21 +68,48 @@ def memory_bytes(buckets: int, rows: int = 1) -> int:
     return buckets * rows * BUCKET_BYTES
 
 
+def default_batch_size() -> Optional[int]:
+    """Batch size experiment drivers use, from ``FLYMON_BATCH_SIZE``.
+
+    Unset or empty keeps the batched engine on at its default size; ``0`` or
+    a negative value selects the scalar reference path; a positive integer
+    fixes the batch size.
+    """
+    raw = os.environ.get("FLYMON_BATCH_SIZE", "").strip()
+    if not raw:
+        return DEFAULT_BATCH_SIZE
+    value = int(raw)
+    return value if value > 0 else None
+
+
+#: Default column-slice size for experiment replays: large enough that numpy
+#: kernel launches amortize, small enough to stay cache-friendly.
+DEFAULT_BATCH_SIZE = 8192
+
+
 def deploy_and_process(
     task,
     trace: Trace,
     num_groups: int = 3,
     register_size: int = None,
     seed_base: int = 0xC0DE,
+    batch_size: Optional[int] = "env",
 ):
     """Fresh controller sized for the task, deploy, run the trace.
 
     Returns ``(controller, handle)``.  The pipeline resource model is
     skipped for accuracy sweeps (memory axes may exceed one pipeline's SRAM;
     resource questions are Figs. 2/11/13's job).
+
+    ``batch_size`` defaults to :func:`default_batch_size` (the
+    ``FLYMON_BATCH_SIZE`` environment override); pass ``None`` to force the
+    scalar reference path or an integer to fix the batch size.  Both paths
+    produce bit-identical register state, digests, and estimates.
     """
     from repro.core.controller import FlyMonController
 
+    if batch_size == "env":
+        batch_size = default_batch_size()
     if register_size is None:
         register_size = 1 << 16
     controller = FlyMonController(
@@ -91,7 +119,7 @@ def deploy_and_process(
         seed_base=seed_base,
     )
     handle = controller.add_task(task)
-    controller.process_trace(trace)
+    controller.process_trace(trace, batch_size=batch_size)
     return controller, handle
 
 

@@ -18,7 +18,7 @@ from typing import Dict, List
 from repro.analysis.metrics import average_relative_error
 from repro.core.controller import FlyMonController
 from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
-from repro.experiments.common import format_table
+from repro.experiments.common import default_batch_size, format_table
 from repro.traffic import Trace, zipf_trace
 from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
 
@@ -115,8 +115,9 @@ def run(quick: bool = True, seed: int = 31) -> Dict:
             events.append("shrink task A memory")
 
         trace = _epoch_trace(epoch, quick, seed)
-        flymon.process_trace(trace)
-        static.process_trace(trace)
+        batch_size = default_batch_size()
+        flymon.process_trace(trace, batch_size=batch_size)
+        static.process_trace(trace, batch_size=batch_size)
 
         truth = {
             flow: count

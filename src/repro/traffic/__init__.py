@@ -7,6 +7,7 @@ flow sizes, configurable distinct-flow counts, attack scenarios).  Traces are
 stored columnar (NumPy) so exact ground truth is vectorized.
 """
 
+from repro.traffic.batch import PacketBatch
 from repro.traffic.flows import FlowKeyDef, KEY_5TUPLE, KEY_DST_IP, KEY_IP_PAIR, KEY_SRC_IP
 from repro.traffic.generators import (
     ddos_trace,
@@ -25,6 +26,7 @@ __all__ = [
     "KEY_IP_PAIR",
     "KEY_SRC_IP",
     "Packet",
+    "PacketBatch",
     "Trace",
     "ddos_trace",
     "portscan_trace",

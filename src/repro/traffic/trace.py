@@ -72,6 +72,22 @@ class Trace:
         for row in zip(*cols):
             yield dict(zip(PACKET_FIELDS, (int(v) for v in row)))
 
+    def iter_batches(self, batch_size: int):
+        """Yield consecutive :class:`repro.traffic.batch.PacketBatch` slices.
+
+        Batches wrap column views (no packet data is copied); the batched
+        datapath consumes these directly.
+        """
+        from repro.traffic.batch import batches_from_columns
+
+        return batches_from_columns(self.columns, batch_size)
+
+    def as_batch(self):
+        """The whole trace as one :class:`PacketBatch` (column views)."""
+        from repro.traffic.batch import batch_from_trace_columns
+
+        return batch_from_trace_columns(self.columns)
+
     def iter_packets(self) -> Iterator[Packet]:
         for fields in self.iter_fields():
             yield Packet(**fields)

@@ -1,0 +1,187 @@
+"""Compiled per-task plans: install-time translation caching and the batched
+CMU datapath's equivalence with per-packet execution."""
+
+import numpy as np
+import pytest
+
+import repro.core.cmu as cmu_mod
+from repro import telemetry
+from repro.core.cmu import Cmu, CmuTaskConfig
+from repro.core.cmu_group import CmuGroup
+from repro.core.compression import KeySelector
+from repro.core.memory import MemRange
+from repro.core.operations import OP_COND_ADD
+from repro.core.params import ConstParam, IdentityProcessor, result_field
+from repro.core.task import TaskFilter
+from repro.dataplane.hashing import HashMask
+from repro.traffic.batch import PacketBatch
+from repro.traffic.flows import KEY_SRC_IP
+
+RNG = np.random.default_rng(11)
+
+
+def make_config(task_id=1, mem=None, **kwargs):
+    return CmuTaskConfig(
+        task_id=task_id,
+        filter=kwargs.pop("task_filter", TaskFilter.match_all()),
+        key_selector=kwargs.pop("key_selector", KeySelector((0,), 0, 10)),
+        p1=kwargs.pop("p1", ConstParam(1)),
+        p2=kwargs.pop("p2", ConstParam((1 << 16) - 1)),
+        p1_processor=kwargs.pop("p1_processor", IdentityProcessor()),
+        mem=mem or MemRange(0, 1 << 10),
+        op=kwargs.pop("op", OP_COND_ADD),
+        **kwargs,
+    )
+
+
+class TestTranslationCaching:
+    def test_install_resolves_translation_once(self, monkeypatch):
+        calls = {"n": 0}
+        real = cmu_mod.make_translation
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cmu_mod, "make_translation", counting)
+        cmu = Cmu(0, 0, register_size=1 << 10)
+        cmu.install_task(make_config())
+        assert calls["n"] == 1
+        # The scalar datapath and index_for must reuse the cached object
+        # instead of rebuilding the translation per packet.
+        for src_ip in range(200):
+            cmu.process({"src_ip": src_ip}, [src_ip, 0, 0])
+            cmu.index_for(1, [src_ip, 0, 0])
+        assert calls["n"] == 1
+
+    def test_config_translation_returns_cached_object(self):
+        cmu = Cmu(0, 0, register_size=1 << 10)
+        cmu.install_task(make_config())
+        config = cmu.config(1)
+        assert config.cached_translation is not None
+        assert config.translation(1 << 10) is config.cached_translation
+
+    def test_cache_ignored_for_foreign_register_size(self):
+        cmu = Cmu(0, 0, register_size=1 << 10)
+        cmu.install_task(make_config())
+        config = cmu.config(1)
+        other = config.translation(1 << 12)
+        assert other is not config.cached_translation
+        assert other.register_size == 1 << 12
+
+
+class TestPlanLifecycle:
+    def test_install_compiles_a_plan(self):
+        cmu = Cmu(0, 0, register_size=1 << 10)
+        cmu.install_task(make_config(sample_prob=0.5))
+        plan = cmu._plans[1]
+        assert plan.translation is cmu.config(1).cached_translation
+        assert plan.sample_threshold == pytest.approx(0.5 * 2.0**32)
+        assert not plan.alarm_armed
+
+    def test_alarm_armed_needs_threshold_and_key(self):
+        cmu = Cmu(0, 0, register_size=1 << 10)
+        cmu.install_task(
+            make_config(alarm_threshold=10, digest_key=KEY_SRC_IP)
+        )
+        assert cmu._plans[1].alarm_armed
+
+    def test_filter_update_recompiles(self):
+        cmu = Cmu(0, 0, register_size=1 << 10)
+        cmu.install_task(make_config())
+        old_plan = cmu._plans[1]
+        new_filter = TaskFilter.of(src_ip=(0x0A000000, 8))
+        cmu.update_task_filter(1, new_filter)
+        assert cmu._plans[1] is not old_plan
+        assert cmu._plans[1].config.filter == new_filter
+
+    def test_remove_drops_the_plan(self):
+        cmu = Cmu(0, 0, register_size=1 << 10)
+        cmu.install_task(make_config())
+        cmu.remove_task(1)
+        assert cmu._plans == {}
+
+
+def _configured_group() -> CmuGroup:
+    group = CmuGroup(0, register_size=1 << 10)
+    grant = group.keys.acquire({"src_ip": 32})
+    for unit, mask in grant.new_masks:
+        group.hash_units[unit].set_mask(mask)
+    group.cmus[0].install_task(
+        make_config(
+            key_selector=grant.selector.with_slice(0, 10),
+            alarm_threshold=5,
+            digest_key=KEY_SRC_IP,
+        )
+    )
+    group.cmus[1].install_task(
+        make_config(
+            task_id=2,
+            key_selector=grant.selector.with_slice(0, 10),
+            sample_prob=0.5,
+        )
+    )
+    return group
+
+
+def _workload(n: int = 3000) -> PacketBatch:
+    # Full-range values: hash masks keep the most-significant bits, so
+    # low-range synthetic traffic would collapse into one bucket.
+    flows = RNG.integers(0, 1 << 32, size=64)
+    return PacketBatch(
+        {
+            "src_ip": RNG.choice(flows, size=n),
+            "timestamp": np.arange(n),
+        }
+    )
+
+
+class TestGroupBatchEquivalence:
+    def test_process_batch_matches_per_packet(self):
+        scalar_group = _configured_group()
+        batch_group = _configured_group()
+        batch = _workload()
+
+        dicts = batch.to_fields_dicts()
+        for fields in dicts:
+            scalar_group.process(fields)
+        batch_group.process_batch(batch)
+
+        for cmu_s, cmu_b in zip(scalar_group.cmus, batch_group.cmus):
+            np.testing.assert_array_equal(
+                cmu_s.register.read_range(0, cmu_s.register_size),
+                cmu_b.register.read_range(0, cmu_b.register_size),
+            )
+        assert scalar_group.cmus[0].peek_digests(1) == batch_group.cmus[0].peek_digests(1)
+        # PHV exports written by the batch must match the scalar dicts.
+        name = result_field(0, 0)
+        np.testing.assert_array_equal(
+            batch.get(name),
+            np.array([fields.get(name, 0) for fields in dicts]),
+        )
+
+
+class TestBatchTelemetryCounters:
+    def test_counters_advance_by_batch_length(self):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            group = _configured_group()
+            batch = _workload(500)
+            group.process_batch(batch)
+            registry = telemetry.TELEMETRY.registry
+            assert registry.value(
+                "flymon_group_packets_total", group="0"
+            ) == 500
+            # Register accesses count matched rows (task 2 samples at 0.5,
+            # so its CMU sees fewer than all packets but more than none).
+            full = registry.value(
+                "flymon_register_accesses_total", group="0", cmu="0"
+            )
+            sampled = registry.value(
+                "flymon_register_accesses_total", group="0", cmu="1"
+            )
+            assert full == 500
+            assert 0 < sampled < 500
+        finally:
+            telemetry.disable()

@@ -1,0 +1,164 @@
+"""Batched register execution: duplicate-bucket RMW chains must serialize
+exactly like per-packet execution, including the chain-folded fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.operations import (
+    EXTENDED_OPERATION_SET,
+    OP_COND_ADD,
+    load_reduced_operation_set,
+)
+from repro.dataplane.register import (
+    Register,
+    RegisterAction,
+    _occurrence_ranks,
+    chain_all,
+    segmented_compose_masks,
+    segmented_cummax,
+    segmented_cumsum,
+    segmented_cumxor,
+)
+
+
+def _pair(size=256, bit_width=16, init=None):
+    a, b = Register(size, bit_width), Register(size, bit_width)
+    load_reduced_operation_set(a)
+    load_reduced_operation_set(b)
+    if init is not None:
+        for i, value in enumerate(init):
+            a.write(i, int(value))
+            b.write(i, int(value))
+    return a, b
+
+
+def _assert_equivalent(op, idx, p1, p2, size=256, bit_width=16, init=None):
+    scalar, batched = _pair(size, bit_width, init)
+    want = np.array(
+        [
+            scalar.execute(op, int(idx[i]), int(p1[i]), int(p2[i]))
+            for i in range(len(idx))
+        ]
+    )
+    got = batched.execute_batch(op, idx, p1, p2)
+    np.testing.assert_array_equal(want, got)
+    np.testing.assert_array_equal(
+        scalar.read_range(0, size), batched.read_range(0, size)
+    )
+
+
+class TestOccurrenceRanks:
+    def test_ranks_count_prior_occurrences(self):
+        ranks = _occurrence_ranks(np.array([7, 3, 7, 7, 3]))
+        np.testing.assert_array_equal(ranks, [0, 0, 1, 2, 1])
+
+
+class TestSegmentedScans:
+    def test_cumsum_cumxor_cummax_reset_at_segments(self):
+        x = np.array([3, 1, 4, 1, 5, 9, 2], dtype=np.int64)
+        seg = np.array([True, False, False, True, False, True, False])
+        np.testing.assert_array_equal(
+            segmented_cumsum(x, seg), [3, 4, 8, 1, 6, 9, 11]
+        )
+        np.testing.assert_array_equal(
+            segmented_cummax(x, seg), [3, 3, 4, 1, 5, 9, 9]
+        )
+        np.testing.assert_array_equal(
+            segmented_cumxor(x, seg), [3, 2, 6, 1, 4, 9, 11]
+        )
+
+    def test_compose_masks_folds_and_or_chains(self):
+        # segment 1: OR 0b01 then AND 0b10 -> x&0b10; segment 2: OR 0b100
+        A = np.array([0xFF, 0b10, 0xFF], dtype=np.int64)
+        B = np.array([0b01, 0, 0b100], dtype=np.int64)
+        seg = np.array([True, False, True])
+        CA, CB = segmented_compose_masks(A, B, seg)
+        for x in (0, 0b11, 0b1010):
+            assert ((x & CA[1]) | CB[1]) == (((x | 0b01) & 0b10))
+        assert ((0 & CA[2]) | CB[2]) == 0b100
+
+    def test_chain_all_poisons_whole_segment(self):
+        ok = np.array([True, False, True, True])
+        seg = np.array([True, False, True, False])
+        np.testing.assert_array_equal(
+            chain_all(ok, seg), [False, False, True, True]
+        )
+
+
+class TestExecuteBatchEquivalence:
+    @pytest.mark.parametrize("op", EXTENDED_OPERATION_SET)
+    def test_duplicate_heavy_chains(self, op):
+        rng = np.random.default_rng(hash(op) & 0xFFFF)
+        n = 800
+        idx = rng.integers(0, 4, size=n) * 64  # 4 buckets, ~200-deep chains
+        p1 = rng.integers(0, 1 << 16, size=n)
+        p2 = rng.integers(0, 1 << 16, size=n)
+        _assert_equivalent(op, idx, p1, p2)
+
+    @pytest.mark.parametrize("op", EXTENDED_OPERATION_SET)
+    def test_all_distinct_buckets(self, op):
+        rng = np.random.default_rng(1)
+        idx = rng.permutation(256)[:100]
+        p1 = rng.integers(0, 1 << 16, size=100)
+        p2 = rng.integers(0, 1 << 16, size=100)
+        _assert_equivalent(op, idx, p1, p2)
+
+    def test_cond_add_saturating_chain_falls_back_exactly(self):
+        # A long chain that crosses its p2 threshold mid-way: the closed-form
+        # sum is invalid there, so the chain must re-run via rank rounds.
+        n = 64
+        idx = np.zeros(n, dtype=np.int64)
+        p1 = np.full(n, 7, dtype=np.int64)
+        p2 = np.full(n, 100, dtype=np.int64)
+        _assert_equivalent(OP_COND_ADD, idx, p1, p2)
+
+    def test_cond_add_wrapping_chain_falls_back_exactly(self):
+        # Increments that overflow the 8-bit bucket width force the wrap
+        # check to reject the fold.
+        n = 50
+        idx = np.zeros(n, dtype=np.int64)
+        p1 = np.full(n, 200, dtype=np.int64)
+        p2 = np.full(n, 255, dtype=np.int64)
+        _assert_equivalent(OP_COND_ADD, idx, p1, p2, bit_width=8)
+
+    def test_nonzero_initial_state(self):
+        rng = np.random.default_rng(3)
+        init = rng.integers(0, 1 << 16, size=256)
+        idx = rng.integers(0, 8, size=300) * 8
+        p1 = rng.integers(0, 4, size=300)
+        p2 = np.full(300, (1 << 16) - 1)
+        _assert_equivalent(OP_COND_ADD, idx, p1, p2, init=init)
+
+    def test_action_without_batch_kernel_uses_scalar_fallback(self):
+        def weird(stored, p1, p2):
+            return (stored * 3 + p1) % 251, stored
+
+        a = Register(64, 16)
+        b = Register(64, 16)
+        a.load_action(RegisterAction("weird", weird))
+        b.load_action(RegisterAction("weird", weird))
+        rng = np.random.default_rng(9)
+        idx = rng.integers(0, 4, size=100)
+        p1 = rng.integers(0, 100, size=100)
+        p2 = np.zeros(100, dtype=np.int64)
+        want = np.array(
+            [a.execute("weird", int(idx[i]), int(p1[i]), 0) for i in range(100)]
+        )
+        got = b.execute_batch("weird", idx, p1, p2)
+        np.testing.assert_array_equal(want, got)
+        np.testing.assert_array_equal(a.read_range(0, 64), b.read_range(0, 64))
+
+    def test_empty_batch_is_a_noop(self):
+        register = Register(64, 16)
+        load_reduced_operation_set(register)
+        out = register.execute_batch(
+            OP_COND_ADD, np.array([], dtype=np.int64), np.array([]), np.array([])
+        )
+        assert len(out) == 0
+
+    def test_unknown_action_raises(self):
+        register = Register(64, 16)
+        with pytest.raises(KeyError):
+            register.execute_batch(
+                "nope", np.array([0]), np.array([1]), np.array([0])
+            )

@@ -1,0 +1,93 @@
+"""Batched ternary classification vs per-packet lookup."""
+
+import numpy as np
+
+from repro.dataplane.tables import TernaryMatchTable, TableEntry, TernaryField
+from repro.traffic.batch import PacketBatch
+
+RNG = np.random.default_rng(7)
+
+
+def _table() -> TernaryMatchTable:
+    table = TernaryMatchTable("t", ("src_ip", "protocol"))
+    table.insert(
+        TableEntry.build(
+            {"src_ip": TernaryField.prefix(0x0A000000, 8, 32)},
+            action="set_task",
+            args={"task_id": 1},
+            priority=10,
+        )
+    )
+    table.insert(
+        TableEntry.build(
+            {
+                "src_ip": TernaryField.prefix(0x0A000000, 8, 32),
+                "protocol": TernaryField.exact(6, 8),
+            },
+            action="set_task",
+            args={"task_id": 2},
+            priority=20,  # more specific, higher priority
+        )
+    )
+    table.insert(
+        TableEntry.build(
+            {"src_ip": TernaryField.prefix(0x14000000, 8, 32)},
+            action="set_task",
+            args={"task_id": 3},
+            priority=10,
+        )
+    )
+    return table
+
+
+def _batch(n: int = 400) -> PacketBatch:
+    prefixes = RNG.choice([0x0A000000, 0x14000000, 0x1E000000], size=n)
+    return PacketBatch(
+        {
+            "src_ip": prefixes + RNG.integers(0, 1 << 24, size=n),
+            "protocol": RNG.choice([6, 17], size=n),
+        }
+    )
+
+
+class TestMatchBatch:
+    def test_winning_positions_match_scalar_lookup(self):
+        table = _table()
+        batch = _batch()
+        positions = table.match_batch(batch)
+        for i, fields in enumerate(batch.iter_fields()):
+            action, args = table.lookup(fields)
+            pos = int(positions[i])
+            if pos == -1:
+                assert action is None
+            else:
+                entry = table.entries[pos]
+                assert (entry.action, entry.args_dict()) == (action, args)
+
+    def test_priority_order_respected(self):
+        table = _table()
+        batch = PacketBatch({"src_ip": [0x0A010203], "protocol": [6]})
+        positions = table.match_batch(batch)
+        assert table.entries[int(positions[0])].args_dict()["task_id"] == 2
+
+
+class TestClassifyBatch:
+    def test_task_id_vector_matches_scalar(self):
+        table = _table()
+        batch = _batch()
+        task_ids = table.classify_batch(batch, "task_id")
+        for i, fields in enumerate(batch.iter_fields()):
+            action, args = table.lookup(fields)
+            want = args["task_id"] if action == "set_task" else -1
+            assert int(task_ids[i]) == want
+
+    def test_default_action_arg_applies_to_misses(self):
+        table = _table()
+        table.set_default("set_task", {"task_id": 99})
+        batch = PacketBatch({"src_ip": [0x1E000001], "protocol": [17]})
+        assert int(table.classify_batch(batch, "task_id")[0]) == 99
+
+    def test_unmatched_packets_get_default_sentinel(self):
+        table = _table()
+        batch = PacketBatch({"src_ip": [0x1E000001], "protocol": [17]})
+        assert int(table.classify_batch(batch, "task_id", default=-5)[0]) == -5
