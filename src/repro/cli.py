@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         "reference path; default: the engine's built-in size). Both paths "
         "are bit-identical -- this only trades speed",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard trace replays over N parallel datapath workers "
+        "(default: FLYMON_WORKERS or 1). Worker register state is merged "
+        "exactly, so results stay bit-identical to a sequential replay",
+    )
 
     stats = sub.add_parser(
         "stats", help="telemetry snapshot: events, metrics, utilization"
@@ -214,11 +223,16 @@ def cmd_run(
     full: bool,
     telemetry_path: Optional[str] = None,
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> int:
     if batch_size is not None:
         # Experiment drivers read FLYMON_BATCH_SIZE via
         # repro.experiments.common.default_batch_size.
         os.environ["FLYMON_BATCH_SIZE"] = str(batch_size)
+    if workers is not None:
+        # Experiment drivers read FLYMON_WORKERS via
+        # repro.experiments.common.default_workers.
+        os.environ["FLYMON_WORKERS"] = str(workers)
     if telemetry_path is not None:
         parent = os.path.dirname(telemetry_path) or "."
         if not os.path.isdir(parent):
@@ -317,7 +331,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list-experiments":
         return cmd_list_experiments()
     if args.command == "run":
-        return cmd_run(args.experiment, args.full, args.telemetry, args.batch_size)
+        return cmd_run(
+            args.experiment, args.full, args.telemetry, args.batch_size, args.workers
+        )
     if args.command == "stats":
         return cmd_stats(args.experiment, args.input, args.format)
     if args.command == "report":

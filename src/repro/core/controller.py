@@ -414,19 +414,57 @@ class FlyMonController:
         for group in self.groups:
             group.process_batch(batch)
 
-    def process_trace(self, trace: Trace, batch_size: Optional[int] = None) -> None:
+    def process_trace(
+        self,
+        trace: Trace,
+        batch_size: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> None:
         """Replay a trace through the datapath.
 
         ``batch_size=None`` keeps the scalar reference path (one dict per
         packet); an integer streams the trace as column-slice batches of that
-        size through the vectorized engine instead.
+        size through the vectorized engine instead.  ``workers > 1`` routes
+        through :meth:`process_trace_sharded` (which implies batching).
         """
+        if workers is not None and workers > 1:
+            self.process_trace_sharded(trace, workers, batch_size=batch_size)
+            return
         if batch_size is not None:
             for batch in trace.iter_batches(batch_size):
                 self.process_batch(batch)
             return
         for fields in trace.iter_fields():
             self.process_packet(fields)
+
+    def process_trace_sharded(
+        self,
+        trace: Trace,
+        workers: int,
+        batch_size: Optional[int] = None,
+        backend: Optional[str] = None,
+        collect_exports: bool = False,
+        exact_exports: bool = False,
+    ):
+        """Replay a trace through per-worker datapath replicas in parallel.
+
+        Row shards run through cloned CMU groups; worker register state is
+        merged back exactly (see :mod:`repro.dataplane.sharding`), so
+        queries, digests, and register reads afterwards match a sequential
+        replay bit for bit.  Returns the
+        :class:`~repro.dataplane.sharding.ShardRunReport`.
+        """
+        from repro.dataplane.sharding import run_sharded
+
+        return run_sharded(
+            self.groups,
+            trace,
+            workers,
+            batch_size=batch_size,
+            backend=backend,
+            collect_exports=collect_exports,
+            exact_exports=exact_exports,
+        )
 
     # ------------------------------------------------------------------
     # Resource management interfaces

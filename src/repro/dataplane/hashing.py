@@ -269,7 +269,7 @@ class DynamicHashUnit:
         if self._mask.is_empty:
             return np.zeros(n, dtype=np.int64)
         mask_bits = dict(self._mask.field_bits)
-        parts = []
+        parts = []  # (low 32 bits, bits, high word or None)
         for name in self._order:
             bits = mask_bits.get(name)
             if bits is None:
@@ -277,22 +277,53 @@ class DynamicHashUnit:
             spec = self._specs[name]
             if spec.width > 32:
                 # Wide fields can spill a second word (the scalar path's
-                # `value >> 32` branch); fall back to per-row hashing.
-                return np.array(
-                    [self.compute(fields) for fields in batch.iter_fields()],
-                    dtype=np.int64,
+                # `value >> 32` branch): carry the high word alongside.
+                values = (batch.get(name).astype(np.uint64) & np.uint64(spec.mask)) >> np.uint64(
+                    spec.width - bits
                 )
-            values = (batch.get(name) & spec.mask) >> (spec.width - bits)
-            parts.append((values, bits))
-        data = np.empty((n, 6 * len(parts)), dtype=np.uint8)
+                low = (values & np.uint64(0xFFFFFFFF)).astype(np.int64)
+                parts.append((low, bits, (values >> np.uint64(32)).astype(np.int64)))
+            else:
+                values = (batch.get(name) & spec.mask) >> (spec.width - bits)
+                parts.append((values, bits, None))
+        wide = [i for i, part in enumerate(parts) if part[2] is not None]
+        if not wide:
+            return self._hash_fixed_layout(parts, np.arange(n), ())
+        # The message layout varies per packet: a wide field appends its high
+        # word only when non-zero.  Partition rows by their spill signature
+        # (which wide fields spill); each signature class shares one fixed
+        # layout and hashes as a single vectorized call.
+        sig = np.zeros(n, dtype=np.int64)
+        for k, i in enumerate(wide):
+            sig |= (parts[i][2] != 0).astype(np.int64) << k
+        out = np.empty(n, dtype=np.int64)
+        for s in np.unique(sig):
+            rows = np.nonzero(sig == s)[0]
+            spilled = tuple(i for k, i in enumerate(wide) if (int(s) >> k) & 1)
+            out[rows] = self._hash_fixed_layout(parts, rows, spilled)
+        return out
+
+    def _hash_fixed_layout(
+        self, parts, rows: np.ndarray, spilled: Tuple[int, ...]
+    ) -> np.ndarray:
+        """Hash the rows whose packed message shares one layout: the ``<IH``
+        chunk per field, plus a 4-byte high word after each field in
+        ``spilled`` (by position in ``parts``)."""
+        n = len(rows)
+        data = np.empty((n, 6 * len(parts) + 4 * len(spilled)), dtype=np.uint8)
         offset = 0
-        for values, bits in parts:
+        for i, (values, bits, high) in enumerate(parts):
             data[:, offset : offset + 4] = (
-                values.astype("<u4").view(np.uint8).reshape(n, 4)
+                values[rows].astype("<u4").view(np.uint8).reshape(n, 4)
             )
             data[:, offset + 4] = bits & 0xFF
             data[:, offset + 5] = (bits >> 8) & 0xFF
             offset += 6
+            if i in spilled:
+                data[:, offset : offset + 4] = (
+                    high[rows].astype("<u4").view(np.uint8).reshape(n, 4)
+                )
+                offset += 4
         return self._fn.hash_bytes_batch(data).astype(np.int64)
 
     def __repr__(self) -> str:

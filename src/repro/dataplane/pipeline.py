@@ -108,6 +108,19 @@ class Pipeline:
             "flymon_pipeline_process"
         )
 
+    def scalar_fallback_hooks(self) -> List[tuple]:
+        """``(stage_index, hook)`` pairs attached without a batched dual.
+
+        A non-empty result means :meth:`process_batch` pays the exact-but-slow
+        per-row dict round-trip at those stages; sharded workers require this
+        to be empty (see :mod:`repro.dataplane.sharding`).
+        """
+        return [
+            (stage.index, hook)
+            for stage in self.stages
+            for hook in stage.scalar_only_hooks()
+        ]
+
     # -- aggregate accounting -----------------------------------------------
 
     def total_used(self) -> ResourceVector:

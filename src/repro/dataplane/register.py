@@ -338,10 +338,15 @@ class Register:
     def read(self, index: int) -> int:
         return int(self._cells[index & (self.size - 1)])
 
-    def read_range(self, start: int, length: int) -> np.ndarray:
-        """Control-plane bulk read of ``[start, start+length)`` (copy)."""
+    def _check_range(self, start: int, length: int) -> None:
+        if length < 0:
+            raise IndexError(f"negative range length {length}")
         if not 0 <= start <= self.size or start + length > self.size:
             raise IndexError(f"range [{start}, {start + length}) out of bounds")
+
+    def read_range(self, start: int, length: int) -> np.ndarray:
+        """Control-plane bulk read of ``[start, start+length)`` (copy)."""
+        self._check_range(start, length)
         return self._cells[start : start + length].astype(np.int64)
 
     def write(self, index: int, value: int) -> None:
@@ -349,9 +354,21 @@ class Register:
 
     def reset_range(self, start: int, length: int) -> None:
         """Zero ``[start, start+length)`` -- epoch rollover / task recycle."""
-        if not 0 <= start <= self.size or start + length > self.size:
-            raise IndexError(f"range [{start}, {start + length}) out of bounds")
+        self._check_range(start, length)
         self._cells[start : start + length] = 0
+
+    def snapshot_cells(self) -> np.ndarray:
+        """Copy of the full cell array as ``int64`` (mergeable snapshot)."""
+        return self._cells.astype(np.int64)
+
+    def load_cells(self, cells: np.ndarray) -> None:
+        """Overwrite the full cell array (the merge side of sharded runs)."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if len(cells) != self.size:
+            raise ValueError(
+                f"cell array has length {len(cells)}, register holds {self.size}"
+            )
+        self._cells[:] = (cells & self.value_mask).astype(self._cells.dtype)
 
     def reset(self) -> None:
         self._cells[:] = 0

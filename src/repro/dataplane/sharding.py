@@ -1,0 +1,636 @@
+"""Sharded parallel execution of the batched datapath.
+
+CMU groups only couple through *forward* PHV chaining (§3.2), and row shards
+of a trace only couple through the registers they share.  This module
+exploits both: a :class:`~repro.traffic.trace.Trace` is split into
+contiguous row shards, each shard runs through a fresh per-worker replica of
+the deployed CMU groups (zeroed registers, identical rules and hash
+seeding), and the worker register states are merged back into the real data
+plane **exactly**:
+
+* **sum** -- an unarmed Cond-ADD whose ``p2`` is a constant covering the
+  whole bucket range never blocks an update, so each worker cell is the
+  modular sum of its shard's increments and the merge is
+  ``(base + sum(workers)) mod 2^w`` (CMS et al.).  Wrap-around commutes with
+  the sum; only a counter parking *exactly* on the all-ones value would
+  diverge, which is why the law requires >= 8-bit buckets;
+* **max** -- MAX registers merge by element-wise maximum (always exact);
+* **xor** -- XOR registers merge by element-wise XOR (always exact);
+* **or** -- an AND-OR task whose ``p2`` is a non-zero constant only ever
+  ORs, and OR-only mask composition degenerates to element-wise OR
+  (Bloom/coupon inserts);
+* **replay** -- everything else (finite-``p2`` Cond-ADD towers, mixed
+  AND-OR, and *every* alarm-armed task): workers journal the task's
+  post-sampling, post-preparation ``(row, index, p1, p2)`` stream -- which is
+  state-free once chained tasks are excluded -- and the merge replays the
+  concatenated journal through a scratch register seeded with the
+  coordinator's pre-run cells.  Replay reproduces the exact per-packet
+  results, so alarm digests are recomputed bit-identically.
+
+Tasks whose parameters read *upstream CMU exports* (``ResultParam``,
+``MinResultsParam``, bloom-coupled inter-arrival) are inherently
+order-dependent across the whole trace; deployments containing one fall
+back to sequential batched execution with the reason recorded on the
+returned :class:`ShardRunReport`.
+
+Workers run in a ``concurrent.futures`` process pool (``fork`` when
+available) with automatic thread fallback; ``FLYMON_SHARD_BACKEND`` pins
+``process`` / ``thread`` / ``serial`` explicitly.  Inside a worker the
+groups are driven directly through ``CmuGroup.process_batch`` -- every stage
+hook is columnar, so no shard ever pays the scalar dict round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataplane.register import Register
+from repro.traffic.batch import PacketBatch
+
+#: Column-slice size workers use when the caller does not fix one.
+DEFAULT_SHARD_BATCH = 8192
+
+#: Merge laws (per task): how worker register state folds into the base.
+LAW_SUM = "sum"
+LAW_MAX = "max"
+LAW_XOR = "xor"
+LAW_OR = "or"
+LAW_REPLAY = "replay"
+
+BACKEND_PROCESS = "process"
+BACKEND_THREAD = "thread"
+BACKEND_SERIAL = "serial"
+BACKENDS = (BACKEND_PROCESS, BACKEND_THREAD, BACKEND_SERIAL)
+
+
+class ShardingError(RuntimeError):
+    """Raised for invalid sharded-execution configuration."""
+
+
+def default_workers() -> int:
+    """Worker count from ``FLYMON_WORKERS`` (unset/empty/invalid -> 1)."""
+    raw = os.environ.get("FLYMON_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
+
+
+def shard_ranges(total: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` row ranges covering ``total`` rows.
+
+    At most ``workers`` non-empty shards whose sizes differ by at most one
+    (the uneven tail rides on the first shards).
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if total == 0:
+        return []
+    count = min(max(1, int(workers)), total)
+    size, extra = divmod(total, count)
+    ranges = []
+    start = 0
+    for i in range(count):
+        stop = start + size + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+class ShardJournal:
+    """Per-shard record of tracked tasks' register-input streams.
+
+    Keyed by ``(group_id, cmu_index, task_id)``; each record holds the
+    *global* trace rows (shard offset applied) plus the translated bucket
+    indices and both parameters, post-sampling and post-preparation -- i.e.
+    exactly the arrays :meth:`Register.execute_batch` would consume.  The
+    merge concatenates shard journals in shard order and replays them, which
+    reproduces the sequential execution bit-for-bit because everything
+    upstream of the register is state-free for non-chained tasks.
+    """
+
+    __slots__ = ("tracked", "offset", "_records")
+
+    def __init__(self, tracked: Optional[frozenset] = None, offset: int = 0) -> None:
+        #: ``None`` tracks every task; else only keys in the set.
+        self.tracked = tracked
+        #: Global row index of the current batch's first row.
+        self.offset = offset
+        self._records: Dict[Tuple[int, int, int], list] = {}
+
+    def wants(self, group_id: int, cmu_index: int, task_id: int) -> bool:
+        return self.tracked is None or (group_id, cmu_index, task_id) in self.tracked
+
+    def record(
+        self,
+        group_id: int,
+        cmu_index: int,
+        task_id: int,
+        rows: np.ndarray,
+        index: np.ndarray,
+        p1: np.ndarray,
+        p2: np.ndarray,
+    ) -> None:
+        self._records.setdefault((group_id, cmu_index, task_id), []).append(
+            (
+                np.asarray(rows, dtype=np.int64) + self.offset,
+                np.asarray(index, dtype=np.int64),
+                np.asarray(p1, dtype=np.int64),
+                np.asarray(p2, dtype=np.int64),
+            )
+        )
+
+    def absorb(self, other: "ShardJournal") -> None:
+        """Append another journal's records (callers absorb in shard order)."""
+        for key, records in other._records.items():
+            self._records.setdefault(key, []).extend(records)
+
+    def entries(self, key: Tuple[int, int, int]):
+        """Concatenated ``(rows, index, p1, p2)`` for a task, or ``None``."""
+        records = self._records.get(key)
+        if not records:
+            return None
+        return tuple(np.concatenate(cols) for cols in zip(*records))
+
+
+@dataclass(frozen=True)
+class GroupReplicaSpec:
+    """Everything needed to rebuild a :class:`CmuGroup` replica in a worker.
+
+    Replicas start with zeroed registers but identical rules: same hash
+    seeding (derived from ``seed_base`` and ``group_id``), same installed
+    hash masks, and the same task configs re-installed in install order
+    (``cached_translation`` is stripped and re-resolved on install, keeping
+    the spec picklable).
+    """
+
+    group_id: int
+    register_size: int
+    bucket_bits: int
+    candidate_fields: Tuple
+    seed_base: int
+    unit_masks: Tuple
+    cmu_configs: Tuple[Tuple, ...]
+
+    @staticmethod
+    def from_group(group) -> "GroupReplicaSpec":
+        from dataclasses import replace as dc_replace
+
+        return GroupReplicaSpec(
+            group_id=group.group_id,
+            register_size=group.register_size,
+            bucket_bits=group.bucket_bits,
+            candidate_fields=group.candidate_fields,
+            seed_base=group.seed_base,
+            unit_masks=tuple(unit.mask for unit in group.hash_units),
+            cmu_configs=tuple(
+                tuple(
+                    dc_replace(plan.config, cached_translation=None)
+                    for plan in cmu.task_plans().values()
+                )
+                for cmu in group.cmus
+            ),
+        )
+
+    def build(self):
+        from repro.core.cmu_group import CmuGroup
+
+        group = CmuGroup(
+            self.group_id,
+            num_cmus=len(self.cmu_configs),
+            compression_units=len(self.unit_masks),
+            register_size=self.register_size,
+            bucket_bits=self.bucket_bits,
+            candidate_fields=self.candidate_fields,
+            seed_base=self.seed_base,
+        )
+        for unit, mask in zip(group.hash_units, self.unit_masks):
+            if not mask.is_empty:
+                unit.set_mask(mask)
+        for cmu, configs in zip(group.cmus, self.cmu_configs):
+            for config in configs:
+                cmu.install_task(config)
+        return group
+
+
+def replica_specs(groups: Sequence) -> List[GroupReplicaSpec]:
+    return [GroupReplicaSpec.from_group(group) for group in groups]
+
+
+@dataclass
+class ShardResult:
+    """One worker's output: final replica cells, journal, spliced exports."""
+
+    start: int
+    stop: int
+    cells: Dict[Tuple[int, int], np.ndarray]
+    journal: ShardJournal
+    exports: Optional[Dict[str, np.ndarray]]
+
+
+@dataclass
+class ShardRunReport:
+    """What a sharded run did: backend, merge laws, fallback, exports."""
+
+    packets: int
+    workers: int
+    shards: int
+    backend: str
+    fallback: Optional[str]
+    merge_laws: Dict[Tuple[int, int, int], str]
+    exports: Optional[Dict[str, np.ndarray]] = None
+
+
+def _accumulate_exports(acc: Dict[str, np.ndarray], batch, offset: int, total: int) -> None:
+    """Fold a processed batch's PHV export columns into full-length arrays."""
+    n = len(batch)
+    for name in batch.column_names:
+        if not name.startswith("_cmu_"):
+            continue
+        col = acc.get(name)
+        if col is None:
+            col = acc[name] = np.zeros(total, dtype=np.int64)
+        col[offset : offset + n] = batch.get(name)
+
+
+def _run_shard(
+    specs: Sequence[GroupReplicaSpec],
+    columns: Dict[str, np.ndarray],
+    start: int,
+    stop: int,
+    batch_size: int,
+    tracked: Optional[frozenset],
+    collect_exports: bool,
+) -> ShardResult:
+    """Worker body: build replicas, stream the shard, snapshot the state.
+
+    Module-level and driven purely by picklable arguments so it runs
+    unchanged under process pools, thread pools, and in-line execution.
+    """
+    groups = [spec.build() for spec in specs]
+    journal = ShardJournal(tracked)
+    for group in groups:
+        for cmu in group.cmus:
+            cmu.journal = journal
+    n = stop - start
+    exports: Optional[Dict[str, np.ndarray]] = {} if collect_exports else None
+    for off in range(0, n, batch_size):
+        hi = min(off + batch_size, n)
+        batch = PacketBatch(
+            {name: col[off:hi] for name, col in columns.items()}, length=hi - off
+        )
+        journal.offset = start + off
+        for group in groups:
+            group.process_batch(batch)
+        if exports is not None:
+            _accumulate_exports(exports, batch, off, n)
+    cells: Dict[Tuple[int, int], np.ndarray] = {}
+    for group in groups:
+        for cmu in group.cmus:
+            cmu.journal = None
+            if cmu.task_plans():
+                cells[(group.group_id, cmu.index)] = cmu.register.snapshot_cells()
+    return ShardResult(start, stop, cells, journal, exports)
+
+
+def _is_chained(config) -> bool:
+    """Whether a task's inputs depend on upstream CMU exports (PHV chaining),
+    which makes its register stream state-dependent and non-shardable."""
+    from repro.core.params import InterarrivalProcessor, MinResultsParam, ResultParam
+
+    if isinstance(config.p1, (ResultParam, MinResultsParam)):
+        return True
+    if isinstance(config.p2, (ResultParam, MinResultsParam)):
+        return True
+    processor = config.p1_processor
+    if isinstance(processor, InterarrivalProcessor) and processor.bloom_group >= 0:
+        return True
+    return False
+
+
+def _merge_law(plan, bucket_bits: int, value_mask: int) -> str:
+    """Pick the cheapest exact merge law for one task (see module docs)."""
+    from repro.core.operations import OP_AND_OR, OP_COND_ADD, OP_MAX, OP_XOR
+    from repro.core.params import ConstParam
+
+    config = plan.config
+    if plan.alarm_armed:
+        # Alarms fire on state-dependent results; only replay reproduces the
+        # exact digest stream.
+        return LAW_REPLAY
+    if config.op == OP_MAX:
+        return LAW_MAX
+    if config.op == OP_XOR:
+        return LAW_XOR
+    if config.op == OP_COND_ADD:
+        if (
+            isinstance(config.p2, ConstParam)
+            and (config.p2.constant & value_mask) == value_mask
+            and bucket_bits >= 8
+        ):
+            return LAW_SUM
+        return LAW_REPLAY
+    if config.op == OP_AND_OR:
+        if isinstance(config.p2, ConstParam) and (config.p2.constant & value_mask):
+            return LAW_OR
+        return LAW_REPLAY
+    return LAW_REPLAY
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    if backend is None:
+        backend = os.environ.get("FLYMON_SHARD_BACKEND", "").strip() or BACKEND_PROCESS
+    if backend not in BACKENDS:
+        raise ShardingError(
+            f"unknown shard backend {backend!r} (expected one of {BACKENDS})"
+        )
+    return backend
+
+
+def _dispatch(
+    specs: Sequence[GroupReplicaSpec],
+    columns: Dict[str, np.ndarray],
+    ranges: Sequence[Tuple[int, int]],
+    batch_size: int,
+    tracked: Optional[frozenset],
+    collect_exports: bool,
+    backend: str,
+) -> Tuple[List[ShardResult], str]:
+    """Run every shard, in shard order, on the requested backend.
+
+    A process pool that cannot start (sandboxes, fork restrictions, broken
+    workers) degrades to threads rather than failing the run.
+    """
+    payloads = [
+        (
+            specs,
+            {name: col[start:stop] for name, col in columns.items()},
+            start,
+            stop,
+            batch_size,
+            tracked,
+            collect_exports,
+        )
+        for start, stop in ranges
+    ]
+    if backend == BACKEND_SERIAL or len(payloads) <= 1:
+        return [_run_shard(*payload) for payload in payloads], BACKEND_SERIAL
+    if backend == BACKEND_PROCESS:
+        try:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            context = (
+                mp.get_context("fork")
+                if "fork" in mp.get_all_start_methods()
+                else mp.get_context()
+            )
+            with ProcessPoolExecutor(
+                max_workers=len(payloads), mp_context=context
+            ) as pool:
+                futures = [pool.submit(_run_shard, *payload) for payload in payloads]
+                return [future.result() for future in futures], BACKEND_PROCESS
+        except (OSError, PermissionError, BrokenProcessPool):
+            backend = BACKEND_THREAD
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
+        futures = [pool.submit(_run_shard, *payload) for payload in payloads]
+        return [future.result() for future in futures], BACKEND_THREAD
+
+
+def _sequential(
+    groups, trace, batch_size: int, collect_exports: bool, reason: str, workers: int
+) -> ShardRunReport:
+    """Single-pipeline batched fallback (still collects exports on request)."""
+    n = len(trace)
+    exports: Optional[Dict[str, np.ndarray]] = {} if collect_exports else None
+    offset = 0
+    for batch in trace.iter_batches(batch_size):
+        for group in groups:
+            group.process_batch(batch)
+        if exports is not None:
+            _accumulate_exports(exports, batch, offset, n)
+        offset += len(batch)
+    return ShardRunReport(
+        packets=n,
+        workers=workers,
+        shards=0,
+        backend="sequential",
+        fallback=reason,
+        merge_laws={},
+        exports=exports,
+    )
+
+
+def _merge_into(
+    groups,
+    base: Dict[Tuple[int, int], np.ndarray],
+    journal: ShardJournal,
+    shard_results: Sequence[ShardResult],
+    laws: Dict[Tuple[int, int, int], str],
+    trace,
+    exports: Optional[Dict[str, np.ndarray]],
+) -> None:
+    """Fold worker register state back into the live CMUs, law by law.
+
+    Replayed tasks also recompute their alarm digests (into the live CMU's
+    digest queues) and, when export collection is on, scatter their exact
+    per-packet results into the spliced export columns.
+    """
+    from repro.core.cmu import Cmu
+    from repro.core.operations import load_reduced_operation_set
+    from repro.core.params import param_field, result_field
+
+    full_batch = None
+    for group in groups:
+        for cmu in group.cmus:
+            plans = cmu.task_plans()
+            if not plans:
+                continue
+            location = (group.group_id, cmu.index)
+            base_cells = base[location]
+            worker_cells = [result.cells[location] for result in shard_results]
+            mask = cmu.register.value_mask
+            merged = base_cells.copy()
+            scratch = None
+            for task_id, plan in plans.items():
+                config = plan.config
+                law = laws[(group.group_id, cmu.index, task_id)]
+                window = slice(config.mem.base, config.mem.end)
+                if law == LAW_SUM:
+                    acc = base_cells[window].copy()
+                    for cells in worker_cells:
+                        acc += cells[window]
+                    merged[window] = acc & mask
+                elif law == LAW_MAX:
+                    acc = base_cells[window]
+                    for cells in worker_cells:
+                        acc = np.maximum(acc, cells[window])
+                    merged[window] = acc
+                elif law == LAW_XOR:
+                    acc = base_cells[window].copy()
+                    for cells in worker_cells:
+                        acc ^= cells[window]
+                    merged[window] = acc
+                elif law == LAW_OR:
+                    acc = base_cells[window].copy()
+                    for cells in worker_cells:
+                        acc |= cells[window]
+                    merged[window] = acc
+                else:  # LAW_REPLAY
+                    entry = journal.entries((group.group_id, cmu.index, task_id))
+                    if entry is None:
+                        continue  # no packet matched the task; base state holds
+                    if scratch is None:
+                        scratch = Register(cmu.register.size, cmu.register.bit_width)
+                        load_reduced_operation_set(scratch)
+                        scratch.load_cells(base_cells)
+                    rows, index, p1, p2 = entry
+                    results = scratch.execute_batch(config.op, index, p1, p2)
+                    merged[window] = scratch.read_range(config.mem.base, config.mem.length)
+                    if plan.alarm_armed:
+                        hits = rows[results >= config.alarm_threshold]
+                        if hits.size:
+                            if full_batch is None:
+                                full_batch = trace.as_batch()
+                            keys = Cmu._digest_key_rows(
+                                config.digest_key, full_batch, hits
+                            )
+                            cmu._digests.setdefault(task_id, set()).update(
+                                map(tuple, keys.tolist())
+                            )
+                    if exports is not None:
+                        total = len(trace)
+                        name = result_field(group.group_id, cmu.index)
+                        column = exports.setdefault(name, np.zeros(total, dtype=np.int64))
+                        column[rows] = results
+                        name = param_field(group.group_id, cmu.index)
+                        column = exports.setdefault(name, np.zeros(total, dtype=np.int64))
+                        column[rows] = p1
+            cmu.register.load_cells(merged)
+
+
+def run_sharded(
+    groups,
+    trace,
+    workers: int,
+    batch_size: Optional[int] = None,
+    backend: Optional[str] = None,
+    collect_exports: bool = False,
+    exact_exports: bool = False,
+) -> ShardRunReport:
+    """Replay ``trace`` through ``groups`` using sharded parallel execution.
+
+    Register state, digests, and (for replayed tasks) PHV exports end up
+    bit-identical to a sequential replay.  ``exact_exports=True`` forces
+    *every* task onto the replay law so the returned export columns are
+    exact for all tasks -- a verification mode that trades the parallel
+    speedup for full per-packet output.
+
+    Deployments with chained tasks (parameters reading upstream CMU exports)
+    fall back to sequential batched execution; the report's ``fallback``
+    field carries the reason.
+    """
+    if exact_exports:
+        collect_exports = True
+    if batch_size is None or batch_size <= 0:
+        batch_size = DEFAULT_SHARD_BATCH
+    workers = max(1, int(workers))
+    n = len(trace)
+
+    plans: Dict[Tuple[int, int, int], tuple] = {}
+    for group in groups:
+        for cmu in group.cmus:
+            for task_id, plan in cmu.task_plans().items():
+                plans[(group.group_id, cmu.index, task_id)] = (cmu, plan)
+    chained = sorted(
+        key for key, (_, plan) in plans.items() if _is_chained(plan.config)
+    )
+    if chained:
+        described = ", ".join(
+            f"cmug{g}/cmu{c}/task{t}" for g, c, t in chained[:4]
+        ) + ("..." if len(chained) > 4 else "")
+        return _sequential(
+            groups,
+            trace,
+            batch_size,
+            collect_exports,
+            f"chained tasks read upstream exports ({described})",
+            workers,
+        )
+    if n == 0:
+        return _sequential(
+            groups, trace, batch_size, collect_exports, "empty trace", workers
+        )
+
+    laws = {
+        key: (
+            LAW_REPLAY
+            if exact_exports
+            else _merge_law(plan, cmu.bucket_bits, cmu.register.value_mask)
+        )
+        for key, (cmu, plan) in plans.items()
+    }
+    tracked = (
+        None
+        if exact_exports
+        else frozenset(key for key, law in laws.items() if law == LAW_REPLAY)
+    )
+
+    base = {
+        (group.group_id, cmu.index): cmu.register.snapshot_cells()
+        for group in groups
+        for cmu in group.cmus
+        if cmu.task_plans()
+    }
+    specs = replica_specs(groups)
+    ranges = shard_ranges(n, workers)
+    shard_results, backend_used = _dispatch(
+        specs,
+        trace.columns,
+        ranges,
+        batch_size,
+        tracked,
+        collect_exports,
+        _resolve_backend(backend),
+    )
+
+    exports: Optional[Dict[str, np.ndarray]] = None
+    if collect_exports:
+        exports = {}
+        for result in shard_results:
+            for name, arr in (result.exports or {}).items():
+                column = exports.get(name)
+                if column is None:
+                    column = exports[name] = np.zeros(n, dtype=np.int64)
+                column[result.start : result.stop] = arr
+
+    journal = ShardJournal(tracked)
+    for result in shard_results:
+        journal.absorb(result.journal)
+    _merge_into(groups, base, journal, shard_results, laws, trace, exports)
+
+    from repro.telemetry import TELEMETRY as _TELEMETRY
+
+    if _TELEMETRY.enabled:
+        _TELEMETRY.registry.counter("flymon_sharded_runs_total").inc()
+        _TELEMETRY.registry.counter("flymon_sharded_packets_total").inc(n)
+
+    return ShardRunReport(
+        packets=n,
+        workers=workers,
+        shards=len(ranges),
+        backend=backend_used,
+        fallback=None,
+        merge_laws=laws,
+        exports=exports,
+    )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.dataplane.resources import STAGE_CAPACITY, ResourceVector
 
@@ -14,19 +14,29 @@ class StageResourceError(RuntimeError):
 def _apply_scalar_hook(hook, batch) -> None:
     """Exact per-row fallback for hooks without a batched dual.
 
-    Rows are materialized as dicts, run through the hook in order, and any
-    fields the hook wrote are folded back into the batch's columns, so
-    downstream batched hooks observe the same PHV state the scalar pipeline
-    would have produced.
+    Rows are materialized as dicts, run through the hook in order, and the
+    fields the hook *actually wrote* (added, or changed in value) are folded
+    back into the batch's columns, so downstream batched hooks observe the
+    same PHV state the scalar pipeline would have produced.
+
+    Fields the hook never touched are left alone: in particular, a field the
+    hook wrote on no row at all never materializes as a column, so a
+    downstream ``name in batch`` check agrees with the scalar path's
+    ``name in fields``.  A field written on only *some* rows necessarily
+    becomes a column; the unwritten rows read as 0, which is exactly the
+    ``fields.get(name, 0)`` / :meth:`PacketBatch.get` absent-field contract.
     """
     import numpy as np
 
     rows = batch.to_fields_dicts()
-    names = set(batch.column_names)
+    written = set()
     for fields in rows:
+        before = dict(fields)
         hook(fields)
-        names.update(fields)
-    for name in names:
+        for name, value in fields.items():
+            if name not in before or before[name] != value:
+                written.add(name)
+    for name in written:
         column = np.fromiter(
             (fields.get(name, 0) for fields in rows), dtype=np.int64, count=len(rows)
         )
@@ -45,9 +55,10 @@ class MauStage:
         self.index = index
         self.capacity = capacity
         self._allocations: Dict[str, ResourceVector] = {}
-        self._hooks: List[Callable[[Mapping[str, int]], None]] = []
-        #: Optional batched dual per scalar hook (same attachment order).
-        self._batch_hooks: Dict[Callable, Callable] = {}
+        #: Ordered ``(hook, batch_hook)`` pairs -- the batched dual travels
+        #: with its scalar hook, so removing one attachment of a twice-added
+        #: callable cannot strand the remaining attachment without its dual.
+        self._hooks: List[Tuple[Callable, Optional[Callable]]] = []
 
     # -- resource accounting ----------------------------------------------
 
@@ -91,22 +102,32 @@ class MauStage:
         :class:`~repro.traffic.batch.PacketBatch`; hooks attached without one
         fall back to exact per-row execution under :meth:`process_batch`.
         """
-        self._hooks.append(hook)
-        if batch_hook is not None:
-            self._batch_hooks[hook] = batch_hook
+        self._hooks.append((hook, batch_hook))
 
     def remove_hook(self, hook: Callable[[Mapping[str, int]], None]) -> None:
-        self._hooks.remove(hook)
-        self._batch_hooks.pop(hook, None)
+        """Detach the first attachment of ``hook`` (and its batched dual)."""
+        for i, (attached, _) in enumerate(self._hooks):
+            if attached == hook:
+                del self._hooks[i]
+                return
+        raise ValueError(f"hook {hook!r} is not attached to stage {self.index}")
+
+    def hook_entries(self) -> List[Tuple[Callable, Optional[Callable]]]:
+        """The attached ``(hook, batch_hook)`` pairs, in attachment order."""
+        return list(self._hooks)
+
+    def scalar_only_hooks(self) -> List[Callable]:
+        """Hooks attached without a batched dual (these force the dict
+        round-trip under :meth:`process_batch`)."""
+        return [hook for hook, batch_hook in self._hooks if batch_hook is None]
 
     def process(self, fields: Mapping[str, int]) -> None:
-        for hook in self._hooks:
+        for hook, _ in self._hooks:
             hook(fields)
 
     def process_batch(self, batch) -> None:
         """Run every hook over a whole batch, in attachment order."""
-        for hook in self._hooks:
-            batch_hook = self._batch_hooks.get(hook)
+        for hook, batch_hook in self._hooks:
             if batch_hook is not None:
                 batch_hook(batch)
             else:

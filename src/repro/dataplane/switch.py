@@ -94,6 +94,56 @@ class TofinoSwitch:
         """Run a :class:`~repro.traffic.batch.PacketBatch` through the pipe."""
         self.pipeline.process_batch(batch)
 
+    def datapath_groups(self) -> list:
+        """The CMU groups placed on this pipeline, in pipeline order."""
+        return datapath_groups(self.pipeline)
+
+    def process_trace(self, trace, batch_size=None, workers=None):
+        """Replay a trace through the pipeline; ``workers > 1`` shards it."""
+        if workers is not None and workers > 1:
+            return self.process_trace_sharded(trace, workers, batch_size=batch_size)
+        if batch_size is not None:
+            for batch in trace.iter_batches(batch_size):
+                self.pipeline.process_batch(batch)
+            return None
+        for fields in trace.iter_fields():
+            self.pipeline.process(fields)
+        return None
+
+    def process_trace_sharded(self, trace, workers, batch_size=None, backend=None):
+        """Sharded parallel replay over the pipeline's placed CMU groups.
+
+        Worker replicas execute the groups directly (in pipeline order, the
+        same order the placement hooks fire); merged state is written back
+        into this pipeline's live groups.
+        """
+        from repro.dataplane.sharding import run_sharded
+
+        return run_sharded(
+            datapath_groups(self.pipeline), trace, workers,
+            batch_size=batch_size, backend=backend,
+        )
+
+
+def datapath_groups(pipeline: Pipeline) -> list:
+    """Discover the CMU groups attached to a pipeline's stages.
+
+    Placement attaches each group's ``process``/``process_batch`` bound
+    methods as operation-stage hooks; walking the hook entries in stage
+    order recovers the groups in the order packets traverse them.
+    """
+    from repro.core.cmu_group import CmuGroup
+
+    groups = []
+    seen = set()
+    for stage in pipeline.stages:
+        for hook, _ in stage.hook_entries():
+            owner = getattr(hook, "__self__", None)
+            if isinstance(owner, CmuGroup) and id(owner) not in seen:
+                seen.add(id(owner))
+                groups.append(owner)
+    return groups
+
 
 # ---------------------------------------------------------------------------
 # Static (conventional) sketch deployment footprints -- Figure 2.

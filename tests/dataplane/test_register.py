@@ -1,5 +1,6 @@
 """Unit tests for SALU registers and register actions."""
 
+import numpy as np
 import pytest
 
 from repro.dataplane.register import MAX_REGISTER_ACTIONS, Register, RegisterAction
@@ -86,3 +87,32 @@ class TestControlPlaneAccess:
         reg.write(0, 1)
         reg.reset()
         assert reg.read(0) == 0
+
+    def test_negative_length_rejected(self):
+        # Regression: numpy slicing silently accepted a negative length
+        # (read_range(8, -4) returned an empty array, reset_range wiped
+        # nothing) instead of flagging the caller's bug.
+        reg = Register(16)
+        with pytest.raises(IndexError):
+            reg.read_range(8, -4)
+        with pytest.raises(IndexError):
+            reg.reset_range(0, -1)
+
+    def test_zero_length_range_is_valid(self):
+        reg = Register(16)
+        assert reg.read_range(16, 0).size == 0
+        reg.reset_range(0, 0)  # no-op, not an error
+
+    def test_snapshot_and_load_cells_round_trip(self):
+        reg = Register(16, bit_width=8)
+        reg.write(3, 200)
+        cells = reg.snapshot_cells()
+        assert cells.dtype == np.int64
+        cells[3] += 100  # 300 -> masked to 44 on load
+        reg.load_cells(cells)
+        assert reg.read(3) == 300 & 0xFF
+
+    def test_load_cells_rejects_wrong_length(self):
+        reg = Register(16)
+        with pytest.raises(ValueError):
+            reg.load_cells(np.zeros(8, dtype=np.int64))

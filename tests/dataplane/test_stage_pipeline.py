@@ -103,3 +103,103 @@ class TestPipeline:
         pipe.stage(0).allocate("a", ResourceVector(salus=1))
         pipe.stage(1).allocate("b", ResourceVector(salus=2))
         assert pipe.total_used().salus == 3
+
+
+class TestHookPairs:
+    def test_remove_hook_keeps_batched_dual_paired(self):
+        # Regression: hooks and their batched duals were stored in separate
+        # lists, so removing one of two attachments of the same callable
+        # could strip the *other* attachment's batch dual and silently
+        # degrade process_batch to the scalar round-trip.
+        import numpy as np
+
+        from repro.traffic.batch import PacketBatch
+
+        stage = MauStage(0)
+        calls = []
+
+        def hook(fields):
+            fields["x"] = fields.get("x", 0) + 1
+
+        def batch_hook(batch):
+            calls.append("batch")
+            batch.set("x", batch.get("x") + 1)
+
+        stage.add_hook(hook)  # scalar-only attachment
+        stage.add_hook(hook, batch_hook)  # batched attachment
+        stage.remove_hook(hook)  # removes the first (scalar-only) pair
+        assert stage.scalar_only_hooks() == []
+
+        batch = PacketBatch({"x": np.zeros(4, dtype=np.int64)}, length=4)
+        stage.process_batch(batch)
+        assert calls == ["batch"]
+        assert batch.get("x").tolist() == [1, 1, 1, 1]
+
+    def test_remove_hook_missing_raises(self):
+        stage = MauStage(0)
+        with pytest.raises(ValueError):
+            stage.remove_hook(lambda f: None)
+
+    def test_hook_entries_exposes_pairs(self):
+        stage = MauStage(0)
+        hook = lambda f: None
+        batch_hook = lambda b: None
+        stage.add_hook(hook, batch_hook)
+        assert stage.hook_entries() == [(hook, batch_hook)]
+
+
+class TestScalarHookFallback:
+    def test_unwritten_fields_do_not_materialize_columns(self):
+        # Regression: the scalar fallback wrote back *every* field any row
+        # dict ended up with, materializing default-0 columns for fields the
+        # hook only read -- masking absent columns downstream.
+        import numpy as np
+
+        from repro.traffic.batch import PacketBatch
+
+        stage = MauStage(0)
+        stage.add_hook(lambda fields: fields.get("missing", 0))
+        batch = PacketBatch({"x": np.arange(4, dtype=np.int64)}, length=4)
+        stage.process_batch(batch)
+        assert batch.column_names == ["x"]
+
+    def test_partially_written_field_zero_fills_other_rows(self):
+        import numpy as np
+
+        from repro.traffic.batch import PacketBatch
+
+        def hook(fields):
+            if fields["x"] % 2:
+                fields["y"] = fields["x"] * 10
+
+        stage = MauStage(0)
+        stage.add_hook(hook)
+        batch = PacketBatch({"x": np.arange(4, dtype=np.int64)}, length=4)
+        stage.process_batch(batch)
+        assert batch.get("y").tolist() == [0, 10, 0, 30]
+
+    def test_scalar_fallback_matches_scalar_path(self):
+        import numpy as np
+
+        from repro.traffic.batch import PacketBatch
+
+        def hook(fields):
+            fields["y"] = fields["x"] * 3 + 1
+
+        stage = MauStage(0)
+        stage.add_hook(hook)
+        batch = PacketBatch({"x": np.arange(5, dtype=np.int64)}, length=5)
+        stage.process_batch(batch)
+
+        rows = [{"x": i} for i in range(5)]
+        for fields in rows:
+            hook(fields)
+        assert batch.get("y").tolist() == [f["y"] for f in rows]
+
+    def test_pipeline_reports_scalar_only_hooks(self):
+        pipe = Pipeline(num_stages=3)
+        hook = lambda f: None
+        pipe.stage(1).add_hook(hook)
+        assert pipe.scalar_fallback_hooks() == [(1, hook)]
+        pipe.stage(1).remove_hook(hook)
+        assert pipe.scalar_fallback_hooks() == []
