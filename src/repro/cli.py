@@ -121,6 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="only the sub-second harnesses (resource/latency models)",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="audit control-plane invariants: deployment integrity, "
+        "fault-injection rollback atomicity, checkpoint round-trip",
+    )
+    verify.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="randomized fault-injection rounds (default: the 'rounds' "
+        "option of FLYMON_FAULTS, else 10)",
+    )
+    verify.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault-schedule seed (default: the 'seed' option of "
+        "FLYMON_FAULTS, else 2026)",
+    )
+
     sub.add_parser("demo", help="run the quickstart scenario")
     return parser
 
@@ -312,6 +334,179 @@ def cmd_report(output: str, fast_only: bool) -> int:
     return 0
 
 
+def cmd_verify(rounds: Optional[int] = None, seed: Optional[int] = None) -> int:
+    """Audit the control plane's robustness invariants.
+
+    Three phases: (1) deploy every Table 3 algorithm and run the integrity
+    auditor; (2) randomized fault-injection rounds asserting every aborted
+    reconfiguration rolls back to bit-identical state; (3) a checkpoint /
+    restore round-trip.  ``FLYMON_FAULTS="seed=...,rounds=..."`` (options
+    only, no armed sites) parameterizes the schedule; flags override.
+    """
+    import random
+
+    from repro.core.controller import FlyMonController
+    from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+    from repro.experiments.table3_deployment import CASES
+    from repro.faults import (
+        FAULTS,
+        FaultSpecError,
+        SITE_ALLOC_EXHAUSTED,
+        SITE_KEY_DENIED,
+        SITE_RULE_APPLY,
+        parse_spec,
+    )
+    from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
+
+    options = {}
+    env_spec = os.environ.get("FLYMON_FAULTS", "")
+    if env_spec:
+        try:
+            _, options = parse_spec(env_spec)
+        except FaultSpecError as exc:
+            print(f"error: bad FLYMON_FAULTS: {exc}", file=sys.stderr)
+            return 2
+    try:
+        if seed is None:
+            seed = int(options.get("seed", 2026))
+        if rounds is None:
+            rounds = int(options.get("rounds", 10))
+    except ValueError as exc:
+        print(f"error: bad FLYMON_FAULTS option: {exc}", file=sys.stderr)
+        return 2
+
+    problems: List[str] = []
+    # The audit owns the injector: env-armed sites would make phase 1 fail
+    # by design, so start from a clean slate and restore nothing after.
+    FAULTS.reset()
+
+    # Phase 1 -- Table 3 deployment integrity. ------------------------------
+    print("phase 1: Table 3 deployment integrity")
+    for name, _attribute, kwargs in CASES:
+        controller = FlyMonController(
+            num_groups=3, preconfigure_keys=(KEY_SRC_IP, KEY_DST_IP)
+        )
+        task_kwargs = dict(key=KEY_SRC_IP, memory=16_384, algorithm=name)
+        task_kwargs.update(kwargs)
+        controller.add_task(MeasurementTask(**task_kwargs))
+        report = controller.verify_integrity()
+        status = "ok" if report.ok else "FAIL"
+        print(f"  {name:<16} {report.checks:>3} checks  {status}")
+        if not report.ok:
+            problems.extend(f"{name}: {p}" for p in report.problems)
+
+    # Phase 2 -- fault-injection rollback atomicity. ------------------------
+    print(f"phase 2: rollback atomicity ({rounds} rounds, seed {seed})")
+    rng = random.Random(seed)
+    controller = FlyMonController(
+        num_groups=3, preconfigure_keys=(KEY_SRC_IP, KEY_DST_IP)
+    )
+    base_attrs = {
+        "cms": AttributeSpec.frequency(),
+        "bloom": AttributeSpec.existence(),
+        "tower": AttributeSpec.frequency(),
+    }
+    for i, algorithm in enumerate(("cms", "bloom", "tower")):
+        controller.add_task(
+            MeasurementTask(
+                key=KEY_SRC_IP,
+                attribute=base_attrs[algorithm],
+                memory=8192,
+                algorithm=algorithm,
+                filter=TaskFilter.of(src_ip=((10 + i) << 24, 8)),
+            )
+        )
+    sites = (
+        (SITE_RULE_APPLY, 8),
+        (SITE_ALLOC_EXHAUSTED, 3),
+        (SITE_KEY_DENIED, 1),
+    )
+    fired = aborted = 0
+    for n in range(rounds):
+        site, max_hit = sites[rng.randrange(len(sites))]
+        hit = rng.randint(1, max_hit)
+        before_digest = controller.control_digest()
+        before_free = controller.free_buckets()
+        FAULTS.reset()  # hit counters are cumulative; each round starts at 0
+        before_fired = len(FAULTS.fired())
+        FAULTS.arm(site, hit=hit)
+        probe = MeasurementTask(
+            key=KEY_DST_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=4096,
+            algorithm="cms",
+            filter=TaskFilter.of(src_ip=((100 + n) << 24, 8)),
+        )
+        try:
+            handle = controller.add_task(probe)
+        except Exception:
+            aborted += 1
+            if len(FAULTS.fired()) == before_fired:
+                problems.append(
+                    f"round {n}: add_task failed without an injected fault"
+                )
+            if controller.control_digest() != before_digest:
+                problems.append(f"round {n}: {site}@{hit} left a dirty digest")
+            if controller.free_buckets() != before_free:
+                problems.append(f"round {n}: {site}@{hit} leaked buckets")
+        else:
+            # The arm outlived the call (fewer hits than the index) or the
+            # injected denial was survivable; undo the probe either way.
+            if len(FAULTS.fired()) > before_fired:
+                fired += 1
+            controller.remove_task(handle)
+        FAULTS.disarm()
+        report = controller.verify_integrity()
+        if not report.ok:
+            problems.extend(f"round {n}: {p}" for p in report.problems)
+    fired += aborted
+    print(f"  {rounds} rounds: {fired} faults fired, {aborted} aborts, "
+          f"{rounds - fired} no-fire")
+
+    # Mid-batch filter update: fail on a later rule, expect full revert.
+    victim = controller.tasks[0]
+    old_filter = victim.task.filter
+    before_digest = controller.control_digest()
+    FAULTS.reset()
+    FAULTS.arm(SITE_RULE_APPLY, hit=2)
+    try:
+        controller.update_task_filter(
+            victim, TaskFilter.of(src_ip=(0xC0000000, 8))
+        )
+    except Exception:
+        if controller.control_digest() != before_digest:
+            problems.append("mid-batch filter update left a dirty digest")
+        if victim.task.filter != old_filter:
+            problems.append("mid-batch filter update left a stale handle")
+        print("  mid-batch filter-update abort: state reverted")
+    else:
+        problems.append("injected mid-batch rule failure did not abort")
+    FAULTS.disarm()
+
+    # Phase 3 -- checkpoint round-trip. -------------------------------------
+    print("phase 3: checkpoint round-trip")
+    state = controller.checkpoint()
+    restored = FlyMonController.from_checkpoint(state)
+    report = restored.verify_integrity()
+    if not report.ok:
+        problems.extend(f"restore: {p}" for p in report.problems)
+    if restored.free_buckets() != controller.free_buckets():
+        problems.append("restore: free-bucket map differs from the original")
+    if len(restored.tasks) != len(controller.tasks):
+        problems.append("restore: task count differs from the original")
+    print(f"  {len(restored.tasks)} tasks restored, {report.checks} checks "
+          f"{'ok' if report.ok else 'FAIL'}")
+
+    FAULTS.reset()
+    if problems:
+        print(f"verify: {len(problems)} problem(s)", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print("verify: all invariants hold")
+    return 0
+
+
 def cmd_demo() -> int:
     import runpy
     from pathlib import Path
@@ -338,6 +533,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_stats(args.experiment, args.input, args.format)
     if args.command == "report":
         return cmd_report(args.output, args.fast_only)
+    if args.command == "verify":
+        return cmd_verify(args.rounds, args.seed)
     if args.command == "demo":
         return cmd_demo()
     return 2  # pragma: no cover

@@ -250,6 +250,34 @@ class Cmu:
     def prep_tcam_entries(self) -> int:
         return sum(self._prep_tcam.values())
 
+    def control_digest(self) -> tuple:
+        """A hashable summary of this CMU's task and register state.
+
+        Two CMUs with equal digests host the same tasks (filters, memory
+        ranges, operations, key selectors) over bit-identical register
+        contents -- the equality integrity audits and checkpoint round-trip
+        tests assert.
+        """
+        import zlib
+
+        tasks = tuple(
+            (
+                tid,
+                cfg.filter.describe(),
+                cfg.mem.base,
+                cfg.mem.length,
+                cfg.op,
+                tuple(cfg.key_selector.units),
+                cfg.key_selector.offset,
+                cfg.key_selector.width,
+            )
+            for tid, cfg in sorted(self._configs.items())
+        )
+        register_crc = zlib.crc32(
+            self.register.read_range(0, self.register_size).tobytes()
+        )
+        return (tasks, register_crc)
+
     def drain_digests(self, task_id: int) -> set:
         """Pop the task's accumulated alarm digests (control-plane read)."""
         return self._digests.pop(task_id, set())

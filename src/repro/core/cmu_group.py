@@ -123,6 +123,26 @@ class CmuGroup:
         k = len(self.hash_units)
         return k * (k + 1) // 2
 
+    def control_digest(self) -> tuple:
+        """A hashable summary of the group's hash-unit masks, key-manager
+        accounting, and per-CMU state (see :meth:`repro.core.cmu.Cmu.
+        control_digest`).  Equal digests mean bit-identical group state."""
+        masks = tuple(
+            unit.mask.describe() if unit.mask is not None else None
+            for unit in self.hash_units
+        )
+        committed = tuple(
+            (i, mask.describe() if mask is not None else None)
+            for i, mask in sorted(self.keys.committed_masks().items())
+        )
+        refcounts = tuple(sorted(self.keys.refcounts().items()))
+        return (
+            masks,
+            committed,
+            refcounts,
+            tuple(cmu.control_digest() for cmu in self.cmus),
+        )
+
     # -- resource model (Figure 8) -----------------------------------------------
 
     def stage_demands(self) -> Dict[str, ResourceVector]:

@@ -6,6 +6,14 @@ configured compression units, one task-selection rule per row, the
 preparation-stage entries (address translation + parameter preprocessing),
 and a register zeroing per memory range.  The rule count drives the
 deployment-delay model (Table 3).
+
+Every stateful rule carries a **rollback** action so a failed or aborted
+install can restore the data plane bit-identically: hash-mask rules restore
+the unit's previous mask, register resets restore the exact cells they
+zeroed, and task-selection rules remove the task again.  Rollback differs
+from teardown (``undo``): removing a deployed task later must *not* revert
+a shared hash unit's mask (a co-resident task may have reused it) nor
+resurrect stale register cells, so only the selection rule is undo-logged.
 """
 
 from __future__ import annotations
@@ -53,22 +61,32 @@ def _hash_mask_rules(ctx: PlanContext) -> List[RuntimeRule]:
                 if dedup in seen:
                     continue
                 seen.add(dedup)
+                apply, rollback = _apply_mask(unit, mask)
                 rules.append(
                     RuntimeRule(
                         kind=RULE_KIND_HASH_MASK,
                         target=f"cmug{row.group.group_id}/hash{unit_index}",
                         description=f"set mask {mask.describe()}",
-                        apply=_apply_mask(unit, mask),
+                        apply=apply,
+                        rollback=rollback,
                     )
                 )
     return rules
 
 
 def _apply_mask(unit: DynamicHashUnit, mask: HashMask):
+    state: dict = {}
+
     def apply() -> None:
+        state["previous"] = unit.mask
         unit.set_mask(mask)
 
-    return apply
+    def rollback() -> None:
+        previous = state.pop("previous", None)
+        if previous is not None:
+            unit.set_mask(previous)
+
+    return apply, rollback
 
 
 def _row_rules(
@@ -76,12 +94,14 @@ def _row_rules(
 ) -> List[RuntimeRule]:
     cmu = row.cmu
     target = f"cmug{cmu.group_id}/cmu{cmu.index}"
+    reset_apply, reset_rollback = _apply_reset(cmu, config)
     rules: List[RuntimeRule] = [
         RuntimeRule(
             kind=RULE_KIND_REGISTER_RESET,
             target=target,
             description=f"zero [{config.mem.base}, {config.mem.end})",
-            apply=_apply_reset(cmu, config),
+            apply=reset_apply,
+            rollback=reset_rollback,
         ),
         # The initialization-stage rule: select task -> key, params, op.
         RuntimeRule(
@@ -119,10 +139,18 @@ def _row_rules(
 
 
 def _apply_reset(cmu: Cmu, config: CmuTaskConfig):
+    state: dict = {}
+
     def apply() -> None:
+        state["cells"] = cmu.register.read_range(config.mem.base, config.mem.length)
         cmu.register.reset_range(config.mem.base, config.mem.length)
 
-    return apply
+    def rollback() -> None:
+        cells = state.pop("cells", None)
+        if cells is not None:
+            cmu.register.write_range(config.mem.base, cells)
+
+    return apply, rollback
 
 
 def _apply_install(cmu: Cmu, config: CmuTaskConfig):

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dataplane.hashing import DynamicHashUnit, HashMask
+from repro.faults import FAULTS, SITE_KEY_DENIED
 from repro.telemetry import TELEMETRY as _TELEMETRY
 
 HASH_KEY_BITS = 32
@@ -99,6 +100,22 @@ class CompressedKeyManager:
     def committed_masks(self) -> Dict[int, Optional[HashMask]]:
         return dict(self._committed)
 
+    def refcounts(self) -> Dict[int, int]:
+        """Per-unit reference counts (integrity audits / tests)."""
+        return dict(self._refcounts)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A restorable copy of refcounts and committed masks."""
+        return {
+            "refcounts": dict(self._refcounts),
+            "committed": dict(self._committed),
+        }
+
+    def restore(self, state: Dict[str, Dict]) -> None:
+        """Return to a :meth:`snapshot` (transaction rollback)."""
+        self._refcounts = dict(state["refcounts"])
+        self._committed = dict(state["committed"])
+
     def has_mask(self, mask_spec: Mapping[str, int]) -> bool:
         target = HashMask.of(mask_spec)
         return any(m == target for m in self._committed.values() if m is not None)
@@ -130,6 +147,10 @@ class CompressedKeyManager:
         target = HashMask.of(mask_spec)
         if target.is_empty:
             raise ValueError("cannot acquire an empty key")
+        if FAULTS.armed and FAULTS.trip(SITE_KEY_DENIED, key=target.describe()):
+            raise KeyExhaustedError(
+                f"injected key-pool denial for {target.describe()}"
+            )
 
         exact = self._find_committed(target)
         if exact is not None:

@@ -33,13 +33,22 @@ from repro.core.memory import (
     round_memory,
 )
 from repro.core.placement import apply_placements, max_groups, plan_cross_stacking
-from repro.core.task import Attribute, MeasurementTask, next_task_id
+from repro.core.task import (
+    Attribute,
+    MeasurementTask,
+    next_task_id,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.core.txn import ReconfigTransaction, in_transaction
 from repro.dataplane.pipeline import Pipeline
 from repro.dataplane.runtime import InstallReport, RuntimeApi
 from repro.telemetry import (
+    EV_CHECKPOINT,
     EV_KEY_GRANT,
     EV_KEY_RELEASE,
     EV_PLACEMENT_DECISION,
+    EV_RESTORE,
     EV_TASK_ADD,
     EV_TASK_FILTER_UPDATE,
     EV_TASK_REMOVE,
@@ -53,7 +62,14 @@ from repro.traffic.trace import Trace
 
 
 class PlacementError(RuntimeError):
-    """No group window can host the task (keys, CMUs, or memory exhausted)."""
+    """No group window can host the task (keys, CMUs, or memory exhausted).
+
+    When raised from :meth:`FlyMonController.resize_task`'s fallback path,
+    ``restored_handle`` is the original task's handle, valid again because
+    the transaction rollback re-installed the original deployment.
+    """
+
+    restored_handle: Optional["TaskHandle"] = None
 
 
 @dataclass
@@ -116,6 +132,25 @@ class SplitTaskHandle:
             sub.reset()
 
 
+@dataclass(frozen=True)
+class IntegrityReport:
+    """Outcome of :meth:`FlyMonController.verify_integrity`."""
+
+    checks: int
+    problems: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"integrity OK ({self.checks} checks)"
+        lines = [f"integrity FAILED ({len(self.problems)} problem(s)):"]
+        lines.extend(f"  - {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
 class FlyMonController:
     """Task and resource management over a set of CMU Groups."""
 
@@ -133,6 +168,22 @@ class FlyMonController:
         preconfigure_keys: Sequence[FlowKeyDef] = (),
         seed_base: int = 0xC0DE,
     ) -> None:
+        #: JSON-safe constructor arguments, replayed by checkpoints.
+        self._init_params: Dict[str, object] = {
+            "num_groups": num_groups,
+            "num_cmus": num_cmus,
+            "compression_units": compression_units,
+            "register_size": register_size,
+            "bucket_bits": bucket_bits,
+            "strategy": strategy,
+            "memory_mode": memory_mode,
+            "num_stages": num_stages,
+            "place_on_pipeline": place_on_pipeline,
+            "preconfigure_keys": [
+                [list(part) for part in key.parts] for key in preconfigure_keys
+            ],
+            "seed_base": seed_base,
+        }
         limit = max_groups(num_stages)
         if num_groups > limit:
             raise ValueError(
@@ -183,12 +234,35 @@ class FlyMonController:
     # Task management interfaces
     # ------------------------------------------------------------------
 
-    def add_task(self, task: MeasurementTask) -> TaskHandle:
+    def add_task(
+        self,
+        task: MeasurementTask,
+        transaction: Optional[ReconfigTransaction] = None,
+    ) -> TaskHandle:
         """Deploy a measurement task; returns a queryable handle.
 
         Raises :class:`PlacementError` if no window of groups can provide
         the compressed keys, conflict-free CMUs, and memory the task needs.
+        Runs transactionally: a failure at any point (key grant, memory
+        claim, rule install) rolls every prior step back, leaving key pools,
+        allocators, and the runtime rule table bit-identical to the pre-call
+        state.  Pass ``transaction`` to record into an enclosing compound
+        operation's undo log instead of resolving locally.
         """
+        txn, owned = in_transaction("add_task", transaction)
+        try:
+            handle = self._add_task_txn(task, txn)
+        except BaseException as exc:
+            if owned:
+                txn.rollback(cause=exc)
+            raise
+        if owned:
+            txn.commit()
+        return handle
+
+    def _add_task_txn(
+        self, task: MeasurementTask, txn: ReconfigTransaction
+    ) -> TaskHandle:
         algorithm_name = default_algorithm_for(task)
         algorithm = ALGORITHM_REGISTRY[algorithm_name](task)
         task_id = next_task_id()
@@ -213,6 +287,7 @@ class FlyMonController:
                 rows=len(row_memory),
             )
 
+        self._snapshot_control_stores(txn)
         rows, grants = self._claim_window(
             task, algorithm, layout, row_memory, window, task_id=task_id
         )
@@ -225,7 +300,9 @@ class FlyMonController:
         )
         configs = algorithm.build_configs(ctx)
         rules = compile_deployment(ctx, configs)
-        report = self.runtime.install(rules, deployment=f"task{task_id}")
+        report = self.runtime.install(
+            rules, deployment=f"task{task_id}", transaction=txn
+        )
 
         bindings = [RowBinding(row.group, row.cmu, task_id) for row in rows]
         algorithm.bind(bindings)
@@ -255,11 +332,38 @@ class FlyMonController:
             _TELEMETRY.registry.gauge("flymon_tasks_active").set(len(self._handles))
         return handle
 
-    def remove_task(self, handle: TaskHandle) -> InstallReport:
-        """Tear a task down and recycle its keys and memory."""
+    def remove_task(
+        self,
+        handle: TaskHandle,
+        transaction: Optional[ReconfigTransaction] = None,
+    ) -> InstallReport:
+        """Tear a task down and recycle its keys and memory.
+
+        Transactional: a failure mid-teardown (or a rollback of the
+        enclosing ``transaction``) re-installs the deployment and restores
+        the key grants and memory claims, so the task is either fully
+        deployed or fully recycled -- never half-removed.
+        """
+        txn, owned = in_transaction("remove_task", transaction)
+        try:
+            report = self._remove_task_txn(handle, txn)
+        except BaseException as exc:
+            if owned:
+                txn.rollback(cause=exc)
+            raise
+        if owned:
+            txn.commit()
+        return report
+
+    def _remove_task_txn(
+        self, handle: TaskHandle, txn: ReconfigTransaction
+    ) -> InstallReport:
         if handle.task_id not in self._handles:
             raise KeyError(f"task {handle.task_id} is not deployed")
-        report = self.runtime.remove_deployment(f"task{handle.task_id}")
+        self._snapshot_control_stores(txn)
+        report = self.runtime.remove_deployment(
+            f"task{handle.task_id}", transaction=txn
+        )
         for cmu, mem in handle._mem:
             self._allocators[(cmu.group_id, cmu.index)].free(mem)
         for group, grant in handle._grants:
@@ -283,17 +387,47 @@ class FlyMonController:
             _TELEMETRY.registry.gauge("flymon_tasks_active").set(len(self._handles))
         return report
 
-    def update_task_filter(self, handle: TaskHandle, new_filter) -> TaskHandle:
+    def update_task_filter(
+        self,
+        handle: TaskHandle,
+        new_filter,
+        transaction: Optional[ReconfigTransaction] = None,
+    ) -> TaskHandle:
         """Change a running task's filter in place (§3.4).
 
         One table rule per row; register state and memory are untouched, so
         the task keeps its accumulated measurements while its traffic
-        selection changes.
+        selection changes.  Transactional: if any row's rule fails to apply,
+        the rows already switched are rolled back to the old filter, so all
+        CMUs stay consistent -- never a mix of old and new selection.
         """
+        txn, owned = in_transaction("update_task_filter", transaction)
+        try:
+            self._update_task_filter_txn(handle, new_filter, txn)
+        except BaseException as exc:
+            if owned:
+                txn.rollback(cause=exc)
+            raise
+        if owned:
+            txn.commit()
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_TASK_FILTER_UPDATE,
+                task_id=handle.task_id,
+                filter=new_filter.describe(),
+                rules=len(handle.rows),
+            )
+        return handle
+
+    def _update_task_filter_txn(
+        self, handle: TaskHandle, new_filter, txn: ReconfigTransaction
+    ) -> None:
         import dataclasses
 
         from repro.dataplane.runtime import RULE_KIND_TABLE, RuntimeRule
 
+        old_task = handle.task
+        old_filter = old_task.filter
         rules = [
             RuntimeRule(
                 kind=RULE_KIND_TABLE,
@@ -306,20 +440,26 @@ class FlyMonController:
                         handle.task_id, new_filter
                     )
                 ),
+                rollback=(
+                    lambda cmu=row.cmu: cmu.update_task_filter(
+                        handle.task_id, old_filter
+                    )
+                ),
             )
             for row in handle.rows
         ]
-        self.runtime.install(rules, batch=True)
+
+        def restore_handle_task() -> None:
+            handle.task = old_task
+            handle.algorithm.task = old_task
+
+        txn.record(
+            f"restore task {handle.task_id}'s filter on its handle",
+            restore_handle_task,
+        )
+        self.runtime.install(rules, batch=True, transaction=txn)
         handle.task = dataclasses.replace(handle.task, filter=new_filter)
         handle.algorithm.task = handle.task
-        if _TELEMETRY.enabled:
-            _TELEMETRY.events.emit(
-                EV_TASK_FILTER_UPDATE,
-                task_id=handle.task_id,
-                filter=new_filter.describe(),
-                rules=len(rules),
-            )
-        return handle
 
     def add_split_task(self, task: MeasurementTask, field: str = "src_ip") -> "SplitTaskHandle":
         """Deploy a task as two half-space subtasks (§3.1.1).
@@ -327,12 +467,19 @@ class FlyMonController:
         Splitting a heavy task's filter halves each subtask's flow
         population (and collision probability) at the cost of extra CMUs.
         The returned handle routes per-flow queries to the matching subtask.
+        Deployment is all-or-nothing: if the second subtask cannot be
+        placed, the first is rolled back too.
         """
         import dataclasses
 
         low_filter, high_filter = task.filter.split(field)
-        low = self.add_task(dataclasses.replace(task, filter=low_filter))
-        high = self.add_task(dataclasses.replace(task, filter=high_filter))
+        with ReconfigTransaction("add_split_task") as txn:
+            low = self.add_task(
+                dataclasses.replace(task, filter=low_filter), transaction=txn
+            )
+            high = self.add_task(
+                dataclasses.replace(task, filter=high_filter), transaction=txn
+            )
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(
                 EV_TASK_SPLIT,
@@ -347,9 +494,11 @@ class FlyMonController:
         Preferred path (§6's strategy): deploy the new allocation first,
         divert traffic, then recycle the old one.  When the data plane
         cannot host both simultaneously (e.g. the resize stays within one
-        fully-used group), fall back to remove-then-add; if even that fails
-        the original deployment is restored and :class:`PlacementError`
-        propagates.  Measurement state starts fresh either way.
+        fully-used group), fall back to remove-then-add inside one
+        transaction; if even that fails the rollback re-installs the
+        original deployment bit-identically -- ``handle`` stays valid, and
+        the raised :class:`PlacementError` carries it as
+        ``restored_handle``.  Measurement state starts fresh either way.
         """
         import dataclasses
 
@@ -357,16 +506,30 @@ class FlyMonController:
         try:
             new_handle = self.add_task(new_task)
         except PlacementError:
+            pass
+        else:
             self.remove_task(handle)
-            try:
-                new_handle = self.add_task(new_task)
-            except PlacementError:
-                self.add_task(handle.task)  # restore the old allocation
-                raise
-            self._emit_resize(handle, new_handle, "remove_then_add")
+            self._emit_resize(handle, new_handle, "make_before_break")
             return new_handle
-        self.remove_task(handle)
-        self._emit_resize(handle, new_handle, "make_before_break")
+        try:
+            with ReconfigTransaction(f"resize_task task{handle.task_id}") as txn:
+                self.remove_task(handle, transaction=txn)
+                new_handle = self.add_task(new_task, transaction=txn)
+        except PlacementError as exc:
+            # The rollback restored the original deployment (same task id,
+            # same keys/memory/rules), so the caller's handle is live again.
+            exc.restored_handle = handle
+            if _TELEMETRY.enabled:
+                _TELEMETRY.events.emit(
+                    EV_TASK_RESIZE,
+                    task_id=handle.task_id,
+                    new_task_id=handle.task_id,
+                    old_memory=handle.task.memory,
+                    new_memory=new_memory,
+                    strategy="restored",
+                )
+            raise
+        self._emit_resize(handle, new_handle, "remove_then_add")
         return new_handle
 
     def _emit_resize(
@@ -501,6 +664,177 @@ class FlyMonController:
             "rules_installed": self.runtime.total_rules,
             "control_plane_ms": self.runtime.now_ms,
         }
+
+    # ------------------------------------------------------------------
+    # Integrity auditing and checkpoints
+    # ------------------------------------------------------------------
+
+    def verify_integrity(self) -> IntegrityReport:
+        """Audit the cross-references between control-plane stores.
+
+        Checks, per the invariants every (possibly rolled-back) operation
+        must preserve:
+
+        1. each buddy allocator's internal invariants (alignment, coverage,
+           no overlap);
+        2. handle memory claims <-> allocator occupancy, exactly;
+        3. handle key grants (plus startup preconfiguration) <-> key-manager
+           reference counts, exactly;
+        4. deployed handles <-> runtime undo logs, exactly;
+        5. handles' rows <-> CMU task tables (configs present, filters and
+           memory ranges matching; no orphan tasks on any CMU).
+        """
+        problems: List[str] = []
+        checks = 0
+
+        for allocator in self._allocators.values():
+            checks += 1
+            problems.extend(allocator.integrity_problems())
+
+        expected_mem: Dict[Tuple[int, int], Dict[int, int]] = {
+            key: {} for key in self._allocators
+        }
+        for handle in self._handles.values():
+            for cmu, mem in handle._mem:
+                claims = expected_mem[(cmu.group_id, cmu.index)]
+                if mem.base in claims:
+                    problems.append(
+                        f"task {handle.task_id}: duplicate claim at "
+                        f"cmug{cmu.group_id}/cmu{cmu.index} base {mem.base}"
+                    )
+                claims[mem.base] = mem.length
+        for key, allocator in self._allocators.items():
+            checks += 1
+            actual = {r.base: r.length for r in allocator.allocated_ranges}
+            if actual != expected_mem[key]:
+                problems.append(
+                    f"{allocator.owner}: allocator occupancy {actual} != "
+                    f"handle claims {expected_mem[key]}"
+                )
+
+        expected_refs: Dict[int, Dict[int, int]] = {
+            group.group_id: {i: 0 for i in range(len(group.hash_units))}
+            for group in self.groups
+        }
+        for group, grant in self._preconfigured:
+            for unit in grant.selector.units:
+                expected_refs[group.group_id][unit] += 1
+        for handle in self._handles.values():
+            for group, grant in handle._grants:
+                for unit in grant.selector.units:
+                    expected_refs[group.group_id][unit] += 1
+        for group in self.groups:
+            checks += 1
+            actual_refs = group.keys.refcounts()
+            if actual_refs != expected_refs[group.group_id]:
+                problems.append(
+                    f"cmug{group.group_id}: key refcounts {actual_refs} != "
+                    f"expected {expected_refs[group.group_id]}"
+                )
+            for unit, mask in group.keys.committed_masks().items():
+                if mask is not None and actual_refs.get(unit, 0) == 0:
+                    problems.append(
+                        f"cmug{group.group_id}/hash{unit}: committed mask "
+                        f"{mask.describe()} with zero references"
+                    )
+
+        checks += 1
+        expected_deployments = tuple(
+            sorted(f"task{tid}" for tid in self._handles)
+        )
+        actual_deployments = self.runtime.deployments()
+        if actual_deployments != expected_deployments:
+            problems.append(
+                f"runtime deployments {list(actual_deployments)} != deployed "
+                f"tasks {list(expected_deployments)}"
+            )
+
+        hosted: Dict[Tuple[int, int], set] = {}
+        for handle in self._handles.values():
+            for cmu, mem in handle._mem:
+                checks += 1
+                hosted.setdefault((cmu.group_id, cmu.index), set()).add(
+                    handle.task_id
+                )
+                if handle.task_id not in cmu.task_ids:
+                    problems.append(
+                        f"task {handle.task_id} missing from "
+                        f"cmug{cmu.group_id}/cmu{cmu.index}'s task table"
+                    )
+                    continue
+                config = cmu.config(handle.task_id)
+                if (config.mem.base, config.mem.length) != (mem.base, mem.length):
+                    problems.append(
+                        f"task {handle.task_id} on cmug{cmu.group_id}/"
+                        f"cmu{cmu.index}: installed range {config.mem} != "
+                        f"claimed {mem}"
+                    )
+                if config.filter != handle.task.filter:
+                    problems.append(
+                        f"task {handle.task_id} on cmug{cmu.group_id}/"
+                        f"cmu{cmu.index}: installed filter "
+                        f"{config.filter.describe()} != handle's "
+                        f"{handle.task.filter.describe()}"
+                    )
+        for group in self.groups:
+            for cmu in group.cmus:
+                checks += 1
+                orphans = set(cmu.task_ids) - hosted.get(
+                    (cmu.group_id, cmu.index), set()
+                )
+                if orphans:
+                    problems.append(
+                        f"cmug{cmu.group_id}/cmu{cmu.index}: orphan task(s) "
+                        f"{sorted(orphans)} with no controller handle"
+                    )
+
+        return IntegrityReport(checks=checks, problems=tuple(problems))
+
+    def control_digest(self) -> tuple:
+        """A hashable summary of the full control+data-plane state (group
+        digests plus runtime rule accounting); equal digests mean two
+        controllers are bit-identical for measurement purposes."""
+        return (
+            tuple(group.control_digest() for group in self.groups),
+            tuple(sorted(self._handles)),
+            self.runtime.deployments(),
+            self.runtime.total_rules,
+        )
+
+    def checkpoint(self) -> Dict[str, object]:
+        """A JSON-safe snapshot: constructor parameters plus every deployed
+        task, replayable by :meth:`from_checkpoint`."""
+        state = {
+            "version": 1,
+            "params": {
+                key: (list(value) if isinstance(value, list) else value)
+                for key, value in self._init_params.items()
+            },
+            "tasks": [task_to_dict(handle.task) for handle in self.tasks],
+        }
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(EV_CHECKPOINT, tasks=len(state["tasks"]))
+        return state
+
+    @classmethod
+    def from_checkpoint(cls, state: Dict[str, object]) -> "FlyMonController":
+        """Rebuild a controller from :meth:`checkpoint` output.
+
+        Deployments are replayed through :meth:`add_task` in checkpoint
+        order, so resource claims and rule installs repeat deterministically
+        (task ids are fresh -- they come from the process-wide counter).
+        """
+        params = dict(state["params"])
+        params["preconfigure_keys"] = tuple(
+            FlowKeyDef(tuple((name, bits) for name, bits in parts))
+            for parts in params.get("preconfigure_keys", ())
+        )
+        controller = cls(**params)
+        for task_data in state["tasks"]:
+            controller.add_task(task_from_dict(task_data))
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(EV_RESTORE, tasks=len(state["tasks"]))
+        return controller
 
     def utilization(self) -> Dict[str, float]:
         if self.pipeline is None:
@@ -641,13 +975,28 @@ class FlyMonController:
                     )
                 row_index += rows_here
         except (KeyExhaustedError, OutOfMemoryError) as exc:
-            # Roll back partial claims before surfacing the failure.
-            for row in rows:
-                self._allocators[(row.group.group_id, row.cmu.index)].free(row.mem)
-            for group, grant in grants:
-                group.keys.release(grant.selector)
+            # Partial claims are rolled back by the enclosing transaction's
+            # control-store snapshots; here we only translate the failure.
             raise PlacementError(str(exc)) from exc
         return rows, grants
+
+    def _snapshot_control_stores(self, txn: ReconfigTransaction) -> None:
+        """Record restorable snapshots of every control-plane store.
+
+        Recorded before any mutation, so during rollback they run *after*
+        the data-plane inverses (rule reverts) and reset the key pools,
+        allocator occupancy, and handle table to the pre-call state.
+        """
+        handles = dict(self._handles)
+
+        def restore_handles() -> None:
+            self._handles = dict(handles)
+
+        txn.record("restore the task-handle table", restore_handles)
+        for group in self.groups:
+            txn.snapshot(f"restore key pool of cmug{group.group_id}", group.keys)
+        for allocator in self._allocators.values():
+            txn.snapshot(f"restore allocator {allocator.owner}", allocator)
 
     @staticmethod
     def _emit_key_grant(

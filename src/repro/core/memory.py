@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.faults import FAULTS, SITE_ALLOC_EXHAUSTED
 from repro.telemetry import (
     EV_MEM_ALLOC,
     EV_MEM_FREE,
@@ -114,6 +115,12 @@ class BuddyAllocator:
 
     def allocate(self, length: int) -> MemRange:
         """Reserve an aligned block of exactly ``length`` buckets."""
+        if FAULTS.armed and FAULTS.trip(
+            SITE_ALLOC_EXHAUSTED, owner=self.owner, length=length
+        ):
+            raise OutOfMemoryError(
+                f"injected allocator exhaustion ({self.owner or 'register'})"
+            )
         length = self._validate_length(length)
         block = length
         while block <= self.size and not self._free.get(block):
@@ -175,6 +182,51 @@ class BuddyAllocator:
                 coalesced_block=length,
                 free_buckets=self.free_buckets,
             )
+
+    # -- rollback / integrity support ---------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A restorable copy of the allocator's free lists and occupancy."""
+        return {
+            "free": {length: list(bases) for length, bases in self._free.items()},
+            "allocated": dict(self._allocated),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Return to a :meth:`snapshot` (transaction rollback)."""
+        self._free = {length: list(bases) for length, bases in state["free"].items()}
+        self._allocated = dict(state["allocated"])
+
+    def integrity_problems(self) -> List[str]:
+        """Invariant violations: overlap, misalignment, or lost buckets."""
+        problems: List[str] = []
+        blocks: List[tuple] = []
+        for length, bases in self._free.items():
+            for base in bases:
+                blocks.append((base, length, "free"))
+        for base, length in self._allocated.items():
+            blocks.append((base, length, "allocated"))
+        covered = 0
+        for base, length, kind in blocks:
+            if length <= 0 or length & (length - 1):
+                problems.append(f"{kind} block {base}+{length}: not a power of two")
+            elif base % length:
+                problems.append(f"{kind} block {base}+{length}: misaligned")
+            covered += length
+        if covered != self.size:
+            problems.append(
+                f"blocks cover {covered} of {self.size} buckets "
+                "(lost or double-counted memory)"
+            )
+        blocks.sort()
+        for (b1, l1, k1), (b2, _l2, k2) in zip(blocks, blocks[1:]):
+            if b1 + l1 > b2:
+                problems.append(
+                    f"{k1} block {b1}+{l1} overlaps {k2} block at {b2}"
+                )
+        if self.owner:
+            problems = [f"{self.owner}: {p}" for p in problems]
+        return problems
 
     def _validate_length(self, length: int) -> int:
         if length <= 0 or length & (length - 1):

@@ -198,3 +198,61 @@ class MeasurementTask:
 def next_task_id() -> int:
     """Process-wide unique task ids (stable ordering for table priorities)."""
     return next(_task_ids)
+
+
+# -- serialization (controller checkpoints) ----------------------------------
+
+
+def _param_to_dict(param: ParamValue):
+    if isinstance(param, FlowKeyDef):
+        return {"key": [list(p) for p in param.parts]}
+    return param
+
+
+def _param_from_dict(data) -> ParamValue:
+    if isinstance(data, dict) and "key" in data:
+        return FlowKeyDef(tuple((name, bits) for name, bits in data["key"]))
+    return data
+
+
+def task_to_dict(task: MeasurementTask) -> Dict:
+    """A JSON-safe description of ``task``, invertible by
+    :func:`task_from_dict` -- the unit of a controller checkpoint."""
+    return {
+        "key": [list(p) for p in task.key.parts],
+        "attribute": {
+            "kind": task.attribute.kind.value,
+            "param": _param_to_dict(task.attribute.param),
+        },
+        "memory": task.memory,
+        "filter": [
+            [name, value, plen] for name, (value, plen) in task.filter.prefixes
+        ],
+        "depth": task.depth,
+        "algorithm": task.algorithm,
+        "sample_prob": task.sample_prob,
+        "threshold": task.threshold,
+        "name": task.name,
+    }
+
+
+def task_from_dict(data: Mapping) -> MeasurementTask:
+    """Rebuild a :class:`MeasurementTask` from :func:`task_to_dict` output."""
+    return MeasurementTask(
+        key=FlowKeyDef(tuple((name, bits) for name, bits in data["key"])),
+        attribute=AttributeSpec(
+            Attribute(data["attribute"]["kind"]),
+            _param_from_dict(data["attribute"]["param"]),
+        ),
+        memory=data["memory"],
+        filter=TaskFilter(
+            tuple(
+                (name, (value, plen)) for name, value, plen in data["filter"]
+            )
+        ),
+        depth=data["depth"],
+        algorithm=data.get("algorithm"),
+        sample_prob=data.get("sample_prob", 1.0),
+        threshold=data.get("threshold"),
+        name=data.get("name"),
+    )

@@ -357,6 +357,15 @@ class Register:
         self._check_range(start, length)
         self._cells[start : start + length] = 0
 
+    def write_range(self, start: int, values: np.ndarray) -> None:
+        """Control-plane bulk write of ``[start, start+len(values))`` --
+        the restore side of a rolled-back register reset."""
+        values = np.asarray(values, dtype=np.int64)
+        self._check_range(start, len(values))
+        self._cells[start : start + len(values)] = (
+            values & self.value_mask
+        ).astype(self._cells.dtype)
+
     def snapshot_cells(self) -> np.ndarray:
         """Copy of the full cell array as ``int64`` (mergeable snapshot)."""
         return self._cells.astype(np.int64)

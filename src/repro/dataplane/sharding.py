@@ -43,16 +43,34 @@ hook is columnar, so no shard ever pays the scalar dict round-trip.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.dataplane.register import Register
+from repro.faults import (
+    FAULTS,
+    FaultError,
+    SITE_SHARD_CRASH,
+    SITE_SHARD_TIMEOUT,
+)
 from repro.traffic.batch import PacketBatch
 
 #: Column-slice size workers use when the caller does not fix one.
 DEFAULT_SHARD_BATCH = 8192
+
+#: Seconds the dispatcher waits for one shard's result before declaring it
+#: hung and re-dispatching serially (``FLYMON_SHARD_TIMEOUT``; <= 0 disables).
+DEFAULT_SHARD_TIMEOUT_S = 30.0
+
+#: Serial re-dispatch attempts for a crashed/hung shard
+#: (``FLYMON_SHARD_RETRIES``).
+DEFAULT_SHARD_RETRIES = 2
+
+#: Sleep an injected ``shard_timeout`` fault uses when no argument is given.
+DEFAULT_INJECTED_SLEEP_S = 0.5
 
 #: Merge laws (per task): how worker register state folds into the base.
 LAW_SUM = "sum"
@@ -69,6 +87,29 @@ BACKENDS = (BACKEND_PROCESS, BACKEND_THREAD, BACKEND_SERIAL)
 
 class ShardingError(RuntimeError):
     """Raised for invalid sharded-execution configuration."""
+
+
+def shard_timeout() -> Optional[float]:
+    """Per-shard result timeout in seconds, or ``None`` when disabled."""
+    raw = os.environ.get("FLYMON_SHARD_TIMEOUT", "").strip()
+    if not raw:
+        return DEFAULT_SHARD_TIMEOUT_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_SHARD_TIMEOUT_S
+    return value if value > 0 else None
+
+
+def shard_retries() -> int:
+    """Serial re-dispatch attempts for a failed shard (min 1)."""
+    raw = os.environ.get("FLYMON_SHARD_RETRIES", "").strip()
+    if not raw:
+        return DEFAULT_SHARD_RETRIES
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_SHARD_RETRIES
 
 
 def default_workers() -> int:
@@ -237,7 +278,13 @@ class ShardResult:
 
 @dataclass
 class ShardRunReport:
-    """What a sharded run did: backend, merge laws, fallback, exports."""
+    """What a sharded run did: backend, merge laws, fallback, exports.
+
+    ``retries`` counts serial re-dispatches of crashed or hung shards,
+    ``timeouts`` how many shard futures exceeded the per-shard deadline,
+    and ``shard_events`` carries one record per recovery action
+    (``{"shard": i, "reason": ...}``) so callers can audit what degraded.
+    """
 
     packets: int
     workers: int
@@ -246,6 +293,9 @@ class ShardRunReport:
     fallback: Optional[str]
     merge_laws: Dict[Tuple[int, int, int], str]
     exports: Optional[Dict[str, np.ndarray]] = None
+    retries: int = 0
+    timeouts: int = 0
+    shard_events: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _accumulate_exports(acc: Dict[str, np.ndarray], batch, offset: int, total: int) -> None:
@@ -260,6 +310,30 @@ def _accumulate_exports(acc: Dict[str, np.ndarray], batch, offset: int, total: i
         col[offset : offset + n] = batch.get(name)
 
 
+def _execute_injection(inject: Optional[Tuple], start: int) -> None:
+    """Act on a parent-planned fault instruction at shard-worker entry.
+
+    ``("crash", "kill", pid)`` hard-exits the worker *process* (downgraded
+    to an exception when the worker shares the dispatcher's process, i.e.
+    thread/serial backends); any other crash argument raises
+    :class:`~repro.faults.FaultError`.  ``("timeout", seconds, pid)``
+    sleeps so the dispatcher's per-shard deadline expires.
+    """
+    if inject is None:
+        return
+    kind, arg, parent_pid = inject
+    if kind == "timeout":
+        try:
+            seconds = float(arg)
+        except (TypeError, ValueError):
+            seconds = DEFAULT_INJECTED_SLEEP_S
+        time.sleep(seconds)
+        return
+    if arg == "kill" and os.getpid() != parent_pid:
+        os._exit(13)
+    raise FaultError(SITE_SHARD_CRASH, {"shard_start": start, "arg": arg})
+
+
 def _run_shard(
     specs: Sequence[GroupReplicaSpec],
     columns: Dict[str, np.ndarray],
@@ -268,12 +342,14 @@ def _run_shard(
     batch_size: int,
     tracked: Optional[frozenset],
     collect_exports: bool,
+    inject: Optional[Tuple] = None,
 ) -> ShardResult:
     """Worker body: build replicas, stream the shard, snapshot the state.
 
     Module-level and driven purely by picklable arguments so it runs
     unchanged under process pools, thread pools, and in-line execution.
     """
+    _execute_injection(inject, start)
     groups = [spec.build() for spec in specs]
     journal = ShardJournal(tracked)
     for group in groups:
@@ -354,6 +430,58 @@ def _resolve_backend(backend: Optional[str]) -> str:
     return backend
 
 
+def _plan_injection(shard_index: int) -> Optional[Tuple]:
+    """Parent-side fault planning for one shard dispatch.
+
+    The deterministic hit counter lives in the *dispatcher's* injector, so
+    ``shard_crash@2`` fails exactly the second shard regardless of backend
+    -- and, one-shot arms disarming on fire, the serial re-dispatch of that
+    shard succeeds.  Workers never trip shard sites themselves.
+    """
+    if not FAULTS.armed:
+        return None
+    arg = FAULTS.trip(SITE_SHARD_CRASH, shard=shard_index)
+    if arg is not None:
+        return ("crash", arg if isinstance(arg, str) else "raise", os.getpid())
+    arg = FAULTS.trip(SITE_SHARD_TIMEOUT, shard=shard_index)
+    if arg is not None:
+        sleep = arg if isinstance(arg, str) else str(DEFAULT_INJECTED_SLEEP_S)
+        return ("timeout", sleep, os.getpid())
+    return None
+
+
+def _retry_serially(
+    build_payload: Callable[[], tuple],
+    index: int,
+    reason: str,
+    stats: Dict[str, object],
+) -> ShardResult:
+    """Re-dispatch a failed shard on the serial path, bounded by
+    :func:`shard_retries`; raises :class:`ShardingError` when exhausted."""
+    from repro.telemetry import EV_SHARD_RETRY, TELEMETRY as _TELEMETRY
+
+    attempts = shard_retries()
+    last: Optional[BaseException] = None
+    for attempt in range(1, attempts + 1):
+        stats["retries"] += 1
+        stats["events"].append(
+            {"shard": index, "attempt": attempt, "reason": reason}
+        )
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter("flymon_shard_retries_total").inc()
+            _TELEMETRY.events.emit(
+                EV_SHARD_RETRY, shard=index, attempt=attempt, reason=reason
+            )
+        try:
+            return _run_shard(*build_payload())
+        except Exception as exc:  # noqa: BLE001 - bounded, surfaced below
+            last = exc
+            reason = f"{type(exc).__name__}: {exc}"
+    raise ShardingError(
+        f"shard {index} failed after {attempts} serial re-dispatch(es): {reason}"
+    ) from last
+
+
 def _dispatch(
     specs: Sequence[GroupReplicaSpec],
     columns: Dict[str, np.ndarray],
@@ -362,14 +490,21 @@ def _dispatch(
     tracked: Optional[frozenset],
     collect_exports: bool,
     backend: str,
-) -> Tuple[List[ShardResult], str]:
+) -> Tuple[List[ShardResult], str, Dict[str, object]]:
     """Run every shard, in shard order, on the requested backend.
 
-    A process pool that cannot start (sandboxes, fork restrictions, broken
-    workers) degrades to threads rather than failing the run.
+    A process pool that cannot *start* (sandboxes, fork restrictions)
+    degrades to threads.  An individual shard that crashes, kills its
+    worker, or exceeds the per-shard timeout is re-dispatched on the serial
+    path with bounded retries, so one bad worker costs its shard's
+    parallelism -- never the run.  Returns ``(results, backend_used,
+    stats)`` with ``stats = {"retries", "timeouts", "events"}``.
     """
-    payloads = [
-        (
+    stats: Dict[str, object] = {"retries": 0, "timeouts": 0, "events": []}
+
+    def payload(i: int, inject: Optional[Tuple]) -> tuple:
+        start, stop = ranges[i]
+        return (
             specs,
             {name: col[start:stop] for name, col in columns.items()},
             start,
@@ -377,15 +512,34 @@ def _dispatch(
             batch_size,
             tracked,
             collect_exports,
+            inject,
         )
-        for start, stop in ranges
-    ]
-    if backend == BACKEND_SERIAL or len(payloads) <= 1:
-        return [_run_shard(*payload) for payload in payloads], BACKEND_SERIAL
+
+    count = len(ranges)
+    results: List[Optional[ShardResult]] = [None] * count
+    timeout = shard_timeout()
+
+    if backend == BACKEND_SERIAL or count <= 1:
+        for i in range(count):
+            try:
+                results[i] = _run_shard(*payload(i, _plan_injection(i)))
+            except Exception as exc:  # noqa: BLE001 - recovered below
+                results[i] = _retry_serially(
+                    lambda i=i: payload(i, _plan_injection(i)),
+                    i,
+                    f"{type(exc).__name__}: {exc}",
+                    stats,
+                )
+        return results, BACKEND_SERIAL, stats
+
+    failed: Dict[int, str] = {}
     if backend == BACKEND_PROCESS:
         try:
             import multiprocessing as mp
-            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures import (
+                ProcessPoolExecutor,
+                TimeoutError as FuturesTimeout,
+            )
             from concurrent.futures.process import BrokenProcessPool
 
             context = (
@@ -393,18 +547,59 @@ def _dispatch(
                 if "fork" in mp.get_all_start_methods()
                 else mp.get_context()
             )
-            with ProcessPoolExecutor(
-                max_workers=len(payloads), mp_context=context
-            ) as pool:
-                futures = [pool.submit(_run_shard, *payload) for payload in payloads]
-                return [future.result() for future in futures], BACKEND_PROCESS
-        except (OSError, PermissionError, BrokenProcessPool):
+            pool = ProcessPoolExecutor(max_workers=count, mp_context=context)
+            try:
+                futures = [
+                    pool.submit(_run_shard, *payload(i, _plan_injection(i)))
+                    for i in range(count)
+                ]
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result(timeout=timeout)
+                except FuturesTimeout:
+                    stats["timeouts"] += 1
+                    failed[i] = "shard timed out"
+                except BrokenProcessPool:
+                    failed[i] = "worker process died"
+                except Exception as exc:  # noqa: BLE001 - recovered below
+                    failed[i] = f"{type(exc).__name__}: {exc}"
+            # Never block on a hung/killed worker during cleanup.
+            pool.shutdown(wait=False, cancel_futures=True)
+            for i, reason in failed.items():
+                results[i] = _retry_serially(
+                    lambda i=i: payload(i, _plan_injection(i)), i, reason, stats
+                )
+            return results, BACKEND_PROCESS, stats
+        except (OSError, PermissionError):
             backend = BACKEND_THREAD
-    from concurrent.futures import ThreadPoolExecutor
+            failed.clear()
+    from concurrent.futures import (
+        ThreadPoolExecutor,
+        TimeoutError as FuturesTimeout,
+    )
 
-    with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
-        futures = [pool.submit(_run_shard, *payload) for payload in payloads]
-        return [future.result() for future in futures], BACKEND_THREAD
+    pool = ThreadPoolExecutor(max_workers=count)
+    futures = [
+        pool.submit(_run_shard, *payload(i, _plan_injection(i)))
+        for i in range(count)
+    ]
+    for i, future in enumerate(futures):
+        try:
+            results[i] = future.result(timeout=timeout)
+        except FuturesTimeout:
+            stats["timeouts"] += 1
+            failed[i] = "shard timed out"
+        except Exception as exc:  # noqa: BLE001 - recovered below
+            failed[i] = f"{type(exc).__name__}: {exc}"
+    pool.shutdown(wait=False, cancel_futures=True)
+    for i, reason in failed.items():
+        results[i] = _retry_serially(
+            lambda i=i: payload(i, _plan_injection(i)), i, reason, stats
+        )
+    return results, BACKEND_THREAD, stats
 
 
 def _sequential(
@@ -594,7 +789,7 @@ def run_sharded(
     }
     specs = replica_specs(groups)
     ranges = shard_ranges(n, workers)
-    shard_results, backend_used = _dispatch(
+    shard_results, backend_used, dispatch_stats = _dispatch(
         specs,
         trace.columns,
         ranges,
@@ -633,4 +828,7 @@ def run_sharded(
         fallback=None,
         merge_laws=laws,
         exports=exports,
+        retries=dispatch_stats["retries"],
+        timeouts=dispatch_stats["timeouts"],
+        shard_events=dispatch_stats["events"],
     )

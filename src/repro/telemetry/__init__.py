@@ -23,19 +23,24 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.telemetry.events import (  # noqa: F401  (re-exported taxonomy)
+    EV_CHECKPOINT,
+    EV_FAULT_INJECTED,
     EV_KEY_GRANT,
     EV_KEY_RELEASE,
     EV_MEM_ALLOC,
     EV_MEM_FREE,
     EV_MEM_SPLIT,
     EV_PLACEMENT_DECISION,
+    EV_RESTORE,
     EV_RULES_INSTALL,
     EV_RULES_REMOVE,
+    EV_SHARD_RETRY,
     EV_TASK_ADD,
     EV_TASK_FILTER_UPDATE,
     EV_TASK_REMOVE,
     EV_TASK_RESIZE,
     EV_TASK_SPLIT,
+    EV_TXN_ROLLBACK,
     EVENT_TYPES,
     Event,
     EventLog,

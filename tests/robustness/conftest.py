@@ -1,0 +1,44 @@
+"""Robustness-suite fixtures: a pristine fault injector around every test.
+
+The CI fault leg runs the whole suite with an options-only spec such as
+``FLYMON_FAULTS="seed=2026,rounds=25"``; it arms no sites globally, but the
+randomized property tests read ``seed``/``rounds`` from it (via the
+``fault_schedule`` fixture) so the schedule scales with the leg instead of
+being hard-coded.
+"""
+
+import itertools
+import os
+
+import pytest
+
+import repro.core.task as task_mod
+from repro.faults import FAULTS, FaultSpecError, parse_spec
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """No armed sites and zeroed hit counters before and after each test."""
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+@pytest.fixture
+def fault_schedule():
+    """``(seed, rounds)`` from ``FLYMON_FAULTS`` options, with defaults."""
+    options = {}
+    spec = os.environ.get("FLYMON_FAULTS", "")
+    if spec:
+        try:
+            _, options = parse_spec(spec)
+        except FaultSpecError:
+            options = {}
+    return int(options.get("seed", 2026)), int(options.get("rounds", 10))
+
+
+@pytest.fixture
+def fresh_task_ids():
+    """Deterministic task ids for digest/serialization comparisons."""
+    task_mod._task_ids = itertools.count(1)
+    yield

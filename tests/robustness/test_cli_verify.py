@@ -1,0 +1,31 @@
+"""The ``repro verify`` CLI subcommand (the CI smoke job's entry point)."""
+
+from repro.cli import build_parser, main
+
+
+def test_verify_parses():
+    args = build_parser().parse_args(["verify", "--rounds", "3", "--seed", "9"])
+    assert args.command == "verify"
+    assert args.rounds == 3
+    assert args.seed == 9
+
+
+def test_verify_passes_on_clean_tree(capsys):
+    assert main(["verify", "--rounds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3 deployment integrity" in out
+    assert "rollback atomicity" in out
+    assert "checkpoint round-trip" in out
+    assert "all invariants hold" in out
+
+
+def test_verify_reads_schedule_from_env(monkeypatch, capsys):
+    monkeypatch.setenv("FLYMON_FAULTS", "seed=7,rounds=2")
+    assert main(["verify"]) == 0
+    assert "2 rounds, seed 7" in capsys.readouterr().out
+
+
+def test_verify_rejects_bad_fault_spec(monkeypatch, capsys):
+    monkeypatch.setenv("FLYMON_FAULTS", "bogus_site@2")
+    assert main(["verify"]) == 2
+    assert "bad FLYMON_FAULTS" in capsys.readouterr().err

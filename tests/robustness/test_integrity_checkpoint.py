@@ -1,0 +1,117 @@
+"""The integrity auditor and the checkpoint/restore round-trip."""
+
+import json
+
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask, TaskFilter
+from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
+
+
+def freq_task(**kwargs):
+    kwargs.setdefault("key", KEY_SRC_IP)
+    kwargs.setdefault("attribute", AttributeSpec.frequency())
+    kwargs.setdefault("memory", 4096)
+    kwargs.setdefault("depth", 3)
+    kwargs.setdefault("algorithm", "cms")
+    return MeasurementTask(**kwargs)
+
+
+@pytest.fixture
+def deployed():
+    controller = FlyMonController(
+        num_groups=3, preconfigure_keys=(KEY_SRC_IP, KEY_DST_IP)
+    )
+    handles = [
+        controller.add_task(
+            freq_task(filter=TaskFilter.of(src_ip=((10 + i) << 24, 8)))
+        )
+        for i in range(3)
+    ]
+    return controller, handles
+
+
+class TestVerifyIntegrity:
+    def test_clean_deployment_passes(self, deployed):
+        controller, _ = deployed
+        report = controller.verify_integrity()
+        assert report.ok
+        assert report.checks > 0
+        assert "OK" in report.describe()
+
+    def test_empty_controller_passes(self):
+        assert FlyMonController(num_groups=2).verify_integrity().ok
+
+    def test_detects_leaked_allocation(self, deployed):
+        controller, handles = deployed
+        # Free a claimed range behind the controller's back: the handle
+        # still claims it, so the audit must flag the divergence.
+        cmu, mem = handles[0]._mem[0]
+        controller._allocators[(cmu.group_id, cmu.index)].free(mem)
+        report = controller.verify_integrity()
+        assert not report.ok
+        assert any("alloc" in p or "claim" in p for p in report.problems)
+
+    def test_detects_refcount_drift(self, deployed):
+        controller, handles = deployed
+        group, grant = handles[0]._grants[0]
+        group.keys.release(grant.selector)
+        report = controller.verify_integrity()
+        assert not report.ok
+
+    def test_detects_orphan_cmu_task(self, deployed):
+        controller, handles = deployed
+        row = handles[0].rows[0]
+        row.cmu.remove_task(handles[0].task_id)
+        report = controller.verify_integrity()
+        assert not report.ok
+
+
+class TestCheckpointRestore:
+    def test_checkpoint_is_json_safe(self, deployed):
+        controller, _ = deployed
+        state = controller.checkpoint()
+        rehydrated = json.loads(json.dumps(state))
+        assert rehydrated["version"] == 1
+        assert len(rehydrated["tasks"]) == 3
+
+    def test_roundtrip_restores_equivalent_controller(self, deployed):
+        controller, _ = deployed
+        state = json.loads(json.dumps(controller.checkpoint()))
+        restored = FlyMonController.from_checkpoint(state)
+        assert restored.verify_integrity().ok
+        assert restored.free_buckets() == controller.free_buckets()
+        assert len(restored.tasks) == len(controller.tasks)
+        # Same tasks modulo fresh task ids (replay order is preserved).
+        assert [h.task.describe() for h in restored.tasks] == [
+            h.task.describe() for h in controller.tasks
+        ]
+        assert {g.group_id: g.keys.refcounts() for g in restored.groups} == {
+            g.group_id: g.keys.refcounts() for g in controller.groups
+        }
+
+    def test_restored_controller_accepts_new_work(self, deployed):
+        controller, _ = deployed
+        restored = FlyMonController.from_checkpoint(controller.checkpoint())
+        handle = restored.add_task(
+            freq_task(filter=TaskFilter.of(src_ip=(0x64000000, 8)))
+        )
+        restored.remove_task(handle)
+        assert restored.verify_integrity().ok
+
+    def test_checkpoint_emits_telemetry(self, deployed):
+        from repro import telemetry
+        from repro.telemetry import EV_CHECKPOINT, EV_RESTORE
+
+        controller, _ = deployed
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            state = controller.checkpoint()
+            FlyMonController.from_checkpoint(state)
+            assert telemetry.TELEMETRY.events.of_type(EV_CHECKPOINT)
+            assert telemetry.TELEMETRY.events.of_type(EV_RESTORE)
+        finally:
+            telemetry.disable()
+            telemetry.reset()
