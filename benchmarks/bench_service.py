@@ -1,0 +1,122 @@
+"""Streaming-service benchmark: sustained ingest throughput with epoch
+rotation, sealing, watchers, and query-plane bookkeeping enabled --
+compared against a one-shot replay of the same trace with no epoching.
+
+Writes ``BENCH_service_stream.json`` with both rates so the rotation
+overhead (seal + snapshot + reset per epoch) is tracked across commits.
+"""
+
+import pytest
+
+from conftest import run_once_timed, write_bench_json
+
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.service import (
+    CardinalityQuery,
+    MeasurementService,
+    TaskRef,
+    Watcher,
+    cardinality_metric,
+)
+from repro.traffic import KEY_DST_IP, KEY_SRC_IP, zipf_trace
+
+
+def deploy(controller):
+    cms = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=4096,
+            depth=3,
+            algorithm="cms",
+            threshold=100,
+        )
+    )
+    hll = controller.add_task(
+        MeasurementTask(
+            key=KEY_DST_IP,
+            attribute=AttributeSpec.distinct(KEY_SRC_IP),
+            memory=1024,
+            depth=1,
+            algorithm="hll",
+        )
+    )
+    return cms, hll
+
+
+def stream(trace, epochs, workers):
+    controller = FlyMonController(num_groups=3)
+    cms, hll = deploy(controller)
+    service = MeasurementService(
+        controller,
+        epoch_packets=len(trace) // epochs,
+        retain=8,
+        workers=workers,
+    )
+    service.register_series("card", CardinalityQuery(hll))
+    service.add_watcher(
+        Watcher("spike", cardinality_metric(TaskRef(hll)), above=1e12)
+    )
+    service.ingest(trace)
+    service.rotate()
+    return service.stats()
+
+
+def one_shot(trace):
+    # Same batched fast path the service rides, just without epoching.
+    from repro.service.engine import DEFAULT_SERVICE_BATCH
+
+    controller = FlyMonController(num_groups=3)
+    deploy(controller)
+    controller.process_trace(trace, batch_size=DEFAULT_SERVICE_BATCH)
+    return len(trace)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_stream(benchmark, quick):
+    num_packets = 100_000 if quick else 1_000_000
+    epochs = 25
+    trace = zipf_trace(
+        num_flows=num_packets // 20, num_packets=num_packets, seed=90
+    )
+
+    baseline, base_seconds = run_once_timed(benchmark, one_shot, trace)
+    assert baseline == len(trace)
+
+    results = {}
+    for workers in (1, 2):
+        import time
+
+        start = time.perf_counter()
+        stats = stream(trace, epochs, workers)
+        seconds = time.perf_counter() - start
+        assert stats["packets_total"] == len(trace)
+        assert stats["epoch"] >= epochs
+        results[f"workers{workers}"] = {
+            "seconds": seconds,
+            "packets_per_second": len(trace) / seconds,
+            "epochs": stats["epoch"],
+        }
+
+    write_bench_json(
+        "service_stream",
+        packets=len(trace),
+        epochs=epochs,
+        one_shot={
+            "seconds": base_seconds,
+            "packets_per_second": len(trace) / base_seconds,
+        },
+        streaming=results,
+        rotation_overhead_pct={
+            name: 100.0 * (run["seconds"] - base_seconds) / base_seconds
+            for name, run in results.items()
+        },
+        params={"packets": len(trace), "epochs": epochs},
+    )
+    for name, run in sorted(results.items()):
+        print(
+            f"service {name}: {run['packets_per_second']:,.0f} pps over "
+            f"{run['epochs']} epochs (one-shot "
+            f"{len(trace) / base_seconds:,.0f} pps)"
+        )

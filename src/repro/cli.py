@@ -143,6 +143,138 @@ def build_parser() -> argparse.ArgumentParser:
         "FLYMON_FAULTS, else 2026)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous measurement service over a trace: "
+        "streaming epochs, watchers, queryable checkpoint artifact",
+    )
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument(
+        "--input",
+        metavar="PATH",
+        default=None,
+        help="replay a .npz trace written by Trace.save",
+    )
+    source.add_argument(
+        "--generator",
+        choices=("zipf", "uniform", "ddos", "superspreader", "portscan"),
+        default="zipf",
+        help="synthesize the input trace (default: zipf)",
+    )
+    serve.add_argument("--packets", type=int, default=100_000, metavar="N")
+    serve.add_argument("--flows", type=int, default=5_000, metavar="N")
+    serve.add_argument("--seed", type=int, default=1, metavar="N")
+    rotation = serve.add_mutually_exclusive_group()
+    rotation.add_argument(
+        "--epoch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rotate epochs every N packets (default: packets/20)",
+    )
+    rotation.add_argument(
+        "--epoch-us",
+        type=int,
+        default=None,
+        metavar="US",
+        help="rotate epochs every US microseconds of packet time",
+    )
+    serve.add_argument(
+        "--retain", type=int, default=16, metavar="N",
+        help="sealed epochs kept in the ring (default: 16)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard ingestion over N parallel datapath workers",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="vectorized-engine chunk size (0 forces the scalar path)",
+    )
+    serve.add_argument(
+        "--chunk", type=int, default=32_768, metavar="N",
+        help="ingest the trace in chunks of N packets (default: 32768)",
+    )
+    serve.add_argument(
+        "--tasks",
+        default="hh,card",
+        metavar="LIST",
+        help="comma list of task presets: hh, card, entropy, existence, "
+        "interarrival (default: hh,card)",
+    )
+    serve.add_argument(
+        "--threshold", type=int, default=100, metavar="N",
+        help="heavy-hitter alarm threshold for the hh preset (default: 100)",
+    )
+    serve.add_argument(
+        "--watch-fill",
+        type=float,
+        default=None,
+        metavar="F",
+        help="watcher: when the hh task's fill factor exceeds F at a seal, "
+        "double its memory through a transactional resize",
+    )
+    serve.add_argument(
+        "--watch-cardinality",
+        type=float,
+        default=None,
+        metavar="N",
+        help="watcher: flag epochs whose cardinality estimate exceeds N",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write the queryable service artifact (JSON) for `repro query`",
+    )
+    serve.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="enable telemetry and dump the event log + metrics to PATH",
+    )
+
+    query = sub.add_parser(
+        "query",
+        help="answer typed measurement queries against a `repro serve` "
+        "checkpoint artifact, offline",
+    )
+    query.add_argument("--input", metavar="PATH", required=True)
+    query.add_argument(
+        "--list", action="store_true", help="show epochs, tasks, and series"
+    )
+    query.add_argument(
+        "--epoch", type=int, default=None, metavar="N",
+        help="epoch index to query (default: latest retained)",
+    )
+    query.add_argument(
+        "--task", type=int, default=0, metavar="INDEX",
+        help="task index from --list (default: 0)",
+    )
+    query.add_argument(
+        "--query",
+        dest="query_kind",
+        choices=(
+            "cardinality",
+            "entropy",
+            "heavy-hitters",
+            "frequency",
+            "existence",
+            "interarrival",
+            "series",
+        ),
+        default=None,
+    )
+    query.add_argument(
+        "--flow",
+        default=None,
+        metavar="KEY",
+        help="flow key for point queries: comma-separated fields, each a "
+        "dotted quad or integer (e.g. 10.0.0.7 or 10.0.0.7,443)",
+    )
+    query.add_argument("--threshold", type=int, default=None, metavar="N")
+    query.add_argument("--series", default=None, metavar="NAME")
+
     sub.add_parser("demo", help="run the quickstart scenario")
     return parser
 
@@ -507,6 +639,357 @@ def cmd_verify(rounds: Optional[int] = None, seed: Optional[int] = None) -> int:
     return 0
 
 
+def _serve_tasks(names: List[str], threshold: int):
+    """Instantiate the ``repro serve`` task presets, in request order."""
+    from repro.core.task import AttributeSpec, MeasurementTask
+    from repro.traffic.flows import KEY_5TUPLE, KEY_SRC_IP
+
+    presets = {
+        "hh": lambda: MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=4096,
+            depth=3,
+            algorithm="cms",
+            threshold=threshold,
+        ),
+        "card": lambda: MeasurementTask(
+            key=KEY_5TUPLE,
+            attribute=AttributeSpec.distinct(KEY_5TUPLE),
+            memory=1024,
+            depth=1,
+            algorithm="hll",
+        ),
+        "entropy": lambda: MeasurementTask(
+            key=KEY_5TUPLE,
+            attribute=AttributeSpec.frequency(),
+            memory=2048,
+            depth=1,
+            algorithm="mrac",
+        ),
+        "existence": lambda: MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.existence(),
+            memory=4096,
+            depth=3,
+            algorithm="bloom",
+        ),
+        "interarrival": lambda: MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.maximum("packet_interval"),
+            memory=2048,
+            depth=2,
+            algorithm="max_interarrival",
+        ),
+    }
+    out = []
+    for name in names:
+        if name not in presets:
+            raise ValueError(
+                f"unknown task preset {name!r} (choose from {sorted(presets)})"
+            )
+        out.append((name, presets[name]()))
+    return out
+
+
+def _load_serve_trace(args):
+    from repro.traffic import (
+        ddos_trace,
+        portscan_trace,
+        superspreader_trace,
+        uniform_trace,
+        zipf_trace,
+    )
+    from repro.traffic.trace import Trace
+
+    if args.input is not None:
+        return Trace.load(args.input)
+    generators = {
+        "zipf": lambda: zipf_trace(
+            num_flows=args.flows, num_packets=args.packets, seed=args.seed
+        ),
+        "uniform": lambda: uniform_trace(
+            num_flows=args.flows, num_packets=args.packets, seed=args.seed
+        ),
+        "ddos": lambda: ddos_trace(num_packets=args.packets, seed=args.seed),
+        "superspreader": lambda: superspreader_trace(
+            num_packets=args.packets, seed=args.seed
+        ),
+        "portscan": lambda: portscan_trace(
+            num_packets=args.packets, seed=args.seed
+        ),
+    }
+    return generators[args.generator]()
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro import telemetry
+    from repro.core.controller import FlyMonController
+    from repro.service import (
+        CardinalityQuery,
+        EntropyQuery,
+        HeavyHitterQuery,
+        MeasurementService,
+        TaskRef,
+        Watcher,
+        cardinality_metric,
+        fill_factor_metric,
+        resize_action,
+        service_checkpoint,
+    )
+
+    try:
+        trace = _load_serve_trace(args)
+    except FileNotFoundError:
+        print(f"error: no trace at {args.input}", file=sys.stderr)
+        return 2
+    epoch_packets = args.epoch_size
+    epoch_duration_us = args.epoch_us
+    if epoch_packets is None and epoch_duration_us is None:
+        epoch_packets = max(1, len(trace) // 20)
+
+    if args.telemetry is not None:
+        telemetry.reset()
+        telemetry.enable()
+    try:
+        controller = FlyMonController(num_groups=3)
+        try:
+            named = _serve_tasks(
+                [n.strip() for n in args.tasks.split(",") if n.strip()],
+                args.threshold,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        from repro.core.controller import PlacementError
+
+        try:
+            refs = {
+                name: TaskRef(controller.add_task(task)) for name, task in named
+            }
+        except PlacementError as exc:
+            print(
+                f"error: cannot place the requested task mix "
+                f"({args.tasks}): {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        service = MeasurementService(
+            controller,
+            epoch_packets=epoch_packets,
+            epoch_duration_us=epoch_duration_us,
+            retain=args.retain,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
+        if "hh" in refs:
+            service.register_series("heavy_hitters", HeavyHitterQuery(refs["hh"]))
+        if "card" in refs:
+            service.register_series("cardinality", CardinalityQuery(refs["card"]))
+        if "entropy" in refs:
+            service.register_series("entropy", EntropyQuery(refs["entropy"]))
+        if args.watch_fill is not None:
+            if "hh" not in refs:
+                print("error: --watch-fill needs the hh task", file=sys.stderr)
+                return 2
+            service.add_watcher(
+                Watcher(
+                    "fill_factor",
+                    fill_factor_metric(refs["hh"]),
+                    above=args.watch_fill,
+                    action=resize_action(refs["hh"]),
+                    cooldown_epochs=1,
+                )
+            )
+        if args.watch_cardinality is not None:
+            if "card" not in refs:
+                print(
+                    "error: --watch-cardinality needs the card task",
+                    file=sys.stderr,
+                )
+                return 2
+            service.add_watcher(
+                Watcher(
+                    "cardinality_spike",
+                    cardinality_metric(refs["card"]),
+                    above=args.watch_cardinality,
+                )
+            )
+
+        from repro.traffic.packet import PACKET_FIELDS
+        from repro.traffic.trace import Trace
+
+        chunk = max(1, args.chunk)
+        for start in range(0, len(trace), chunk):
+            piece = Trace(
+                {f: trace.columns[f][start : start + chunk] for f in PACKET_FIELDS}
+            )
+            for sealed in service.ingest(piece):
+                fired = [e for e in sealed.watcher_events if e.fired]
+                line = (
+                    f"epoch {sealed.index:>3}: {sealed.packets:>7} pkts "
+                    f"sealed in {sealed.seal_ms:6.2f} ms"
+                )
+                for name in sorted(sealed.outputs):
+                    value = sealed.outputs[name]
+                    if isinstance(value, float):
+                        line += f"  {name}={value:.1f}"
+                    elif isinstance(value, (set, frozenset, list)):
+                        line += f"  {name}={len(value)}"
+                    else:
+                        line += f"  {name}={value}"
+                if fired:
+                    line += "  [" + ", ".join(
+                        f"{e.watcher}->{e.outcome or 'fired'}" for e in fired
+                    ) + "]"
+                print(line)
+        if service._epoch_fill:
+            service.rotate()  # seal the ragged tail window
+
+        stats = service.stats()
+        print(
+            f"served {stats['packets_total']} packets across {stats['epoch']} "
+            f"epochs ({stats['sealed_epochs']} retained), workers={args.workers}"
+        )
+        if args.checkpoint is not None:
+            artifact = service_checkpoint(service)
+            with open(args.checkpoint, "w") as fh:
+                json.dump(artifact, fh)
+            print(f"checkpoint: {len(artifact['epochs'])} epochs -> {args.checkpoint}")
+        if args.telemetry is not None:
+            snapshot = telemetry.write_artifact(
+                args.telemetry, meta={"command": "serve"}
+            )
+            print(
+                f"telemetry: {len(snapshot['events'])} events -> {args.telemetry}"
+            )
+    finally:
+        if args.telemetry is not None:
+            telemetry.disable()
+    return 0
+
+
+def _parse_flow(spec: str) -> tuple:
+    def part(p: str) -> int:
+        p = p.strip()
+        if p.count(".") == 3:
+            a, b, c, d = (int(x) for x in p.split("."))
+            return (a << 24) | (b << 16) | (c << 8) | d
+        return int(p, 0)
+
+    return tuple(part(p) for p in spec.split(","))
+
+
+def _format_flow(flow) -> str:
+    def fmt(v: int) -> str:
+        if v > 0xFFFF:  # render plausible addresses as dotted quads
+            return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
+        return str(v)
+
+    return ",".join(fmt(int(v)) for v in flow)
+
+
+def cmd_query(args) -> int:
+    import json
+
+    from repro.service import (
+        CardinalityQuery,
+        EntropyQuery,
+        ExistenceQuery,
+        FrequencyQuery,
+        HeavyHitterQuery,
+        InterArrivalQuery,
+        StaleEpochError,
+        UnsupportedQueryError,
+        load_service_state,
+    )
+
+    try:
+        with open(args.input) as fh:
+            artifact = json.load(fh)
+    except FileNotFoundError:
+        print(f"error: no artifact at {args.input}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.input} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        restored = load_service_state(artifact)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.list or args.query_kind is None:
+        print(f"{'index':<6} {'algorithm':<18} key")
+        for index, info in enumerate(restored.task_info):
+            key = "+".join(name for name, _bits in info["key"])
+            print(f"{index:<6} {info['algorithm']:<18} {key}")
+        epochs = ", ".join(
+            f"{s.index}({s.packets}p)" for s in restored.epochs
+        )
+        print(f"epochs: {epochs or '(none)'}")
+        print(f"series: {', '.join(restored.series_names) or '(none)'}")
+        if restored.watcher_log:
+            fired = sum(1 for e in restored.watcher_log if e.get("fired"))
+            print(f"watcher events: {len(restored.watcher_log)} ({fired} fired)")
+        return 0
+
+    if args.query_kind == "series":
+        name = args.series
+        if name is None:
+            print("error: --query series needs --series NAME", file=sys.stderr)
+            return 2
+        try:
+            for index, value in restored.series(name):
+                print(f"{index:>4}  {value}")
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+
+    try:
+        handle = restored.tasks[args.task]
+    except IndexError:
+        print(
+            f"error: no task index {args.task} (artifact has "
+            f"{len(restored.tasks)})",
+            file=sys.stderr,
+        )
+        return 2
+    needs_flow = args.query_kind in ("frequency", "existence", "interarrival")
+    flow = None
+    if needs_flow:
+        if args.flow is None:
+            print(
+                f"error: --query {args.query_kind} needs --flow",
+                file=sys.stderr,
+            )
+            return 2
+        flow = _parse_flow(args.flow)
+    queries = {
+        "cardinality": lambda: CardinalityQuery(handle),
+        "entropy": lambda: EntropyQuery(handle),
+        "heavy-hitters": lambda: HeavyHitterQuery(handle, threshold=args.threshold),
+        "frequency": lambda: FrequencyQuery(handle, flow),
+        "existence": lambda: ExistenceQuery(handle, flow),
+        "interarrival": lambda: InterArrivalQuery(handle, flow),
+    }
+    try:
+        result = restored.query(queries[args.query_kind](), epoch=args.epoch)
+    except (StaleEpochError, UnsupportedQueryError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    if isinstance(result, (set, frozenset)):
+        print(f"{len(result)} heavy hitter(s)")
+        for item in sorted(result):
+            print(f"  {_format_flow(item)}")
+    else:
+        print(result)
+    return 0
+
+
 def cmd_demo() -> int:
     import runpy
     from pathlib import Path
@@ -535,6 +1018,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args.output, args.fast_only)
     if args.command == "verify":
         return cmd_verify(args.rounds, args.seed)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "query":
+        return cmd_query(args)
     if args.command == "demo":
         return cmd_demo()
     return 2  # pragma: no cover

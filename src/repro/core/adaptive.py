@@ -28,6 +28,22 @@ import numpy as np
 from repro.core.controller import FlyMonController, PlacementError, TaskHandle
 
 
+def fill_factor_from_rows(row_arrays) -> float:
+    """:func:`fill_factor` over already-read row arrays.
+
+    Lets sealed-epoch snapshots (see :mod:`repro.service`) compute the same
+    accuracy proxy the live manager uses without touching the registers.
+    """
+    fractions = [
+        float(np.count_nonzero(values)) / len(values)
+        for values in row_arrays
+        if len(values)
+    ]
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)
+
+
 def fill_factor(handle: TaskHandle) -> float:
     """Fraction of non-zero buckets, averaged over the task's rows.
 
@@ -38,11 +54,7 @@ def fill_factor(handle: TaskHandle) -> float:
     rows = handle.algorithm.rows
     if not rows:
         return 0.0
-    fractions = []
-    for row in rows:
-        values = row.read()
-        fractions.append(float(np.count_nonzero(values)) / len(values))
-    return sum(fractions) / len(fractions)
+    return fill_factor_from_rows([row.read() for row in rows])
 
 
 @dataclass

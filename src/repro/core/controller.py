@@ -219,6 +219,16 @@ class FlyMonController:
             for cmu in group.cmus
         }
         self._handles: Dict[int, TaskHandle] = {}
+        # Committed reconfiguration history (add/remove/filter updates, in
+        # execution order).  Replaying it on a fresh controller reproduces
+        # the exact placement -- groups, CMUs, memory bases -- of the live
+        # one, which a final-tasks-only replay cannot guarantee after
+        # removes/resizes left allocator holes.  Only committed operations
+        # are recorded (rolled-back transactions never appear); operations
+        # run inside a caller-owned transaction the controller cannot see
+        # committing mark the history incomplete instead.
+        self._history: List[Dict[str, object]] = []
+        self._history_complete = True
         # Pre-configured compressed keys (§5's setting): masks are installed
         # at startup and held, so task deployments that use these keys never
         # pay a hash-mask rule at runtime.
@@ -238,6 +248,7 @@ class FlyMonController:
         self,
         task: MeasurementTask,
         transaction: Optional[ReconfigTransaction] = None,
+        _record: bool = True,
     ) -> TaskHandle:
         """Deploy a measurement task; returns a queryable handle.
 
@@ -258,6 +269,10 @@ class FlyMonController:
             raise
         if owned:
             txn.commit()
+            if _record:
+                self._record_op("add", ref=handle.task_id, task=task_to_dict(task))
+        elif _record:
+            self._history_complete = False
         return handle
 
     def _add_task_txn(
@@ -336,6 +351,7 @@ class FlyMonController:
         self,
         handle: TaskHandle,
         transaction: Optional[ReconfigTransaction] = None,
+        _record: bool = True,
     ) -> InstallReport:
         """Tear a task down and recycle its keys and memory.
 
@@ -353,7 +369,14 @@ class FlyMonController:
             raise
         if owned:
             txn.commit()
+            if _record:
+                self._record_op("remove", ref=handle.task_id)
+        elif _record:
+            self._history_complete = False
         return report
+
+    def _record_op(self, op: str, **payload) -> None:
+        self._history.append({"op": op, **payload})
 
     def _remove_task_txn(
         self, handle: TaskHandle, txn: ReconfigTransaction
@@ -410,6 +433,16 @@ class FlyMonController:
             raise
         if owned:
             txn.commit()
+            self._record_op(
+                "update_filter",
+                ref=handle.task_id,
+                filter=[
+                    [name, value, plen]
+                    for name, (value, plen) in new_filter.prefixes
+                ],
+            )
+        else:
+            self._history_complete = False
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(
                 EV_TASK_FILTER_UPDATE,
@@ -473,13 +506,13 @@ class FlyMonController:
         import dataclasses
 
         low_filter, high_filter = task.filter.split(field)
+        low_task = dataclasses.replace(task, filter=low_filter)
+        high_task = dataclasses.replace(task, filter=high_filter)
         with ReconfigTransaction("add_split_task") as txn:
-            low = self.add_task(
-                dataclasses.replace(task, filter=low_filter), transaction=txn
-            )
-            high = self.add_task(
-                dataclasses.replace(task, filter=high_filter), transaction=txn
-            )
+            low = self.add_task(low_task, transaction=txn, _record=False)
+            high = self.add_task(high_task, transaction=txn, _record=False)
+        self._record_op("add", ref=low.task_id, task=task_to_dict(low_task))
+        self._record_op("add", ref=high.task_id, task=task_to_dict(high_task))
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(
                 EV_TASK_SPLIT,
@@ -513,8 +546,8 @@ class FlyMonController:
             return new_handle
         try:
             with ReconfigTransaction(f"resize_task task{handle.task_id}") as txn:
-                self.remove_task(handle, transaction=txn)
-                new_handle = self.add_task(new_task, transaction=txn)
+                self.remove_task(handle, transaction=txn, _record=False)
+                new_handle = self.add_task(new_task, transaction=txn, _record=False)
         except PlacementError as exc:
             # The rollback restored the original deployment (same task id,
             # same keys/memory/rules), so the caller's handle is live again.
@@ -529,6 +562,10 @@ class FlyMonController:
                     strategy="restored",
                 )
             raise
+        self._record_op("remove", ref=handle.task_id)
+        self._record_op(
+            "add", ref=new_handle.task_id, task=task_to_dict(new_task)
+        )
         self._emit_resize(handle, new_handle, "remove_then_add")
         return new_handle
 
@@ -803,7 +840,15 @@ class FlyMonController:
 
     def checkpoint(self) -> Dict[str, object]:
         """A JSON-safe snapshot: constructor parameters plus every deployed
-        task, replayable by :meth:`from_checkpoint`."""
+        task, replayable by :meth:`from_checkpoint`.
+
+        When the reconfiguration history is complete (no operations ran
+        inside caller-owned transactions), it is included too:
+        :meth:`from_checkpoint` then replays the full operation sequence,
+        reproducing placement -- groups, CMUs, memory bases -- exactly,
+        which sealed-state restores (see :mod:`repro.service.checkpoint`)
+        depend on.
+        """
         state = {
             "version": 1,
             "params": {
@@ -812,6 +857,8 @@ class FlyMonController:
             },
             "tasks": [task_to_dict(handle.task) for handle in self.tasks],
         }
+        if self._history_complete:
+            state["history"] = [dict(entry) for entry in self._history]
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(EV_CHECKPOINT, tasks=len(state["tasks"]))
         return state
@@ -820,18 +867,47 @@ class FlyMonController:
     def from_checkpoint(cls, state: Dict[str, object]) -> "FlyMonController":
         """Rebuild a controller from :meth:`checkpoint` output.
 
-        Deployments are replayed through :meth:`add_task` in checkpoint
-        order, so resource claims and rule installs repeat deterministically
-        (task ids are fresh -- they come from the process-wide counter).
+        With a recorded history the full add/remove/filter-update sequence
+        is replayed, landing every surviving task at its exact live
+        placement; otherwise deployments are replayed through
+        :meth:`add_task` in checkpoint order.  Either way the replay is
+        deterministic (task ids are fresh -- they come from the
+        process-wide counter).
         """
+        from repro.core.task import TaskFilter
+
         params = dict(state["params"])
         params["preconfigure_keys"] = tuple(
             FlowKeyDef(tuple((name, bits) for name, bits in parts))
             for parts in params.get("preconfigure_keys", ())
         )
         controller = cls(**params)
-        for task_data in state["tasks"]:
-            controller.add_task(task_from_dict(task_data))
+        history = state.get("history")
+        if history is not None:
+            refs: Dict[int, TaskHandle] = {}
+            for entry in history:
+                op = entry["op"]
+                if op == "add":
+                    refs[entry["ref"]] = controller.add_task(
+                        task_from_dict(entry["task"])
+                    )
+                elif op == "remove":
+                    controller.remove_task(refs.pop(entry["ref"]))
+                elif op == "update_filter":
+                    controller.update_task_filter(
+                        refs[entry["ref"]],
+                        TaskFilter(
+                            tuple(
+                                (name, (value, plen))
+                                for name, value, plen in entry["filter"]
+                            )
+                        ),
+                    )
+                else:
+                    raise ValueError(f"unknown history op {op!r}")
+        else:
+            for task_data in state["tasks"]:
+                controller.add_task(task_from_dict(task_data))
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(EV_RESTORE, tasks=len(state["tasks"]))
         return controller

@@ -1,0 +1,67 @@
+"""Continuous measurement service: streaming epochs, queries, watchers.
+
+The modules here turn the one-shot controller into a long-running runtime
+(the ROADMAP's "serves heavy traffic continuously" north star, StreaMon's
+stream-monitoring abstraction):
+
+* :mod:`repro.service.engine` -- :class:`MeasurementService` ingests packet
+  chunks indefinitely, rotates measurement epochs on packet-count or
+  packet-time boundaries, and seals each epoch into an immutable
+  :class:`SealedEpoch` register snapshot before resetting, so queries read
+  sealed state while the next epoch ingests;
+* :mod:`repro.service.queries` -- typed queries (heavy hitters, frequency
+  point lookup, cardinality, entropy, existence, inter-arrival) resolved
+  against a sealed epoch or the live window;
+* :mod:`repro.service.watchers` -- threshold rules evaluated at each seal
+  that emit telemetry and can trigger transactional reconfiguration
+  (ChameleMon-style attention shifting on the rollback machinery);
+* :mod:`repro.service.checkpoint` -- JSON service artifacts (controller
+  checkpoint + sealed epochs) that ``repro query`` resolves offline.
+"""
+
+from repro.service.engine import MeasurementService, SealedEpoch, StaleEpochError
+from repro.service.queries import (
+    CardinalityQuery,
+    EntropyQuery,
+    ExistenceQuery,
+    FrequencyQuery,
+    HeavyHitterQuery,
+    InterArrivalQuery,
+    Query,
+    UnsupportedQueryError,
+    resolve,
+)
+from repro.service.watchers import (
+    TaskRef,
+    Watcher,
+    WatcherEvent,
+    cardinality_metric,
+    fill_factor_metric,
+    heavy_hitter_count_metric,
+    resize_action,
+)
+from repro.service.checkpoint import load_service_state, service_checkpoint
+
+__all__ = [
+    "CardinalityQuery",
+    "EntropyQuery",
+    "ExistenceQuery",
+    "FrequencyQuery",
+    "HeavyHitterQuery",
+    "InterArrivalQuery",
+    "MeasurementService",
+    "Query",
+    "SealedEpoch",
+    "StaleEpochError",
+    "TaskRef",
+    "UnsupportedQueryError",
+    "Watcher",
+    "WatcherEvent",
+    "cardinality_metric",
+    "fill_factor_metric",
+    "heavy_hitter_count_metric",
+    "load_service_state",
+    "resize_action",
+    "resolve",
+    "service_checkpoint",
+]

@@ -1,0 +1,513 @@
+"""The streaming epoch engine.
+
+:class:`MeasurementService` layers continuous operation on top of
+:class:`~repro.core.controller.FlyMonController`: traffic is ingested in
+arbitrary chunks (whole traces, column batches, single packets), epochs
+rotate on packet-count or packet-time boundaries, and every rotation *seals*
+the epoch -- the hosting registers are snapshotted via
+:meth:`Register.snapshot_cells` into an immutable :class:`SealedEpoch`, the
+per-epoch alarm digests are drained, and the deployments are reset so the
+next window starts fresh.  Sealed epochs live in a bounded ring
+(``retain``), so long-running services hold a sliding time series of the
+last N windows without unbounded growth.
+
+Ingestion rides the vectorized fast paths: chunks go through
+``controller.process_trace(batch_size=...)`` (the batched engine) or
+``process_trace_sharded`` when ``workers > 1`` -- never the scalar
+per-packet loop (``batch_size=0`` forces it, for differential tests only).
+Both paths are bit-identical to scalar replay, so sealed state matches a
+one-shot run of the same window exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import FlyMonController, TaskHandle
+from repro.telemetry import (
+    EV_EPOCH_SEAL,
+    EV_WATCHER_ACTION,
+    EV_WATCHER_FIRED,
+    TELEMETRY as _TELEMETRY,
+)
+from repro.traffic.packet import PACKET_FIELDS
+from repro.traffic.trace import Trace
+
+#: Default ingest batch size when ``FLYMON_BATCH_SIZE`` is unset.
+DEFAULT_SERVICE_BATCH = 8192
+
+
+def _default_batch_size() -> int:
+    raw = os.environ.get("FLYMON_BATCH_SIZE", "").strip()
+    if not raw:
+        return DEFAULT_SERVICE_BATCH
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_SERVICE_BATCH
+    return value if value > 0 else DEFAULT_SERVICE_BATCH
+
+
+class StaleEpochError(KeyError):
+    """The queried task was not deployed when this epoch was sealed (or its
+    deployment changed since), so the sealed snapshot cannot answer for it."""
+
+
+class SealedEpoch:
+    """One finished epoch's immutable measurement state.
+
+    Holds full-register snapshots of every CMU that hosted a task at seal
+    time, the epoch's drained alarm digests, and any registered series
+    outputs.  Queries resolve against the snapshot through
+    :meth:`overlay` -- the sealed cells are swapped into the live registers
+    while an algorithm's estimator runs, then the live cells are restored --
+    which makes sealed-epoch answers bit-identical to querying the live
+    state at the instant of sealing.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        packets: int,
+        start_ts: Optional[int],
+        end_ts: Optional[int],
+        cells: Dict[Tuple[int, int], np.ndarray],
+        registers: Dict[Tuple[int, int], object],
+        task_ids: Sequence[int],
+        digest_sets: Dict[Tuple[int, int, int], set],
+    ) -> None:
+        self.index = index
+        self.packets = packets
+        self.start_ts = start_ts
+        self.end_ts = end_ts
+        self.seal_ms: float = 0.0
+        self.outputs: Dict[str, object] = {}
+        self.watcher_events: List[object] = []
+        self.task_ids = frozenset(task_ids)
+        self.digest_sets = digest_sets
+        self._cells = cells
+        self._registers = registers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SealedEpoch(index={self.index}, packets={self.packets}, "
+            f"tasks={sorted(self.task_ids)})"
+        )
+
+    # -- sealed state access ------------------------------------------------
+
+    def has_task(self, task_id: int) -> bool:
+        return task_id in self.task_ids
+
+    def cells(self, group_id: int, cmu_index: int) -> np.ndarray:
+        """Copy of one register's sealed cell array."""
+        return self._cells[(group_id, cmu_index)].copy()
+
+    def require_task(self, handle: TaskHandle) -> None:
+        if not self.has_task(handle.task_id):
+            raise StaleEpochError(
+                f"task {handle.task_id} was not sealed in epoch {self.index} "
+                f"(sealed tasks: {sorted(self.task_ids)})"
+            )
+
+    def read_rows(self, handle: TaskHandle) -> List[np.ndarray]:
+        """The task's per-row memory slices as sealed (no register access)."""
+        self.require_task(handle)
+        out = []
+        for row in handle.rows:
+            mem = row.mem
+            cells = self._cells[(row.group.group_id, row.cmu.index)]
+            out.append(cells[mem.base : mem.base + mem.length].copy())
+        return out
+
+    def digests(self, handle: TaskHandle) -> List[set]:
+        """Per-row alarm digest sets drained at seal time."""
+        self.require_task(handle)
+        return [
+            set(
+                self.digest_sets.get(
+                    (row.group.group_id, row.cmu.index, handle.task_id), set()
+                )
+            )
+            for row in handle.rows
+        ]
+
+    @contextmanager
+    def overlay(self):
+        """Temporarily swap the sealed cells into the live registers.
+
+        Estimators (which read registers through the deployed algorithm
+        bindings) then observe exactly the sealed state; the live cells are
+        restored on exit, so the next epoch's ingestion is unaffected.
+        Single-threaded control-plane use only -- do not overlay while a
+        trace is being processed.
+        """
+        saved = {
+            key: register.snapshot_cells()
+            for key, register in self._registers.items()
+        }
+        try:
+            for key, register in self._registers.items():
+                register.load_cells(self._cells[key])
+            yield self
+        finally:
+            for key, register in self._registers.items():
+                register.load_cells(saved[key])
+
+
+class MeasurementService:
+    """A continuously running measurement pipeline over one controller.
+
+    Rotation policy (exactly one, or neither for manual :meth:`rotate`):
+
+    * ``epoch_packets`` -- seal after every N ingested packets;
+    * ``epoch_duration_us`` -- seal whenever a packet's timestamp crosses
+      the current epoch's end (timestamps must be non-decreasing, as they
+      are in captured and generated traces).
+
+    ``retain`` bounds the sealed-epoch ring; ``workers``/``batch_size``
+    select the datapath fast path for every ingested chunk (``workers > 1``
+    shards chunks over parallel pipeline replicas with exact register
+    merging, so sealed state stays bit-identical to a sequential run).
+    """
+
+    def __init__(
+        self,
+        controller: FlyMonController,
+        epoch_packets: Optional[int] = None,
+        epoch_duration_us: Optional[int] = None,
+        retain: int = 8,
+        batch_size: Optional[int] = None,
+        workers: int = 1,
+        backend: Optional[str] = None,
+    ) -> None:
+        if epoch_packets is not None and epoch_duration_us is not None:
+            raise ValueError("choose one of epoch_packets / epoch_duration_us")
+        if epoch_packets is not None and epoch_packets <= 0:
+            raise ValueError("epoch_packets must be positive")
+        if epoch_duration_us is not None and epoch_duration_us <= 0:
+            raise ValueError("epoch_duration_us must be positive")
+        if retain <= 0:
+            raise ValueError("retain must be positive")
+        self.controller = controller
+        self.epoch_packets = epoch_packets
+        self.epoch_duration_us = epoch_duration_us
+        self.retain = retain
+        self.batch_size = batch_size
+        self.workers = max(1, int(workers))
+        self.backend = backend
+        self.watchers: List[object] = []
+        self.watcher_log: List[object] = []
+        self._series: Dict[str, object] = {}
+        self._ring: Deque[SealedEpoch] = deque(maxlen=retain)
+        self._epoch_index = 0
+        self._epoch_fill = 0
+        self._packets_total = 0
+        self._epoch_start_ts: Optional[int] = None
+        self._epoch_min_ts: Optional[int] = None
+        self._epoch_max_ts: Optional[int] = None
+        self._pending_fields: List[Dict[str, int]] = []
+
+    # -- registration -------------------------------------------------------
+
+    def add_watcher(self, watcher) -> object:
+        """Register a threshold rule evaluated at every seal (in order)."""
+        self.watchers.append(watcher)
+        return watcher
+
+    def register_series(self, name: str, query) -> None:
+        """Evaluate ``query`` against every sealed epoch; results land in
+        ``sealed.outputs[name]`` and are exposed by :meth:`series`."""
+        if name in self._series:
+            raise ValueError(f"series {name!r} already registered")
+        self._series[name] = query
+
+    # -- ingestion ----------------------------------------------------------
+
+    def ingest(self, trace: Trace) -> List[SealedEpoch]:
+        """Ingest one chunk; returns any epochs sealed while consuming it."""
+        self._flush_pending()
+        return self._ingest_chunk(trace)
+
+    def ingest_batch(self, batch) -> List[SealedEpoch]:
+        """Ingest a :class:`~repro.traffic.batch.PacketBatch` chunk."""
+        trace = Trace({f: np.asarray(batch.get(f)) for f in PACKET_FIELDS})
+        return self.ingest(trace)
+
+    def ingest_packet(self, fields: Dict[str, int]) -> List[SealedEpoch]:
+        """Ingest a single packet (buffered into batched chunks)."""
+        self._pending_fields.append(dict(fields))
+        if len(self._pending_fields) >= self._effective_batch():
+            return self._flush_pending()
+        # A buffered packet still has to respect packet-count rotation.
+        if (
+            self.epoch_packets is not None
+            and self._epoch_fill + len(self._pending_fields) >= self.epoch_packets
+        ):
+            return self._flush_pending()
+        return []
+
+    def flush(self) -> List[SealedEpoch]:
+        """Process any buffered single packets (no seal unless due)."""
+        return self._flush_pending()
+
+    def rotate(self, reset_handles: Optional[Sequence[TaskHandle]] = None) -> SealedEpoch:
+        """Seal the current epoch now, regardless of boundaries.
+
+        ``reset_handles`` narrows the end-of-epoch reset to specific
+        deployments (the :class:`~repro.core.epochs.EpochRunner` contract);
+        by default every controller deployment is reset.
+        """
+        self._flush_pending()
+        return self._seal(reset_handles=reset_handles)
+
+    # -- sealed state -------------------------------------------------------
+
+    @property
+    def epochs(self) -> List[SealedEpoch]:
+        """The retained sealed epochs, oldest first."""
+        return list(self._ring)
+
+    @property
+    def latest(self) -> Optional[SealedEpoch]:
+        return self._ring[-1] if self._ring else None
+
+    def epoch(self, index: int) -> SealedEpoch:
+        for sealed in self._ring:
+            if sealed.index == index:
+                return sealed
+        retained = [s.index for s in self._ring]
+        raise StaleEpochError(
+            f"epoch {index} is not retained (ring holds {retained})"
+        )
+
+    def series(self, name: str) -> List[Tuple[int, object]]:
+        """Per-epoch time series of a registered query over the ring."""
+        if name not in self._series:
+            raise KeyError(f"series {name!r} is not registered")
+        return [
+            (sealed.index, sealed.outputs[name])
+            for sealed in self._ring
+            if name in sealed.outputs
+        ]
+
+    def query(self, query, epoch=None):
+        """Resolve a typed query against the live window or a sealed epoch.
+
+        ``epoch`` is ``None`` (live), an epoch index, or a
+        :class:`SealedEpoch`.
+        """
+        from repro.service.queries import resolve
+
+        sealed = None
+        if isinstance(epoch, SealedEpoch):
+            sealed = epoch
+        elif epoch is not None:
+            sealed = self.epoch(int(epoch))
+        return resolve(query, sealed)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "epoch": self._epoch_index,
+            "epoch_fill": self._epoch_fill + len(self._pending_fields),
+            "packets_total": self._packets_total + len(self._pending_fields),
+            "sealed_epochs": len(self._ring),
+            "retained": [s.index for s in self._ring],
+            "watchers": len(self.watchers),
+            "series": sorted(self._series),
+            "workers": self.workers,
+            "epoch_packets": self.epoch_packets,
+            "epoch_duration_us": self.epoch_duration_us,
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _effective_batch(self) -> int:
+        if self.batch_size is not None and self.batch_size > 0:
+            return self.batch_size
+        return _default_batch_size()
+
+    def _flush_pending(self) -> List[SealedEpoch]:
+        if not self._pending_fields:
+            return []
+        from repro.traffic.packet import Packet
+
+        chunk = Trace.from_packets([Packet(**f) for f in self._pending_fields])
+        self._pending_fields = []
+        return self._ingest_chunk(chunk)
+
+    def _ingest_chunk(self, trace: Trace) -> List[SealedEpoch]:
+        sealed: List[SealedEpoch] = []
+        remaining = trace
+        while len(remaining):
+            take = self._room_for(remaining)
+            if take == 0:
+                sealed.append(self._seal())
+                continue
+            window, remaining = _split_trace(remaining, take)
+            self._process(window)
+            self._account(window)
+            if self._boundary_reached():
+                sealed.append(self._seal())
+        return sealed
+
+    def _room_for(self, trace: Trace) -> int:
+        """How many of the chunk's leading packets fit in this epoch."""
+        if self.epoch_packets is not None:
+            return min(len(trace), self.epoch_packets - self._epoch_fill)
+        if self.epoch_duration_us is not None:
+            ts = trace.columns["timestamp"]
+            if self._epoch_start_ts is None:
+                self._epoch_start_ts = int(ts[0])
+            end = self._epoch_start_ts + self.epoch_duration_us
+            return int(np.searchsorted(ts, end, side="left"))
+        return len(trace)  # manual rotation: everything is one open window
+
+    def _boundary_reached(self) -> bool:
+        if self.epoch_packets is not None:
+            return self._epoch_fill >= self.epoch_packets
+        return False  # duration mode seals via _room_for() == 0
+
+    def _account(self, window: Trace) -> None:
+        n = len(window)
+        self._epoch_fill += n
+        self._packets_total += n
+        if n:
+            ts = window.columns["timestamp"]
+            lo, hi = int(ts[0]), int(ts[-1])
+            if self._epoch_min_ts is None or lo < self._epoch_min_ts:
+                self._epoch_min_ts = lo
+            if self._epoch_max_ts is None or hi > self._epoch_max_ts:
+                self._epoch_max_ts = hi
+
+    def _process(self, window: Trace) -> None:
+        if len(window) == 0:
+            return
+        if self.workers > 1:
+            self.controller.process_trace_sharded(
+                window,
+                self.workers,
+                batch_size=self._effective_batch(),
+                backend=self.backend,
+            )
+            return
+        if self.batch_size == 0:
+            # Scalar reference path: differential tests only.
+            self.controller.process_trace(window)
+            return
+        self.controller.process_trace(window, batch_size=self._effective_batch())
+
+    def _hosting_rows(self, handles: Sequence[TaskHandle]):
+        registers: Dict[Tuple[int, int], object] = {}
+        for handle in handles:
+            for row in handle.rows:
+                registers[(row.group.group_id, row.cmu.index)] = row.cmu.register
+        return registers
+
+    def _seal(self, reset_handles: Optional[Sequence[TaskHandle]] = None) -> SealedEpoch:
+        t0 = time.perf_counter()
+        handles = self.controller.tasks
+        registers = self._hosting_rows(handles)
+        cells = {
+            key: register.snapshot_cells() for key, register in registers.items()
+        }
+        digest_sets: Dict[Tuple[int, int, int], set] = {}
+        for handle in handles:
+            for row in handle.rows:
+                drained = row.cmu.drain_digests(handle.task_id)
+                if drained:
+                    digest_sets[
+                        (row.group.group_id, row.cmu.index, handle.task_id)
+                    ] = drained
+        sealed = SealedEpoch(
+            index=self._epoch_index,
+            packets=self._epoch_fill,
+            start_ts=self._epoch_min_ts,
+            end_ts=self._epoch_max_ts,
+            cells=cells,
+            registers=registers,
+            task_ids=[handle.task_id for handle in handles],
+            digest_sets=digest_sets,
+        )
+        self._ring.append(sealed)
+
+        # Reset first so the next epoch starts fresh even if a watcher's
+        # reaction (or a series estimator) raises; sealed queries keep
+        # working because they read the snapshot, not the registers.
+        for handle in reset_handles if reset_handles is not None else handles:
+            handle.reset()
+
+        self._evaluate_series(sealed)
+        self._evaluate_watchers(sealed)
+
+        sealed.seal_ms = (time.perf_counter() - t0) * 1e3
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_EPOCH_SEAL,
+                epoch=sealed.index,
+                packets=sealed.packets,
+                tasks=len(sealed.task_ids),
+                seal_ms=sealed.seal_ms,
+                watchers_fired=sum(
+                    1 for e in sealed.watcher_events if getattr(e, "fired", False)
+                ),
+            )
+            _TELEMETRY.registry.counter("flymon_epochs_total").inc()
+            _TELEMETRY.registry.histogram("flymon_epoch_seal_ms").observe(
+                sealed.seal_ms
+            )
+
+        self._epoch_index += 1
+        self._epoch_fill = 0
+        self._epoch_min_ts = None
+        self._epoch_max_ts = None
+        if self.epoch_duration_us is not None:
+            if self._epoch_start_ts is not None:
+                self._epoch_start_ts += self.epoch_duration_us
+        return sealed
+
+    def _evaluate_series(self, sealed: SealedEpoch) -> None:
+        from repro.service.queries import resolve
+
+        for name, query in self._series.items():
+            sealed.outputs[name] = resolve(query, sealed)
+
+    def _evaluate_watchers(self, sealed: SealedEpoch) -> None:
+        for watcher in self.watchers:
+            event = watcher.evaluate(self, sealed)
+            sealed.watcher_events.append(event)
+            self.watcher_log.append(event)
+            if _TELEMETRY.enabled and event.fired:
+                _TELEMETRY.events.emit(
+                    EV_WATCHER_FIRED,
+                    epoch=sealed.index,
+                    watcher=event.watcher,
+                    value=event.value,
+                    threshold=event.threshold,
+                    direction=event.direction,
+                )
+                _TELEMETRY.registry.counter("flymon_watchers_fired_total").inc()
+                if event.action is not None:
+                    _TELEMETRY.events.emit(
+                        EV_WATCHER_ACTION,
+                        epoch=sealed.index,
+                        watcher=event.watcher,
+                        action=event.action,
+                        outcome=event.outcome,
+                        error=event.error,
+                    )
+
+
+def _split_trace(trace: Trace, take: int) -> Tuple[Trace, Trace]:
+    """Split a trace at ``take`` packets into (head, tail) column views."""
+    if take >= len(trace):
+        return trace, Trace.empty()
+    head = Trace({f: trace.columns[f][:take] for f in PACKET_FIELDS})
+    tail = Trace({f: trace.columns[f][take:] for f in PACKET_FIELDS})
+    return head, tail

@@ -1,0 +1,187 @@
+"""Typed measurement queries.
+
+One dataclass per question the paper's task catalog can answer -- heavy
+hitters, frequency point lookups, cardinality, entropy, existence,
+max inter-arrival -- each carrying the task it targets.  :func:`resolve`
+answers them against the live window (the epoch currently ingesting) or a
+:class:`~repro.service.engine.SealedEpoch`; sealed resolution runs the same
+control-plane estimators (the :mod:`repro.analysis` math the deployed
+algorithms wrap) under the epoch's register overlay, so a sealed answer is
+bit-identical to asking at the instant the epoch was sealed.
+
+Tasks may be referenced directly by :class:`~repro.core.controller.TaskHandle`
+or through a :class:`~repro.service.watchers.TaskRef`, which stays valid
+across watcher-triggered resizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.core.controller import TaskHandle
+
+
+class UnsupportedQueryError(TypeError):
+    """The targeted task's algorithm cannot answer this query type."""
+
+
+def _unwrap(task) -> TaskHandle:
+    handle = getattr(task, "handle", None)
+    if isinstance(handle, TaskHandle):
+        return handle
+    if isinstance(task, TaskHandle):
+        return task
+    raise TypeError(f"query target must be a TaskHandle or TaskRef, not {task!r}")
+
+
+class Query:
+    """Base class; concrete queries are frozen dataclasses below."""
+
+    task: object
+
+    def handle(self) -> TaskHandle:
+        return _unwrap(self.task)
+
+
+@dataclass(frozen=True)
+class FrequencyQuery(Query):
+    """Point lookup: the flow's estimated frequency (or max, for SuMax)."""
+
+    task: object
+    flow: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HeavyHitterQuery(Query):
+    """Flows at or above ``threshold``.
+
+    With ``candidates`` the estimate is the algorithm's min-over-rows query
+    per candidate; without, the data-plane alarm digests answer directly
+    (requires the task to have been deployed with a ``threshold``).
+    """
+
+    task: object
+    threshold: Optional[int] = None
+    candidates: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+
+@dataclass(frozen=True)
+class CardinalityQuery(Query):
+    """Distinct-flow count (HLL / linear counting / MRAC flow count)."""
+
+    task: object
+
+
+@dataclass(frozen=True)
+class EntropyQuery(Query):
+    """Flow-size entropy recovered from an MRAC row by EM."""
+
+    task: object
+
+
+@dataclass(frozen=True)
+class ExistenceQuery(Query):
+    """Bloom-filter membership of one flow."""
+
+    task: object
+    flow: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class InterArrivalQuery(Query):
+    """Max inter-arrival time (or generic MAX attribute) of one flow."""
+
+    task: object
+    flow: Tuple[int, ...]
+
+
+def resolve(query: Query, sealed=None):
+    """Answer ``query`` against the live window or a sealed epoch."""
+    handle = query.handle()
+    if sealed is None:
+        return _resolve_with_live_state(query, handle, sealed=None)
+    sealed.require_task(handle)
+    with sealed.overlay():
+        return _resolve_with_live_state(query, handle, sealed=sealed)
+
+
+def _resolve_with_live_state(query: Query, handle: TaskHandle, sealed):
+    algo = handle.algorithm
+    if isinstance(query, FrequencyQuery):
+        fn = getattr(algo, "query", None)
+        if fn is None:
+            raise UnsupportedQueryError(
+                f"{handle.algorithm_name} has no point-frequency query"
+            )
+        return fn(tuple(query.flow))
+    if isinstance(query, HeavyHitterQuery):
+        return _heavy_hitters(query, handle, sealed)
+    if isinstance(query, CardinalityQuery):
+        if hasattr(algo, "estimate"):
+            return float(algo.estimate())
+        if hasattr(algo, "estimate_flow_count"):
+            return float(algo.estimate_flow_count())
+        raise UnsupportedQueryError(
+            f"{handle.algorithm_name} has no cardinality estimator"
+        )
+    if isinstance(query, EntropyQuery):
+        if hasattr(algo, "estimate_entropy"):
+            return float(algo.estimate_entropy())
+        raise UnsupportedQueryError(
+            f"{handle.algorithm_name} has no entropy estimator"
+        )
+    if isinstance(query, ExistenceQuery):
+        if hasattr(algo, "contains"):
+            return bool(algo.contains(tuple(query.flow)))
+        raise UnsupportedQueryError(
+            f"{handle.algorithm_name} has no membership probe"
+        )
+    if isinstance(query, InterArrivalQuery):
+        fn = getattr(algo, "query", None)
+        if fn is None:
+            raise UnsupportedQueryError(
+                f"{handle.algorithm_name} has no per-flow maximum query"
+            )
+        return fn(tuple(query.flow))
+    raise UnsupportedQueryError(f"unknown query type {type(query).__name__}")
+
+
+def _heavy_hitters(query: HeavyHitterQuery, handle: TaskHandle, sealed) -> set:
+    algo = handle.algorithm
+    if query.candidates is not None:
+        threshold = query.threshold
+        if threshold is None:
+            threshold = handle.task.threshold
+        if threshold is None:
+            raise UnsupportedQueryError("heavy-hitter query needs a threshold")
+        fn = getattr(algo, "heavy_hitters", None)
+        if fn is None:
+            raise UnsupportedQueryError(
+                f"{handle.algorithm_name} has no heavy-hitter query"
+            )
+        return fn(tuple(query.candidates), threshold)
+    # Digest path: threshold-crossing flows the data plane reported.
+    if handle.task.threshold is None:
+        raise UnsupportedQueryError(
+            "digest-based heavy hitters need the task deployed with a "
+            "threshold (or pass candidates=)"
+        )
+    if query.threshold is not None and query.threshold != handle.task.threshold:
+        raise UnsupportedQueryError(
+            f"digest-based heavy hitters answer only the deployed threshold "
+            f"{handle.task.threshold}, not {query.threshold} "
+            f"(pass candidates= for other thresholds)"
+        )
+    if sealed is not None:
+        digest_sets = sealed.digests(handle)
+    else:
+        digest_sets = [
+            row.cmu.peek_digests(handle.task_id) for row in handle.rows
+        ]
+    if not digest_sets:
+        return set()
+    out = set(digest_sets[0])
+    for digests in digest_sets[1:]:
+        out &= digests
+    return out

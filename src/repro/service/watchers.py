@@ -1,0 +1,230 @@
+"""Watcher rules: measurement-driven reconfiguration at epoch boundaries.
+
+ChameleMon shifts measurement attention as network state changes; watchers
+are this repro's version of that loop.  Each watcher evaluates a metric
+against the epoch just sealed (cardinality estimate, heavy-hitter count,
+fill factor -- or any callable), compares it against a threshold, and when
+it fires optionally runs an *action*: a reconfiguration (resize / add /
+remove task) executed through the controller's transactional operations, so
+a failed reaction rolls back bit-identically and the service keeps serving.
+
+Actions reference tasks through :class:`TaskRef`, a mutable holder the
+action updates on a successful resize -- queries, series, and later watcher
+evaluations automatically follow the new deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.adaptive import fill_factor_from_rows
+from repro.core.controller import PlacementError, TaskHandle
+
+
+class TaskRef:
+    """A stable reference to a task that survives reconfigurations."""
+
+    def __init__(self, handle: TaskHandle) -> None:
+        self.handle = handle
+
+    @property
+    def task_id(self) -> int:
+        return self.handle.task_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskRef(task_id={self.handle.task_id})"
+
+
+def unwrap(task) -> TaskHandle:
+    return task.handle if isinstance(task, TaskRef) else task
+
+
+@dataclass
+class WatcherEvent:
+    """One watcher evaluation: the metric, the decision, and any action."""
+
+    epoch: int
+    watcher: str
+    value: float
+    fired: bool
+    threshold: Optional[float] = None
+    direction: str = "above"
+    action: Optional[str] = None
+    outcome: Optional[str] = None  # "ok" | "rolled_back" | "failed" | None
+    error: Optional[str] = None
+
+
+@dataclass
+class Watcher:
+    """A threshold rule evaluated at every epoch seal.
+
+    ``metric`` is ``fn(service, sealed) -> float``; the watcher fires when
+    the value exceeds ``above`` and/or drops below ``below``.  ``action``
+    (``fn(service, sealed) -> str description``) runs on fire, at most once
+    per ``cooldown_epochs`` window; reconfiguration failures are caught,
+    recorded on the event, and never unseat the service -- the transactional
+    control plane has already rolled the attempt back.
+    """
+
+    name: str
+    metric: Callable
+    above: Optional[float] = None
+    below: Optional[float] = None
+    action: Optional[Callable] = None
+    cooldown_epochs: int = 0
+    _last_fired_epoch: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.above is None and self.below is None:
+            raise ValueError(f"watcher {self.name!r} needs above= and/or below=")
+
+    def _crossed(self, value: float) -> Optional[str]:
+        if self.above is not None and value > self.above:
+            return "above"
+        if self.below is not None and value < self.below:
+            return "below"
+        return None
+
+    def _cooling_down(self, epoch: int) -> bool:
+        return (
+            self._last_fired_epoch is not None
+            and epoch - self._last_fired_epoch <= self.cooldown_epochs
+        )
+
+    def evaluate(self, service, sealed) -> WatcherEvent:
+        value = float(self.metric(service, sealed))
+        direction = self._crossed(value)
+        threshold = self.above if direction != "below" else self.below
+        event = WatcherEvent(
+            epoch=sealed.index,
+            watcher=self.name,
+            value=value,
+            fired=direction is not None and not self._cooling_down(sealed.index),
+            threshold=threshold,
+            direction=direction or "above",
+        )
+        if not event.fired:
+            return event
+        self._last_fired_epoch = sealed.index
+        if self.action is None:
+            return event
+        try:
+            event.action = self.action(service, sealed) or self.name
+            event.outcome = "ok"
+        except PlacementError as exc:
+            # The transaction restored the original deployment; the ref (if
+            # the action used one) still points at a live handle.
+            event.action = self.name
+            event.outcome = "rolled_back"
+            event.error = str(exc)
+        except Exception as exc:  # noqa: BLE001 - reaction failures must not
+            # unseat the service; the controller rolled itself back.
+            event.action = self.name
+            event.outcome = "failed"
+            event.error = f"{type(exc).__name__}: {exc}"
+        return event
+
+
+# ---------------------------------------------------------------------------
+# Built-in metrics
+# ---------------------------------------------------------------------------
+
+
+def cardinality_metric(task) -> Callable:
+    """Sealed-epoch cardinality estimate of a distinct-counting task."""
+    from repro.service.queries import CardinalityQuery, resolve
+
+    def metric(service, sealed) -> float:
+        return float(resolve(CardinalityQuery(task), sealed))
+
+    return metric
+
+
+def heavy_hitter_count_metric(task, threshold: Optional[int] = None, candidates=None) -> Callable:
+    """Number of heavy hitters the sealed epoch reports."""
+    from repro.service.queries import HeavyHitterQuery, resolve
+
+    query = HeavyHitterQuery(
+        task,
+        threshold=threshold,
+        candidates=tuple(candidates) if candidates is not None else None,
+    )
+
+    def metric(service, sealed) -> float:
+        return float(len(resolve(query, sealed)))
+
+    return metric
+
+
+def fill_factor_metric(task) -> Callable:
+    """The sealed epoch's fill factor (the adaptive manager's accuracy
+    proxy), computed from the snapshot -- no register access."""
+
+    def metric(service, sealed) -> float:
+        return fill_factor_from_rows(sealed.read_rows(unwrap(task)))
+
+    return metric
+
+
+# ---------------------------------------------------------------------------
+# Built-in actions
+# ---------------------------------------------------------------------------
+
+
+def resize_action(
+    ref: TaskRef,
+    factor: float = 2.0,
+    min_memory: int = 64,
+    max_memory: int = 1 << 16,
+) -> Callable:
+    """Resize ``ref``'s task by ``factor`` (rounded to a power of two).
+
+    Runs through :meth:`FlyMonController.resize_task`, so a mid-flight
+    failure rolls back to the original deployment; on success the ref is
+    repointed at the new handle.
+    """
+    if not isinstance(ref, TaskRef):
+        raise TypeError("resize_action needs a TaskRef (it must repoint it)")
+
+    def action(service, sealed) -> str:
+        handle = ref.handle
+        old_memory = handle.task.memory
+        target = int(round(old_memory * factor))
+        target = max(min_memory, min(max_memory, target))
+        if target & (target - 1):
+            target = 1 << target.bit_length()
+        target = max(min_memory, min(max_memory, target))
+        if target == old_memory:
+            return f"task{handle.task_id}: already at {old_memory} buckets"
+        new_handle = service.controller.resize_task(handle, target)
+        ref.handle = new_handle
+        return (
+            f"resize task{handle.task_id}->task{new_handle.task_id}: "
+            f"{old_memory} -> {target} buckets"
+        )
+
+    return action
+
+
+def add_task_action(task, assign_to: Optional[TaskRef] = None) -> Callable:
+    """Deploy ``task`` when the watcher fires (attention shifting in)."""
+
+    def action(service, sealed) -> str:
+        handle = service.controller.add_task(task)
+        if assign_to is not None:
+            assign_to.handle = handle
+        return f"add task{handle.task_id} ({handle.algorithm_name})"
+
+    return action
+
+
+def remove_task_action(ref: TaskRef) -> Callable:
+    """Tear down ``ref``'s task when the watcher fires (attention out)."""
+
+    def action(service, sealed) -> str:
+        handle = unwrap(ref)
+        service.controller.remove_task(handle)
+        return f"remove task{handle.task_id}"
+
+    return action

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.telemetry.events import (  # noqa: F401  (re-exported taxonomy)
     EV_CHECKPOINT,
+    EV_EPOCH_SEAL,
     EV_FAULT_INJECTED,
     EV_KEY_GRANT,
     EV_KEY_RELEASE,
@@ -41,6 +42,8 @@ from repro.telemetry.events import (  # noqa: F401  (re-exported taxonomy)
     EV_TASK_RESIZE,
     EV_TASK_SPLIT,
     EV_TXN_ROLLBACK,
+    EV_WATCHER_ACTION,
+    EV_WATCHER_FIRED,
     EVENT_TYPES,
     Event,
     EventLog,

@@ -35,6 +35,9 @@ EV_SHARD_RETRY = "shard_retry"
 EV_FAULT_INJECTED = "fault_injected"
 EV_CHECKPOINT = "checkpoint"
 EV_RESTORE = "restore"
+EV_EPOCH_SEAL = "epoch_seal"
+EV_WATCHER_FIRED = "watcher_fired"
+EV_WATCHER_ACTION = "watcher_action"
 
 EVENT_TYPES = frozenset(
     {
@@ -56,6 +59,9 @@ EVENT_TYPES = frozenset(
         EV_FAULT_INJECTED,
         EV_CHECKPOINT,
         EV_RESTORE,
+        EV_EPOCH_SEAL,
+        EV_WATCHER_FIRED,
+        EV_WATCHER_ACTION,
     }
 )
 

@@ -57,6 +57,69 @@ class TestEpochRunner:
         with pytest.raises(ValueError):
             runner.collect("x", lambda e, w: None)
 
+    def test_untracked_deployments_reset_by_default(self):
+        """Regression: with no track() call every deployment must reset at
+        each boundary -- track() narrows the reset set, it is not required
+        for epoch semantics to hold."""
+        controller = FlyMonController(num_groups=2)
+        first = controller.add_task(freq_task())
+        second = controller.add_task(freq_task(memory=1024))
+        runner = EpochRunner(controller)  # note: nothing tracked
+        trace = zipf_trace(num_flows=200, num_packets=2000, seed=4)
+        results = runner.run(trace, num_epochs=2)
+        assert sum(r.packets for r in results) == len(trace)
+        for handle in (first, second):
+            assert all(row.read().sum() == 0 for row in handle.rows)
+
+    def test_track_narrows_the_reset_set(self):
+        controller = FlyMonController(num_groups=2)
+        tracked = controller.add_task(freq_task())
+        untracked = controller.add_task(freq_task(memory=1024))
+        runner = EpochRunner(controller)
+        runner.track(tracked)
+        trace = zipf_trace(num_flows=200, num_packets=2000, seed=5)
+        runner.run(trace, num_epochs=2)
+        assert all(row.read().sum() == 0 for row in tracked.rows)
+        # The untracked deployment accumulated across the whole run.
+        assert sum(row.read().sum() for row in untracked.rows) > 0
+
+    def test_results_carry_sealed_epochs(self):
+        controller = FlyMonController(num_groups=1)
+        runner = EpochRunner(controller)
+        handle = runner.track(controller.add_task(freq_task()))
+        trace = zipf_trace(num_flows=100, num_packets=1000, seed=6)
+        results = runner.run(trace, num_epochs=2)
+        for r in results:
+            rows = [values.tolist() for values in r.sealed.read_rows(handle)]
+            assert sum(sum(row) for row in rows) == 3 * r.packets
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_fast_paths_match_scalar_runs(self, workers):
+        """Regression: epoch runs ride the batched/sharded engines and stay
+        bit-identical to the scalar reference path."""
+        trace = zipf_trace(num_flows=300, num_packets=3000, seed=7)
+
+        def run(workers, batch_size):
+            controller = FlyMonController(num_groups=1)
+            runner = EpochRunner(controller)
+            handle = runner.track(controller.add_task(freq_task()))
+            runner.collect(
+                "rows",
+                lambda epoch, window: [
+                    row.read().tolist() for row in handle.rows
+                ],
+            )
+            return [
+                r.outputs["rows"]
+                for r in runner.run(
+                    trace, num_epochs=4, workers=workers, batch_size=batch_size
+                )
+            ]
+
+        scalar = run(workers=1, batch_size=0)
+        fast = run(workers=workers, batch_size=512)
+        assert fast == scalar
+
 
 class TestControllerStats:
     def test_fresh_controller(self):

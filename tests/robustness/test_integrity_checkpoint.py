@@ -115,3 +115,61 @@ class TestCheckpointRestore:
         finally:
             telemetry.disable()
             telemetry.reset()
+
+
+def placement(handle):
+    return [
+        [row.group.group_id, row.cmu.index, row.mem.base, row.mem.length]
+        for row in handle.rows
+    ]
+
+
+class TestHistoryReplay:
+    """Checkpoints replay the committed reconfiguration history, so a
+    restore reproduces the exact live placement -- even after removals and
+    resizes left allocator holes that a tasks-only replay would fill
+    differently."""
+
+    def test_restore_preserves_placement_after_churn(self):
+        controller = FlyMonController(num_groups=3)
+        a = controller.add_task(freq_task())
+        b = controller.add_task(freq_task(memory=2048, key=KEY_DST_IP))
+        c = controller.add_task(freq_task(memory=1024))
+        controller.remove_task(b)
+        d = controller.add_task(freq_task(memory=8192, key=KEY_DST_IP))
+        controller.resize_task(c, 2048)
+
+        state = json.loads(json.dumps(controller.checkpoint()))
+        assert "history" in state
+        restored = FlyMonController.from_checkpoint(state)
+        assert restored.verify_integrity().ok
+        assert [placement(h) for h in restored.tasks] == [
+            placement(h) for h in controller.tasks
+        ]
+        # (control_digest differs only by the fresh task-id labels)
+        assert restored.free_buckets() == controller.free_buckets()
+        assert {g.group_id: g.keys.refcounts() for g in restored.groups} == {
+            g.group_id: g.keys.refcounts() for g in controller.groups
+        }
+
+    def test_caller_owned_transaction_marks_history_incomplete(self):
+        from repro.core.controller import ReconfigTransaction
+
+        controller = FlyMonController(num_groups=2)
+        with ReconfigTransaction("external") as txn:
+            controller.add_task(freq_task(), transaction=txn)
+        state = controller.checkpoint()
+        # Without a trustworthy history the checkpoint omits it and falls
+        # back to the legacy final-tasks replay.
+        assert "history" not in state
+        restored = FlyMonController.from_checkpoint(state)
+        assert restored.verify_integrity().ok
+        assert len(restored.tasks) == 1
+
+    def test_rolled_back_operations_leave_no_history(self):
+        controller = FlyMonController(num_groups=2)
+        controller.add_task(freq_task())
+        before = json.dumps(controller.checkpoint()["history"])
+        with pytest.raises(Exception):
+            controller.add_task(freq_task(memory=1 << 30))
+        assert json.dumps(controller.checkpoint()["history"]) == before

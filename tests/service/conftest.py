@@ -1,0 +1,13 @@
+"""Service-suite fixtures: a pristine fault injector around every test."""
+
+import pytest
+
+from repro.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """No armed sites and zeroed hit counters before and after each test."""
+    FAULTS.reset()
+    yield
+    FAULTS.reset()

@@ -1,0 +1,55 @@
+"""Task factories shared by the service test suite."""
+
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic.flows import KEY_DST_IP, KEY_SRC_IP
+
+
+def freq_task(memory=2048, depth=3, threshold=None, algorithm="cms"):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=depth,
+        algorithm=algorithm,
+        threshold=threshold,
+    )
+
+
+def hll_task(memory=1024):
+    return MeasurementTask(
+        key=KEY_DST_IP,
+        attribute=AttributeSpec.distinct(KEY_SRC_IP),
+        memory=memory,
+        depth=1,
+        algorithm="hll",
+    )
+
+
+def mrac_task(memory=2048):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=1,
+        algorithm="mrac",
+    )
+
+
+def bloom_task(memory=4096):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.existence(),
+        memory=memory,
+        depth=3,
+        algorithm="bloom",
+    )
+
+
+def interarrival_task(memory=2048):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.maximum("packet_interval"),
+        memory=memory,
+        depth=2,
+        algorithm="max_interarrival",
+    )

@@ -1,0 +1,140 @@
+"""Service artifacts: JSON roundtrip, placement verification, versioning."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    CardinalityQuery,
+    FrequencyQuery,
+    HeavyHitterQuery,
+    MeasurementService,
+    TaskRef,
+    Watcher,
+    fill_factor_metric,
+    load_service_state,
+    resize_action,
+    resolve,
+    service_checkpoint,
+)
+from repro.traffic import zipf_trace
+
+from service_tasks import freq_task, hll_task
+
+
+def roundtrip(service):
+    """Checkpoint -> JSON text -> restore, as the CLI does on disk."""
+    artifact = json.loads(json.dumps(service_checkpoint(service)))
+    return load_service_state(artifact)
+
+
+def build_service(controller, *, threshold=None):
+    cms = controller.add_task(freq_task(threshold=threshold))
+    hll = controller.add_task(hll_task())
+    service = MeasurementService(controller, epoch_packets=700, retain=8)
+    service.register_series("card", CardinalityQuery(hll))
+    return service, cms, hll
+
+
+class TestRoundtrip:
+    def test_queries_are_bit_identical(self, controller):
+        service, cms, hll = build_service(controller)
+        trace = zipf_trace(num_flows=300, num_packets=3000, seed=51)
+        service.ingest(trace)
+        service.rotate()
+
+        restored = roundtrip(service)
+        assert len(restored.epochs) == len(service.epochs)
+        r_cms, r_hll = restored.tasks
+        flows = sorted(trace.flow_sizes(cms.task.key))[:10]
+        for live_sealed, back_sealed in zip(service.epochs, restored.epochs):
+            assert back_sealed.index == live_sealed.index
+            assert back_sealed.packets == live_sealed.packets
+            for flow in flows:
+                assert restored.query(
+                    FrequencyQuery(r_cms, flow), epoch=back_sealed
+                ) == resolve(FrequencyQuery(cms, flow), live_sealed)
+            assert restored.query(
+                CardinalityQuery(r_hll), epoch=back_sealed
+            ) == resolve(CardinalityQuery(hll), live_sealed)
+
+    def test_series_watchers_and_stats_survive(self, controller):
+        service, cms, hll = build_service(controller)
+        service.add_watcher(
+            Watcher("card", lambda s, e: e.outputs["card"], above=0.0)
+        )
+        service.ingest(zipf_trace(num_flows=200, num_packets=2500, seed=52))
+        service.rotate()
+
+        restored = roundtrip(service)
+        assert restored.series("card") == [
+            (index, float(value)) for index, value in service.series("card")
+        ]
+        assert len(restored.watcher_log) == len(service.watcher_log)
+        assert all(e["watcher"] == "card" for e in restored.watcher_log)
+        assert all(e["fired"] for e in restored.watcher_log)
+        assert restored.rotation["epoch_packets"] == 700
+        with pytest.raises(KeyError):
+            restored.series("nope")
+
+    def test_digests_survive(self, controller):
+        service, cms, hll = build_service(controller, threshold=100)
+        service.ingest(zipf_trace(num_flows=300, num_packets=4000, seed=53))
+        sealed = service.rotate()
+        live = resolve(HeavyHitterQuery(cms), sealed)
+        assert live
+
+        restored = roundtrip(service)
+        assert restored.query(HeavyHitterQuery(restored.tasks[0])) == live
+
+    def test_roundtrip_across_watcher_resize(self, controller):
+        """The artifact's controller replay must land the post-resize task
+        at its live placement, or the sealed cells are uninterpretable."""
+        ref = TaskRef(controller.add_task(freq_task(memory=1024)))
+        service = MeasurementService(controller, epoch_packets=1000, retain=8)
+        service.add_watcher(
+            Watcher(
+                "grow",
+                fill_factor_metric(ref),
+                above=0.0,
+                action=resize_action(ref),
+                cooldown_epochs=1_000_000,
+            )
+        )
+        trace = zipf_trace(num_flows=300, num_packets=3000, seed=54)
+        service.ingest(trace)
+        service.rotate()
+        assert ref.handle.task.memory == 2048  # the watcher resized
+
+        restored = roundtrip(service)
+        last = service.latest
+        flows = sorted(trace.flow_sizes(ref.handle.task.key))[:10]
+        for flow in flows:
+            live = resolve(FrequencyQuery(ref, flow), last)
+            assert restored.query(FrequencyQuery(restored.tasks[-1], flow)) == live
+
+
+class TestValidation:
+    def test_version_mismatch_raises(self, controller):
+        service, _, _ = build_service(controller)
+        artifact = service_checkpoint(service)
+        artifact["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            load_service_state(artifact)
+
+    def test_placement_drift_raises(self, controller):
+        service, cms, _ = build_service(controller)
+        service.ingest(zipf_trace(num_flows=100, num_packets=1400, seed=55))
+        artifact = json.loads(json.dumps(service_checkpoint(service)))
+        artifact["tasks"][0]["placement"][0][2] += 64  # forged row base
+        with pytest.raises(ValueError, match="placement"):
+            load_service_state(artifact)
+
+    def test_stale_epoch_raises(self, controller):
+        service, _, _ = build_service(controller)
+        service.ingest(zipf_trace(num_flows=100, num_packets=1400, seed=56))
+        restored = roundtrip(service)
+        from repro.service import StaleEpochError
+
+        with pytest.raises(StaleEpochError):
+            restored.epoch(10_000)

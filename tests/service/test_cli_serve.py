@@ -1,0 +1,125 @@
+"""End-to-end CLI flow: `repro serve` -> artifact -> `repro query`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def artifact(tmp_path, capsys):
+    path = tmp_path / "service.json"
+    rc = main(
+        [
+            "serve",
+            "--generator", "zipf",
+            "--packets", "6000",
+            "--flows", "400",
+            "--seed", "9",
+            "--epoch-size", "500",
+            "--retain", "8",
+            "--tasks", "hh,card",
+            "--threshold", "50",
+            "--watch-cardinality", "10",
+            "--checkpoint", str(path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    return path, out
+
+
+class TestServe:
+    def test_serve_reports_epochs_and_writes_artifact(self, artifact):
+        path, out = artifact
+        assert "epoch" in out
+        assert "checkpoint:" in out
+        state = json.loads(path.read_text())
+        assert state["version"] == 1
+        assert state["stats"]["epoch"] >= 10
+        assert len(state["epochs"]) == 8  # bounded by --retain
+        assert [t["algorithm"] for t in state["tasks"]] == ["cms", "hll"]
+        assert any(
+            event["watcher"] == "cardinality_spike"
+            for event in state["watcher_log"]
+        )
+
+    def test_serve_rejects_unknown_preset(self, capsys):
+        assert main(["serve", "--packets", "100", "--tasks", "bogus"]) != 0
+        assert "bogus" in capsys.readouterr().err
+
+    def test_serve_with_watch_fill_resizes(self, tmp_path, capsys):
+        path = tmp_path / "resized.json"
+        rc = main(
+            [
+                "serve",
+                "--packets", "4000",
+                "--flows", "2000",
+                "--seed", "10",
+                "--epoch-size", "1000",
+                "--tasks", "hh",
+                "--watch-fill", "0.01",
+                "--checkpoint", str(path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fill_factor" in out
+        state = json.loads(path.read_text())
+        assert any(e["watcher"] == "fill_factor" for e in state["watcher_log"])
+
+
+class TestQuery:
+    def test_list(self, artifact, capsys):
+        path, _ = artifact
+        assert main(["query", "--input", str(path), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "cms" in out and "hll" in out
+        assert "cardinality" in out  # the registered series
+
+    def test_cardinality_and_series(self, artifact, capsys):
+        path, _ = artifact
+        assert main(
+            ["query", "--input", str(path), "--task", "1",
+             "--query", "cardinality"]
+        ) == 0
+        value = float(capsys.readouterr().out.strip().split()[-1])
+        assert value > 0
+        assert main(
+            ["query", "--input", str(path), "--query", "series",
+             "--series", "cardinality"]
+        ) == 0
+        series_lines = capsys.readouterr().out.strip().splitlines()
+        assert len(series_lines) == 8  # one line per retained epoch
+
+    def test_heavy_hitters_against_each_epoch(self, artifact, capsys):
+        path, _ = artifact
+        state = json.loads(path.read_text())
+        for entry in state["epochs"]:
+            assert main(
+                ["query", "--input", str(path), "--task", "0",
+                 "--epoch", str(entry["index"]), "--query", "heavy-hitters"]
+            ) == 0
+            capsys.readouterr()
+
+    def test_frequency_needs_flow(self, artifact, capsys):
+        path, _ = artifact
+        assert main(
+            ["query", "--input", str(path), "--query", "frequency"]
+        ) != 0
+        capsys.readouterr()
+        assert main(
+            ["query", "--input", str(path), "--query", "frequency",
+             "--flow", "10.0.0.7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_tampered_artifact_is_rejected(self, artifact, capsys):
+        path, _ = artifact
+        state = json.loads(path.read_text())
+        state["tasks"][0]["placement"][0][2] += 64
+        path.write_text(json.dumps(state))
+        assert main(["query", "--input", str(path), "--list"]) == 2
+        assert "placement" in capsys.readouterr().err

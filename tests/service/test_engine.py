@@ -1,0 +1,275 @@
+"""Unit tests for the streaming epoch engine (MeasurementService)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.service import (
+    CardinalityQuery,
+    FrequencyQuery,
+    MeasurementService,
+    StaleEpochError,
+)
+from repro.traffic import zipf_trace
+from repro.traffic.packet import PACKET_FIELDS
+from repro.traffic.trace import Trace
+
+from service_tasks import freq_task, hll_task
+
+
+def _rows(sealed, handle):
+    return [values.tolist() for values in sealed.read_rows(handle)]
+
+
+class TestRotation:
+    def test_packet_count_rotation(self, controller):
+        handle = controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=1000)
+        trace = zipf_trace(num_flows=300, num_packets=5000, seed=1)
+        sealed = service.ingest(trace)
+        full, tail = divmod(len(trace), 1000)
+        assert [s.index for s in sealed] == list(range(full))
+        assert all(s.packets == 1000 for s in sealed)
+        if tail:
+            last = service.rotate()
+            assert last.packets == tail
+        assert service.stats()["packets_total"] == len(trace)
+        assert handle.task_id in sealed[0].task_ids
+
+    def test_chunked_ingest_matches_bulk(self, controller):
+        handle = controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=300, num_packets=4000, seed=2)
+
+        bulk = MeasurementService(controller, epoch_packets=700)
+        sealed_bulk = bulk.ingest(trace)
+        bulk_rows = [_rows(s, handle) for s in sealed_bulk]
+        bulk.rotate()  # drop the tail so the second run starts clean
+
+        chunked = MeasurementService(controller, epoch_packets=700)
+        sealed_chunked = []
+        for start in range(0, len(trace), 333):
+            piece = Trace(
+                {f: trace.columns[f][start : start + 333] for f in PACKET_FIELDS}
+            )
+            sealed_chunked.extend(chunked.ingest(piece))
+        assert [s.packets for s in sealed_chunked] == [
+            s.packets for s in sealed_bulk
+        ]
+        assert [_rows(s, handle) for s in sealed_chunked] == bulk_rows
+
+    def test_duration_rotation(self, controller):
+        controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=200, num_packets=3000, seed=3).sorted_by_time()
+        duration = trace.duration_us // 5
+        service = MeasurementService(
+            controller, epoch_duration_us=duration, retain=32
+        )
+        sealed = service.ingest(trace)
+        service.rotate()
+        ts = trace.columns["timestamp"]
+        start = int(ts[0])
+        for s in sealed:
+            end = start + duration
+            expected = int(
+                np.count_nonzero((ts >= start) & (ts < end))
+            )
+            assert s.packets == expected
+            start = end
+        assert sum(s.packets for s in service.epochs) == len(trace)
+
+    def test_manual_rotation_only_on_rotate(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        trace = zipf_trace(num_flows=100, num_packets=2000, seed=4)
+        assert service.ingest(trace) == []
+        sealed = service.rotate()
+        assert sealed.packets == len(trace)
+
+    def test_rotation_mode_validation(self, controller):
+        with pytest.raises(ValueError):
+            MeasurementService(controller, epoch_packets=10, epoch_duration_us=10)
+        with pytest.raises(ValueError):
+            MeasurementService(controller, epoch_packets=0)
+        with pytest.raises(ValueError):
+            MeasurementService(controller, epoch_duration_us=-5)
+        with pytest.raises(ValueError):
+            MeasurementService(controller, retain=0)
+
+
+class TestSealing:
+    def test_seal_resets_all_deployments_by_default(self, controller):
+        h1 = controller.add_task(freq_task())
+        h2 = controller.add_task(hll_task())
+        service = MeasurementService(controller)
+        service.ingest(zipf_trace(num_flows=100, num_packets=500, seed=5))
+        service.rotate()
+        for handle in (h1, h2):
+            assert all(row.read().sum() == 0 for row in handle.rows)
+
+    def test_narrowed_reset_leaves_other_tasks(self, controller):
+        h1 = controller.add_task(freq_task())
+        h2 = controller.add_task(hll_task())
+        service = MeasurementService(controller)
+        service.ingest(zipf_trace(num_flows=100, num_packets=500, seed=5))
+        service.rotate(reset_handles=[h1])
+        assert all(row.read().sum() == 0 for row in h1.rows)
+        assert any(row.read().sum() != 0 for row in h2.rows)
+
+    def test_sealed_rows_match_pre_seal_registers(self, controller):
+        handle = controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        service.ingest(zipf_trace(num_flows=100, num_packets=800, seed=6))
+        live = [row.read().tolist() for row in handle.rows]
+        sealed = service.rotate()
+        assert _rows(sealed, handle) == live
+
+    def test_sealed_epoch_survives_reset_and_new_traffic(self, controller):
+        handle = controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=1000)
+        trace = zipf_trace(num_flows=200, num_packets=2000, seed=7)
+        sealed = service.ingest(trace)
+        first = _rows(sealed[0], handle)
+        # More traffic and another seal must not disturb epoch 0's snapshot.
+        service.ingest(zipf_trace(num_flows=200, num_packets=1000, seed=8))
+        assert _rows(sealed[0], handle) == first
+
+    def test_stale_task_raises(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        service.ingest(zipf_trace(num_flows=50, num_packets=200, seed=9))
+        sealed = service.rotate()
+        late = controller.add_task(hll_task())
+        with pytest.raises(StaleEpochError):
+            sealed.read_rows(late)
+        with pytest.raises(StaleEpochError):
+            service.query(CardinalityQuery(late), epoch=sealed)
+
+    def test_overlay_restores_live_state(self, controller):
+        handle = controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=500)
+        sealed = service.ingest(
+            zipf_trace(num_flows=100, num_packets=1000, seed=10)
+        )[0]
+        live_before = [row.read().tolist() for row in handle.rows]
+        with sealed.overlay():
+            assert _rows(sealed, handle) == [
+                row.read().tolist() for row in handle.rows
+            ]
+        assert [row.read().tolist() for row in handle.rows] == live_before
+
+
+class TestRetention:
+    def test_ring_bounds_history(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=100, retain=3)
+        service.ingest(zipf_trace(num_flows=50, num_packets=1000, seed=11))
+        retained = [s.index for s in service.epochs]
+        assert len(retained) == 3
+        assert retained == sorted(retained)
+        assert service.latest.index == retained[-1]
+        assert service.epoch(retained[0]).index == retained[0]
+        with pytest.raises(StaleEpochError):
+            service.epoch(0)
+
+    def test_series_over_ring(self, controller):
+        handle = controller.add_task(hll_task())
+        service = MeasurementService(controller, epoch_packets=500, retain=4)
+        service.register_series("card", CardinalityQuery(handle))
+        service.ingest(zipf_trace(num_flows=300, num_packets=3000, seed=12))
+        series = service.series("card")
+        assert [index for index, _ in series] == [
+            s.index for s in service.epochs
+        ]
+        assert all(value > 0 for _, value in series)
+        with pytest.raises(ValueError):
+            service.register_series("card", CardinalityQuery(handle))
+        with pytest.raises(KeyError):
+            service.series("nope")
+
+
+class TestSinglePacketIngest:
+    def test_buffered_packets_match_bulk(self):
+        trace = zipf_trace(num_flows=100, num_packets=1500, seed=13)
+
+        bulk_ctrl = FlyMonController(num_groups=1)
+        bulk_handle = bulk_ctrl.add_task(freq_task())
+        bulk = MeasurementService(bulk_ctrl, epoch_packets=400)
+        sealed_bulk = bulk.ingest(trace)
+
+        pkt_ctrl = FlyMonController(num_groups=1)
+        pkt_handle = pkt_ctrl.add_task(freq_task())
+        by_packet = MeasurementService(
+            pkt_ctrl, epoch_packets=400, batch_size=64
+        )
+        sealed_pkt = []
+        for fields in trace.iter_fields():
+            sealed_pkt.extend(by_packet.ingest_packet(fields))
+        sealed_pkt.extend(by_packet.flush())
+
+        assert [s.packets for s in sealed_pkt] == [
+            s.packets for s in sealed_bulk
+        ]
+        assert [_rows(s, pkt_handle) for s in sealed_pkt] == [
+            _rows(s, bulk_handle) for s in sealed_bulk
+        ]
+
+    def test_packet_rotation_is_not_deferred_past_boundary(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=10, batch_size=1000)
+        trace = zipf_trace(num_flows=10, num_packets=25, seed=14)
+        sealed = []
+        for fields in trace.iter_fields():
+            sealed.extend(service.ingest_packet(fields))
+        assert [s.packets for s in sealed] == [10, 10]
+
+    def test_ingest_batch(self, controller):
+        handle = controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=50, num_packets=600, seed=15)
+        service = MeasurementService(controller, epoch_packets=600)
+        sealed = service.ingest_batch(trace.as_batch())
+        assert len(sealed) == 1
+        assert sealed[0].packets == len(trace)
+        assert any(sum(r) for r in _rows(sealed[0], handle))
+
+
+class TestFastPathParity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_batched_and_sharded_match_scalar(self, workers):
+        trace = zipf_trace(num_flows=200, num_packets=3000, seed=16)
+
+        def run(batch_size, workers):
+            controller = FlyMonController(num_groups=1)
+            handle = controller.add_task(freq_task())
+            service = MeasurementService(
+                controller,
+                epoch_packets=800,
+                batch_size=batch_size,
+                workers=workers,
+            )
+            sealed = service.ingest(trace)
+            sealed.append(service.rotate())
+            return [_rows(s, handle) for s in sealed]
+
+        scalar = run(batch_size=0, workers=1)
+        fast = run(batch_size=256, workers=workers)
+        assert fast == scalar
+
+
+class TestStats:
+    def test_stats_shape(self, controller):
+        controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=50, num_packets=1000, seed=17)
+        service = MeasurementService(controller, epoch_packets=300, retain=2)
+        service.ingest(trace)
+        stats = service.stats()
+        assert stats["epoch"] == len(trace) // 300
+        assert stats["sealed_epochs"] == 2
+        assert stats["packets_total"] == len(trace)
+        assert stats["epoch_fill"] == len(trace) % 300
+        assert stats["epoch_packets"] == 300
+        assert stats["workers"] == 1
+
+    def test_empty_ingest(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=10)
+        assert service.ingest(Trace.empty()) == []

@@ -1,0 +1,162 @@
+"""Typed-query resolution: live window, sealed epochs, error surface."""
+
+import pytest
+
+from repro.service import (
+    CardinalityQuery,
+    EntropyQuery,
+    ExistenceQuery,
+    FrequencyQuery,
+    HeavyHitterQuery,
+    InterArrivalQuery,
+    MeasurementService,
+    TaskRef,
+    UnsupportedQueryError,
+    resolve,
+)
+from repro.traffic import zipf_trace
+
+from service_tasks import (
+    bloom_task,
+    freq_task,
+    hll_task,
+    interarrival_task,
+    mrac_task,
+)
+
+
+@pytest.fixture
+def trace():
+    return zipf_trace(num_flows=300, num_packets=4000, seed=21)
+
+
+def top_flows(trace, n=5):
+    sizes = sorted(
+        trace.flow_sizes(freq_task().key).items(), key=lambda kv: -kv[1]
+    )
+    return [flow for flow, _ in sizes[:n]]
+
+
+class TestSealedEqualsPreSealLive:
+    """A sealed answer must equal the live answer at the instant of seal."""
+
+    def _seal_with(self, controller, task, trace):
+        handle = controller.add_task(task)
+        service = MeasurementService(controller)
+        service.ingest(trace)
+        return service, handle
+
+    def test_frequency(self, controller, trace):
+        service, handle = self._seal_with(controller, freq_task(), trace)
+        flows = top_flows(trace)
+        live = {flow: handle.algorithm.query(flow) for flow in flows}
+        sealed = service.rotate()
+        for flow in flows:
+            assert resolve(FrequencyQuery(handle, flow), sealed) == live[flow]
+            # The live window restarted from zero after the seal.
+            assert resolve(FrequencyQuery(handle, flow)) == 0
+
+    def test_cardinality(self, controller, trace):
+        service, handle = self._seal_with(controller, hll_task(), trace)
+        live = handle.algorithm.estimate()
+        sealed = service.rotate()
+        assert resolve(CardinalityQuery(handle), sealed) == live
+
+    def test_entropy(self, controller, trace):
+        service, handle = self._seal_with(controller, mrac_task(), trace)
+        live = handle.algorithm.estimate_entropy()
+        sealed = service.rotate()
+        assert resolve(EntropyQuery(handle), sealed) == live
+
+    def test_existence(self, controller, trace):
+        service, handle = self._seal_with(controller, bloom_task(), trace)
+        flow = top_flows(trace, 1)[0]
+        assert handle.algorithm.contains(flow)
+        sealed = service.rotate()
+        assert resolve(ExistenceQuery(handle, flow), sealed) is True
+        # After the reset the live filter is empty again.
+        assert resolve(ExistenceQuery(handle, flow)) is False
+
+    def test_interarrival(self, controller, trace):
+        service, handle = self._seal_with(
+            controller, interarrival_task(), trace
+        )
+        flow = top_flows(trace, 1)[0]
+        live = handle.algorithm.query(flow)
+        assert live > 0
+        sealed = service.rotate()
+        assert resolve(InterArrivalQuery(handle, flow), sealed) == live
+
+
+class TestHeavyHitters:
+    def test_candidates_path(self, controller, trace):
+        handle = controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        service.ingest(trace)
+        candidates = tuple(top_flows(trace, 20))
+        live = handle.algorithm.heavy_hitters(candidates, 100)
+        sealed = service.rotate()
+        query = HeavyHitterQuery(handle, threshold=100, candidates=candidates)
+        assert resolve(query, sealed) == live
+        assert live  # the zipf head crosses the threshold
+
+    def test_digest_path_is_per_epoch(self, controller, trace):
+        handle = controller.add_task(freq_task(threshold=100))
+        service = MeasurementService(controller)
+        service.ingest(trace)
+        live = resolve(HeavyHitterQuery(handle))
+        sealed = service.rotate()
+        assert resolve(HeavyHitterQuery(handle), sealed) == live
+        assert live
+        # Digests were drained into the epoch: the new window starts empty.
+        assert resolve(HeavyHitterQuery(handle)) == set()
+
+    def test_digest_threshold_must_match_deployment(self, controller, trace):
+        handle = controller.add_task(freq_task(threshold=100))
+        service = MeasurementService(controller)
+        service.ingest(trace)
+        sealed = service.rotate()
+        with pytest.raises(UnsupportedQueryError):
+            resolve(HeavyHitterQuery(handle, threshold=7), sealed)
+
+    def test_digest_path_needs_deployed_threshold(self, controller, trace):
+        handle = controller.add_task(freq_task())  # no threshold
+        service = MeasurementService(controller)
+        service.ingest(trace)
+        sealed = service.rotate()
+        with pytest.raises(UnsupportedQueryError):
+            resolve(HeavyHitterQuery(handle), sealed)
+
+    def test_candidates_need_some_threshold(self, controller, trace):
+        handle = controller.add_task(freq_task())
+        with pytest.raises(UnsupportedQueryError):
+            resolve(HeavyHitterQuery(handle, candidates=((1,),)))
+
+
+class TestErrorSurface:
+    def test_wrong_algorithm_raises(self, controller):
+        cms = controller.add_task(freq_task())
+        hll = controller.add_task(hll_task())
+        with pytest.raises(UnsupportedQueryError):
+            resolve(CardinalityQuery(cms))
+        with pytest.raises(UnsupportedQueryError):
+            resolve(ExistenceQuery(cms, (1,)))
+        with pytest.raises(UnsupportedQueryError):
+            resolve(EntropyQuery(hll))
+        with pytest.raises(UnsupportedQueryError):
+            resolve(FrequencyQuery(hll, (1,)))
+
+    def test_bad_target_raises(self):
+        with pytest.raises(TypeError):
+            resolve(CardinalityQuery("not a handle"))
+
+    def test_taskref_target(self, controller, trace):
+        handle = controller.add_task(freq_task())
+        ref = TaskRef(handle)
+        service = MeasurementService(controller)
+        service.ingest(trace)
+        flow = top_flows(trace, 1)[0]
+        direct = resolve(FrequencyQuery(handle, flow))
+        assert resolve(FrequencyQuery(ref, flow)) == direct
+        sealed = service.rotate()
+        assert resolve(FrequencyQuery(ref, flow), sealed) == direct

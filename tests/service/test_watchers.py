@@ -1,0 +1,217 @@
+"""Watcher rules: thresholds, cooldowns, and transactional reactions."""
+
+import os
+
+import pytest
+
+from repro.core.controller import FlyMonController
+from repro.faults import FAULTS, SITE_RULE_APPLY, configure_from_env
+from repro.service import (
+    CardinalityQuery,
+    MeasurementService,
+    TaskRef,
+    Watcher,
+    cardinality_metric,
+    fill_factor_metric,
+    heavy_hitter_count_metric,
+    resize_action,
+)
+from repro.traffic import zipf_trace
+
+from service_tasks import freq_task, hll_task
+
+
+def constant_metric(value):
+    return lambda service, sealed: value
+
+
+class TestThresholds:
+    def test_requires_a_threshold(self):
+        with pytest.raises(ValueError):
+            Watcher("w", constant_metric(1))
+
+    def test_fires_above_and_below(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        above = service.add_watcher(
+            Watcher("above", constant_metric(10), above=5)
+        )
+        below = service.add_watcher(
+            Watcher("below", constant_metric(10), below=20)
+        )
+        quiet = service.add_watcher(
+            Watcher("quiet", constant_metric(10), above=50)
+        )
+        service.ingest(zipf_trace(num_flows=20, num_packets=100, seed=31))
+        sealed = service.rotate()
+        by_name = {e.watcher: e for e in sealed.watcher_events}
+        assert by_name["above"].fired and by_name["above"].direction == "above"
+        assert by_name["below"].fired and by_name["below"].direction == "below"
+        assert not by_name["quiet"].fired
+        assert by_name["quiet"].value == 10.0
+        assert service.watcher_log == sealed.watcher_events
+
+    def test_cooldown_suppresses_refiring(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        service.add_watcher(
+            Watcher("w", constant_metric(10), above=5, cooldown_epochs=1)
+        )
+        trace = zipf_trace(num_flows=20, num_packets=100, seed=32)
+        fired = []
+        for _ in range(4):
+            service.ingest(trace)
+            fired.append(service.rotate().watcher_events[0].fired)
+        assert fired == [True, False, True, False]
+
+
+class TestMetrics:
+    def test_builtin_metrics_track_sealed_state(self, controller):
+        cms = TaskRef(controller.add_task(freq_task(threshold=100)))
+        hll = TaskRef(controller.add_task(hll_task()))
+        service = MeasurementService(controller)
+        service.register_series("card", CardinalityQuery(hll))
+        service.add_watcher(Watcher("fill", fill_factor_metric(cms), above=2.0))
+        service.add_watcher(
+            Watcher("card", cardinality_metric(hll), above=1e12)
+        )
+        service.add_watcher(
+            Watcher("hh", heavy_hitter_count_metric(cms), above=1e12)
+        )
+        service.ingest(zipf_trace(num_flows=300, num_packets=3000, seed=33))
+        sealed = service.rotate()
+        by_name = {e.watcher: e for e in sealed.watcher_events}
+        assert 0.0 < by_name["fill"].value < 1.0
+        assert by_name["card"].value == sealed.outputs["card"]
+        assert by_name["hh"].value >= 1.0
+
+
+class TestReactions:
+    def test_resize_action_repoints_ref(self, controller):
+        ref = TaskRef(controller.add_task(freq_task(memory=1024)))
+        service = MeasurementService(controller)
+        service.add_watcher(
+            Watcher(
+                "grow",
+                fill_factor_metric(ref),
+                above=0.0,
+                action=resize_action(ref),
+                cooldown_epochs=1_000_000,  # one resize only
+            )
+        )
+        service.ingest(zipf_trace(num_flows=500, num_packets=2000, seed=34))
+        event = service.rotate().watcher_events[0]
+        assert event.fired and event.outcome == "ok"
+        assert "resize" in event.action
+        assert ref.handle.task.memory == 2048
+        assert controller.verify_integrity().ok
+        # The new deployment keeps measuring and sealing.
+        service.ingest(zipf_trace(num_flows=100, num_packets=500, seed=35))
+        sealed = service.rotate()
+        assert sealed.has_task(ref.handle.task_id)
+        assert any(sum(r) for r in map(list, sealed.read_rows(ref.handle)))
+
+    def test_placement_blocked_resize_rolls_back(self):
+        # One group, 4096-bucket registers.  A blocker task with a disjoint
+        # filter shares each CMU and pins 2048 buckets, so doubling the
+        # watched task to 4096 fails make-before-break (registers full) and
+        # remove-then-add (only a fragmented 2048 window left): the resize
+        # rolls back to the original deployment.
+        import dataclasses
+
+        from repro.core.task import TaskFilter
+
+        controller = FlyMonController(
+            num_groups=1, num_cmus=3, register_size=4096
+        )
+        blocker = dataclasses.replace(
+            freq_task(memory=2048),
+            filter=TaskFilter.of(src_ip=(0x80000000, 1)),
+        )
+        controller.add_task(blocker)
+        watched = dataclasses.replace(
+            freq_task(memory=2048),
+            filter=TaskFilter.of(src_ip=(0x00000000, 1)),
+        )
+        ref = TaskRef(controller.add_task(watched))
+        original = ref.handle
+        service = MeasurementService(controller)
+        service.add_watcher(
+            Watcher(
+                "grow",
+                fill_factor_metric(ref),
+                above=0.0,
+                action=resize_action(ref),
+            )
+        )
+        service.ingest(zipf_trace(num_flows=100, num_packets=500, seed=36))
+        event = service.rotate().watcher_events[0]
+        assert event.fired and event.outcome == "rolled_back"
+        assert event.error
+        assert ref.handle is original  # ref still points at the live task
+        assert controller.verify_integrity().ok
+        service.ingest(zipf_trace(num_flows=100, num_packets=500, seed=37))
+        assert service.rotate().has_task(original.task_id)
+
+    def test_fault_injected_resize_keeps_service_alive(self, controller):
+        """Acceptance criterion: a watcher-triggered resize whose rule
+        install is fault-injected to fail (FLYMON_FAULTS) rolls back and
+        the service keeps sealing and serving queries."""
+        ref = TaskRef(controller.add_task(freq_task(memory=1024)))
+        original = ref.handle
+        digest_before = controller.control_digest()
+
+        # Arm after the initial deployment so only the watcher-triggered
+        # reconfiguration hits the injected failure.
+        os.environ["FLYMON_FAULTS"] = "rule_apply"
+        try:
+            configure_from_env()
+        finally:
+            del os.environ["FLYMON_FAULTS"]
+        assert FAULTS.armed
+        service = MeasurementService(controller)
+        service.add_watcher(
+            Watcher(
+                "grow",
+                fill_factor_metric(ref),
+                above=0.0,
+                action=resize_action(ref),
+                cooldown_epochs=1_000_000,  # one attempt only
+            )
+        )
+        service.ingest(zipf_trace(num_flows=300, num_packets=1000, seed=38))
+        event = service.rotate().watcher_events[0]
+        assert event.fired and event.outcome in ("failed", "rolled_back")
+        assert event.error
+        assert [f["site"] for f in FAULTS.fired()] == [SITE_RULE_APPLY]
+        FAULTS.disarm()
+
+        # Rollback left the control plane bit-identical and the original
+        # deployment live ...
+        assert ref.handle is original
+        assert controller.control_digest() == digest_before
+        assert controller.verify_integrity().ok
+        # ... and the service keeps ingesting, sealing, and answering.
+        trace = zipf_trace(num_flows=300, num_packets=1000, seed=39)
+        service.ingest(trace)
+        sealed = service.rotate()
+        assert sealed.has_task(original.task_id)
+        assert sum(sum(r) for r in map(list, sealed.read_rows(original))) > 0
+
+    def test_generic_action_failure_is_contained(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller)
+
+        def explode(service, sealed):
+            raise RuntimeError("reaction bug")
+
+        service.add_watcher(
+            Watcher("boom", constant_metric(1), above=0, action=explode)
+        )
+        service.ingest(zipf_trace(num_flows=20, num_packets=100, seed=40))
+        event = service.rotate().watcher_events[0]
+        assert event.outcome == "failed"
+        assert "reaction bug" in event.error
+        # Sealing continues afterwards.
+        service.ingest(zipf_trace(num_flows=20, num_packets=100, seed=41))
+        assert service.rotate().index == 1
