@@ -34,11 +34,20 @@ def quick() -> bool:
 
 
 def write_bench_json(name: str, **payload) -> Path:
-    """Persist one bench's machine-readable result as ``BENCH_<name>.json``."""
+    """Persist one bench's machine-readable result as ``BENCH_<name>.json``.
+
+    Every artifact is stamped with the environment fingerprint
+    (:func:`repro.bench_history.machine_info`: cpu count, python version,
+    git SHA, ...), so ``repro bench-compare`` can tell machine-dependent
+    absolute numbers apart from portable ratios.
+    """
+    from repro.bench_history import machine_info
+
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     payload.setdefault("name", name)
     payload.setdefault("python", platform.python_version())
     payload.setdefault("machine", platform.machine())
+    payload.setdefault("machine_info", machine_info())
     payload.setdefault(
         "recorded_at", datetime.now(timezone.utc).isoformat(timespec="seconds")
     )

@@ -1,0 +1,71 @@
+"""Bench-history command-line wrapper (see :mod:`repro.bench_history`).
+
+Usage (run with ``PYTHONPATH=src``)::
+
+    python benchmarks/history.py record   # append results to the ledger
+    python benchmarks/history.py baseline # snapshot results as the baseline
+    python benchmarks/history.py compare  # diff results against the baseline
+
+``repro bench-compare`` is the richer CLI form of ``compare``; this script
+exists so CI and scripts can drive the ledger without the installed
+entry point.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench_history import (  # noqa: E402
+    DEFAULT_THRESHOLD,
+    compare,
+    format_report,
+    load_baseline,
+    load_results,
+    record_history,
+    write_baseline,
+)
+
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_RESULTS = BENCH_DIR / "results"
+DEFAULT_HISTORY = BENCH_DIR / "results" / "history.jsonl"
+DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", choices=["record", "baseline", "compare"])
+    parser.add_argument("--results-dir", default=str(DEFAULT_RESULTS))
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY))
+    parser.add_argument("--baseline-file", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.command == "record":
+        entry = record_history(args.results_dir, args.history)
+        print(
+            f"recorded {len(entry['benches'])} bench(es) to {args.history}"
+        )
+        return 0
+    if args.command == "baseline":
+        entry = write_baseline(args.results_dir, args.baseline_file)
+        print(
+            f"baseline with {len(entry['benches'])} bench(es) written to "
+            f"{args.baseline_file}"
+        )
+        return 0
+    baseline = load_baseline(args.baseline_file)
+    if baseline is None:
+        print(f"no baseline at {args.baseline_file}; nothing to compare")
+        return 0
+    report = compare(
+        load_results(args.results_dir), baseline, threshold=args.threshold
+    )
+    print(format_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,368 @@
+"""Bench regression ledger: record BENCH_*.json results, compare runs.
+
+The benchmarks under ``benchmarks/`` each persist a machine-readable
+``BENCH_<name>.json`` (see ``benchmarks/conftest.py``).  This module turns
+those one-shot artifacts into a trackable performance history:
+
+* :func:`machine_info` stamps the environment (cpu count, python, git SHA)
+  every result carries, so numbers from different machines are never
+  compared as if they were the same box;
+* :func:`record_history` appends one ledger line per run to a JSONL
+  history file -- the before/after record the roadmap's perf PRs diff
+  against;
+* :func:`compare` diffs a run against a baseline and flags regressions
+  beyond a threshold.  Metrics are classified by name:
+
+  - **direction** -- ``speedup``/``pps``/``throughput`` are
+    higher-is-better; ``seconds``/``ms``/``overhead``/``latency``/``error``
+    are lower-is-better; anything else is informational only;
+  - **kind** -- *ratio* metrics (speedups, overhead percentages) are
+    machine-independent and always compared; *absolute* metrics (seconds,
+    packets/s) are only compared when the two runs' machine fingerprints
+    match, so CI boxes never fail against a laptop-generated baseline.
+
+``repro bench-compare`` (the CLI) and ``benchmarks/history.py`` (the
+script form) are thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Default allowed relative slip before a metric counts as regressed.
+DEFAULT_THRESHOLD = 0.25
+
+#: Ignore changes smaller than this fraction of the baseline outright
+#: (guards tiny-denominator noise on near-zero metrics).
+MIN_ABS_DELTA = 1e-9
+
+#: Payload keys that are metadata, never metrics.
+_META_KEYS = {
+    "name",
+    "python",
+    "machine",
+    "recorded_at",
+    "machine_info",
+    "params",
+    "git_sha",
+}
+
+_HIGHER_TOKENS = ("speedup", "pps", "throughput", "packets_per_s")
+_LOWER_TOKENS = ("seconds", "ms", "overhead", "latency", "error", "slowdown")
+_RATIO_TOKENS = ("speedup", "overhead", "ratio", "fraction", "pct", "slowdown")
+
+
+def git_sha() -> Optional[str]:
+    """Short git SHA of the working tree, or ``None`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+def machine_info() -> Dict[str, object]:
+    """The environment fingerprint stamped into every bench artifact."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "git_sha": git_sha(),
+    }
+
+
+def same_machine(a: Optional[Dict], b: Optional[Dict]) -> bool:
+    """Whether two fingerprints describe a comparable environment.
+
+    The git SHA is deliberately excluded -- that is the axis being
+    compared, not part of the machine identity.
+    """
+    if not a or not b:
+        return False
+    keys = ("cpu_count", "python", "machine", "system")
+    return all(a.get(k) == b.get(k) for k in keys)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one metric participates in a comparison."""
+
+    direction: str  # "higher" | "lower"
+    kind: str  # "ratio" | "absolute"
+
+
+def classify(metric: str) -> Optional[MetricSpec]:
+    """Map a dotted metric path to its comparison semantics (or ``None``)."""
+    lowered = metric.lower()
+    direction = None
+    if any(token in lowered for token in _HIGHER_TOKENS):
+        direction = "higher"
+    elif any(token in lowered for token in _LOWER_TOKENS):
+        direction = "lower"
+    if direction is None:
+        return None
+    kind = (
+        "ratio"
+        if any(token in lowered for token in _RATIO_TOKENS)
+        else "absolute"
+    )
+    return MetricSpec(direction=direction, kind=kind)
+
+
+def flatten_metrics(payload: Dict[str, object]) -> Dict[str, float]:
+    """Numeric leaves of a bench payload as dotted paths.
+
+    ``{"speedup": {"workers4": 2.1}, "seconds": 3.2}`` becomes
+    ``{"speedup.workers4": 2.1, "seconds": 3.2}``.  Metadata keys and
+    non-numeric leaves are skipped.
+    """
+    flat: Dict[str, float] = {}
+
+    def walk(prefix: str, value: object) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            flat[prefix] = float(value)
+            return
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                walk(f"{prefix}.{key}" if prefix else str(key), sub)
+
+    for key, value in payload.items():
+        if key in _META_KEYS:
+            continue
+        walk(str(key), value)
+    return flat
+
+
+def load_results(results_dir) -> Dict[str, Dict[str, object]]:
+    """Every ``BENCH_<name>.json`` under a directory, keyed by bench name."""
+    results: Dict[str, Dict[str, object]] = {}
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return results
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        name = str(payload.get("name") or path.stem[len("BENCH_") :])
+        results[name] = payload
+    return results
+
+
+# ---------------------------------------------------------------------------
+# History ledger
+# ---------------------------------------------------------------------------
+
+
+def build_entry(
+    results: Dict[str, Dict[str, object]],
+    info: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One ledger line: machine fingerprint + every bench's flat metrics."""
+    from datetime import datetime, timezone
+
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine_info": info if info is not None else machine_info(),
+        "benches": {name: flatten_metrics(p) for name, p in results.items()},
+    }
+
+
+def record_history(results_dir, history_path) -> Dict[str, object]:
+    """Append this run's results to the JSONL history ledger."""
+    entry = build_entry(load_results(results_dir))
+    path = Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+    return entry
+
+
+def load_history(history_path) -> List[Dict[str, object]]:
+    path = Path(history_path)
+    if not path.is_file():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except ValueError:
+            continue
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Baseline + comparison
+# ---------------------------------------------------------------------------
+
+
+def write_baseline(results_dir, baseline_path) -> Dict[str, object]:
+    """Snapshot the current results as the committed comparison baseline."""
+    entry = build_entry(load_results(results_dir))
+    path = Path(baseline_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True, default=str) + "\n")
+    return entry
+
+
+def load_baseline(baseline_path) -> Optional[Dict[str, object]]:
+    path = Path(baseline_path)
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except ValueError:
+        return None
+
+
+@dataclass
+class Finding:
+    """One metric's baseline-vs-current verdict."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    direction: str
+    kind: str
+    delta_pct: float
+    regressed: bool
+    skipped: Optional[str] = None  # reason this metric was not judged
+
+    def describe(self) -> str:
+        arrow = "better" if self.direction == "higher" else "lower is better"
+        status = "REGRESSED" if self.regressed else ("skipped" if self.skipped else "ok")
+        line = (
+            f"{self.bench}:{self.metric} {self.baseline:.4g} -> "
+            f"{self.current:.4g} ({self.delta_pct:+.1f}%, {arrow}) [{status}]"
+        )
+        if self.skipped:
+            line += f" ({self.skipped})"
+        return line
+
+
+@dataclass
+class CompareReport:
+    """The full diff of one run against a baseline."""
+
+    findings: List[Finding] = field(default_factory=list)
+    missing_benches: List[str] = field(default_factory=list)
+    comparable_machine: bool = False
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(
+    current: Dict[str, Dict[str, object]],
+    baseline: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareReport:
+    """Diff current BENCH payloads against a baseline entry.
+
+    ``threshold`` is the allowed relative slip (0.25 = 25%).  Ratio metrics
+    are always judged; absolute metrics only when the machine fingerprints
+    match (otherwise they appear as skipped findings, for visibility).
+    """
+    report = CompareReport()
+    report.comparable_machine = same_machine(
+        machine_info(), baseline.get("machine_info")
+    )
+    base_benches: Dict[str, Dict[str, float]] = baseline.get("benches", {})
+    current_flat = {name: flatten_metrics(p) for name, p in current.items()}
+    for bench, base_metrics in sorted(base_benches.items()):
+        cur_metrics = current_flat.get(bench)
+        if cur_metrics is None:
+            report.missing_benches.append(bench)
+            continue
+        for metric, base_value in sorted(base_metrics.items()):
+            if metric not in cur_metrics:
+                continue
+            spec = classify(metric)
+            if spec is None:
+                continue
+            cur_value = cur_metrics[metric]
+            if abs(base_value) > MIN_ABS_DELTA:
+                delta_pct = 100.0 * (cur_value - base_value) / abs(base_value)
+            else:
+                delta_pct = 0.0
+            finding = Finding(
+                bench=bench,
+                metric=metric,
+                baseline=base_value,
+                current=cur_value,
+                direction=spec.direction,
+                kind=spec.kind,
+                delta_pct=delta_pct,
+                regressed=False,
+            )
+            if spec.kind == "absolute" and not report.comparable_machine:
+                finding.skipped = "different machine; absolute metric not judged"
+            else:
+                finding.regressed = _is_regression(
+                    base_value, cur_value, spec.direction, threshold
+                )
+            report.findings.append(finding)
+    return report
+
+
+def _is_regression(
+    base: float, cur: float, direction: str, threshold: float
+) -> bool:
+    if abs(base) <= MIN_ABS_DELTA:
+        return False
+    if direction == "higher":
+        return cur < base * (1.0 - threshold)
+    return cur > base * (1.0 + threshold)
+
+
+def format_report(report: CompareReport, verbose: bool = False) -> str:
+    """Human-readable comparison summary (regressions always shown)."""
+    lines: List[str] = []
+    judged = [f for f in report.findings if not f.skipped]
+    skipped = [f for f in report.findings if f.skipped]
+    lines.append(
+        f"bench-compare: {len(judged)} metric(s) judged, "
+        f"{len(skipped)} skipped, {len(report.regressions)} regression(s)"
+    )
+    if not report.comparable_machine:
+        lines.append(
+            "note: baseline was recorded on a different machine; "
+            "absolute metrics (seconds, pps) were skipped"
+        )
+    for finding in report.regressions:
+        lines.append("  !! " + finding.describe())
+    if verbose:
+        for finding in report.findings:
+            if not finding.regressed:
+                lines.append("     " + finding.describe())
+    if report.missing_benches:
+        lines.append(
+            "  missing benches (in baseline, not in this run): "
+            + ", ".join(report.missing_benches)
+        )
+    return "\n".join(lines)

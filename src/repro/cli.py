@@ -6,6 +6,9 @@ Usage::
     python -m repro list-experiments
     python -m repro run <experiment> [--full] [--telemetry PATH]
     python -m repro stats [--experiment NAME | --input PATH] [--format FMT]
+    python -m repro profile [--workers N] [--trace-out PATH]
+    python -m repro top [--workers N]
+    python -m repro bench-compare [--update-baseline]
     python -m repro demo
 
 ``run`` accepts the experiment names printed by ``list-experiments``
@@ -233,6 +236,131 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable telemetry and dump the event log + metrics to PATH",
     )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a workload under the flight recorder and print the "
+        "phase-attribution tree (where the time went)",
+    )
+    profile.add_argument(
+        "--workload",
+        choices=("stream", "batch"),
+        default="stream",
+        help="stream: the continuous service with epoch rotation; "
+        "batch: one sharded trace replay (default: stream)",
+    )
+    psource = profile.add_mutually_exclusive_group()
+    psource.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="replay a .npz trace written by Trace.save",
+    )
+    psource.add_argument(
+        "--generator",
+        choices=("zipf", "uniform", "ddos", "superspreader", "portscan"),
+        default="zipf",
+    )
+    profile.add_argument("--packets", type=int, default=100_000, metavar="N")
+    profile.add_argument("--flows", type=int, default=5_000, metavar="N")
+    profile.add_argument("--seed", type=int, default=1, metavar="N")
+    profile.add_argument(
+        "--epoch-size", type=int, default=None, metavar="N",
+        help="stream workload: rotate every N packets (default: packets/20)",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the datapath over N parallel workers",
+    )
+    profile.add_argument(
+        "--batch-size", type=int, default=None, metavar="N"
+    )
+    profile.add_argument(
+        "--chunk", type=int, default=32_768, metavar="N",
+        help="stream workload: ingest chunk size (default: 32768)",
+    )
+    profile.add_argument(
+        "--tasks", default="hh,card", metavar="LIST",
+        help="task presets, as for `repro serve` (default: hh,card)",
+    )
+    profile.add_argument("--threshold", type=int, default=100, metavar="N")
+    profile.add_argument(
+        "--min-pct", type=float, default=0.05, metavar="F",
+        help="fold phases under F%% of total into (unattributed)",
+    )
+    profile.add_argument(
+        "--capacity", type=int, default=None, metavar="N",
+        help="flight-recorder ring capacity (default: 8192 spans)",
+    )
+    profile.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also write Chrome trace_event JSON (open in Perfetto or "
+        "chrome://tracing)",
+    )
+    profile.add_argument(
+        "--json", dest="json_out", metavar="PATH", default=None,
+        help="also write the raw span records as JSON",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="run the streaming service with a live refreshing dashboard: "
+        "pps, epoch seal ms, shard utilization, watcher fires",
+    )
+    tsource = top.add_mutually_exclusive_group()
+    tsource.add_argument("--input", metavar="PATH", default=None)
+    tsource.add_argument(
+        "--generator",
+        choices=("zipf", "uniform", "ddos", "superspreader", "portscan"),
+        default="zipf",
+    )
+    top.add_argument("--packets", type=int, default=200_000, metavar="N")
+    top.add_argument("--flows", type=int, default=5_000, metavar="N")
+    top.add_argument("--seed", type=int, default=1, metavar="N")
+    top.add_argument("--epoch-size", type=int, default=None, metavar="N")
+    top.add_argument("--workers", type=int, default=1, metavar="N")
+    top.add_argument("--batch-size", type=int, default=None, metavar="N")
+    top.add_argument(
+        "--chunk", type=int, default=16_384, metavar="N",
+        help="dashboard refresh granularity in packets (default: 16384)",
+    )
+    top.add_argument("--tasks", default="hh,card", metavar="LIST")
+    top.add_argument("--threshold", type=int, default=100, metavar="N")
+    top.add_argument(
+        "--watch-fill", type=float, default=None, metavar="F",
+        help="fill-factor watcher, as for `repro serve`",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of redrawing in place (for logs/pipes)",
+    )
+
+    bench_compare = sub.add_parser(
+        "bench-compare",
+        help="diff benchmarks/results/BENCH_*.json against the committed "
+        "baseline and flag perf regressions",
+    )
+    bench_compare.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="directory of BENCH_*.json files "
+        "(default: benchmarks/results, honoring FLYMON_BENCH_DIR)",
+    )
+    bench_compare.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file (default: benchmarks/baseline.json)",
+    )
+    bench_compare.add_argument(
+        "--threshold", type=float, default=None, metavar="F",
+        help="allowed relative slip before a metric regresses "
+        "(default: 0.25 = 25%%)",
+    )
+    bench_compare.add_argument(
+        "--update-baseline", action="store_true",
+        help="snapshot the current results as the new baseline and exit",
+    )
+    bench_compare.add_argument(
+        "--record-history", metavar="PATH", default=None,
+        help="also append this run's results to a JSONL history ledger",
+    )
+    bench_compare.add_argument("--verbose", action="store_true")
 
     query = sub.add_parser(
         "query",
@@ -871,6 +999,286 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _build_stream_workload(args):
+    """Controller + service + trace for the profile/top stream workloads."""
+    from repro.core.controller import FlyMonController, PlacementError
+    from repro.service import (
+        CardinalityQuery,
+        HeavyHitterQuery,
+        MeasurementService,
+        TaskRef,
+    )
+
+    trace = _load_serve_trace(args)
+    controller = FlyMonController(num_groups=3)
+    named = _serve_tasks(
+        [n.strip() for n in args.tasks.split(",") if n.strip()], args.threshold
+    )
+    try:
+        refs = {
+            name: TaskRef(controller.add_task(task)) for name, task in named
+        }
+    except PlacementError as exc:
+        raise ValueError(f"cannot place the task mix ({args.tasks}): {exc}")
+    epoch_packets = args.epoch_size
+    if epoch_packets is None:
+        epoch_packets = max(1, len(trace) // 20)
+    service = MeasurementService(
+        controller,
+        epoch_packets=epoch_packets,
+        retain=16,
+        workers=args.workers,
+        batch_size=args.batch_size,
+    )
+    if "hh" in refs:
+        service.register_series("heavy_hitters", HeavyHitterQuery(refs["hh"]))
+    if "card" in refs:
+        service.register_series("cardinality", CardinalityQuery(refs["card"]))
+    return trace, controller, service, refs
+
+
+def _iter_chunks(trace, chunk: int):
+    from repro.traffic.packet import PACKET_FIELDS
+    from repro.traffic.trace import Trace
+
+    for start in range(0, len(trace), chunk):
+        yield Trace(
+            {f: trace.columns[f][start : start + chunk] for f in PACKET_FIELDS}
+        )
+
+
+def cmd_profile(args) -> int:
+    import json
+    import time
+
+    from repro import telemetry
+
+    recorder = telemetry.RECORDER
+    recorder.clear()
+    telemetry.enable_recorder(capacity=args.capacity)
+    try:
+        if args.workload == "batch":
+            from repro.core.controller import FlyMonController, PlacementError
+
+            trace = _load_serve_trace(args)
+            controller = FlyMonController(num_groups=3)
+            try:
+                for _name, task in _serve_tasks(
+                    [n.strip() for n in args.tasks.split(",") if n.strip()],
+                    args.threshold,
+                ):
+                    controller.add_task(task)
+            except (ValueError, PlacementError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            t0 = time.perf_counter()
+            report = controller.process_trace_sharded(
+                trace, max(1, args.workers), batch_size=args.batch_size
+            )
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            backend = report.backend
+        else:
+            try:
+                trace, _controller, service, _refs = _build_stream_workload(args)
+            except (ValueError, FileNotFoundError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            t0 = time.perf_counter()
+            for piece in _iter_chunks(trace, max(1, args.chunk)):
+                service.ingest(piece)
+            if service._epoch_fill:
+                service.rotate()  # seal the ragged tail window
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            backend = (
+                service.last_shard_report.backend
+                if service.last_shard_report is not None
+                else "batched"
+            )
+    finally:
+        telemetry.disable_recorder()
+
+    spans = recorder.spans
+    root = telemetry.aggregate_spans(spans)
+    print(
+        f"workload={args.workload} packets={len(trace)} "
+        f"workers={args.workers} backend={backend} spans={len(spans)}"
+    )
+    print()
+    print(telemetry.format_phase_tree(root, min_pct=args.min_pct))
+    coverage = 100.0 * root.wall_ms / wall_ms if wall_ms > 0 else 0.0
+    print()
+    print(
+        f"measured wall: {wall_ms:.2f} ms; recorded phases cover "
+        f"{coverage:.1f}% of it"
+    )
+    if args.trace_out is not None:
+        telemetry.write_chrome_trace(
+            args.trace_out,
+            spans,
+            meta={
+                "workload": args.workload,
+                "packets": len(trace),
+                "workers": args.workers,
+                "wall_ms": wall_ms,
+            },
+        )
+        print(
+            f"chrome trace: {len(spans)} events -> {args.trace_out} "
+            "(open in Perfetto or chrome://tracing)"
+        )
+    if args.json_out is not None:
+        with open(args.json_out, "w") as fh:
+            json.dump(
+                {"wall_ms": wall_ms, "spans": recorder.to_dicts()},
+                fh,
+                indent=1,
+                default=str,
+            )
+        print(f"span json: {len(spans)} spans -> {args.json_out}")
+    return 0
+
+
+def _top_frame(args, service, done: int, total: int, elapsed_s: float) -> str:
+    """One rendering of the `repro top` dashboard."""
+    stats = service.stats()
+    pps = done / elapsed_s if elapsed_s > 0 else 0.0
+    seal_times = [s.seal_ms for s in service.epochs]
+    lines = [
+        "repro top -- streaming measurement service",
+        (
+            f"packets  {done:>12,} / {total:,}"
+            f"   elapsed {elapsed_s:7.2f} s   rate {pps / 1e3:8.1f} kpps"
+        ),
+    ]
+    if seal_times:
+        lines.append(
+            f"epochs   {stats['epoch']:>5} sealed"
+            f"   last seal {seal_times[-1]:7.2f} ms"
+            f"   mean {sum(seal_times) / len(seal_times):7.2f} ms"
+            f"   max {max(seal_times):7.2f} ms"
+        )
+    else:
+        lines.append(f"epochs   {stats['epoch']:>5} sealed")
+    lines.append(
+        f"watchers {stats['watchers']:>5} registered"
+        f"   fired {stats['watchers_fired']}"
+    )
+    report = service.last_shard_report
+    if report is not None and report.shard_timings:
+        lines.append(
+            f"shards   backend={report.backend} workers={report.workers}"
+            f"   retries={report.retries} timeouts={report.timeouts}"
+        )
+        for timing in report.shard_timings:
+            dispatch = timing["dispatch_ms"] or 0.0
+            busy = (
+                100.0 * timing["compute_ms"] / dispatch if dispatch > 0 else 0.0
+            )
+            bar = "#" * max(0, min(20, int(busy / 5.0)))
+            lines.append(
+                f"  shard {timing['shard']}: busy {busy:5.1f}% [{bar:<20}] "
+                f"compute {timing['compute_ms']:6.2f} ms  "
+                f"build {timing['build_ms']:5.2f} ms  "
+                f"transport {timing['transport_ms']:6.2f} ms"
+                + ("  RETRIED" if timing["retried"] else "")
+            )
+    else:
+        lines.append(f"shards   (single pipeline, workers={stats['workers']})")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    import time
+
+    from repro.service import Watcher, fill_factor_metric, resize_action
+
+    try:
+        trace, _controller, service, refs = _build_stream_workload(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.watch_fill is not None:
+        if "hh" not in refs:
+            print("error: --watch-fill needs the hh task", file=sys.stderr)
+            return 2
+        service.add_watcher(
+            Watcher(
+                "fill_factor",
+                fill_factor_metric(refs["hh"]),
+                above=args.watch_fill,
+                action=resize_action(refs["hh"]),
+                cooldown_epochs=1,
+            )
+        )
+
+    clear = not args.no_clear and sys.stdout.isatty()
+    total = len(trace)
+    done = 0
+    t0 = time.perf_counter()
+    for piece in _iter_chunks(trace, max(1, args.chunk)):
+        service.ingest(piece)
+        done += len(piece)
+        frame = _top_frame(args, service, done, total, time.perf_counter() - t0)
+        if clear:
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+        else:
+            print(frame + "\n", flush=True)
+    if service._epoch_fill:
+        service.rotate()
+    frame = _top_frame(args, service, done, total, time.perf_counter() - t0)
+    if clear:
+        print("\x1b[2J\x1b[H" + frame, flush=True)
+    else:
+        print(frame, flush=True)
+    stats = service.stats()
+    print(
+        f"\nserved {stats['packets_total']:,} packets across "
+        f"{stats['epoch']} epochs; datapath time "
+        f"{stats['ingest_ms_total'] / 1e3:.2f} s"
+    )
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from pathlib import Path
+
+    from repro import bench_history
+
+    root = Path(__file__).resolve().parents[2]
+    results_dir = args.results_dir or os.environ.get("FLYMON_BENCH_DIR") or (
+        root / "benchmarks" / "results"
+    )
+    baseline_path = args.baseline or (root / "benchmarks" / "baseline.json")
+
+    if args.update_baseline:
+        entry = bench_history.write_baseline(results_dir, baseline_path)
+        print(
+            f"baseline with {len(entry['benches'])} bench(es) -> "
+            f"{baseline_path}"
+        )
+        return 0
+
+    results = bench_history.load_results(results_dir)
+    if not results:
+        print(f"error: no BENCH_*.json under {results_dir}", file=sys.stderr)
+        return 2
+    if args.record_history is not None:
+        bench_history.record_history(results_dir, args.record_history)
+        print(f"history: recorded {len(results)} bench(es) -> {args.record_history}")
+    baseline = bench_history.load_baseline(baseline_path)
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; nothing to compare against")
+        return 0
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else bench_history.DEFAULT_THRESHOLD
+    )
+    report = bench_history.compare(results, baseline, threshold=threshold)
+    print(bench_history.format_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def _parse_flow(spec: str) -> tuple:
     def part(p: str) -> int:
         p = p.strip()
@@ -1020,6 +1428,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_verify(args.rounds, args.seed)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "profile":
+        return cmd_profile(args)
+    if args.command == "top":
+        return cmd_top(args)
+    if args.command == "bench-compare":
+        return cmd_bench_compare(args)
     if args.command == "query":
         return cmd_query(args)
     if args.command == "demo":

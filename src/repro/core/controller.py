@@ -54,6 +54,7 @@ from repro.telemetry import (
     EV_TASK_REMOVE,
     EV_TASK_RESIZE,
     EV_TASK_SPLIT,
+    RECORDER as _RECORDER,
     TELEMETRY as _TELEMETRY,
     update_resource_gauges,
 )
@@ -262,7 +263,8 @@ class FlyMonController:
         """
         txn, owned = in_transaction("add_task", transaction)
         try:
-            handle = self._add_task_txn(task, txn)
+            with _RECORDER.span("ctl.add_task", cat="control"):
+                handle = self._add_task_txn(task, txn)
         except BaseException as exc:
             if owned:
                 txn.rollback(cause=exc)
@@ -362,7 +364,10 @@ class FlyMonController:
         """
         txn, owned = in_transaction("remove_task", transaction)
         try:
-            report = self._remove_task_txn(handle, txn)
+            with _RECORDER.span(
+                "ctl.remove_task", cat="control", task_id=handle.task_id
+            ):
+                report = self._remove_task_txn(handle, txn)
         except BaseException as exc:
             if owned:
                 txn.rollback(cause=exc)
@@ -426,7 +431,10 @@ class FlyMonController:
         """
         txn, owned = in_transaction("update_task_filter", transaction)
         try:
-            self._update_task_filter_txn(handle, new_filter, txn)
+            with _RECORDER.span(
+                "ctl.update_task_filter", cat="control", task_id=handle.task_id
+            ):
+                self._update_task_filter_txn(handle, new_filter, txn)
         except BaseException as exc:
             if owned:
                 txn.rollback(cause=exc)
@@ -508,9 +516,10 @@ class FlyMonController:
         low_filter, high_filter = task.filter.split(field)
         low_task = dataclasses.replace(task, filter=low_filter)
         high_task = dataclasses.replace(task, filter=high_filter)
-        with ReconfigTransaction("add_split_task") as txn:
-            low = self.add_task(low_task, transaction=txn, _record=False)
-            high = self.add_task(high_task, transaction=txn, _record=False)
+        with _RECORDER.span("ctl.add_split_task", cat="control", field=field):
+            with ReconfigTransaction("add_split_task") as txn:
+                low = self.add_task(low_task, transaction=txn, _record=False)
+                high = self.add_task(high_task, transaction=txn, _record=False)
         self._record_op("add", ref=low.task_id, task=task_to_dict(low_task))
         self._record_op("add", ref=high.task_id, task=task_to_dict(high_task))
         if _TELEMETRY.enabled:
@@ -535,39 +544,48 @@ class FlyMonController:
         """
         import dataclasses
 
-        new_task = dataclasses.replace(handle.task, memory=new_memory)
-        try:
-            new_handle = self.add_task(new_task)
-        except PlacementError:
-            pass
-        else:
-            self.remove_task(handle)
-            self._emit_resize(handle, new_handle, "make_before_break")
+        with _RECORDER.span(
+            "ctl.resize_task", cat="control", task_id=handle.task_id,
+            new_memory=new_memory,
+        ):
+            new_task = dataclasses.replace(handle.task, memory=new_memory)
+            try:
+                new_handle = self.add_task(new_task)
+            except PlacementError:
+                pass
+            else:
+                self.remove_task(handle)
+                self._emit_resize(handle, new_handle, "make_before_break")
+                return new_handle
+            try:
+                with ReconfigTransaction(
+                    f"resize_task task{handle.task_id}"
+                ) as txn:
+                    self.remove_task(handle, transaction=txn, _record=False)
+                    new_handle = self.add_task(
+                        new_task, transaction=txn, _record=False
+                    )
+            except PlacementError as exc:
+                # The rollback restored the original deployment (same task id,
+                # same keys/memory/rules), so the caller's handle is live
+                # again.
+                exc.restored_handle = handle
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.events.emit(
+                        EV_TASK_RESIZE,
+                        task_id=handle.task_id,
+                        new_task_id=handle.task_id,
+                        old_memory=handle.task.memory,
+                        new_memory=new_memory,
+                        strategy="restored",
+                    )
+                raise
+            self._record_op("remove", ref=handle.task_id)
+            self._record_op(
+                "add", ref=new_handle.task_id, task=task_to_dict(new_task)
+            )
+            self._emit_resize(handle, new_handle, "remove_then_add")
             return new_handle
-        try:
-            with ReconfigTransaction(f"resize_task task{handle.task_id}") as txn:
-                self.remove_task(handle, transaction=txn, _record=False)
-                new_handle = self.add_task(new_task, transaction=txn, _record=False)
-        except PlacementError as exc:
-            # The rollback restored the original deployment (same task id,
-            # same keys/memory/rules), so the caller's handle is live again.
-            exc.restored_handle = handle
-            if _TELEMETRY.enabled:
-                _TELEMETRY.events.emit(
-                    EV_TASK_RESIZE,
-                    task_id=handle.task_id,
-                    new_task_id=handle.task_id,
-                    old_memory=handle.task.memory,
-                    new_memory=new_memory,
-                    strategy="restored",
-                )
-            raise
-        self._record_op("remove", ref=handle.task_id)
-        self._record_op(
-            "add", ref=new_handle.task_id, task=task_to_dict(new_task)
-        )
-        self._emit_resize(handle, new_handle, "remove_then_add")
-        return new_handle
 
     def _emit_resize(
         self, old: TaskHandle, new: TaskHandle, strategy: str
@@ -630,12 +648,16 @@ class FlyMonController:
         if workers is not None and workers > 1:
             self.process_trace_sharded(trace, workers, batch_size=batch_size)
             return
-        if batch_size is not None:
-            for batch in trace.iter_batches(batch_size):
-                self.process_batch(batch)
-            return
-        for fields in trace.iter_fields():
-            self.process_packet(fields)
+        with _RECORDER.span(
+            "ctl.trace", cat="dataplane", packets=len(trace),
+            batched=batch_size is not None,
+        ):
+            if batch_size is not None:
+                for batch in trace.iter_batches(batch_size):
+                    self.process_batch(batch)
+                return
+            for fields in trace.iter_fields():
+                self.process_packet(fields)
 
     def process_trace_sharded(
         self,

@@ -26,7 +26,11 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.telemetry import EV_TXN_ROLLBACK, TELEMETRY as _TELEMETRY
+from repro.telemetry import (
+    EV_TXN_ROLLBACK,
+    RECORDER as _RECORDER,
+    TELEMETRY as _TELEMETRY,
+)
 
 STATE_OPEN = "open"
 STATE_COMMITTED = "committed"
@@ -99,11 +103,14 @@ class ReconfigTransaction:
         entries = self._undo
         self._undo = []
         errors: List[Tuple[str, BaseException]] = []
-        for description, action in reversed(entries):
-            try:
-                action()
-            except BaseException as exc:  # noqa: BLE001 - keep unwinding
-                errors.append((description, exc))
+        with _RECORDER.span(
+            "txn.rollback", cat="control", txn=self.name, entries=len(entries)
+        ):
+            for description, action in reversed(entries):
+                try:
+                    action()
+                except BaseException as exc:  # noqa: BLE001 - keep unwinding
+                    errors.append((description, exc))
         if _TELEMETRY.enabled:
             _TELEMETRY.registry.counter("flymon_rollbacks_total").inc()
             _TELEMETRY.events.emit(

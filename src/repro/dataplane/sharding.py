@@ -56,6 +56,7 @@ from repro.faults import (
     SITE_SHARD_CRASH,
     SITE_SHARD_TIMEOUT,
 )
+from repro.telemetry import RECORDER as _RECORDER
 from repro.traffic.batch import PacketBatch
 
 #: Column-slice size workers use when the caller does not fix one.
@@ -267,13 +268,21 @@ def replica_specs(groups: Sequence) -> List[GroupReplicaSpec]:
 
 @dataclass
 class ShardResult:
-    """One worker's output: final replica cells, journal, spliced exports."""
+    """One worker's output: final replica cells, journal, spliced exports.
+
+    ``build_ms``/``compute_ms`` are measured *inside* the worker with raw
+    ``perf_counter`` reads (the worker may live in another process, so it
+    cannot append to the dispatcher's flight recorder): replica
+    construction vs. the batch loop + register snapshot.
+    """
 
     start: int
     stop: int
     cells: Dict[Tuple[int, int], np.ndarray]
     journal: ShardJournal
     exports: Optional[Dict[str, np.ndarray]]
+    build_ms: float = 0.0
+    compute_ms: float = 0.0
 
 
 @dataclass
@@ -283,7 +292,20 @@ class ShardRunReport:
     ``retries`` counts serial re-dispatches of crashed or hung shards,
     ``timeouts`` how many shard futures exceeded the per-shard deadline,
     and ``shard_events`` carries one record per recovery action
-    (``{"shard": i, "reason": ...}``) so callers can audit what degraded.
+    (``{"shard": i, "attempt": n, "reason": ..., "elapsed_ms": ...}``) so
+    callers can audit what degraded and what the recovery cost.
+
+    ``shard_timings`` holds one phase-attributed record per shard --
+    ``{"shard", "rows", "dispatch_ms", "build_ms", "compute_ms",
+    "transport_ms", "retried", "retries", "retry_ms"}`` -- where
+    ``dispatch_ms`` is the dispatcher-observed submit-to-result wall,
+    ``build_ms``/``compute_ms`` are the worker's own measurements, and
+    ``transport_ms`` is the remainder (pickling, queueing, result
+    transport; clamped at zero).  ``timing`` aggregates the run's phases:
+    ``plan_ms`` (law selection, replica specs, base snapshots),
+    ``dispatch_ms`` (submit to last result), ``merge_ms`` (export splice +
+    journal replay + register fold), ``total_ms``.  Both are always
+    populated -- they do not require the flight recorder to be enabled.
     """
 
     packets: int
@@ -296,6 +318,8 @@ class ShardRunReport:
     retries: int = 0
     timeouts: int = 0
     shard_events: List[Dict[str, object]] = field(default_factory=list)
+    shard_timings: List[Dict[str, object]] = field(default_factory=list)
+    timing: Dict[str, float] = field(default_factory=dict)
 
 
 def _accumulate_exports(acc: Dict[str, np.ndarray], batch, offset: int, total: int) -> None:
@@ -350,13 +374,16 @@ def _run_shard(
     unchanged under process pools, thread pools, and in-line execution.
     """
     _execute_injection(inject, start)
+    t_build = time.perf_counter()
     groups = [spec.build() for spec in specs]
+    build_ms = (time.perf_counter() - t_build) * 1e3
     journal = ShardJournal(tracked)
     for group in groups:
         for cmu in group.cmus:
             cmu.journal = journal
     n = stop - start
     exports: Optional[Dict[str, np.ndarray]] = {} if collect_exports else None
+    t_compute = time.perf_counter()
     for off in range(0, n, batch_size):
         hi = min(off + batch_size, n)
         batch = PacketBatch(
@@ -373,7 +400,11 @@ def _run_shard(
             cmu.journal = None
             if cmu.task_plans():
                 cells[(group.group_id, cmu.index)] = cmu.register.snapshot_cells()
-    return ShardResult(start, stop, cells, journal, exports)
+    compute_ms = (time.perf_counter() - t_compute) * 1e3
+    return ShardResult(
+        start, stop, cells, journal, exports,
+        build_ms=build_ms, compute_ms=compute_ms,
+    )
 
 
 def _is_chained(config) -> bool:
@@ -464,19 +495,25 @@ def _retry_serially(
     last: Optional[BaseException] = None
     for attempt in range(1, attempts + 1):
         stats["retries"] += 1
-        stats["events"].append(
-            {"shard": index, "attempt": attempt, "reason": reason}
-        )
+        event: Dict[str, object] = {
+            "shard": index, "attempt": attempt, "reason": reason
+        }
+        stats["events"].append(event)
         if _TELEMETRY.enabled:
             _TELEMETRY.registry.counter("flymon_shard_retries_total").inc()
             _TELEMETRY.events.emit(
                 EV_SHARD_RETRY, shard=index, attempt=attempt, reason=reason
             )
+        t0 = time.perf_counter()
         try:
-            return _run_shard(*build_payload())
+            result = _run_shard(*build_payload())
         except Exception as exc:  # noqa: BLE001 - bounded, surfaced below
+            event["elapsed_ms"] = (time.perf_counter() - t0) * 1e3
             last = exc
             reason = f"{type(exc).__name__}: {exc}"
+        else:
+            event["elapsed_ms"] = (time.perf_counter() - t0) * 1e3
+            return result
     raise ShardingError(
         f"shard {index} failed after {attempts} serial re-dispatch(es): {reason}"
     ) from last
@@ -498,9 +535,17 @@ def _dispatch(
     worker, or exceeds the per-shard timeout is re-dispatched on the serial
     path with bounded retries, so one bad worker costs its shard's
     parallelism -- never the run.  Returns ``(results, backend_used,
-    stats)`` with ``stats = {"retries", "timeouts", "events"}``.
+    stats)`` with ``stats = {"retries", "timeouts", "events", "timings"}``;
+    ``timings`` holds one phase-attributed record per shard (see
+    :attr:`ShardRunReport.shard_timings`) plus a private ``_submit_pc``
+    (raw ``perf_counter`` submit time) that the caller strips after
+    placing synthetic spans on the flight-recorder timeline.
     """
-    stats: Dict[str, object] = {"retries": 0, "timeouts": 0, "events": []}
+    stats: Dict[str, object] = {
+        "retries": 0, "timeouts": 0, "events": [], "timings": []
+    }
+    dispatch_ms: Dict[int, float] = {}
+    submit_pc: Dict[int, float] = {}
 
     def payload(i: int, inject: Optional[Tuple]) -> tuple:
         start, stop = ranges[i]
@@ -519,18 +564,45 @@ def _dispatch(
     results: List[Optional[ShardResult]] = [None] * count
     timeout = shard_timeout()
 
+    def finish(backend_used: str):
+        """Assemble per-shard timing records once every result is in."""
+        for i, result in enumerate(results):
+            events = [e for e in stats["events"] if e["shard"] == i]
+            observed = dispatch_ms.get(i, 0.0)
+            stats["timings"].append(
+                {
+                    "shard": i,
+                    "rows": result.stop - result.start,
+                    "dispatch_ms": observed,
+                    "build_ms": result.build_ms,
+                    "compute_ms": result.compute_ms,
+                    "transport_ms": max(
+                        0.0, observed - result.build_ms - result.compute_ms
+                    ),
+                    "retried": bool(events),
+                    "retries": len(events),
+                    "retry_ms": sum(e.get("elapsed_ms", 0.0) for e in events),
+                    "_submit_pc": submit_pc.get(i),
+                }
+            )
+        return results, backend_used, stats
+
     if backend == BACKEND_SERIAL or count <= 1:
         for i in range(count):
+            submit_pc[i] = t0 = time.perf_counter()
             try:
                 results[i] = _run_shard(*payload(i, _plan_injection(i)))
             except Exception as exc:  # noqa: BLE001 - recovered below
+                dispatch_ms[i] = (time.perf_counter() - t0) * 1e3
                 results[i] = _retry_serially(
                     lambda i=i: payload(i, _plan_injection(i)),
                     i,
                     f"{type(exc).__name__}: {exc}",
                     stats,
                 )
-        return results, BACKEND_SERIAL, stats
+            else:
+                dispatch_ms[i] = (time.perf_counter() - t0) * 1e3
+        return finish(BACKEND_SERIAL)
 
     failed: Dict[int, str] = {}
     if backend == BACKEND_PROCESS:
@@ -549,10 +621,12 @@ def _dispatch(
             )
             pool = ProcessPoolExecutor(max_workers=count, mp_context=context)
             try:
-                futures = [
-                    pool.submit(_run_shard, *payload(i, _plan_injection(i)))
-                    for i in range(count)
-                ]
+                futures = []
+                for i in range(count):
+                    submit_pc[i] = time.perf_counter()
+                    futures.append(
+                        pool.submit(_run_shard, *payload(i, _plan_injection(i)))
+                    )
             except BaseException:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
@@ -566,26 +640,29 @@ def _dispatch(
                     failed[i] = "worker process died"
                 except Exception as exc:  # noqa: BLE001 - recovered below
                     failed[i] = f"{type(exc).__name__}: {exc}"
+                dispatch_ms[i] = (time.perf_counter() - submit_pc[i]) * 1e3
             # Never block on a hung/killed worker during cleanup.
             pool.shutdown(wait=False, cancel_futures=True)
             for i, reason in failed.items():
                 results[i] = _retry_serially(
                     lambda i=i: payload(i, _plan_injection(i)), i, reason, stats
                 )
-            return results, BACKEND_PROCESS, stats
+            return finish(BACKEND_PROCESS)
         except (OSError, PermissionError):
             backend = BACKEND_THREAD
             failed.clear()
+            dispatch_ms.clear()
+            submit_pc.clear()
     from concurrent.futures import (
         ThreadPoolExecutor,
         TimeoutError as FuturesTimeout,
     )
 
     pool = ThreadPoolExecutor(max_workers=count)
-    futures = [
-        pool.submit(_run_shard, *payload(i, _plan_injection(i)))
-        for i in range(count)
-    ]
+    futures = []
+    for i in range(count):
+        submit_pc[i] = time.perf_counter()
+        futures.append(pool.submit(_run_shard, *payload(i, _plan_injection(i))))
     for i, future in enumerate(futures):
         try:
             results[i] = future.result(timeout=timeout)
@@ -594,12 +671,13 @@ def _dispatch(
             failed[i] = "shard timed out"
         except Exception as exc:  # noqa: BLE001 - recovered below
             failed[i] = f"{type(exc).__name__}: {exc}"
+        dispatch_ms[i] = (time.perf_counter() - submit_pc[i]) * 1e3
     pool.shutdown(wait=False, cancel_futures=True)
     for i, reason in failed.items():
         results[i] = _retry_serially(
             lambda i=i: payload(i, _plan_injection(i)), i, reason, stats
         )
-    return results, BACKEND_THREAD, stats
+    return finish(BACKEND_THREAD)
 
 
 def _sequential(
@@ -609,12 +687,17 @@ def _sequential(
     n = len(trace)
     exports: Optional[Dict[str, np.ndarray]] = {} if collect_exports else None
     offset = 0
-    for batch in trace.iter_batches(batch_size):
-        for group in groups:
-            group.process_batch(batch)
-        if exports is not None:
-            _accumulate_exports(exports, batch, offset, n)
-        offset += len(batch)
+    t0 = time.perf_counter()
+    with _RECORDER.span(
+        "shard.sequential", cat="dataplane", packets=n, reason=reason
+    ):
+        for batch in trace.iter_batches(batch_size):
+            for group in groups:
+                group.process_batch(batch)
+            if exports is not None:
+                _accumulate_exports(exports, batch, offset, n)
+            offset += len(batch)
+    total_ms = (time.perf_counter() - t0) * 1e3
     return ShardRunReport(
         packets=n,
         workers=workers,
@@ -623,6 +706,12 @@ def _sequential(
         fallback=reason,
         merge_laws={},
         exports=exports,
+        timing={
+            "plan_ms": 0.0,
+            "dispatch_ms": 0.0,
+            "merge_ms": 0.0,
+            "total_ms": total_ms,
+        },
     )
 
 
@@ -741,6 +830,7 @@ def run_sharded(
         batch_size = DEFAULT_SHARD_BATCH
     workers = max(1, int(workers))
     n = len(trace)
+    t_run = time.perf_counter()
 
     plans: Dict[Tuple[int, int, int], tuple] = {}
     for group in groups:
@@ -767,52 +857,117 @@ def run_sharded(
             groups, trace, batch_size, collect_exports, "empty trace", workers
         )
 
-    laws = {
-        key: (
-            LAW_REPLAY
-            if exact_exports
-            else _merge_law(plan, cmu.bucket_bits, cmu.register.value_mask)
-        )
-        for key, (cmu, plan) in plans.items()
-    }
-    tracked = (
-        None
-        if exact_exports
-        else frozenset(key for key, law in laws.items() if law == LAW_REPLAY)
-    )
+    with _RECORDER.span("shard.run", cat="dataplane", packets=n, workers=workers):
+        t_plan = time.perf_counter()
+        with _RECORDER.span("shard.plan", cat="dataplane"):
+            laws = {
+                key: (
+                    LAW_REPLAY
+                    if exact_exports
+                    else _merge_law(plan, cmu.bucket_bits, cmu.register.value_mask)
+                )
+                for key, (cmu, plan) in plans.items()
+            }
+            tracked = (
+                None
+                if exact_exports
+                else frozenset(key for key, law in laws.items() if law == LAW_REPLAY)
+            )
 
-    base = {
-        (group.group_id, cmu.index): cmu.register.snapshot_cells()
-        for group in groups
-        for cmu in group.cmus
-        if cmu.task_plans()
-    }
-    specs = replica_specs(groups)
-    ranges = shard_ranges(n, workers)
-    shard_results, backend_used, dispatch_stats = _dispatch(
-        specs,
-        trace.columns,
-        ranges,
-        batch_size,
-        tracked,
-        collect_exports,
-        _resolve_backend(backend),
-    )
+            base = {
+                (group.group_id, cmu.index): cmu.register.snapshot_cells()
+                for group in groups
+                for cmu in group.cmus
+                if cmu.task_plans()
+            }
+            specs = replica_specs(groups)
+            ranges = shard_ranges(n, workers)
+        plan_ms = (time.perf_counter() - t_plan) * 1e3
 
-    exports: Optional[Dict[str, np.ndarray]] = None
-    if collect_exports:
-        exports = {}
-        for result in shard_results:
-            for name, arr in (result.exports or {}).items():
-                column = exports.get(name)
-                if column is None:
-                    column = exports[name] = np.zeros(n, dtype=np.int64)
-                column[result.start : result.stop] = arr
+        t_dispatch = time.perf_counter()
+        with _RECORDER.span(
+            "shard.dispatch", cat="dataplane", shards=len(ranges)
+        ) as dispatch_sp:
+            shard_results, backend_used, dispatch_stats = _dispatch(
+                specs,
+                trace.columns,
+                ranges,
+                batch_size,
+                tracked,
+                collect_exports,
+                _resolve_backend(backend),
+            )
+        dispatch_total_ms = (time.perf_counter() - t_dispatch) * 1e3
 
-    journal = ShardJournal(tracked)
-    for result in shard_results:
-        journal.absorb(result.journal)
-    _merge_into(groups, base, journal, shard_results, laws, trace, exports)
+        # Graft worker-side timings onto the recorder timeline.  Workers may
+        # live in other processes, so the dispatcher places synthetic spans
+        # from the floats each ShardResult carried back: one ``shard.worker``
+        # per shard (submit-to-result wall, plus serial retry time), with
+        # build / compute / transport / retry children laid out sequentially
+        # from the recorded submit instant.
+        timings: List[Dict[str, object]] = dispatch_stats["timings"]
+        for record in timings:
+            submit = record.pop("_submit_pc", None)
+            if not _RECORDER.enabled or submit is None:
+                continue
+            start = _RECORDER.rel_us(submit)
+            worker_wall = record["dispatch_ms"] + record["retry_ms"]
+            worker_id = _RECORDER.add(
+                "shard.worker",
+                worker_wall,
+                parent_id=dispatch_sp.span_id,
+                start_us=start,
+                cat="dataplane",
+                shard=record["shard"],
+                rows=record["rows"],
+                retried=record["retried"],
+            )
+            offset_us = start
+            for child, key in (
+                ("shard.build", "build_ms"),
+                ("shard.compute", "compute_ms"),
+                ("shard.transport", "transport_ms"),
+            ):
+                ms = record[key]
+                if ms <= 0.0:
+                    continue
+                _RECORDER.add(
+                    child,
+                    ms,
+                    parent_id=worker_id,
+                    start_us=offset_us,
+                    cat="dataplane",
+                    shard=record["shard"],
+                )
+                offset_us += ms * 1e3
+            if record["retry_ms"] > 0.0:
+                _RECORDER.add(
+                    "shard.retry",
+                    record["retry_ms"],
+                    parent_id=worker_id,
+                    start_us=offset_us,
+                    cat="dataplane",
+                    shard=record["shard"],
+                    retries=record["retries"],
+                )
+
+        t_merge = time.perf_counter()
+        with _RECORDER.span("shard.merge", cat="dataplane"):
+            exports: Optional[Dict[str, np.ndarray]] = None
+            if collect_exports:
+                exports = {}
+                for result in shard_results:
+                    for name, arr in (result.exports or {}).items():
+                        column = exports.get(name)
+                        if column is None:
+                            column = exports[name] = np.zeros(n, dtype=np.int64)
+                        column[result.start : result.stop] = arr
+
+            journal = ShardJournal(tracked)
+            for result in shard_results:
+                journal.absorb(result.journal)
+            _merge_into(groups, base, journal, shard_results, laws, trace, exports)
+        merge_ms = (time.perf_counter() - t_merge) * 1e3
 
     from repro.telemetry import TELEMETRY as _TELEMETRY
 
@@ -831,4 +986,11 @@ def run_sharded(
         retries=dispatch_stats["retries"],
         timeouts=dispatch_stats["timeouts"],
         shard_events=dispatch_stats["events"],
+        shard_timings=timings,
+        timing={
+            "plan_ms": plan_ms,
+            "dispatch_ms": dispatch_total_ms,
+            "merge_ms": merge_ms,
+            "total_ms": (time.perf_counter() - t_run) * 1e3,
+        },
     )

@@ -31,9 +31,11 @@ import numpy as np
 
 from repro.core.controller import FlyMonController, TaskHandle
 from repro.telemetry import (
+    DEFAULT_MS_BUCKETS,
     EV_EPOCH_SEAL,
     EV_WATCHER_ACTION,
     EV_WATCHER_FIRED,
+    RECORDER as _RECORDER,
     TELEMETRY as _TELEMETRY,
 )
 from repro.traffic.packet import PACKET_FIELDS
@@ -213,6 +215,10 @@ class MeasurementService:
         self._epoch_min_ts: Optional[int] = None
         self._epoch_max_ts: Optional[int] = None
         self._pending_fields: List[Dict[str, int]] = []
+        #: Report of the most recent sharded window (``workers > 1`` only).
+        self.last_shard_report = None
+        #: Cumulative wall spent inside datapath processing, milliseconds.
+        self.ingest_ms_total = 0.0
 
     # -- registration -------------------------------------------------------
 
@@ -324,6 +330,11 @@ class MeasurementService:
             "workers": self.workers,
             "epoch_packets": self.epoch_packets,
             "epoch_duration_us": self.epoch_duration_us,
+            "ingest_ms_total": self.ingest_ms_total,
+            "last_seal_ms": self._ring[-1].seal_ms if self._ring else None,
+            "watchers_fired": sum(
+                1 for e in self.watcher_log if getattr(e, "fired", False)
+            ),
         }
 
     # -- internals ----------------------------------------------------------
@@ -345,16 +356,17 @@ class MeasurementService:
     def _ingest_chunk(self, trace: Trace) -> List[SealedEpoch]:
         sealed: List[SealedEpoch] = []
         remaining = trace
-        while len(remaining):
-            take = self._room_for(remaining)
-            if take == 0:
-                sealed.append(self._seal())
-                continue
-            window, remaining = _split_trace(remaining, take)
-            self._process(window)
-            self._account(window)
-            if self._boundary_reached():
-                sealed.append(self._seal())
+        with _RECORDER.span("service.ingest", cat="service", packets=len(trace)):
+            while len(remaining):
+                take = self._room_for(remaining)
+                if take == 0:
+                    sealed.append(self._seal())
+                    continue
+                window, remaining = _split_trace(remaining, take)
+                self._process(window)
+                self._account(window)
+                if self._boundary_reached():
+                    sealed.append(self._seal())
         return sealed
 
     def _room_for(self, trace: Trace) -> int:
@@ -389,19 +401,23 @@ class MeasurementService:
     def _process(self, window: Trace) -> None:
         if len(window) == 0:
             return
-        if self.workers > 1:
-            self.controller.process_trace_sharded(
-                window,
-                self.workers,
-                batch_size=self._effective_batch(),
-                backend=self.backend,
-            )
-            return
-        if self.batch_size == 0:
-            # Scalar reference path: differential tests only.
-            self.controller.process_trace(window)
-            return
-        self.controller.process_trace(window, batch_size=self._effective_batch())
+        t0 = time.perf_counter()
+        try:
+            if self.workers > 1:
+                self.last_shard_report = self.controller.process_trace_sharded(
+                    window,
+                    self.workers,
+                    batch_size=self._effective_batch(),
+                    backend=self.backend,
+                )
+                return
+            if self.batch_size == 0:
+                # Scalar reference path: differential tests only.
+                self.controller.process_trace(window)
+                return
+            self.controller.process_trace(window, batch_size=self._effective_batch())
+        finally:
+            self.ingest_ms_total += (time.perf_counter() - t0) * 1e3
 
     def _hosting_rows(self, handles: Sequence[TaskHandle]):
         registers: Dict[Tuple[int, int], object] = {}
@@ -412,41 +428,53 @@ class MeasurementService:
 
     def _seal(self, reset_handles: Optional[Sequence[TaskHandle]] = None) -> SealedEpoch:
         t0 = time.perf_counter()
-        handles = self.controller.tasks
-        registers = self._hosting_rows(handles)
-        cells = {
-            key: register.snapshot_cells() for key, register in registers.items()
-        }
-        digest_sets: Dict[Tuple[int, int, int], set] = {}
-        for handle in handles:
-            for row in handle.rows:
-                drained = row.cmu.drain_digests(handle.task_id)
-                if drained:
-                    digest_sets[
-                        (row.group.group_id, row.cmu.index, handle.task_id)
-                    ] = drained
-        sealed = SealedEpoch(
-            index=self._epoch_index,
+        with _RECORDER.span(
+            "service.rotate", cat="service", epoch=self._epoch_index,
             packets=self._epoch_fill,
-            start_ts=self._epoch_min_ts,
-            end_ts=self._epoch_max_ts,
-            cells=cells,
-            registers=registers,
-            task_ids=[handle.task_id for handle in handles],
-            digest_sets=digest_sets,
-        )
-        self._ring.append(sealed)
+        ):
+            with _RECORDER.span("rotate.snapshot", cat="service"):
+                handles = self.controller.tasks
+                registers = self._hosting_rows(handles)
+                cells = {
+                    key: register.snapshot_cells()
+                    for key, register in registers.items()
+                }
+            with _RECORDER.span("rotate.digests", cat="service"):
+                digest_sets: Dict[Tuple[int, int, int], set] = {}
+                for handle in handles:
+                    for row in handle.rows:
+                        drained = row.cmu.drain_digests(handle.task_id)
+                        if drained:
+                            digest_sets[
+                                (row.group.group_id, row.cmu.index, handle.task_id)
+                            ] = drained
+            sealed = SealedEpoch(
+                index=self._epoch_index,
+                packets=self._epoch_fill,
+                start_ts=self._epoch_min_ts,
+                end_ts=self._epoch_max_ts,
+                cells=cells,
+                registers=registers,
+                task_ids=[handle.task_id for handle in handles],
+                digest_sets=digest_sets,
+            )
+            self._ring.append(sealed)
 
-        # Reset first so the next epoch starts fresh even if a watcher's
-        # reaction (or a series estimator) raises; sealed queries keep
-        # working because they read the snapshot, not the registers.
-        for handle in reset_handles if reset_handles is not None else handles:
-            handle.reset()
+            # Reset first so the next epoch starts fresh even if a watcher's
+            # reaction (or a series estimator) raises; sealed queries keep
+            # working because they read the snapshot, not the registers.
+            with _RECORDER.span("rotate.reset", cat="service"):
+                for handle in (
+                    reset_handles if reset_handles is not None else handles
+                ):
+                    handle.reset()
 
-        self._evaluate_series(sealed)
-        self._evaluate_watchers(sealed)
+            with _RECORDER.span("rotate.series", cat="service"):
+                self._evaluate_series(sealed)
+            with _RECORDER.span("rotate.watchers", cat="service"):
+                self._evaluate_watchers(sealed)
 
-        sealed.seal_ms = (time.perf_counter() - t0) * 1e3
+            sealed.seal_ms = (time.perf_counter() - t0) * 1e3
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(
                 EV_EPOCH_SEAL,
@@ -459,9 +487,12 @@ class MeasurementService:
                 ),
             )
             _TELEMETRY.registry.counter("flymon_epochs_total").inc()
-            _TELEMETRY.registry.histogram("flymon_epoch_seal_ms").observe(
-                sealed.seal_ms
-            )
+            # The metric is in milliseconds, so the histogram needs the ms
+            # bucket ladder -- the default buckets are seconds-scaled and
+            # would park every observation in the top bucket.
+            _TELEMETRY.registry.histogram(
+                "flymon_epoch_seal_ms", buckets=DEFAULT_MS_BUCKETS
+            ).observe(sealed.seal_ms)
 
         self._epoch_index += 1
         self._epoch_fill = 0

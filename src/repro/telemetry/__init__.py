@@ -58,22 +58,40 @@ from repro.telemetry.export import (  # noqa: F401
     write_artifact,
 )
 from repro.telemetry.metrics import (  # noqa: F401
+    DEFAULT_MS_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.spans import (  # noqa: F401
+    FlightRecorder,
+    PhaseNode,
+    SpanRecord,
+    aggregate_spans,
+    format_phase_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.telemetry.tracing import DEFAULT_SAMPLE_INTERVAL, Tracer  # noqa: F401
 
 
 class Telemetry:
-    """The bundle hot paths consult: ``enabled`` flag + registry/log/tracer."""
+    """The bundle hot paths consult: ``enabled`` flag + registry/log/tracer.
+
+    The flight :attr:`recorder` (phase spans, see
+    :mod:`repro.telemetry.spans`) has its *own* enable flag, independent of
+    the metrics/events ``enabled`` bit: span sites are coarse enough to run
+    with metrics off, and vice versa.
+    """
 
     def __init__(self) -> None:
         self.enabled = False
         self.registry = MetricsRegistry()
         self.events = EventLog()
         self.tracer = Tracer(self.registry)
+        self.recorder = FlightRecorder()
 
     def enable(self, sample_interval: Optional[int] = None) -> "Telemetry":
         if sample_interval is not None:
@@ -86,18 +104,23 @@ class Telemetry:
         return self
 
     def reset(self) -> "Telemetry":
-        """Zero metrics and clear events; enabled state is unchanged.
+        """Zero metrics, clear events and spans; enabled state is unchanged.
 
         Metric instances are reset in place, so handles cached by
         instrumented modules (CMUs, pipelines) remain registered.
         """
         self.registry.reset()
         self.events.clear()
+        self.recorder.clear()
         return self
 
 
 #: The process-wide instance every instrumented module consults.
 TELEMETRY = Telemetry()
+
+#: The process-wide flight recorder (``TELEMETRY.recorder``); instrumented
+#: modules cache this reference at import time -- it is never replaced.
+RECORDER = TELEMETRY.recorder
 
 
 def get_telemetry() -> Telemetry:
@@ -114,3 +137,12 @@ def disable() -> Telemetry:
 
 def reset() -> Telemetry:
     return TELEMETRY.reset()
+
+
+def enable_recorder(capacity: Optional[int] = None) -> FlightRecorder:
+    """Turn the flight recorder on (independent of metrics/events)."""
+    return RECORDER.enable(capacity=capacity)
+
+
+def disable_recorder() -> FlightRecorder:
+    return RECORDER.disable()

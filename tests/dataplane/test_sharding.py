@@ -313,3 +313,106 @@ class TestExports:
             np.testing.assert_array_equal(
                 report.exports[name], ref_report.exports[name], err_msg=name
             )
+
+
+class TestShardTimings:
+    """Per-shard phase timings surfaced on ShardRunReport (flight recorder
+    satellite): always populated, recorder on or off."""
+
+    def test_report_timing_and_shard_timings_populated(self):
+        trace = zipf_trace(num_flows=100, num_packets=2_000, seed=5)
+        controller, _ = _controller([_cms_task()])
+        report = run_sharded(controller.groups, trace, workers=3, backend="serial")
+        timing = report.timing
+        assert set(timing) == {"plan_ms", "dispatch_ms", "merge_ms", "total_ms"}
+        assert timing["total_ms"] > 0.0
+        assert timing["dispatch_ms"] > 0.0
+        assert len(report.shard_timings) == 3
+        for i, record in enumerate(report.shard_timings):
+            assert record["shard"] == i
+            assert record["rows"] > 0
+            assert record["dispatch_ms"] > 0.0
+            assert record["build_ms"] >= 0.0
+            assert record["compute_ms"] > 0.0
+            assert record["transport_ms"] >= 0.0
+            assert record["retried"] is False
+            assert record["retries"] == 0
+            assert record["retry_ms"] == 0.0
+            assert "_submit_pc" not in record  # private field stripped
+        assert sum(r["rows"] for r in report.shard_timings) == len(trace)
+
+    def test_thread_backend_dispatch_covers_worker_phases(self):
+        trace = zipf_trace(num_flows=100, num_packets=2_000, seed=6)
+        controller, _ = _controller([_cms_task()])
+        report = run_sharded(controller.groups, trace, workers=2, backend="thread")
+        for record in report.shard_timings:
+            # dispatch (submit->result) bounds the worker-measured phases;
+            # transport is exactly the gap, clamped at zero.
+            assert record["transport_ms"] == pytest.approx(
+                max(
+                    0.0,
+                    record["dispatch_ms"]
+                    - record["build_ms"]
+                    - record["compute_ms"],
+                )
+            )
+
+    def test_recovered_shard_reports_retry_timings(self):
+        from repro.faults import FAULTS, SITE_SHARD_CRASH
+
+        trace = zipf_trace(num_flows=100, num_packets=2_000, seed=7)
+        controller, _ = _controller([_cms_task()])
+        FAULTS.arm(SITE_SHARD_CRASH, hit=2)  # second shard dispatch fails
+        try:
+            report = run_sharded(
+                controller.groups, trace, workers=2, backend="thread"
+            )
+        finally:
+            FAULTS.reset()
+        assert report.retries >= 1
+        retried = [r for r in report.shard_timings if r["retried"]]
+        assert retried, "no shard_timings record marked retried"
+        for record in retried:
+            assert record["retries"] >= 1
+            assert record["retry_ms"] > 0.0
+        clean = [r for r in report.shard_timings if not r["retried"]]
+        assert all(r["retry_ms"] == 0.0 for r in clean)
+
+    def test_sequential_fallback_still_reports_timing(self):
+        task = MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=1024,
+            depth=2,
+            algorithm="sumax_sum",  # chained -> sequential fallback
+        )
+        trace = zipf_trace(num_flows=50, num_packets=500, seed=8)
+        controller, _ = _controller([task])
+        report = run_sharded(controller.groups, trace, workers=4)
+        assert report.fallback is not None
+        assert report.shard_timings == []
+        assert report.timing["total_ms"] > 0.0
+
+    def test_recorder_captures_shard_phase_spans(self):
+        from repro.telemetry import RECORDER, disable_recorder, enable_recorder
+
+        trace = zipf_trace(num_flows=100, num_packets=2_000, seed=9)
+        controller, _ = _controller([_cms_task()])
+        RECORDER.clear()
+        enable_recorder()
+        try:
+            run_sharded(controller.groups, trace, workers=2, backend="thread")
+            names = [s.name for s in RECORDER.spans]
+        finally:
+            disable_recorder()
+            RECORDER.clear()
+        for expected in (
+            "shard.run",
+            "shard.plan",
+            "shard.dispatch",
+            "shard.merge",
+            "shard.worker",
+            "shard.compute",
+        ):
+            assert expected in names, f"missing span {expected}: {names}"
+        assert names.count("shard.worker") == 2

@@ -273,3 +273,91 @@ class TestStats:
         controller.add_task(freq_task())
         service = MeasurementService(controller, epoch_packets=10)
         assert service.ingest(Trace.empty()) == []
+
+    def test_stats_flight_recorder_fields(self, controller):
+        controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=50, num_packets=1000, seed=18)
+        service = MeasurementService(controller, epoch_packets=300)
+        service.ingest(trace)
+        stats = service.stats()
+        assert stats["ingest_ms_total"] > 0.0
+        assert stats["last_seal_ms"] is not None
+        assert stats["last_seal_ms"] >= 0.0
+        assert stats["watchers_fired"] == 0
+
+    def test_last_seal_ms_none_before_first_epoch(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=10_000)
+        assert service.stats()["last_seal_ms"] is None
+
+
+class TestSealTelemetry:
+    def test_seal_histogram_uses_ms_buckets(self, controller):
+        """flymon_epoch_seal_ms observes milliseconds, so it must be created
+        with DEFAULT_MS_BUCKETS -- the seconds buckets shoved every seal into
+        the top bucket (the PR-1 regression this guards against)."""
+        from repro import telemetry
+        from repro.telemetry import DEFAULT_MS_BUCKETS
+
+        controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=50, num_packets=900, seed=19)
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            service = MeasurementService(controller, epoch_packets=300)
+            service.ingest(trace)
+            hist = telemetry.TELEMETRY.registry.get("flymon_epoch_seal_ms")
+            assert hist is not None
+            assert hist.bounds == DEFAULT_MS_BUCKETS
+            assert hist.count == 3
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+
+class TestFlightRecorder:
+    def test_ingest_and_rotation_spans(self, controller):
+        from repro.telemetry import RECORDER, disable_recorder, enable_recorder
+
+        controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=50, num_packets=900, seed=20)
+        RECORDER.clear()
+        enable_recorder()
+        try:
+            service = MeasurementService(controller, epoch_packets=300)
+            service.ingest(trace)
+            spans = RECORDER.spans
+        finally:
+            disable_recorder()
+            RECORDER.clear()
+        names = [s.name for s in spans]
+        assert names.count("service.rotate") == 3
+        assert "service.ingest" in names
+        by_id = {s.span_id: s for s in spans}
+        rotate_ids = {s.span_id for s in spans if s.name == "service.rotate"}
+        for child in ("rotate.snapshot", "rotate.digests", "rotate.reset",
+                      "rotate.series", "rotate.watchers"):
+            members = [s for s in spans if s.name == child]
+            assert len(members) == 3, f"{child}: {names}"
+            assert all(s.parent_id in rotate_ids for s in members)
+        # Rotation spans carry the epoch index and packet count.
+        epochs = sorted(
+            s.attrs["epoch"] for s in spans if s.name == "service.rotate"
+        )
+        assert epochs == [0, 1, 2]
+        assert all(
+            s.attrs["packets"] == 300
+            for s in spans
+            if s.name == "service.rotate"
+        )
+        assert by_id  # parent links all resolve within the ring
+
+    def test_recorder_off_records_nothing(self, controller):
+        from repro.telemetry import RECORDER, disable_recorder
+
+        disable_recorder()
+        RECORDER.clear()
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=300)
+        service.ingest(zipf_trace(num_flows=50, num_packets=900, seed=21))
+        assert RECORDER.spans == []

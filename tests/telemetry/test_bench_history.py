@@ -1,0 +1,217 @@
+"""Unit tests for the bench regression ledger (repro.bench_history)."""
+
+import json
+
+import pytest
+
+from repro.bench_history import (
+    Finding,
+    build_entry,
+    classify,
+    compare,
+    flatten_metrics,
+    format_report,
+    load_baseline,
+    load_history,
+    load_results,
+    machine_info,
+    record_history,
+    same_machine,
+    write_baseline,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "metric, direction, kind",
+        [
+            ("speedup", "higher", "ratio"),
+            ("speedup_vs_batched", "higher", "ratio"),
+            ("scalar_pps", "higher", "absolute"),
+            ("streaming.workers2.packets_per_second", "higher", "absolute"),
+            ("seconds", "lower", "absolute"),
+            ("seal_ms", "lower", "absolute"),
+            ("rotation_overhead_pct", "lower", "ratio"),
+            ("latency_p99", "lower", "absolute"),
+        ],
+    )
+    def test_direction_and_kind(self, metric, direction, kind):
+        spec = classify(metric)
+        assert spec is not None
+        assert (spec.direction, spec.kind) == (direction, kind)
+
+    def test_unknown_metric_is_informational(self):
+        assert classify("num_packets") is None
+        assert classify("batch_size") is None
+
+
+class TestFlatten:
+    def test_nested_paths_and_meta_skipped(self):
+        payload = {
+            "name": "svc",
+            "machine_info": {"cpu_count": 8},
+            "params": {"packets": 100},
+            "speedup": {"workers4": 2.5},
+            "seconds": 3.0,
+            "identical": True,  # bools are not metrics
+            "backend": "thread",  # strings are not metrics
+        }
+        assert flatten_metrics(payload) == {
+            "speedup.workers4": 2.5,
+            "seconds": 3.0,
+        }
+
+
+class TestMachineInfo:
+    def test_fingerprint_shape(self):
+        info = machine_info()
+        assert set(info) == {"cpu_count", "python", "machine", "system", "git_sha"}
+
+    def test_same_machine_ignores_git_sha(self):
+        a = machine_info()
+        b = dict(a, git_sha="something-else")
+        assert same_machine(a, b)
+        assert not same_machine(a, dict(a, cpu_count=(a["cpu_count"] or 0) + 1))
+        assert not same_machine(a, None)
+        assert not same_machine(None, None)
+
+
+class TestLedger:
+    def _results_dir(self, tmp_path, **metrics):
+        payload = {"name": "demo", **metrics}
+        (tmp_path / "BENCH_demo.json").write_text(json.dumps(payload))
+        return tmp_path
+
+    def test_load_results(self, tmp_path):
+        directory = self._results_dir(tmp_path, speedup=2.0)
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        results = load_results(directory)
+        assert set(results) == {"demo"}
+        assert load_results(tmp_path / "missing") == {}
+
+    def test_record_and_load_history(self, tmp_path):
+        directory = self._results_dir(tmp_path, speedup=2.0)
+        history = tmp_path / "ledger" / "history.jsonl"
+        record_history(directory, history)
+        record_history(directory, history)
+        entries = load_history(history)
+        assert len(entries) == 2
+        assert entries[0]["benches"]["demo"] == {"speedup": 2.0}
+        assert "machine_info" in entries[0]
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_baseline_round_trip(self, tmp_path):
+        directory = self._results_dir(tmp_path, speedup=2.0, seconds=1.5)
+        baseline_path = tmp_path / "baseline.json"
+        written = write_baseline(directory, baseline_path)
+        loaded = load_baseline(baseline_path)
+        assert loaded["benches"] == written["benches"]
+        assert load_baseline(tmp_path / "missing.json") is None
+
+
+class TestCompare:
+    def _baseline(self, benches, info=None):
+        return {
+            "machine_info": info if info is not None else machine_info(),
+            "benches": benches,
+        }
+
+    def test_ok_within_threshold(self):
+        baseline = self._baseline({"demo": {"speedup": 2.0}})
+        report = compare({"demo": {"speedup": 1.9}}, baseline, threshold=0.25)
+        assert report.ok
+        (finding,) = report.findings
+        assert not finding.regressed and finding.skipped is None
+
+    def test_ratio_regression_flagged(self):
+        baseline = self._baseline({"demo": {"speedup": 2.0}})
+        report = compare({"demo": {"speedup": 1.0}}, baseline, threshold=0.25)
+        assert not report.ok
+        (finding,) = report.regressions
+        assert finding.metric == "speedup"
+        assert finding.delta_pct == pytest.approx(-50.0)
+
+    def test_lower_is_better_direction(self):
+        baseline = self._baseline({"demo": {"rotation_overhead_pct": 4.0}})
+        worse = compare(
+            {"demo": {"rotation_overhead_pct": 6.0}}, baseline, threshold=0.25
+        )
+        assert not worse.ok
+        better = compare(
+            {"demo": {"rotation_overhead_pct": 1.0}}, baseline, threshold=0.25
+        )
+        assert better.ok
+
+    def test_absolute_skipped_across_machines(self):
+        other = dict(machine_info(), cpu_count=999)
+        baseline = self._baseline(
+            {"demo": {"scalar_pps": 1000.0, "speedup": 2.0}}, info=other
+        )
+        report = compare(
+            {"demo": {"scalar_pps": 10.0, "speedup": 1.9}}, baseline
+        )
+        assert not report.comparable_machine
+        by_metric = {f.metric: f for f in report.findings}
+        assert by_metric["scalar_pps"].skipped  # not judged, visible
+        assert not by_metric["scalar_pps"].regressed
+        assert by_metric["speedup"].skipped is None  # ratios always judged
+        assert report.ok
+
+    def test_absolute_judged_on_same_machine(self):
+        baseline = self._baseline({"demo": {"scalar_pps": 1000.0}})
+        report = compare({"demo": {"scalar_pps": 10.0}}, baseline)
+        assert report.comparable_machine
+        assert not report.ok
+
+    def test_missing_bench_reported(self):
+        baseline = self._baseline({"gone": {"speedup": 2.0}})
+        report = compare({}, baseline)
+        assert report.missing_benches == ["gone"]
+        assert report.ok
+
+    def test_informational_metrics_not_judged(self):
+        baseline = self._baseline({"demo": {"num_packets": 8000.0}})
+        report = compare({"demo": {"num_packets": 4.0}}, baseline)
+        assert report.findings == [] and report.ok
+
+
+class TestFormat:
+    def test_report_mentions_regressions_and_skips(self):
+        report = compare(
+            {"demo": {"speedup": 1.0}},
+            {
+                "machine_info": dict(machine_info(), cpu_count=999),
+                "benches": {"demo": {"speedup": 2.0, "scalar_pps": 10.0}},
+            },
+        )
+        text = format_report(report, verbose=True)
+        assert "REGRESSED" in text
+        assert "different machine" in text
+
+    def test_finding_describe(self):
+        finding = Finding(
+            bench="demo",
+            metric="speedup",
+            baseline=2.0,
+            current=1.0,
+            direction="higher",
+            kind="ratio",
+            delta_pct=-50.0,
+            regressed=True,
+        )
+        assert "demo:speedup" in finding.describe()
+        assert "REGRESSED" in finding.describe()
+
+
+class TestBuildEntry:
+    def test_entry_flattens_every_bench(self):
+        entry = build_entry(
+            {"a": {"speedup": 2.0}, "b": {"nested": {"seconds": 1.0}}},
+            info={"cpu_count": 1},
+        )
+        assert entry["machine_info"] == {"cpu_count": 1}
+        assert entry["benches"] == {
+            "a": {"speedup": 2.0},
+            "b": {"nested.seconds": 1.0},
+        }
+        assert "recorded_at" in entry
