@@ -89,6 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: FLYMON_WORKERS or 1). Worker register state is merged "
         "exactly, so results stay bit-identical to a sequential replay",
     )
+    run.add_argument(
+        "--shard-runtime",
+        choices=("ephemeral", "persistent"),
+        default=None,
+        help="sharded-replay runtime: ephemeral forks fresh workers per "
+        "call, persistent keeps a resident worker pool fed over shared "
+        "memory (default: FLYMON_SHARD_RUNTIME or ephemeral)",
+    )
 
     stats = sub.add_parser(
         "stats", help="telemetry snapshot: events, metrics, utilization"
@@ -195,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="vectorized-engine chunk size (0 forces the scalar path)",
     )
     serve.add_argument(
+        "--shard-runtime",
+        choices=("ephemeral", "persistent"),
+        default=None,
+        help="sharded-ingest runtime (persistent keeps workers resident "
+        "across windows and epoch rotations; default: "
+        "FLYMON_SHARD_RUNTIME or ephemeral)",
+    )
+    serve.add_argument(
         "--chunk", type=int, default=32_768, metavar="N",
         help="ingest the trace in chunks of N packets (default: 32768)",
     )
@@ -274,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None, metavar="N"
     )
     profile.add_argument(
+        "--shard-runtime",
+        choices=("ephemeral", "persistent"),
+        default=None,
+        help="sharded-datapath runtime (default: FLYMON_SHARD_RUNTIME "
+        "or ephemeral)",
+    )
+    profile.add_argument(
         "--chunk", type=int, default=32_768, metavar="N",
         help="stream workload: ingest chunk size (default: 32768)",
     )
@@ -318,6 +341,13 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--epoch-size", type=int, default=None, metavar="N")
     top.add_argument("--workers", type=int, default=1, metavar="N")
     top.add_argument("--batch-size", type=int, default=None, metavar="N")
+    top.add_argument(
+        "--shard-runtime",
+        choices=("ephemeral", "persistent"),
+        default=None,
+        help="sharded-ingest runtime (default: FLYMON_SHARD_RUNTIME "
+        "or ephemeral)",
+    )
     top.add_argument(
         "--chunk", type=int, default=16_384, metavar="N",
         help="dashboard refresh granularity in packets (default: 16384)",
@@ -881,6 +911,7 @@ def cmd_serve(args) -> int:
     if args.telemetry is not None:
         telemetry.reset()
         telemetry.enable()
+    controller = None
     try:
         controller = FlyMonController(num_groups=3)
         try:
@@ -911,6 +942,7 @@ def cmd_serve(args) -> int:
             retain=args.retain,
             workers=args.workers,
             batch_size=args.batch_size,
+            runtime=getattr(args, "shard_runtime", None),
         )
         if "hh" in refs:
             service.register_series("heavy_hitters", HeavyHitterQuery(refs["hh"]))
@@ -994,6 +1026,8 @@ def cmd_serve(args) -> int:
                 f"telemetry: {len(snapshot['events'])} events -> {args.telemetry}"
             )
     finally:
+        if controller is not None:
+            controller.close_shard_pool()
         if args.telemetry is not None:
             telemetry.disable()
     return 0
@@ -1029,6 +1063,7 @@ def _build_stream_workload(args):
         retain=16,
         workers=args.workers,
         batch_size=args.batch_size,
+        runtime=getattr(args, "shard_runtime", None),
     )
     if "hh" in refs:
         service.register_series("heavy_hitters", HeavyHitterQuery(refs["hh"]))
@@ -1073,10 +1108,15 @@ def cmd_profile(args) -> int:
                 return 2
             t0 = time.perf_counter()
             report = controller.process_trace_sharded(
-                trace, max(1, args.workers), batch_size=args.batch_size
+                trace,
+                max(1, args.workers),
+                batch_size=args.batch_size,
+                runtime=getattr(args, "shard_runtime", None),
             )
+            controller.close_shard_pool()
             wall_ms = (time.perf_counter() - t0) * 1e3
             backend = report.backend
+            runtime_label = report.runtime
         else:
             try:
                 trace, _controller, service, _refs = _build_stream_workload(args)
@@ -1089,11 +1129,12 @@ def cmd_profile(args) -> int:
             if service._epoch_fill:
                 service.rotate()  # seal the ragged tail window
             wall_ms = (time.perf_counter() - t0) * 1e3
-            backend = (
-                service.last_shard_report.backend
-                if service.last_shard_report is not None
-                else "batched"
+            report = service.last_shard_report
+            backend = report.backend if report is not None else "batched"
+            runtime_label = (
+                report.runtime if report is not None else "in-process"
             )
+            _controller.close_shard_pool()
     finally:
         telemetry.disable_recorder()
 
@@ -1101,7 +1142,8 @@ def cmd_profile(args) -> int:
     root = telemetry.aggregate_spans(spans)
     print(
         f"workload={args.workload} packets={len(trace)} "
-        f"workers={args.workers} backend={backend} spans={len(spans)}"
+        f"workers={args.workers} backend={backend} "
+        f"runtime={runtime_label} spans={len(spans)}"
     )
     print()
     print(telemetry.format_phase_tree(root, min_pct=args.min_pct))
@@ -1166,7 +1208,8 @@ def _top_frame(args, service, done: int, total: int, elapsed_s: float) -> str:
     report = service.last_shard_report
     if report is not None and report.shard_timings:
         lines.append(
-            f"shards   backend={report.backend} workers={report.workers}"
+            f"shards   backend={report.backend} runtime={report.runtime}"
+            f" workers={report.workers}"
             f"   retries={report.retries} timeouts={report.timeouts}"
         )
         for timing in report.shard_timings:
@@ -1236,6 +1279,7 @@ def cmd_top(args) -> int:
         f"{stats['epoch']} epochs; datapath time "
         f"{stats['ingest_ms_total'] / 1e3:.2f} s"
     )
+    _controller.close_shard_pool()
     return 0
 
 
@@ -1412,6 +1456,11 @@ def cmd_demo() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "shard_runtime", None):
+        # Every layer below (controller, service, experiment drivers)
+        # resolves the runtime through repro.dataplane.shard_runtime, which
+        # reads this variable when no explicit argument is given.
+        os.environ["FLYMON_SHARD_RUNTIME"] = args.shard_runtime
     if args.command == "list-algorithms":
         return cmd_list_algorithms()
     if args.command == "list-experiments":

@@ -220,6 +220,10 @@ class FlyMonController:
             for cmu in group.cmus
         }
         self._handles: Dict[int, TaskHandle] = {}
+        # Persistent shard worker pool (lazily created by the persistent
+        # shard runtime); mutators flag it dirty so resident worker replicas
+        # re-sync, by delta, before the next sharded run.
+        self._shard_pool = None
         # Committed reconfiguration history (add/remove/filter updates, in
         # execution order).  Replaying it on a fresh controller reproduces
         # the exact placement -- groups, CMUs, memory bases -- of the live
@@ -275,6 +279,7 @@ class FlyMonController:
                 self._record_op("add", ref=handle.task_id, task=task_to_dict(task))
         elif _record:
             self._history_complete = False
+        self._notify_pool()
         return handle
 
     def _add_task_txn(
@@ -378,10 +383,22 @@ class FlyMonController:
                 self._record_op("remove", ref=handle.task_id)
         elif _record:
             self._history_complete = False
+        self._notify_pool()
         return report
 
     def _record_op(self, op: str, **payload) -> None:
         self._history.append({"op": op, **payload})
+
+    def _notify_pool(self) -> None:
+        """Flag the persistent shard pool (if any) that rules changed.
+
+        Cheap and safe to over-call: the pool re-diffs its replica mirror
+        against the live groups on the next run, so a mutation that was
+        rolled back simply produces an empty delta.
+        """
+        pool = self._shard_pool
+        if pool is not None:
+            pool.mark_dirty()
 
     def _remove_task_txn(
         self, handle: TaskHandle, txn: ReconfigTransaction
@@ -458,6 +475,7 @@ class FlyMonController:
                 filter=new_filter.describe(),
                 rules=len(handle.rows),
             )
+        self._notify_pool()
         return handle
 
     def _update_task_filter_txn(
@@ -667,6 +685,7 @@ class FlyMonController:
         backend: Optional[str] = None,
         collect_exports: bool = False,
         exact_exports: bool = False,
+        runtime: Optional[str] = None,
     ):
         """Replay a trace through per-worker datapath replicas in parallel.
 
@@ -675,9 +694,22 @@ class FlyMonController:
         queries, digests, and register reads afterwards match a sequential
         replay bit for bit.  Returns the
         :class:`~repro.dataplane.sharding.ShardRunReport`.
-        """
-        from repro.dataplane.sharding import run_sharded
 
+        ``runtime`` (or ``FLYMON_SHARD_RUNTIME``) selects ``"ephemeral"``
+        (fresh replicas per call) or ``"persistent"``, which keeps this
+        controller's long-lived worker pool attached across calls and
+        epochs (see :class:`~repro.dataplane.shard_pool.PersistentShardPool`).
+        """
+        from repro.dataplane.sharding import (
+            RUNTIME_PERSISTENT,
+            run_sharded,
+            shard_runtime,
+        )
+
+        runtime = shard_runtime(runtime)
+        pool = None
+        if runtime == RUNTIME_PERSISTENT:
+            pool = self.shard_pool(max(1, int(workers)), backend=backend)
         return run_sharded(
             self.groups,
             trace,
@@ -686,7 +718,40 @@ class FlyMonController:
             backend=backend,
             collect_exports=collect_exports,
             exact_exports=exact_exports,
+            runtime=runtime,
+            pool=pool,
         )
+
+    def shard_pool(self, workers: int, backend: Optional[str] = None):
+        """The controller's persistent shard pool, (re)created on demand.
+
+        Returns ``None`` for the serial backend (which runs in-process and
+        needs no pool).  An existing pool is replaced when the requested
+        worker count or backend no longer matches.
+        """
+        from repro.dataplane.sharding import BACKEND_SERIAL, _resolve_backend
+        from repro.dataplane.shard_pool import PersistentShardPool
+
+        resolved = _resolve_backend(backend)
+        if resolved == BACKEND_SERIAL:
+            return None
+        pool = self._shard_pool
+        if pool is not None and (
+            pool.closed or pool.workers != workers or pool.backend != resolved
+        ):
+            pool.close()
+            pool = self._shard_pool = None
+        if pool is None:
+            pool = self._shard_pool = PersistentShardPool(
+                self.groups, workers, backend=resolved
+            )
+        return pool
+
+    def close_shard_pool(self) -> None:
+        """Stop the persistent shard pool's workers, if one is attached."""
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
 
     # ------------------------------------------------------------------
     # Resource management interfaces

@@ -370,6 +370,20 @@ class Register:
         """Copy of the full cell array as ``int64`` (mergeable snapshot)."""
         return self._cells.astype(np.int64)
 
+    def snapshot_into(self, out: np.ndarray) -> None:
+        """Copy the cells into a caller-provided native-dtype view.
+
+        The persistent shard runtime points ``out`` at a shared-memory
+        window so worker register state crosses the process boundary as a
+        single memcpy instead of a pickled array.
+        """
+        if out.shape != self._cells.shape or out.dtype != self._cells.dtype:
+            raise ValueError(
+                f"snapshot view is {out.dtype}[{out.shape}], register holds "
+                f"{self._cells.dtype}[{self._cells.shape}]"
+            )
+        out[:] = self._cells
+
     def load_cells(self, cells: np.ndarray) -> None:
         """Overwrite the full cell array (the merge side of sharded runs)."""
         cells = np.asarray(cells, dtype=np.int64)

@@ -85,9 +85,30 @@ BACKEND_THREAD = "thread"
 BACKEND_SERIAL = "serial"
 BACKENDS = (BACKEND_PROCESS, BACKEND_THREAD, BACKEND_SERIAL)
 
+#: Shard runtimes: ``ephemeral`` rebuilds replicas per call (the original
+#: fork/pickle model); ``persistent`` keeps a long-lived worker pool with
+#: resident replicas and shared-memory register transport.
+RUNTIME_EPHEMERAL = "ephemeral"
+RUNTIME_PERSISTENT = "persistent"
+RUNTIMES = (RUNTIME_EPHEMERAL, RUNTIME_PERSISTENT)
+
 
 class ShardingError(RuntimeError):
     """Raised for invalid sharded-execution configuration."""
+
+
+def shard_runtime(runtime: Optional[str] = None) -> str:
+    """Resolve the shard runtime: explicit arg > ``FLYMON_SHARD_RUNTIME`` >
+    ephemeral.  An explicit argument must be valid; the environment variable
+    is lenient (unknown values fall back to ephemeral)."""
+    if runtime is not None:
+        if runtime not in RUNTIMES:
+            raise ShardingError(
+                f"unknown shard runtime {runtime!r} (expected one of {RUNTIMES})"
+            )
+        return runtime
+    raw = os.environ.get("FLYMON_SHARD_RUNTIME", "").strip().lower()
+    return raw if raw in RUNTIMES else RUNTIME_EPHEMERAL
 
 
 def shard_timeout() -> Optional[float]:
@@ -195,11 +216,23 @@ class ShardJournal:
             self._records.setdefault(key, []).extend(records)
 
     def entries(self, key: Tuple[int, int, int]):
-        """Concatenated ``(rows, index, p1, p2)`` for a task, or ``None``."""
+        """Concatenated ``(rows, index, p1, p2)`` for a task, or ``None``.
+
+        Entries come back in global-row order: shards are absorbed in shard
+        order and rows inside a shard are already monotonic, but persistent
+        pool workers interleave capacity-sized rounds, so a stable sort by
+        row restores the sequential stream when needed.
+        """
         records = self._records.get(key)
         if not records:
             return None
-        return tuple(np.concatenate(cols) for cols in zip(*records))
+        rows, index, p1, p2 = (
+            np.concatenate(cols) for cols in zip(*records)
+        )
+        if rows.size > 1 and np.any(rows[1:] < rows[:-1]):
+            order = np.argsort(rows, kind="stable")
+            rows, index, p1, p2 = rows[order], index[order], p1[order], p2[order]
+        return rows, index, p1, p2
 
 
 @dataclass(frozen=True)
@@ -301,11 +334,23 @@ class ShardRunReport:
     ``dispatch_ms`` is the dispatcher-observed submit-to-result wall,
     ``build_ms``/``compute_ms`` are the worker's own measurements, and
     ``transport_ms`` is the remainder (pickling, queueing, result
-    transport; clamped at zero).  ``timing`` aggregates the run's phases:
+    transport; clamped at zero).  Under the **persistent** runtime
+    ``transport_ms`` is instead *measured* copy cost -- the dispatcher's
+    write of packet columns into the worker's shared-memory input window
+    plus the worker's register snapshot into its output window -- and
+    ``build_ms`` is non-zero only on the run that (re)built a resident
+    replica.  ``timing`` aggregates the run's phases:
     ``plan_ms`` (law selection, replica specs, base snapshots),
-    ``dispatch_ms`` (submit to last result), ``merge_ms`` (export splice +
-    journal replay + register fold), ``total_ms``.  Both are always
-    populated -- they do not require the flight recorder to be enabled.
+    ``sync_ms`` (persistent runtime only: shipping rule deltas to the
+    pool), ``dispatch_ms`` (submit to last result), ``merge_ms`` (export
+    splice + journal replay + register fold), ``total_ms``.  Both are
+    always populated -- they do not require the flight recorder to be
+    enabled.
+
+    ``runtime`` records which shard runtime actually executed the run and
+    ``degraded`` carries the reason when a persistent-runtime request had
+    to degrade (e.g. ``fork`` unavailable -> thread-mode pool, or no pool
+    attached -> ephemeral dispatch).
     """
 
     packets: int
@@ -320,6 +365,8 @@ class ShardRunReport:
     shard_events: List[Dict[str, object]] = field(default_factory=list)
     shard_timings: List[Dict[str, object]] = field(default_factory=list)
     timing: Dict[str, float] = field(default_factory=dict)
+    runtime: str = RUNTIME_EPHEMERAL
+    degraded: Optional[str] = None
 
 
 def _accumulate_exports(acc: Dict[str, np.ndarray], batch, offset: int, total: int) -> None:
@@ -708,6 +755,7 @@ def _sequential(
         exports=exports,
         timing={
             "plan_ms": 0.0,
+            "sync_ms": 0.0,
             "dispatch_ms": 0.0,
             "merge_ms": 0.0,
             "total_ms": total_ms,
@@ -811,6 +859,8 @@ def run_sharded(
     backend: Optional[str] = None,
     collect_exports: bool = False,
     exact_exports: bool = False,
+    runtime: Optional[str] = None,
+    pool=None,
 ) -> ShardRunReport:
     """Replay ``trace`` through ``groups`` using sharded parallel execution.
 
@@ -819,6 +869,13 @@ def run_sharded(
     *every* task onto the replay law so the returned export columns are
     exact for all tasks -- a verification mode that trades the parallel
     speedup for full per-packet output.
+
+    ``runtime`` selects between the ephemeral model (fresh replicas per
+    call) and the persistent model, which dispatches through ``pool`` -- a
+    :class:`~repro.dataplane.shard_pool.PersistentShardPool` whose resident
+    replicas are delta-synced before the run.  A persistent request without
+    a usable pool degrades to the ephemeral path with the reason recorded
+    on ``ShardRunReport.degraded``; it never fails the run.
 
     Deployments with chained tasks (parameters reading upstream CMU exports)
     fall back to sequential batched execution; the report's ``fallback``
@@ -829,6 +886,7 @@ def run_sharded(
     if batch_size is None or batch_size <= 0:
         batch_size = DEFAULT_SHARD_BATCH
     workers = max(1, int(workers))
+    runtime = shard_runtime(runtime)
     n = len(trace)
     t_run = time.perf_counter()
 
@@ -884,19 +942,53 @@ def run_sharded(
             ranges = shard_ranges(n, workers)
         plan_ms = (time.perf_counter() - t_plan) * 1e3
 
+        resolved_backend = _resolve_backend(backend)
+        degraded: Optional[str] = None
+        use_pool = False
+        if runtime == RUNTIME_PERSISTENT:
+            if resolved_backend == BACKEND_SERIAL:
+                degraded = "serial backend runs in-process; pool not engaged"
+            elif pool is None or getattr(pool, "closed", False):
+                degraded = "no worker pool attached; ephemeral dispatch"
+            elif pool.workers < len(ranges):
+                degraded = (
+                    f"pool sized for {pool.workers} workers, run needs "
+                    f"{len(ranges)}; ephemeral dispatch"
+                )
+            elif not pool.supports(trace):
+                degraded = (
+                    "trace columns do not fit the pool's shared-memory "
+                    "layout; ephemeral dispatch"
+                )
+            else:
+                use_pool = True
+
+        sync_ms = 0.0
+        if use_pool:
+            t_sync = time.perf_counter()
+            with _RECORDER.span("shard.sync", cat="dataplane"):
+                pool.sync()
+            sync_ms = (time.perf_counter() - t_sync) * 1e3
+
         t_dispatch = time.perf_counter()
         with _RECORDER.span(
             "shard.dispatch", cat="dataplane", shards=len(ranges)
         ) as dispatch_sp:
-            shard_results, backend_used, dispatch_stats = _dispatch(
-                specs,
-                trace.columns,
-                ranges,
-                batch_size,
-                tracked,
-                collect_exports,
-                _resolve_backend(backend),
-            )
+            if use_pool:
+                shard_results, backend_used, dispatch_stats = pool.execute(
+                    trace, ranges, batch_size, tracked, collect_exports
+                )
+                degraded = pool.degraded_reason
+            else:
+                shard_results, backend_used, dispatch_stats = _dispatch(
+                    specs,
+                    trace.columns,
+                    ranges,
+                    batch_size,
+                    tracked,
+                    collect_exports,
+                    resolved_backend,
+                )
         dispatch_total_ms = (time.perf_counter() - t_dispatch) * 1e3
 
         # Graft worker-side timings onto the recorder timeline.  Workers may
@@ -989,8 +1081,11 @@ def run_sharded(
         shard_timings=timings,
         timing={
             "plan_ms": plan_ms,
+            "sync_ms": sync_ms,
             "dispatch_ms": dispatch_total_ms,
             "merge_ms": merge_ms,
             "total_ms": (time.perf_counter() - t_run) * 1e3,
         },
+        runtime=RUNTIME_PERSISTENT if use_pool else RUNTIME_EPHEMERAL,
+        degraded=degraded,
     )

@@ -188,6 +188,7 @@ class MeasurementService:
         batch_size: Optional[int] = None,
         workers: int = 1,
         backend: Optional[str] = None,
+        runtime: Optional[str] = None,
     ) -> None:
         if epoch_packets is not None and epoch_duration_us is not None:
             raise ValueError("choose one of epoch_packets / epoch_duration_us")
@@ -204,6 +205,9 @@ class MeasurementService:
         self.batch_size = batch_size
         self.workers = max(1, int(workers))
         self.backend = backend
+        #: Shard runtime ("ephemeral" / "persistent"); ``None`` defers to the
+        #: ``FLYMON_SHARD_RUNTIME`` environment variable.
+        self.shard_runtime = runtime
         self.watchers: List[object] = []
         self.watcher_log: List[object] = []
         self._series: Dict[str, object] = {}
@@ -409,6 +413,7 @@ class MeasurementService:
                     self.workers,
                     batch_size=self._effective_batch(),
                     backend=self.backend,
+                    runtime=self.shard_runtime,
                 )
                 return
             if self.batch_size == 0:
@@ -473,6 +478,16 @@ class MeasurementService:
                 self._evaluate_series(sealed)
             with _RECORDER.span("rotate.watchers", cat="service"):
                 self._evaluate_watchers(sealed)
+
+            # Persistent shard runtime: the resident worker replicas already
+            # self-reset after every run, so sealing an epoch in place is a
+            # broadcast no-op that only bumps the workers' seal counters (and
+            # scrubs any straggler state).  Ephemeral runs have no pool and
+            # skip this entirely.
+            pool = getattr(self.controller, "_shard_pool", None)
+            if pool is not None and not pool.closed:
+                with _RECORDER.span("rotate.pool", cat="service"):
+                    pool.seal_epoch(self._epoch_index)
 
             sealed.seal_ms = (time.perf_counter() - t0) * 1e3
         if _TELEMETRY.enabled:

@@ -324,7 +324,9 @@ class TestShardTimings:
         controller, _ = _controller([_cms_task()])
         report = run_sharded(controller.groups, trace, workers=3, backend="serial")
         timing = report.timing
-        assert set(timing) == {"plan_ms", "dispatch_ms", "merge_ms", "total_ms"}
+        assert set(timing) == {
+            "plan_ms", "sync_ms", "dispatch_ms", "merge_ms", "total_ms"
+        }
         assert timing["total_ms"] > 0.0
         assert timing["dispatch_ms"] > 0.0
         assert len(report.shard_timings) == 3

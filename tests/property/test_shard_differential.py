@@ -232,6 +232,70 @@ def test_sixteen_bit_saturating_counters_use_replay():
     _assert_identical(scalar, sharded, [scalar_handle], [sharded_handle])
 
 
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_random_task_mix_scalar_vs_persistent_pool(workers):
+    """The persistent pool's warm replicas must stay bit-identical to the
+    scalar reference across consecutive runs: run 1 builds the replicas,
+    run 2 reuses them with only register resets and delta sync between."""
+    rng = np.random.default_rng(7)
+    catalog = _task_catalog(rng)
+    tasks = [catalog[0], catalog[1], catalog[3]]
+    trace = _trace(rng)
+
+    scalar, scalar_handles = _deploy(tasks, "tcam")
+    pooled, pooled_handles = _deploy(tasks, "tcam")
+    try:
+        for run in range(2):
+            scalar.process_trace(trace, batch_size=None)
+            report = pooled.process_trace_sharded(
+                trace,
+                workers=workers,
+                batch_size=256,
+                backend="process",
+                runtime="persistent",
+            )
+            assert report.fallback is None
+            assert report.runtime == "persistent"
+            if run == 1:
+                assert all(
+                    t["build_ms"] == 0.0 for t in report.shard_timings
+                )
+            _assert_identical(scalar, pooled, scalar_handles, pooled_handles)
+    finally:
+        pooled.close_shard_pool()
+
+
+def test_persistent_exports_bit_identical_in_exact_mode():
+    """exact_exports through the pool: tracked=None makes every worker a
+    pure journal recorder, and the spliced export columns must equal a
+    sequential reference's bit for bit."""
+    rng = np.random.default_rng(21)
+    tasks = [_task_catalog(rng)[0], _task_catalog(rng)[1]]
+    trace = _trace(rng, num_packets=1501)
+
+    reference, _ = _deploy(tasks, "tcam")
+    ref = reference.process_trace_sharded(
+        trace, workers=1, backend="serial", collect_exports=True
+    )
+    pooled, _ = _deploy(tasks, "tcam")
+    try:
+        report = pooled.process_trace_sharded(
+            trace,
+            workers=4,
+            backend="process",
+            runtime="persistent",
+            exact_exports=True,
+        )
+        assert report.runtime == "persistent"
+        assert set(report.exports) == set(ref.exports)
+        for name in sorted(ref.exports):
+            np.testing.assert_array_equal(
+                report.exports[name], ref.exports[name], err_msg=name
+            )
+    finally:
+        pooled.close_shard_pool()
+
+
 def test_exports_bit_identical_in_exact_mode():
     """exact_exports replays every task, so the spliced PHV export columns
     must equal a sequential batched run's columns bit for bit."""

@@ -90,6 +90,109 @@ def test_hung_shard_times_out_and_retries(monkeypatch, trace, reference):
     _assert_same_state(reference, sharded)
 
 
+# -- persistent-runtime recovery ---------------------------------------------
+#
+# The persistent pool keeps workers resident across runs, so recovery has
+# two extra obligations the ephemeral runtime doesn't: a dead worker must
+# be respawned (with its replica rebuilt) so the *next* run still works,
+# and an in-worker exception must leave the surviving replica scrubbed
+# (not half-updated).  Every scenario ends with a clean follow-up run to
+# prove the pool healed.
+
+
+def _pooled_run(controller, trace, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("backend", "process")
+    return controller.process_trace_sharded(trace, runtime="persistent", **kwargs)
+
+
+def test_pool_worker_crash_recovers_bit_identical(trace, reference):
+    sharded = _controller([_cms_task()])
+    try:
+        FAULTS.arm(SITE_SHARD_CRASH, hit=2)  # raises inside a pool worker
+        report = _pooled_run(sharded, trace)
+        assert report.runtime == "persistent"
+        assert report.retries >= 1
+        assert report.shard_events
+        _assert_same_state(reference, sharded)
+        # The worker survived the exception (scrubbed, not dead) and the
+        # next run through the same pool is clean; state keeps
+        # accumulating in lockstep with the scalar reference.
+        follow = _pooled_run(sharded, trace)
+        assert follow.retries == 0
+        reference.process_trace(trace, batch_size=None)
+        _assert_same_state(reference, sharded)
+    finally:
+        sharded.close_shard_pool()
+
+
+def test_pool_worker_killed_respawns_bit_identical(trace, reference):
+    """os._exit in a resident worker: the shard retries serially AND the
+    pool respawns the worker so the next run keeps its parallelism."""
+    sharded = _controller([_cms_task()])
+    try:
+        FAULTS.arm(SITE_SHARD_CRASH, hit=2, arg="kill")
+        report = _pooled_run(sharded, trace)
+        assert report.runtime == "persistent"
+        assert report.retries >= 1
+        _assert_same_state(reference, sharded)
+        pool = sharded._shard_pool
+        pids = pool.pids()
+        assert all(pid is not None for pid in pids)
+        follow = _pooled_run(sharded, trace)
+        assert follow.retries == 0
+        reference.process_trace(trace, batch_size=None)
+        _assert_same_state(reference, sharded)
+    finally:
+        sharded.close_shard_pool()
+
+
+def test_pool_worker_hang_times_out_and_respawns(monkeypatch, trace, reference):
+    monkeypatch.setenv("FLYMON_SHARD_TIMEOUT", "0.3")
+    sharded = _controller([_cms_task()])
+    try:
+        FAULTS.arm(SITE_SHARD_TIMEOUT, hit=1, arg="5.0")
+        report = _pooled_run(sharded, trace)
+        assert report.runtime == "persistent"
+        assert report.timeouts >= 1
+        assert report.retries >= 1
+        assert any(
+            "timed out" in str(e["reason"]) for e in report.shard_events
+        )
+        _assert_same_state(reference, sharded)
+        follow = _pooled_run(sharded, trace)
+        assert follow.timeouts == 0
+        reference.process_trace(trace, batch_size=None)
+        _assert_same_state(reference, sharded)
+    finally:
+        sharded.close_shard_pool()
+
+
+def test_pool_thread_mode_hang_recovers(monkeypatch, trace, reference):
+    """Thread-mode pool (the fork-unavailable fallback) under a hang: the
+    stale slot is rebuilt from the mirror and the next run is clean."""
+    import multiprocessing
+
+    monkeypatch.setattr(
+        multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+    )
+    monkeypatch.setenv("FLYMON_SHARD_TIMEOUT", "0.3")
+    sharded = _controller([_cms_task()])
+    try:
+        FAULTS.arm(SITE_SHARD_TIMEOUT, hit=1, arg="5.0")
+        report = _pooled_run(sharded, trace)
+        assert report.runtime == "persistent"
+        assert report.backend == "thread"
+        assert report.timeouts >= 1
+        _assert_same_state(reference, sharded)
+        follow = _pooled_run(sharded, trace)
+        assert follow.timeouts == 0
+        reference.process_trace(trace, batch_size=None)
+        _assert_same_state(reference, sharded)
+    finally:
+        sharded.close_shard_pool()
+
+
 def test_persistent_crash_exhausts_retries(monkeypatch, trace):
     monkeypatch.setenv("FLYMON_SHARD_RETRIES", "2")
     sharded = _controller([_cms_task()])
