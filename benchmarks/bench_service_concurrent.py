@@ -1,0 +1,148 @@
+"""Concurrent query-plane benchmark: sealed-epoch queries under ingest.
+
+The lock-free sealed-read path means querier threads never contend with
+ingestion for register state -- only for the interpreter.  This bench
+measures sustained sealed-query throughput with 4 querier threads running
+while the service ingests and rotates, checks every concurrent answer
+bit-identically against the single-threaded reference, and writes
+``BENCH_service_concurrent.json``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from conftest import run_once_timed, write_bench_json
+
+from repro.core.controller import FlyMonController
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.service import (
+    CardinalityQuery,
+    FrequencyQuery,
+    HeavyHitterQuery,
+    MeasurementService,
+    resolve,
+)
+from repro.traffic import KEY_DST_IP, KEY_SRC_IP, zipf_trace
+
+QUERIER_THREADS = 4
+
+
+def deploy(controller):
+    cms = controller.add_task(
+        MeasurementTask(
+            key=KEY_SRC_IP,
+            attribute=AttributeSpec.frequency(),
+            memory=4096,
+            depth=3,
+            algorithm="cms",
+            threshold=100,
+        )
+    )
+    hll = controller.add_task(
+        MeasurementTask(
+            key=KEY_DST_IP,
+            attribute=AttributeSpec.distinct(KEY_SRC_IP),
+            memory=1024,
+            depth=1,
+            algorithm="hll",
+        )
+    )
+    return cms, hll
+
+
+def build_service(epoch_packets):
+    controller = FlyMonController(num_groups=3)
+    cms, hll = deploy(controller)
+    service = MeasurementService(controller, epoch_packets=epoch_packets, retain=16)
+    return service, cms, hll
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_concurrent(benchmark, quick):
+    num_packets = 60_000 if quick else 600_000
+    epoch_packets = num_packets // 20
+    warm = zipf_trace(
+        num_flows=num_packets // 20, num_packets=num_packets // 2, seed=91
+    )
+    load = zipf_trace(
+        num_flows=num_packets // 20, num_packets=num_packets // 2, seed=92
+    )
+
+    # Control leg: the same two-phase ingest with no queriers.
+    def ingest_alone():
+        service, _, _ = build_service(epoch_packets)
+        service.ingest(warm)
+        start = time.perf_counter()
+        service.ingest(load)
+        return time.perf_counter() - start
+
+    alone_seconds, _ = run_once_timed(benchmark, ingest_alone)
+
+    # Measured leg: warm up some sealed epochs, precompute the
+    # single-threaded answers, then hammer them from QUERIER_THREADS
+    # threads while the second half of the trace ingests.
+    service, cms, hll = build_service(epoch_packets)
+    epochs = service.ingest(warm)
+    flows = [(int(v),) for v in warm.columns["src_ip"][:16]]
+    queries = (
+        [FrequencyQuery(cms, flow) for flow in flows]
+        + [CardinalityQuery(hll), HeavyHitterQuery(cms)]
+    )
+    expected = {
+        (sealed.index, qi): resolve(query, sealed)
+        for sealed in epochs
+        for qi, query in enumerate(queries)
+    }
+
+    stop = threading.Event()
+    counts = [0] * QUERIER_THREADS
+    mismatches = []
+
+    def querier(slot):
+        while not stop.is_set():
+            for sealed in epochs:
+                for qi, query in enumerate(queries):
+                    if resolve(query, sealed) != expected[(sealed.index, qi)]:
+                        mismatches.append((sealed.index, qi))
+                        return
+                    counts[slot] += 1
+
+    threads = [
+        threading.Thread(target=querier, args=(slot,))
+        for slot in range(QUERIER_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    start = time.perf_counter()
+    try:
+        service.ingest(load)
+    finally:
+        ingest_seconds = time.perf_counter() - start
+        stop.set()
+        for t in threads:
+            t.join()
+    assert not mismatches, f"concurrent answers diverged: {mismatches[:3]}"
+
+    total_queries = sum(counts)
+    qps = total_queries / ingest_seconds
+    write_bench_json(
+        "service_concurrent",
+        packets=num_packets,
+        querier_threads=QUERIER_THREADS,
+        queries_total=total_queries,
+        queries_per_second=qps,
+        ingest_seconds=ingest_seconds,
+        ingest_pps=len(load) / ingest_seconds,
+        ingest_alone_seconds=alone_seconds,
+        ingest_alone_pps=len(load) / alone_seconds,
+        params={"packets": num_packets, "querier_threads": QUERIER_THREADS},
+    )
+    assert total_queries > 0
+    print(
+        f"service concurrent: {qps:,.0f} sealed queries/s from "
+        f"{QUERIER_THREADS} threads while ingesting "
+        f"{len(load) / ingest_seconds:,.0f} pps "
+        f"(ingest alone: {len(load) / alone_seconds:,.0f} pps)"
+    )

@@ -190,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="US",
         help="rotate epochs every US microseconds of packet time",
     )
+    rotation.add_argument(
+        "--epoch-wall-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="rotate epochs every MS milliseconds of wall-clock time "
+        "(a background thread seals while ingestion continues)",
+    )
     serve.add_argument(
         "--retain", type=int, default=16, metavar="N",
         help="sealed epochs kept in the ring (default: 16)",
@@ -251,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="enable telemetry and dump the event log + metrics to PATH",
+    )
+    serve.add_argument(
+        "--wal",
+        metavar="PATH",
+        default=None,
+        help="append a crash-consistent write-ahead log (JSON lines) that "
+        "`repro recover` replays after a crash",
     )
 
     profile = sub.add_parser(
@@ -432,6 +447,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--threshold", type=int, default=None, metavar="N")
     query.add_argument("--series", default=None, metavar="NAME")
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay a `repro serve --wal` log (e.g. after a crash) into a "
+        "queryable checkpoint artifact",
+    )
+    recover.add_argument(
+        "--wal", metavar="PATH", required=True, help="the write-ahead log"
+    )
+    recover.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the recovered artifact here (for `repro query --input`)",
+    )
 
     sub.add_parser("demo", help="run the quickstart scenario")
     return parser
@@ -905,7 +935,8 @@ def cmd_serve(args) -> int:
         return 2
     epoch_packets = args.epoch_size
     epoch_duration_us = args.epoch_us
-    if epoch_packets is None and epoch_duration_us is None:
+    epoch_wall_ms = args.epoch_wall_ms
+    if epoch_packets is None and epoch_duration_us is None and epoch_wall_ms is None:
         epoch_packets = max(1, len(trace) // 20)
 
     if args.telemetry is not None:
@@ -939,6 +970,7 @@ def cmd_serve(args) -> int:
             controller,
             epoch_packets=epoch_packets,
             epoch_duration_us=epoch_duration_us,
+            epoch_wall_ms=epoch_wall_ms,
             retain=args.retain,
             workers=args.workers,
             batch_size=args.batch_size,
@@ -978,35 +1010,62 @@ def cmd_serve(args) -> int:
                 )
             )
 
+        wal = None
+        if args.wal is not None:
+            from repro.service.wal import ServiceWal
+
+            wal = ServiceWal(args.wal).attach(service)
+
+        def print_epoch(sealed) -> None:
+            fired = [e for e in sealed.watcher_events if e.fired]
+            line = (
+                f"epoch {sealed.index:>3}: {sealed.packets:>7} pkts "
+                f"sealed in {sealed.seal_ms:6.2f} ms"
+            )
+            for name in sorted(sealed.outputs):
+                value = sealed.outputs[name]
+                if isinstance(value, float):
+                    line += f"  {name}={value:.1f}"
+                elif isinstance(value, (set, frozenset, list)):
+                    line += f"  {name}={len(value)}"
+                else:
+                    line += f"  {name}={value}"
+            if fired:
+                line += "  [" + ", ".join(
+                    f"{e.watcher}->{e.outcome or 'fired'}" for e in fired
+                ) + "]"
+            print(line, flush=True)
+
         from repro.traffic.packet import PACKET_FIELDS
         from repro.traffic.trace import Trace
 
-        chunk = max(1, args.chunk)
-        for start in range(0, len(trace), chunk):
-            piece = Trace(
-                {f: trace.columns[f][start : start + chunk] for f in PACKET_FIELDS}
-            )
-            for sealed in service.ingest(piece):
-                fired = [e for e in sealed.watcher_events if e.fired]
-                line = (
-                    f"epoch {sealed.index:>3}: {sealed.packets:>7} pkts "
-                    f"sealed in {sealed.seal_ms:6.2f} ms"
+        last_printed = -1
+        if epoch_wall_ms is not None:
+            service.start()
+        try:
+            chunk = max(1, args.chunk)
+            for start in range(0, len(trace), chunk):
+                piece = Trace(
+                    {f: trace.columns[f][start : start + chunk] for f in PACKET_FIELDS}
                 )
-                for name in sorted(sealed.outputs):
-                    value = sealed.outputs[name]
-                    if isinstance(value, float):
-                        line += f"  {name}={value:.1f}"
-                    elif isinstance(value, (set, frozenset, list)):
-                        line += f"  {name}={len(value)}"
-                    else:
-                        line += f"  {name}={value}"
-                if fired:
-                    line += "  [" + ", ".join(
-                        f"{e.watcher}->{e.outcome or 'fired'}" for e in fired
-                    ) + "]"
-                print(line)
-        if service._epoch_fill:
-            service.rotate()  # seal the ragged tail window
+                for sealed in service.ingest(piece):
+                    print_epoch(sealed)
+                    last_printed = sealed.index
+                # Wall-clock epochs seal on the background thread; report
+                # any that landed while this chunk was processing.
+                for sealed in list(service.epochs):
+                    if sealed.index > last_printed:
+                        print_epoch(sealed)
+                        last_printed = sealed.index
+        finally:
+            if epoch_wall_ms is not None:
+                service.stop(seal_tail=True)
+            elif service._epoch_fill:
+                service.rotate()  # seal the ragged tail window
+            for sealed in list(service.epochs):
+                if sealed.index > last_printed:
+                    print_epoch(sealed)
+                    last_printed = sealed.index
 
         stats = service.stats()
         print(
@@ -1018,6 +1077,9 @@ def cmd_serve(args) -> int:
             with open(args.checkpoint, "w") as fh:
                 json.dump(artifact, fh)
             print(f"checkpoint: {len(artifact['epochs'])} epochs -> {args.checkpoint}")
+        if wal is not None:
+            print(f"wal: {wal.records_written} records -> {args.wal}")
+            wal.close()
         if args.telemetry is not None:
             snapshot = telemetry.write_artifact(
                 args.telemetry, meta={"command": "serve"}
@@ -1442,6 +1504,38 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_recover(args) -> int:
+    import json
+
+    from repro.service.wal import WalError, recover_service_artifact
+
+    try:
+        artifact = recover_service_artifact(args.wal)
+    except FileNotFoundError:
+        print(f"error: no WAL at {args.wal}", file=sys.stderr)
+        return 2
+    except WalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = artifact["stats"]
+    print(
+        f"recovered {stats['epochs_recovered']} epoch(s) from "
+        f"{stats['wal_seals']} seal record(s) and {stats['wal_ops']} op "
+        f"record(s) in {args.wal}"
+    )
+    if artifact["epochs"]:
+        last = artifact["epochs"][-1]
+        print(
+            f"last sealed epoch: index {last['index']} "
+            f"({last['packets']} pkts, {len(last['tasks'])} task(s))"
+        )
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            json.dump(artifact, fh)
+        print(f"artifact -> {args.output}")
+    return 0
+
+
 def cmd_demo() -> int:
     import runpy
     from pathlib import Path
@@ -1485,6 +1579,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_bench_compare(args)
     if args.command == "query":
         return cmd_query(args)
+    if args.command == "recover":
+        return cmd_recover(args)
     if args.command == "demo":
         return cmd_demo()
     return 2  # pragma: no cover

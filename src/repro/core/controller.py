@@ -234,6 +234,10 @@ class FlyMonController:
         # committing mark the history incomplete instead.
         self._history: List[Dict[str, object]] = []
         self._history_complete = True
+        # Observers of committed operations (e.g. a service WAL appending
+        # delta records); called with the same JSON-safe dict that lands in
+        # the history, after it is recorded.
+        self._op_listeners: List = []
         # Pre-configured compressed keys (§5's setting): masks are installed
         # at startup and held, so task deployments that use these keys never
         # pay a hash-mask rule at runtime.
@@ -387,7 +391,19 @@ class FlyMonController:
         return report
 
     def _record_op(self, op: str, **payload) -> None:
-        self._history.append({"op": op, **payload})
+        entry = {"op": op, **payload}
+        self._history.append(entry)
+        for listener in self._op_listeners:
+            listener(dict(entry))
+
+    def add_op_listener(self, listener) -> None:
+        """Call ``listener(entry)`` after every committed operation is
+        recorded in the history.  ``entry`` is a fresh JSON-safe dict (the
+        same shape :meth:`checkpoint` persists)."""
+        self._op_listeners.append(listener)
+
+    def remove_op_listener(self, listener) -> None:
+        self._op_listeners.remove(listener)
 
     def _notify_pool(self) -> None:
         """Flag the persistent shard pool (if any) that rules changed.
@@ -961,43 +977,62 @@ class FlyMonController:
         deterministic (task ids are fresh -- they come from the
         process-wide counter).
         """
-        from repro.core.task import TaskFilter
-
-        params = dict(state["params"])
-        params["preconfigure_keys"] = tuple(
-            FlowKeyDef(tuple((name, bits) for name, bits in parts))
-            for parts in params.get("preconfigure_keys", ())
-        )
-        controller = cls(**params)
+        controller = cls.construct_from_params(state["params"])
         history = state.get("history")
         if history is not None:
-            refs: Dict[int, TaskHandle] = {}
-            for entry in history:
-                op = entry["op"]
-                if op == "add":
-                    refs[entry["ref"]] = controller.add_task(
-                        task_from_dict(entry["task"])
-                    )
-                elif op == "remove":
-                    controller.remove_task(refs.pop(entry["ref"]))
-                elif op == "update_filter":
-                    controller.update_task_filter(
-                        refs[entry["ref"]],
-                        TaskFilter(
-                            tuple(
-                                (name, (value, plen))
-                                for name, value, plen in entry["filter"]
-                            )
-                        ),
-                    )
-                else:
-                    raise ValueError(f"unknown history op {op!r}")
+            controller.replay_history(history)
         else:
             for task_data in state["tasks"]:
                 controller.add_task(task_from_dict(task_data))
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(EV_RESTORE, tasks=len(state["tasks"]))
         return controller
+
+    @classmethod
+    def construct_from_params(
+        cls, params: Dict[str, object]
+    ) -> "FlyMonController":
+        """Build an empty controller from checkpointed constructor params
+        (the ``"params"`` section of :meth:`checkpoint` output)."""
+        params = dict(params)
+        params["preconfigure_keys"] = tuple(
+            FlowKeyDef(tuple((name, bits) for name, bits in parts))
+            for parts in params.get("preconfigure_keys", ())
+        )
+        return cls(**params)
+
+    def replay_history(self, history) -> Dict[int, TaskHandle]:
+        """Replay a recorded operation history onto this controller.
+
+        Returns the ref map: original task id (as recorded in the history)
+        -> the live handle it resolved to here.  Removed tasks are popped,
+        so the returned map covers exactly the surviving deployments --
+        WAL recovery uses it to re-key sealed-epoch records.
+        """
+        from repro.core.task import TaskFilter
+
+        refs: Dict[int, TaskHandle] = {}
+        for entry in history:
+            op = entry["op"]
+            if op == "add":
+                refs[entry["ref"]] = self.add_task(
+                    task_from_dict(entry["task"])
+                )
+            elif op == "remove":
+                self.remove_task(refs.pop(entry["ref"]))
+            elif op == "update_filter":
+                self.update_task_filter(
+                    refs[entry["ref"]],
+                    TaskFilter(
+                        tuple(
+                            (name, (value, plen))
+                            for name, value, plen in entry["filter"]
+                        )
+                    ),
+                )
+            else:
+                raise ValueError(f"unknown history op {op!r}")
+        return refs
 
     def utilization(self) -> Dict[str, float]:
         if self.pipeline is None:

@@ -5,10 +5,10 @@ The modules here turn the one-shot controller into a long-running runtime
 stream-monitoring abstraction):
 
 * :mod:`repro.service.engine` -- :class:`MeasurementService` ingests packet
-  chunks indefinitely, rotates measurement epochs on packet-count or
-  packet-time boundaries, and seals each epoch into an immutable
-  :class:`SealedEpoch` register snapshot before resetting, so queries read
-  sealed state while the next epoch ingests;
+  chunks indefinitely, rotates measurement epochs on packet-count,
+  packet-time, or wall-clock boundaries, and seals each epoch into an
+  immutable :class:`SealedEpoch` register snapshot before resetting, so
+  any number of threads query sealed state while the next epoch ingests;
 * :mod:`repro.service.queries` -- typed queries (heavy hitters, frequency
   point lookup, cardinality, entropy, existence, inter-arrival) resolved
   against a sealed epoch or the live window;
@@ -16,10 +16,18 @@ stream-monitoring abstraction):
   that emit telemetry and can trigger transactional reconfiguration
   (ChameleMon-style attention shifting on the rollback machinery);
 * :mod:`repro.service.checkpoint` -- JSON service artifacts (controller
-  checkpoint + sealed epochs) that ``repro query`` resolves offline.
+  checkpoint + sealed epochs) that ``repro query`` resolves offline;
+* :mod:`repro.service.wal` -- a crash-consistent write-ahead log: control
+  mutations and epoch seals appended as records, replayable into a
+  checkpoint-format artifact after a crash (``repro recover``).
 """
 
-from repro.service.engine import MeasurementService, SealedEpoch, StaleEpochError
+from repro.service.engine import (
+    MeasurementService,
+    SealedEpoch,
+    SealedRowView,
+    StaleEpochError,
+)
 from repro.service.queries import (
     CardinalityQuery,
     EntropyQuery,
@@ -32,6 +40,7 @@ from repro.service.queries import (
     resolve,
 )
 from repro.service.watchers import (
+    ActionNoop,
     TaskRef,
     Watcher,
     WatcherEvent,
@@ -41,8 +50,15 @@ from repro.service.watchers import (
     resize_action,
 )
 from repro.service.checkpoint import load_service_state, service_checkpoint
+from repro.service.wal import (
+    ServiceWal,
+    WalError,
+    recover_service,
+    recover_service_artifact,
+)
 
 __all__ = [
+    "ActionNoop",
     "CardinalityQuery",
     "EntropyQuery",
     "ExistenceQuery",
@@ -52,15 +68,20 @@ __all__ = [
     "MeasurementService",
     "Query",
     "SealedEpoch",
+    "SealedRowView",
+    "ServiceWal",
     "StaleEpochError",
     "TaskRef",
     "UnsupportedQueryError",
+    "WalError",
     "Watcher",
     "WatcherEvent",
     "cardinality_metric",
     "fill_factor_metric",
     "heavy_hitter_count_metric",
     "load_service_state",
+    "recover_service",
+    "recover_service_artifact",
     "resize_action",
     "resolve",
     "service_checkpoint",

@@ -91,6 +91,7 @@ def service_checkpoint(service: MeasurementService) -> Dict[str, object]:
         "rotation": {
             "epoch_packets": service.epoch_packets,
             "epoch_duration_us": service.epoch_duration_us,
+            "epoch_wall_ms": service.epoch_wall_ms,
             "retain": service.retain,
             "workers": service.workers,
         },
@@ -116,8 +117,8 @@ class RestoredService:
     ``controller`` is a fresh replay of the artifact's deployments (same
     placement, fresh task ids); ``tasks[i]`` corresponds to the artifact's
     task index ``i``.  ``epochs`` are real :class:`SealedEpoch` objects, so
-    :meth:`query` resolves typed queries through the same overlay path the
-    live service uses.
+    :meth:`query` resolves typed queries through the same detached sealed
+    bindings the live service uses.
     """
 
     def __init__(

@@ -21,10 +21,11 @@ one-shot run of the same window exactly.
 
 from __future__ import annotations
 
+import copy
 import os
+import threading
 import time
 from collections import deque
-from contextlib import contextmanager
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,16 +62,80 @@ class StaleEpochError(KeyError):
     deployment changed since), so the sealed snapshot cannot answer for it."""
 
 
+class SealedRowView:
+    """A read-only stand-in for one deployed row, backed by sealed cells.
+
+    Mirrors the :class:`~repro.core.algorithms.base.RowBinding` query
+    surface (``read`` / ``value_for_fields`` / ``probe`` plus the
+    ``group``/``cmu``/``config``/``mem`` attributes the estimators consult),
+    but every cell access resolves against the epoch's immutable snapshot
+    array instead of the live register.  Address computation (key
+    compression, CMU index translation) delegates to the live binding --
+    those paths are pure functions of the deployment's configuration --
+    so a sealed read is bit-identical to what the live register held at the
+    instant of sealing, without ever touching it.
+    """
+
+    __slots__ = ("_binding", "_cells")
+
+    def __init__(self, binding, cells: np.ndarray) -> None:
+        self._binding = binding
+        self._cells = cells
+
+    @property
+    def group(self):
+        return self._binding.group
+
+    @property
+    def cmu(self):
+        return self._binding.cmu
+
+    @property
+    def task_id(self) -> int:
+        return self._binding.task_id
+
+    @property
+    def config(self):
+        return self._binding.config
+
+    @property
+    def mem(self):
+        return self._binding.mem
+
+    def read(self) -> np.ndarray:
+        mem = self._binding.mem
+        return self._cells[mem.base : mem.base + mem.length].copy()
+
+    def value_for_fields(self, fields: Dict[str, int]) -> int:
+        binding = self._binding
+        compressed = binding.group.compress(fields)
+        index = binding.cmu.index_for(binding.task_id, compressed)
+        return int(self._cells[index & (len(self._cells) - 1)])
+
+    def probe(self, fields: Dict[str, int]) -> Tuple[int, int, int]:
+        binding = self._binding
+        compressed = binding.group.compress(fields)
+        cfg = binding.config
+        index = binding.cmu.index_for(binding.task_id, compressed)
+        value = int(self._cells[index & (len(self._cells) - 1)])
+        p1 = cfg.p1_processor.apply(cfg.p1.value(fields, compressed), fields)
+        return index, value, p1
+
+    def reset(self) -> None:
+        raise TypeError("sealed epochs are immutable; rows cannot be reset")
+
+
 class SealedEpoch:
     """One finished epoch's immutable measurement state.
 
     Holds full-register snapshots of every CMU that hosted a task at seal
     time, the epoch's drained alarm digests, and any registered series
-    outputs.  Queries resolve against the snapshot through
-    :meth:`overlay` -- the sealed cells are swapped into the live registers
-    while an algorithm's estimator runs, then the live cells are restored --
-    which makes sealed-epoch answers bit-identical to querying the live
-    state at the instant of sealing.
+    outputs.  Queries resolve through :meth:`bind`: a detached copy of the
+    task's estimator whose row bindings read the sealed cell arrays
+    directly.  Sealed answers are bit-identical to querying the live state
+    at the instant of sealing, and -- because resolution never touches the
+    live registers -- any number of threads can query sealed epochs while
+    ingestion continues.
     """
 
     def __init__(
@@ -95,6 +160,10 @@ class SealedEpoch:
         self.digest_sets = digest_sets
         self._cells = cells
         self._registers = registers
+        # task_id -> detached estimator bound to the sealed cells.  Plain
+        # dict on purpose: entries are immutable once built, and a racing
+        # rebuild just produces an equivalent object.
+        self._bound: Dict[int, object] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -140,43 +209,54 @@ class SealedEpoch:
             for row in handle.rows
         ]
 
-    @contextmanager
-    def overlay(self):
-        """Temporarily swap the sealed cells into the live registers.
+    def bind(self, handle: TaskHandle):
+        """A detached copy of the task's estimator reading this epoch.
 
-        Estimators (which read registers through the deployed algorithm
-        bindings) then observe exactly the sealed state; the live cells are
-        restored on exit, so the next epoch's ingestion is unaffected.
-        Single-threaded control-plane use only -- do not overlay while a
-        trace is being processed.
+        The returned algorithm instance shares the deployment's
+        configuration (key selectors, address translation, processors) but
+        its row bindings are :class:`SealedRowView` objects over this
+        epoch's snapshot arrays, so running any estimator on it neither
+        reads nor writes the live registers.  Lock-free: safe to call (and
+        to query the result) from any number of threads while ingestion
+        continues.
         """
-        saved = {
-            key: register.snapshot_cells()
-            for key, register in self._registers.items()
-        }
-        try:
-            for key, register in self._registers.items():
-                register.load_cells(self._cells[key])
-            yield self
-        finally:
-            for key, register in self._registers.items():
-                register.load_cells(saved[key])
+        self.require_task(handle)
+        algo = self._bound.get(handle.task_id)
+        if algo is not None and algo.task is handle.algorithm.task:
+            return algo
+        algo = copy.copy(handle.algorithm)
+        algo.rows = [
+            SealedRowView(row, self._cells[(row.group.group_id, row.cmu.index)])
+            for row in handle.rows
+        ]
+        self._bound[handle.task_id] = algo
+        return algo
 
 
 class MeasurementService:
     """A continuously running measurement pipeline over one controller.
 
-    Rotation policy (exactly one, or neither for manual :meth:`rotate`):
+    Rotation policy (exactly one, or none for manual :meth:`rotate`):
 
     * ``epoch_packets`` -- seal after every N ingested packets;
     * ``epoch_duration_us`` -- seal whenever a packet's timestamp crosses
       the current epoch's end (timestamps must be non-decreasing, as they
-      are in captured and generated traces).
+      are in captured and generated traces);
+    * ``epoch_wall_ms`` -- real-time rotation: :meth:`start` launches a
+      background thread that seals every N wall-clock milliseconds while
+      ingestion continues on the caller's thread(s).
 
     ``retain`` bounds the sealed-epoch ring; ``workers``/``batch_size``
     select the datapath fast path for every ingested chunk (``workers > 1``
     shards chunks over parallel pipeline replicas with exact register
     merging, so sealed state stays bit-identical to a sequential run).
+
+    Concurrency model: ingestion and sealing serialize on an internal lock
+    (held per processing window, so the wall-clock sealer interleaves at
+    window boundaries); queries against sealed epochs are lock-free (see
+    :meth:`SealedEpoch.bind`) and may run from any number of threads.
+    Live-window queries and single-packet buffering belong to the ingest
+    thread.
     """
 
     def __init__(
@@ -189,18 +269,34 @@ class MeasurementService:
         workers: int = 1,
         backend: Optional[str] = None,
         runtime: Optional[str] = None,
+        epoch_wall_ms: Optional[float] = None,
     ) -> None:
-        if epoch_packets is not None and epoch_duration_us is not None:
-            raise ValueError("choose one of epoch_packets / epoch_duration_us")
+        modes = [
+            name
+            for name, value in (
+                ("epoch_packets", epoch_packets),
+                ("epoch_duration_us", epoch_duration_us),
+                ("epoch_wall_ms", epoch_wall_ms),
+            )
+            if value is not None
+        ]
+        if len(modes) > 1:
+            raise ValueError(
+                "choose one of epoch_packets / epoch_duration_us / "
+                f"epoch_wall_ms (got {', '.join(modes)})"
+            )
         if epoch_packets is not None and epoch_packets <= 0:
             raise ValueError("epoch_packets must be positive")
         if epoch_duration_us is not None and epoch_duration_us <= 0:
             raise ValueError("epoch_duration_us must be positive")
+        if epoch_wall_ms is not None and epoch_wall_ms <= 0:
+            raise ValueError("epoch_wall_ms must be positive")
         if retain <= 0:
             raise ValueError("retain must be positive")
         self.controller = controller
         self.epoch_packets = epoch_packets
         self.epoch_duration_us = epoch_duration_us
+        self.epoch_wall_ms = epoch_wall_ms
         self.retain = retain
         self.batch_size = batch_size
         self.workers = max(1, int(workers))
@@ -219,6 +315,16 @@ class MeasurementService:
         self._epoch_min_ts: Optional[int] = None
         self._epoch_max_ts: Optional[int] = None
         self._pending_fields: List[Dict[str, int]] = []
+        # Serializes ingestion windows against seals.  Reentrant so a seal
+        # triggered from inside an ingest window (packet/duration
+        # boundaries) nests cleanly.
+        self._lock = threading.RLock()
+        self._wall_thread: Optional[threading.Thread] = None
+        self._wall_stop = threading.Event()
+        # Optional write-ahead log (see repro.service.wal.ServiceWal):
+        # epoch seals are appended as WAL records inside the seal critical
+        # section, after watchers ran.
+        self._wal = None
         #: Report of the most recent sharded window (``workers > 1`` only).
         self.last_shard_report = None
         #: Cumulative wall spent inside datapath processing, milliseconds.
@@ -274,8 +380,59 @@ class MeasurementService:
         deployments (the :class:`~repro.core.epochs.EpochRunner` contract);
         by default every controller deployment is reset.
         """
-        self._flush_pending()
-        return self._seal(reset_handles=reset_handles)
+        with self._lock:
+            self._flush_pending()
+            return self._seal(reset_handles=reset_handles)
+
+    # -- wall-clock rotation ------------------------------------------------
+
+    def start(self) -> "MeasurementService":
+        """Begin wall-clock rotation (``epoch_wall_ms`` mode only).
+
+        A daemon thread seals the live window every ``epoch_wall_ms``
+        milliseconds of real time.  Ticks that land on an empty window seal
+        nothing (no empty-epoch flood while the stream is idle).  Ingestion
+        keeps running on the caller's thread; the sealer takes the ingest
+        lock only around the seal itself, so sealed-epoch queries are never
+        blocked.
+        """
+        if self.epoch_wall_ms is None:
+            raise ValueError("start() requires epoch_wall_ms rotation")
+        if self._wall_thread is not None:
+            raise RuntimeError("wall-clock rotation is already running")
+        self._wall_stop.clear()
+        self._wall_thread = threading.Thread(
+            target=self._wall_loop, name="flymon-wall-seal", daemon=True
+        )
+        self._wall_thread.start()
+        return self
+
+    def stop(self, seal_tail: bool = False) -> Optional[SealedEpoch]:
+        """Stop the wall-clock sealer (no-op when it is not running).
+
+        With ``seal_tail`` the ragged live window (if any) is sealed after
+        the thread exits, and that epoch is returned.
+        """
+        if self._wall_thread is not None:
+            self._wall_stop.set()
+            self._wall_thread.join()
+            self._wall_thread = None
+        if seal_tail:
+            with self._lock:
+                if self._epoch_fill or self._pending_fields:
+                    return self.rotate()
+        return None
+
+    def _wall_loop(self) -> None:
+        interval = self.epoch_wall_ms / 1e3
+        deadline = time.monotonic() + interval
+        while not self._wall_stop.wait(max(0.0, deadline - time.monotonic())):
+            deadline += interval
+            with self._lock:
+                if self._epoch_fill == 0 and not self._pending_fields:
+                    continue
+                self._flush_pending()
+                self._seal()
 
     # -- sealed state -------------------------------------------------------
 
@@ -334,6 +491,7 @@ class MeasurementService:
             "workers": self.workers,
             "epoch_packets": self.epoch_packets,
             "epoch_duration_us": self.epoch_duration_us,
+            "epoch_wall_ms": self.epoch_wall_ms,
             "ingest_ms_total": self.ingest_ms_total,
             "last_seal_ms": self._ring[-1].seal_ms if self._ring else None,
             "watchers_fired": sum(
@@ -362,15 +520,18 @@ class MeasurementService:
         remaining = trace
         with _RECORDER.span("service.ingest", cat="service", packets=len(trace)):
             while len(remaining):
-                take = self._room_for(remaining)
-                if take == 0:
-                    sealed.append(self._seal())
-                    continue
-                window, remaining = _split_trace(remaining, take)
-                self._process(window)
-                self._account(window)
-                if self._boundary_reached():
-                    sealed.append(self._seal())
+                # The lock is re-acquired per window so a wall-clock sealer
+                # can interleave at window boundaries mid-chunk.
+                with self._lock:
+                    take = self._room_for(remaining)
+                    if take == 0:
+                        sealed.append(self._seal())
+                        continue
+                    window, remaining = _split_trace(remaining, take)
+                    self._process(window)
+                    self._account(window)
+                    if self._boundary_reached():
+                        sealed.append(self._seal())
         return sealed
 
     def _room_for(self, trace: Trace) -> int:
@@ -382,7 +543,24 @@ class MeasurementService:
             if self._epoch_start_ts is None:
                 self._epoch_start_ts = int(ts[0])
             end = self._epoch_start_ts + self.epoch_duration_us
+            if self._epoch_fill == 0 and int(ts[0]) >= end:
+                # The window is empty and the next packet lies beyond it: a
+                # trace time gap.  Seal exactly one empty epoch to mark the
+                # discontinuity, then fast-forward the epoch grid to the
+                # step holding the next packet -- without this, a multi-hour
+                # gap would spin one empty seal (watchers, series, ring
+                # churn) per epoch_duration_us step.
+                last = self._ring[-1] if self._ring else None
+                if last is None or last.packets != 0:
+                    return 0  # seal the single gap-marking empty epoch
+                steps = (int(ts[0]) - self._epoch_start_ts) // self.epoch_duration_us
+                self._epoch_start_ts += steps * self.epoch_duration_us
+                end = self._epoch_start_ts + self.epoch_duration_us
             return int(np.searchsorted(ts, end, side="left"))
+        if self.epoch_wall_ms is not None:
+            # Bounded windows keep the per-window lock hold short so the
+            # wall-clock sealer gets in between them.
+            return min(len(trace), self._effective_batch())
         return len(trace)  # manual rotation: everything is one open window
 
     def _boundary_reached(self) -> bool:
@@ -432,6 +610,12 @@ class MeasurementService:
         return registers
 
     def _seal(self, reset_handles: Optional[Sequence[TaskHandle]] = None) -> SealedEpoch:
+        with self._lock:
+            return self._seal_locked(reset_handles=reset_handles)
+
+    def _seal_locked(
+        self, reset_handles: Optional[Sequence[TaskHandle]] = None
+    ) -> SealedEpoch:
         t0 = time.perf_counter()
         with _RECORDER.span(
             "service.rotate", cat="service", epoch=self._epoch_index,
@@ -465,6 +649,15 @@ class MeasurementService:
             )
             self._ring.append(sealed)
 
+            # Capture the WAL's per-task payload before watchers can
+            # reconfigure (a resize removes the old deployment, after which
+            # its rows can no longer be interpreted).
+            wal_tasks = (
+                self._wal.capture_epoch_tasks(sealed, handles)
+                if self._wal is not None
+                else None
+            )
+
             # Reset first so the next epoch starts fresh even if a watcher's
             # reaction (or a series estimator) raises; sealed queries keep
             # working because they read the snapshot, not the registers.
@@ -490,6 +683,10 @@ class MeasurementService:
                     pool.seal_epoch(self._epoch_index)
 
             sealed.seal_ms = (time.perf_counter() - t0) * 1e3
+
+            if self._wal is not None:
+                with _RECORDER.span("rotate.wal", cat="service"):
+                    self._wal.append_seal(sealed, wal_tasks)
         if _TELEMETRY.enabled:
             _TELEMETRY.events.emit(
                 EV_EPOCH_SEAL,

@@ -6,8 +6,11 @@ max inter-arrival -- each carrying the task it targets.  :func:`resolve`
 answers them against the live window (the epoch currently ingesting) or a
 :class:`~repro.service.engine.SealedEpoch`; sealed resolution runs the same
 control-plane estimators (the :mod:`repro.analysis` math the deployed
-algorithms wrap) under the epoch's register overlay, so a sealed answer is
-bit-identical to asking at the instant the epoch was sealed.
+algorithms wrap) on a detached binding over the epoch's immutable cell
+arrays (:meth:`SealedEpoch.bind`), so a sealed answer is bit-identical to
+asking at the instant the epoch was sealed -- and, because resolution never
+touches the live registers, any number of threads may resolve sealed
+queries while ingestion continues.
 
 Tasks may be referenced directly by :class:`~repro.core.controller.TaskHandle`
 or through a :class:`~repro.service.watchers.TaskRef`, which stays valid
@@ -97,17 +100,21 @@ class InterArrivalQuery(Query):
 
 
 def resolve(query: Query, sealed=None):
-    """Answer ``query`` against the live window or a sealed epoch."""
+    """Answer ``query`` against the live window or a sealed epoch.
+
+    Live resolution reads the deployed algorithm's registers directly.
+    Sealed resolution runs the same estimator detached onto the epoch's
+    immutable snapshot (:meth:`SealedEpoch.bind`) -- it never mutates live
+    state, so it is safe under concurrent ingestion.
+    """
     handle = query.handle()
     if sealed is None:
-        return _resolve_with_live_state(query, handle, sealed=None)
+        return _resolve(query, handle, handle.algorithm, sealed=None)
     sealed.require_task(handle)
-    with sealed.overlay():
-        return _resolve_with_live_state(query, handle, sealed=sealed)
+    return _resolve(query, handle, sealed.bind(handle), sealed=sealed)
 
 
-def _resolve_with_live_state(query: Query, handle: TaskHandle, sealed):
-    algo = handle.algorithm
+def _resolve(query: Query, handle: TaskHandle, algo, sealed):
     if isinstance(query, FrequencyQuery):
         fn = getattr(algo, "query", None)
         if fn is None:
@@ -116,7 +123,7 @@ def _resolve_with_live_state(query: Query, handle: TaskHandle, sealed):
             )
         return fn(tuple(query.flow))
     if isinstance(query, HeavyHitterQuery):
-        return _heavy_hitters(query, handle, sealed)
+        return _heavy_hitters(query, handle, algo, sealed)
     if isinstance(query, CardinalityQuery):
         if hasattr(algo, "estimate"):
             return float(algo.estimate())
@@ -147,8 +154,9 @@ def _resolve_with_live_state(query: Query, handle: TaskHandle, sealed):
     raise UnsupportedQueryError(f"unknown query type {type(query).__name__}")
 
 
-def _heavy_hitters(query: HeavyHitterQuery, handle: TaskHandle, sealed) -> set:
-    algo = handle.algorithm
+def _heavy_hitters(
+    query: HeavyHitterQuery, handle: TaskHandle, algo, sealed
+) -> set:
     if query.candidates is not None:
         threshold = query.threshold
         if threshold is None:

@@ -1,0 +1,295 @@
+"""Crash-consistent write-ahead log for the measurement service.
+
+PR 4's JSON artifacts (:mod:`repro.service.checkpoint`) snapshot a service
+once, at exit; a process killed mid-stream loses everything.  The WAL
+extends those checkpoints to *delta* form: a ``base`` record written at
+attach (the controller's replayable checkpoint plus rotation/series
+config), then one appended record per committed control-plane mutation
+(``op``) and per sealed epoch (``seal``).  Every append is flushed and
+fsync'd before the service proceeds, so after a crash -- ``kill -9``
+included -- the log contains every epoch that was ever sealed, plus at
+most one torn trailing line (the record being written at the instant of
+death), which recovery ignores.
+
+Recovery (:func:`recover_service_artifact`) is two-pass and replay-based:
+
+1. concatenate the base history with every ``op`` record to obtain the
+   final committed operation sequence, and replay it onto a fresh
+   controller (:meth:`FlyMonController.replay_history`) -- placement
+   (groups, CMUs, memory bases) is reproduced exactly, and the replay's
+   ref map translates the task ids recorded in seal records into the
+   recovered deployments;
+2. re-key each ``seal`` record's per-task payloads through that map and
+   emit a standard :func:`~repro.service.checkpoint.service_checkpoint`
+   artifact, so ``repro query`` and :func:`load_service_state` work on a
+   recovered log exactly as on a clean checkpoint.
+
+Guarantees: every sealed epoch whose ``seal`` record hit the log is
+recovered bit-identically (rows, digests, series outputs, watcher
+events); the epoch in flight when the process died is lost by design --
+its packets were never sealed, so no query ever observed them.  Tasks
+removed before the crash are omitted from recovered epochs, matching
+checkpoint semantics (interpreting sealed cells needs a live deployment).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.core.controller import FlyMonController
+
+WAL_VERSION = 1
+
+
+class WalError(ValueError):
+    """The log is unusable: bad version, missing base, or mid-log
+    corruption (anything other than a torn final line)."""
+
+
+class ServiceWal:
+    """Appends base/op/seal records for one service run.
+
+    Attach before ingesting (and after registering series/watchers, so the
+    base record captures them)::
+
+        wal = ServiceWal(path)
+        wal.attach(service)
+        try:
+            service.ingest(...)
+        finally:
+            wal.close()
+
+    The service calls :meth:`capture_epoch_tasks` / :meth:`append_seal`
+    from inside its seal critical section; user code never does.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = None
+        self._service = None
+        self.records_written = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, service) -> "ServiceWal":
+        if self._service is not None:
+            raise WalError("this WAL is already attached to a service")
+        if service._wal is not None:
+            raise WalError("the service already has a WAL attached")
+        controller = service.controller
+        base_checkpoint = controller.checkpoint()
+        if "history" not in base_checkpoint:
+            raise WalError(
+                "cannot WAL a controller with an incomplete reconfiguration "
+                "history -- recovery replays it to reproduce placement"
+            )
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._service = service
+        self._append(
+            {
+                "type": "base",
+                "version": WAL_VERSION,
+                "controller": base_checkpoint,
+                "rotation": {
+                    "epoch_packets": service.epoch_packets,
+                    "epoch_duration_us": service.epoch_duration_us,
+                    "epoch_wall_ms": service.epoch_wall_ms,
+                    "retain": service.retain,
+                    "workers": service.workers,
+                },
+                "series": sorted(service._series),
+            }
+        )
+        controller.add_op_listener(self._on_op)
+        service._wal = self
+        return self
+
+    def close(self) -> None:
+        if self._service is not None:
+            self._service.controller.remove_op_listener(self._on_op)
+            self._service._wal = None
+            self._service = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ServiceWal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- record appends -------------------------------------------------
+
+    def _append(self, record: Dict[str, object]) -> None:
+        if self._fh is None:
+            raise WalError("WAL is not open")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def _on_op(self, entry: Dict[str, object]) -> None:
+        self._append({"type": "op", "entry": entry})
+
+    def capture_epoch_tasks(self, sealed, handles) -> Dict[str, object]:
+        """Per-task sealed payloads keyed by the *live* task id.
+
+        Called by the service immediately after the snapshot, before
+        watchers run: a watcher resize removes the old deployment, after
+        which its rows can no longer be interpreted.
+        """
+        from repro.service.checkpoint import _json_safe
+
+        tasks: Dict[str, object] = {}
+        for handle in handles:
+            if not sealed.has_task(handle.task_id):
+                continue
+            tasks[str(handle.task_id)] = {
+                "rows": [values.tolist() for values in sealed.read_rows(handle)],
+                "digests": [
+                    sorted(_json_safe(flow) for flow in digests)
+                    for digests in sealed.digests(handle)
+                ],
+            }
+        return tasks
+
+    def append_seal(self, sealed, tasks: Dict[str, object]) -> None:
+        """Append the epoch's seal record (series outputs and watcher
+        events are final by now -- the service calls this last)."""
+        from repro.service.checkpoint import _json_safe
+
+        self._append(
+            {
+                "type": "seal",
+                "index": sealed.index,
+                "packets": sealed.packets,
+                "start_ts": sealed.start_ts,
+                "end_ts": sealed.end_ts,
+                "seal_ms": sealed.seal_ms,
+                "tasks": tasks,
+                "outputs": _json_safe(sealed.outputs),
+                "watcher_events": _json_safe(sealed.watcher_events),
+            }
+        )
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+
+def read_wal_records(path: str) -> List[Dict[str, object]]:
+    """Parse a WAL, tolerating exactly one torn line at the tail.
+
+    A record that fails to parse anywhere *before* the final line means
+    real corruption and raises :class:`WalError`; a torn final line is the
+    expected signature of a crash mid-append and is silently dropped.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    nonempty = [(i, line) for i, line in enumerate(lines) if line.strip()]
+    records: List[Dict[str, object]] = []
+    for pos, (lineno, line) in enumerate(nonempty):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if pos == len(nonempty) - 1:
+                break  # torn tail: the append interrupted by the crash
+            raise WalError(
+                f"{path}:{lineno + 1}: corrupt WAL record mid-log: {exc}"
+            ) from exc
+    return records
+
+
+def recover_service_artifact(path: str) -> Dict[str, object]:
+    """Replay a WAL into a :func:`service_checkpoint`-format artifact."""
+    from repro.service.checkpoint import (
+        ARTIFACT_VERSION,
+        _json_safe,
+        _placement_signature,
+    )
+
+    records = read_wal_records(path)
+    if not records:
+        raise WalError(f"{path}: empty WAL (no base record)")
+    base = records[0]
+    if base.get("type") != "base":
+        raise WalError(f"{path}: first record is {base.get('type')!r}, not base")
+    if base.get("version") != WAL_VERSION:
+        raise WalError(f"{path}: unsupported WAL version {base.get('version')!r}")
+
+    ops = [r for r in records[1:] if r.get("type") == "op"]
+    seals = [r for r in records[1:] if r.get("type") == "seal"]
+
+    # Pass 1: final committed history -> fresh controller at the exact
+    # placement the crashed service had.
+    history = list(base["controller"].get("history", []))
+    history.extend(op["entry"] for op in ops)
+    controller = FlyMonController.construct_from_params(
+        base["controller"]["params"]
+    )
+    refs = controller.replay_history(history)
+    handles = controller.tasks
+    index_of = {handle.task_id: i for i, handle in enumerate(handles)}
+
+    # Pass 2: re-key seal records (live task ids at seal time) to task
+    # indexes in the recovered controller's deployment order.
+    epochs: List[Dict[str, object]] = []
+    watcher_log: List[object] = []
+    for seal in seals:
+        tasks: Dict[str, object] = {}
+        for tid_str, payload in seal.get("tasks", {}).items():
+            handle = refs.get(int(tid_str))
+            if handle is None:
+                continue  # removed since this epoch sealed
+            tasks[str(index_of[handle.task_id])] = payload
+        epochs.append(
+            {
+                "index": seal["index"],
+                "packets": seal["packets"],
+                "start_ts": seal.get("start_ts"),
+                "end_ts": seal.get("end_ts"),
+                "seal_ms": seal.get("seal_ms", 0.0),
+                "tasks": tasks,
+                "outputs": seal.get("outputs", {}),
+                "watcher_events": seal.get("watcher_events", []),
+            }
+        )
+        watcher_log.extend(seal.get("watcher_events", []))
+
+    rotation = dict(base.get("rotation", {}))
+    retain = int(rotation.get("retain") or len(epochs) or 1)
+    return {
+        "version": ARTIFACT_VERSION,
+        "controller": controller.checkpoint(),
+        "rotation": rotation,
+        "tasks": [
+            {
+                "algorithm": handle.algorithm_name,
+                "task_id": handle.task_id,
+                "key": [list(part) for part in handle.task.key.parts],
+                "placement": _placement_signature(handle),
+            }
+            for handle in handles
+        ],
+        "series": list(base.get("series", [])),
+        "epochs": epochs[-retain:],
+        "watcher_log": _json_safe(watcher_log),
+        "stats": {
+            "recovered_from_wal": True,
+            "wal_records": len(records),
+            "wal_seals": len(seals),
+            "wal_ops": len(ops),
+            "epochs_recovered": len(epochs[-retain:]),
+        },
+    }
+
+
+def recover_service(path: str):
+    """Rebuild a queryable :class:`RestoredService` straight from a WAL."""
+    from repro.service.checkpoint import load_service_state
+
+    return load_service_state(recover_service_artifact(path))

@@ -40,6 +40,15 @@ def unwrap(task) -> TaskHandle:
     return task.handle if isinstance(task, TaskRef) else task
 
 
+class ActionNoop(Exception):
+    """Raised by a watcher action that decided nothing needs doing.
+
+    Recorded as outcome ``"noop"`` on the event; unlike a committed action
+    it does not consume the watcher's cooldown, so the watcher re-evaluates
+    at the very next seal.
+    """
+
+
 @dataclass
 class WatcherEvent:
     """One watcher evaluation: the metric, the decision, and any action."""
@@ -51,7 +60,7 @@ class WatcherEvent:
     threshold: Optional[float] = None
     direction: str = "above"
     action: Optional[str] = None
-    outcome: Optional[str] = None  # "ok" | "rolled_back" | "failed" | None
+    outcome: Optional[str] = None  # "ok" | "noop" | "rolled_back" | "failed" | None
     error: Optional[str] = None
 
 
@@ -62,9 +71,14 @@ class Watcher:
     ``metric`` is ``fn(service, sealed) -> float``; the watcher fires when
     the value exceeds ``above`` and/or drops below ``below``.  ``action``
     (``fn(service, sealed) -> str description``) runs on fire, at most once
-    per ``cooldown_epochs`` window; reconfiguration failures are caught,
-    recorded on the event, and never unseat the service -- the transactional
-    control plane has already rolled the attempt back.
+    per ``cooldown_epochs`` consecutive epochs: after firing at epoch ``e``
+    the watcher is suppressed until epoch ``e + cooldown_epochs``, so
+    ``cooldown_epochs=2`` fires at most every other epoch and values <= 1
+    never suppress.  An action that raises :class:`ActionNoop` records
+    outcome ``"noop"`` and does not consume the cooldown.  Reconfiguration
+    failures are caught, recorded on the event, and never unseat the
+    service -- the transactional control plane has already rolled the
+    attempt back.
     """
 
     name: str
@@ -87,31 +101,51 @@ class Watcher:
         return None
 
     def _cooling_down(self, epoch: int) -> bool:
+        # Fired at epoch e -> suppressed while epoch - e < cooldown_epochs,
+        # i.e. eligible again exactly at e + cooldown_epochs ("at most once
+        # per cooldown window").
         return (
             self._last_fired_epoch is not None
-            and epoch - self._last_fired_epoch <= self.cooldown_epochs
+            and epoch - self._last_fired_epoch < self.cooldown_epochs
         )
+
+    def _attribution(self, direction: Optional[str]) -> tuple:
+        """``(threshold, direction)`` for the event record.
+
+        A fired rule reports the side it crossed.  A quiet rule reports the
+        side it watches: the configured one, or ``above`` when both are set.
+        """
+        if direction == "below" or (direction is None and self.above is None):
+            return self.below, "below"
+        return self.above, "above"
 
     def evaluate(self, service, sealed) -> WatcherEvent:
         value = float(self.metric(service, sealed))
         direction = self._crossed(value)
-        threshold = self.above if direction != "below" else self.below
+        threshold, recorded_direction = self._attribution(direction)
         event = WatcherEvent(
             epoch=sealed.index,
             watcher=self.name,
             value=value,
             fired=direction is not None and not self._cooling_down(sealed.index),
             threshold=threshold,
-            direction=direction or "above",
+            direction=recorded_direction,
         )
         if not event.fired:
             return event
-        self._last_fired_epoch = sealed.index
         if self.action is None:
+            self._last_fired_epoch = sealed.index
             return event
         try:
             event.action = self.action(service, sealed) or self.name
             event.outcome = "ok"
+        except ActionNoop as exc:
+            # Nothing to do: record it distinctly and leave the cooldown
+            # untouched so the watcher re-evaluates at the next seal.
+            event.action = self.name
+            event.outcome = "noop"
+            event.error = str(exc) or None
+            return event
         except PlacementError as exc:
             # The transaction restored the original deployment; the ref (if
             # the action used one) still points at a live handle.
@@ -123,6 +157,7 @@ class Watcher:
             event.action = self.name
             event.outcome = "failed"
             event.error = f"{type(exc).__name__}: {exc}"
+        self._last_fired_epoch = sealed.index
         return event
 
 
@@ -178,11 +213,15 @@ def resize_action(
     min_memory: int = 64,
     max_memory: int = 1 << 16,
 ) -> Callable:
-    """Resize ``ref``'s task by ``factor`` (rounded to a power of two).
+    """Resize ``ref``'s task by ``factor`` (rounded to the *nearest* power
+    of two, ties toward the smaller size, clamped to [min, max]).
 
     Runs through :meth:`FlyMonController.resize_task`, so a mid-flight
     failure rolls back to the original deployment; on success the ref is
-    repointed at the new handle.
+    repointed at the new handle.  A resize that lands back on the current
+    size (shrink rounded home, or clamped at a bound) raises
+    :class:`ActionNoop` so the watcher neither burns its cooldown nor logs
+    a phantom ``"ok"``.
     """
     if not isinstance(ref, TaskRef):
         raise TypeError("resize_action needs a TaskRef (it must repoint it)")
@@ -193,10 +232,14 @@ def resize_action(
         target = int(round(old_memory * factor))
         target = max(min_memory, min(max_memory, target))
         if target & (target - 1):
-            target = 1 << target.bit_length()
+            hi = 1 << target.bit_length()
+            lo = hi >> 1
+            target = lo if (target - lo) <= (hi - target) else hi
         target = max(min_memory, min(max_memory, target))
         if target == old_memory:
-            return f"task{handle.task_id}: already at {old_memory} buckets"
+            raise ActionNoop(
+                f"task{handle.task_id}: already at {old_memory} buckets"
+            )
         new_handle = service.controller.resize_task(handle, target)
         ref.handle = new_handle
         return (

@@ -77,6 +77,33 @@ class TestRotation:
             start = end
         assert sum(s.packets for s in service.epochs) == len(trace)
 
+    def test_duration_gap_seals_at_most_one_empty_epoch(self, controller):
+        # A multi-hour trace gap must NOT spin one empty seal (watchers,
+        # series, ring churn) per epoch_duration_us step: exactly one empty
+        # epoch marks the discontinuity, then the grid fast-forwards to the
+        # step holding the next packet.
+        controller.add_task(freq_task())
+        trace = zipf_trace(num_flows=100, num_packets=2000, seed=3).sorted_by_time()
+        ts = trace.columns["timestamp"].copy()
+        gap_at = len(ts) // 2
+        duration = int(ts[gap_at - 1] - ts[0]) + 1  # pre-gap half = 1 epoch
+        ts[gap_at:] += 10_000 * duration  # a 10k-epoch-wide hole
+        gapped = Trace({**trace.columns, "timestamp": ts})
+        service = MeasurementService(
+            controller, epoch_duration_us=duration, retain=32
+        )
+        service.ingest(gapped)
+        service.rotate()
+        empties = [s for s in service.epochs if s.packets == 0]
+        assert len(empties) == 1
+        assert len(service.epochs) <= 4  # pre-gap, marker, post-gap (+tail)
+        assert sum(s.packets for s in service.epochs) == len(gapped)
+        # The first post-gap epoch starts with the first post-gap packet.
+        post = next(
+            s for s in service.epochs if s.packets and s.index > empties[0].index
+        )
+        assert post.start_ts == int(ts[gap_at])
+
     def test_manual_rotation_only_on_rotate(self, controller):
         controller.add_task(freq_task())
         service = MeasurementService(controller)
@@ -144,18 +171,34 @@ class TestSealing:
         with pytest.raises(StaleEpochError):
             service.query(CardinalityQuery(late), epoch=sealed)
 
-    def test_overlay_restores_live_state(self, controller):
+    def test_sealed_resolution_never_touches_live_registers(self, controller):
+        """Sealed queries run on detached bindings: resolving them must not
+        read back different values nor mutate the live registers (the
+        overlay mechanism this replaced swapped sealed cells into the live
+        registers, corrupting concurrent ingest)."""
+        handle = controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=500)
+        trace = zipf_trace(num_flows=100, num_packets=1000, seed=10)
+        sealed = service.ingest(trace)[0]
+        live_before = [row.read().tolist() for row in handle.rows]
+        flow = max(
+            trace.flow_sizes(freq_task().key).items(), key=lambda kv: kv[1]
+        )[0]
+        assert service.query(FrequencyQuery(handle, flow), epoch=sealed) > 0
+        algo = sealed.bind(handle)
+        assert [row.read().tolist() for row in algo.rows] == _rows(
+            sealed, handle
+        )
+        assert [row.read().tolist() for row in handle.rows] == live_before
+
+    def test_sealed_rows_are_immutable(self, controller):
         handle = controller.add_task(freq_task())
         service = MeasurementService(controller, epoch_packets=500)
         sealed = service.ingest(
             zipf_trace(num_flows=100, num_packets=1000, seed=10)
         )[0]
-        live_before = [row.read().tolist() for row in handle.rows]
-        with sealed.overlay():
-            assert _rows(sealed, handle) == [
-                row.read().tolist() for row in handle.rows
-            ]
-        assert [row.read().tolist() for row in handle.rows] == live_before
+        with pytest.raises(TypeError):
+            sealed.bind(handle).rows[0].reset()
 
 
 class TestRetention:

@@ -55,7 +55,7 @@ class TestThresholds:
         controller.add_task(freq_task())
         service = MeasurementService(controller)
         service.add_watcher(
-            Watcher("w", constant_metric(10), above=5, cooldown_epochs=1)
+            Watcher("w", constant_metric(10), above=5, cooldown_epochs=2)
         )
         trace = zipf_trace(num_flows=20, num_packets=100, seed=32)
         fired = []
@@ -63,6 +63,60 @@ class TestThresholds:
             service.ingest(trace)
             fired.append(service.rotate().watcher_events[0].fired)
         assert fired == [True, False, True, False]
+
+    @pytest.mark.parametrize(
+        "cooldown,expected",
+        [
+            # "At most once per cooldown_epochs consecutive epochs": fired
+            # at e, eligible again at e + cooldown_epochs.  Values <= 1
+            # never suppress.
+            (0, [True, True, True, True]),
+            (1, [True, True, True, True]),
+            (2, [True, False, True, False]),
+            (3, [True, False, False, True]),
+        ],
+    )
+    def test_cooldown_window_semantics(self, controller, cooldown, expected):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        service.add_watcher(
+            Watcher(
+                "w", constant_metric(10), above=5, cooldown_epochs=cooldown
+            )
+        )
+        trace = zipf_trace(num_flows=20, num_packets=100, seed=32)
+        fired = []
+        for _ in range(4):
+            service.ingest(trace)
+            fired.append(service.rotate().watcher_events[0].fired)
+        assert fired == expected
+
+    @pytest.mark.parametrize(
+        "kwargs,value,fired,direction,threshold",
+        [
+            # Fired rules attribute the crossed side.
+            (dict(above=5), 10, True, "above", 5),
+            (dict(below=20), 10, True, "below", 20),
+            (dict(above=5, below=3), 10, True, "above", 5),
+            (dict(above=15, below=12), 10, True, "below", 12),
+            # Quiet rules attribute the configured side -- a below-only
+            # watcher must not report threshold=None/"above".
+            (dict(above=50), 10, False, "above", 50),
+            (dict(below=5), 10, False, "below", 5),
+            (dict(above=50, below=5), 10, False, "above", 50),
+        ],
+    )
+    def test_threshold_attribution(
+        self, controller, kwargs, value, fired, direction, threshold
+    ):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller)
+        service.add_watcher(Watcher("w", constant_metric(value), **kwargs))
+        service.ingest(zipf_trace(num_flows=20, num_packets=100, seed=32))
+        event = service.rotate().watcher_events[0]
+        assert event.fired is fired
+        assert event.direction == direction
+        assert event.threshold == threshold
 
 
 class TestMetrics:
@@ -110,6 +164,49 @@ class TestReactions:
         sealed = service.rotate()
         assert sealed.has_task(ref.handle.task_id)
         assert any(sum(r) for r in map(list, sealed.read_rows(ref.handle)))
+
+    def test_shrink_rounds_to_nearest_power_of_two(self, controller):
+        # 1024 * 0.75 = 768, equidistant between 512 and 1024: ties round
+        # down, so the shrink actually shrinks instead of rounding home.
+        ref = TaskRef(controller.add_task(freq_task(memory=1024)))
+        service = MeasurementService(controller)
+        service.add_watcher(
+            Watcher(
+                "shrink",
+                fill_factor_metric(ref),
+                above=0.0,
+                action=resize_action(ref, factor=0.75),
+                cooldown_epochs=1_000_000,
+            )
+        )
+        service.ingest(zipf_trace(num_flows=500, num_packets=2000, seed=34))
+        event = service.rotate().watcher_events[0]
+        assert event.fired and event.outcome == "ok"
+        assert ref.handle.task.memory == 512
+
+    def test_clamped_resize_is_a_noop_and_keeps_cooldown(self, controller):
+        # Already at max_memory: the resize has nothing to do.  It must
+        # report a distinct "noop" outcome and must NOT consume the
+        # cooldown -- the watcher stays eligible at the very next seal.
+        ref = TaskRef(controller.add_task(freq_task(memory=1024)))
+        service = MeasurementService(controller)
+        service.add_watcher(
+            Watcher(
+                "grow",
+                fill_factor_metric(ref),
+                above=0.0,
+                action=resize_action(ref, max_memory=1024),
+                cooldown_epochs=1_000_000,
+            )
+        )
+        trace = zipf_trace(num_flows=500, num_packets=2000, seed=34)
+        for expected_epoch in (0, 1):
+            service.ingest(trace)
+            event = service.rotate().watcher_events[0]
+            assert event.epoch == expected_epoch
+            assert event.fired and event.outcome == "noop"
+            assert "already at 1024" in event.error
+        assert ref.handle.task.memory == 1024
 
     def test_placement_blocked_resize_rolls_back(self):
         # One group, 4096-bucket registers.  A blocker task with a disjoint
