@@ -265,7 +265,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="append a crash-consistent write-ahead log (JSON lines) that "
-        "`repro recover` replays after a crash",
+        "`repro recover` replays after a crash; a directory (with "
+        "--wal-segment-seals/--wal-segment-bytes) enables segmentation",
+    )
+    serve.add_argument(
+        "--wal-policy",
+        choices=("fail", "degrade"),
+        default="fail",
+        help="on a WAL write failure: fail stops ingest cleanly (sealed "
+        "epochs stay intact); degrade keeps serving with wal_state="
+        "degraded and bounded-backoff reattach attempts (default: fail)",
+    )
+    serve.add_argument(
+        "--wal-segment-seals",
+        type=int,
+        default=None,
+        metavar="N",
+        help="roll the WAL to a new segment after N seal records (treats "
+        "--wal as a directory of wal-NNNNNN.jsonl segments)",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="roll the WAL to a new segment once it exceeds B bytes",
+    )
+    serve.add_argument(
+        "--wal-force",
+        action="store_true",
+        help="resume into a WAL path that already holds records (starts a "
+        "fresh segment, or rotates a single file to PATH.prev); without "
+        "this, attaching to a non-empty WAL is refused",
+    )
+    serve.add_argument(
+        "--max-stall-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="overload guard: shed whole ingest windows (with exact "
+        "dropped_packets/dropped_windows accounting) instead of waiting "
+        "more than MS ms for the ingest lock",
+    )
+    serve.add_argument(
+        "--health-out",
+        metavar="PATH",
+        default=None,
+        help="write a service.health() JSON heartbeat to PATH (atomically, "
+        "after every chunk and at exit)",
     )
 
     profile = sub.add_parser(
@@ -454,7 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
         "queryable checkpoint artifact",
     )
     recover.add_argument(
-        "--wal", metavar="PATH", required=True, help="the write-ahead log"
+        "--wal",
+        metavar="PATH",
+        required=True,
+        help="the write-ahead log: a single file, or a segment directory "
+        "(recovers from the newest segment with an intact base)",
     )
     recover.add_argument(
         "--output",
@@ -912,6 +963,7 @@ def _load_serve_trace(args):
 
 def cmd_serve(args) -> int:
     import json
+    import time
 
     from repro import telemetry
     from repro.core.controller import FlyMonController
@@ -975,6 +1027,7 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             batch_size=args.batch_size,
             runtime=getattr(args, "shard_runtime", None),
+            max_stall_ms=getattr(args, "max_stall_ms", None),
         )
         if "hh" in refs:
             service.register_series("heavy_hitters", HeavyHitterQuery(refs["hh"]))
@@ -1012,9 +1065,33 @@ def cmd_serve(args) -> int:
 
         wal = None
         if args.wal is not None:
-            from repro.service.wal import ServiceWal
+            from repro.service.wal import ServiceWal, WalError
 
-            wal = ServiceWal(args.wal).attach(service)
+            try:
+                wal = ServiceWal(
+                    args.wal,
+                    segment_seals=getattr(args, "wal_segment_seals", None),
+                    segment_bytes=getattr(args, "wal_segment_bytes", None),
+                    policy=getattr(args, "wal_policy", "fail"),
+                    resume=bool(getattr(args, "wal_force", False)),
+                ).attach(service)
+            except WalError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+        health_out = getattr(args, "health_out", None)
+
+        def write_health() -> None:
+            if health_out is None:
+                return
+            payload = service.health()
+            payload["time"] = time.time()
+            if wal is not None:
+                payload["wal"] = wal.status()
+            tmp = health_out + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, health_out)
 
         def print_epoch(sealed) -> None:
             fired = [e for e in sealed.watcher_events if e.fired]
@@ -1039,7 +1116,10 @@ def cmd_serve(args) -> int:
         from repro.traffic.packet import PACKET_FIELDS
         from repro.traffic.trace import Trace
 
+        from repro.service.wal import WalWriteError
+
         last_printed = -1
+        halted = None
         if epoch_wall_ms is not None:
             service.start()
         try:
@@ -1057,15 +1137,34 @@ def cmd_serve(args) -> int:
                     if sealed.index > last_printed:
                         print_epoch(sealed)
                         last_printed = sealed.index
+                write_health()
+        except WalWriteError as exc:
+            # --wal-policy fail: storage refused a write.  Stop ingest
+            # cleanly -- every epoch sealed so far is intact and durable.
+            halted = exc
         finally:
             if epoch_wall_ms is not None:
-                service.stop(seal_tail=True)
-            elif service._epoch_fill:
+                service.stop(seal_tail=halted is None)
+            elif service._epoch_fill and halted is None:
                 service.rotate()  # seal the ragged tail window
             for sealed in list(service.epochs):
                 if sealed.index > last_printed:
                     print_epoch(sealed)
                     last_printed = sealed.index
+            write_health()
+
+        if halted is not None:
+            stats = service.stats()
+            print(
+                f"error: {halted}\n"
+                f"served {stats['packets_total']} packets across "
+                f"{stats['epoch']} epochs before the WAL failure; the log "
+                "is recoverable up to the last sealed epoch",
+                file=sys.stderr,
+            )
+            if wal is not None:
+                wal.close()
+            return 1
 
         stats = service.stats()
         print(
@@ -1078,8 +1177,17 @@ def cmd_serve(args) -> int:
                 json.dump(artifact, fh)
             print(f"checkpoint: {len(artifact['epochs'])} epochs -> {args.checkpoint}")
         if wal is not None:
-            print(f"wal: {wal.records_written} records -> {args.wal}")
-            wal.close()
+            wal.close()  # may flush cached epochs via a final reattach
+            status = wal.status()
+            line = f"wal: {wal.records_written} records"
+            if status["mode"] == "segmented":
+                line += f", segment {status['segment']} ({status['rolls']} roll(s))"
+            if status["state"] != "ok":
+                line += f", state={status['state']}"
+            if status["lost_seals"]:
+                line += f", LOST {status['lost_seals']} sealed epoch(s)"
+            print(line + f" -> {args.wal}")
+            write_health()  # reflect the close-time reattach outcome
         if args.telemetry is not None:
             snapshot = telemetry.write_artifact(
                 args.telemetry, meta={"command": "serve"}
@@ -1267,6 +1375,20 @@ def _top_frame(args, service, done: int, total: int, elapsed_s: float) -> str:
         f"watchers {stats['watchers']:>5} registered"
         f"   fired {stats['watchers_fired']}"
     )
+    health = service.health()
+    health_line = f"health   {health['status']:>5}"
+    if health["wal_state"] is not None:
+        health_line += f"   wal={health['wal_state']}"
+    if health["dropped_windows"]:
+        health_line += (
+            f"   shed {health['dropped_windows']} window(s)"
+            f" / {health['dropped_packets']} pkts"
+        )
+    if health["sealer_restarts"]:
+        health_line += f"   sealer restarts={health['sealer_restarts']}"
+    if health["reasons"]:
+        health_line += "   [" + "; ".join(health["reasons"]) + "]"
+    lines.append(health_line)
     report = service.last_shard_report
     if report is not None and report.shard_timings:
         lines.append(
@@ -1523,6 +1645,12 @@ def cmd_recover(args) -> int:
         f"{stats['wal_seals']} seal record(s) and {stats['wal_ops']} op "
         f"record(s) in {args.wal}"
     )
+    if "wal_segments" in stats:
+        print(
+            f"segmented WAL: recovered from segment {stats['wal_segment']} "
+            f"({stats['wal_segments']} segment(s) on disk, "
+            f"{stats.get('wal_compacted', 0)} compacted epoch(s) in its base)"
+        )
     if artifact["epochs"]:
         last = artifact["epochs"][-1]
         print(

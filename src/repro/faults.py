@@ -20,6 +20,15 @@ site                  where it fires
                       ``kill`` argument the worker process hard-exits)
 ``shard_timeout``     shard-worker entry (sleeps the configured seconds so
                       the dispatcher's per-shard timeout trips)
+``wal_append``        :meth:`repro.service.wal.ServiceWal` record append,
+                      before the write (``kill`` SIGKILLs the process,
+                      ``torn`` writes half the record then SIGKILLs)
+``wal_fsync``         the WAL's per-append ``os.fsync`` (raises ``OSError``,
+                      as a dying disk would)
+``wal_roll``          WAL segment roll, before the new segment's compaction
+                      base is written (``kill``/``torn`` as ``wal_append``)
+``disk_full``         the WAL's record write (surfaces as ``OSError``
+                      with ``ENOSPC``)
 ====================  =====================================================
 
 Arms come from code (``FAULTS.arm(...)``) or from the ``FLYMON_FAULTS``
@@ -54,6 +63,10 @@ SITE_ALLOC_EXHAUSTED = "alloc_exhausted"
 SITE_KEY_DENIED = "key_denied"
 SITE_SHARD_CRASH = "shard_crash"
 SITE_SHARD_TIMEOUT = "shard_timeout"
+SITE_WAL_APPEND = "wal_append"
+SITE_WAL_FSYNC = "wal_fsync"
+SITE_WAL_ROLL = "wal_roll"
+SITE_DISK_FULL = "disk_full"
 
 FAULT_SITES = (
     SITE_RULE_APPLY,
@@ -61,6 +74,10 @@ FAULT_SITES = (
     SITE_KEY_DENIED,
     SITE_SHARD_CRASH,
     SITE_SHARD_TIMEOUT,
+    SITE_WAL_APPEND,
+    SITE_WAL_FSYNC,
+    SITE_WAL_ROLL,
+    SITE_DISK_FULL,
 )
 
 #: Environment variable holding the default injection spec.

@@ -53,8 +53,11 @@ from repro.service.checkpoint import load_service_state, service_checkpoint
 from repro.service.wal import (
     ServiceWal,
     WalError,
+    WalWriteError,
+    iter_wal_records,
     recover_service,
     recover_service_artifact,
+    wal_segments,
 )
 
 __all__ = [
@@ -74,15 +77,18 @@ __all__ = [
     "TaskRef",
     "UnsupportedQueryError",
     "WalError",
+    "WalWriteError",
     "Watcher",
     "WatcherEvent",
     "cardinality_metric",
     "fill_factor_metric",
     "heavy_hitter_count_metric",
+    "iter_wal_records",
     "load_service_state",
     "recover_service",
     "recover_service_artifact",
     "resize_action",
     "resolve",
     "service_checkpoint",
+    "wal_segments",
 ]

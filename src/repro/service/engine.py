@@ -34,6 +34,8 @@ from repro.core.controller import FlyMonController, TaskHandle
 from repro.telemetry import (
     DEFAULT_MS_BUCKETS,
     EV_EPOCH_SEAL,
+    EV_INGEST_SHED,
+    EV_SEALER_RESTARTED,
     EV_WATCHER_ACTION,
     EV_WATCHER_FIRED,
     RECORDER as _RECORDER,
@@ -270,6 +272,8 @@ class MeasurementService:
         backend: Optional[str] = None,
         runtime: Optional[str] = None,
         epoch_wall_ms: Optional[float] = None,
+        max_stall_ms: Optional[float] = None,
+        sealer_restart_budget: int = 3,
     ) -> None:
         modes = [
             name
@@ -293,6 +297,10 @@ class MeasurementService:
             raise ValueError("epoch_wall_ms must be positive")
         if retain <= 0:
             raise ValueError("retain must be positive")
+        if max_stall_ms is not None and max_stall_ms <= 0:
+            raise ValueError("max_stall_ms must be positive")
+        if sealer_restart_budget < 0:
+            raise ValueError("sealer_restart_budget must be >= 0")
         self.controller = controller
         self.epoch_packets = epoch_packets
         self.epoch_duration_us = epoch_duration_us
@@ -321,6 +329,21 @@ class MeasurementService:
         self._lock = threading.RLock()
         self._wall_thread: Optional[threading.Thread] = None
         self._wall_stop = threading.Event()
+        # Overload protection: when set, an ingest window that cannot take
+        # the lock within this bound is shed whole (exact accounting below)
+        # instead of queueing unboundedly behind a slow seal/WAL/disk.
+        self.max_stall_ms = max_stall_ms
+        self.dropped_packets = 0
+        self.dropped_windows = 0
+        # Sealer supervision (epoch_wall_ms mode): the watchdog restarts a
+        # dead sealer thread up to ``sealer_restart_budget`` times and
+        # counts deadlines the sealer missed by more than 3 intervals.
+        self.sealer_restart_budget = max(0, int(sealer_restart_budget))
+        self.sealer_restarts = 0
+        self.sealer_missed_deadlines = 0
+        self._sealer_failed: Optional[str] = None
+        self._sealer_tick: float = 0.0
+        self._watchdog_thread: Optional[threading.Thread] = None
         # Optional write-ahead log (see repro.service.wal.ServiceWal):
         # epoch seals are appended as WAL records inside the seal critical
         # section, after watchers ran.
@@ -401,10 +424,16 @@ class MeasurementService:
         if self._wall_thread is not None:
             raise RuntimeError("wall-clock rotation is already running")
         self._wall_stop.clear()
+        self._sealer_failed = None
+        self._sealer_tick = time.monotonic()
         self._wall_thread = threading.Thread(
             target=self._wall_loop, name="flymon-wall-seal", daemon=True
         )
         self._wall_thread.start()
+        self._watchdog_thread = threading.Thread(
+            target=self._watchdog_loop, name="flymon-wall-watchdog", daemon=True
+        )
+        self._watchdog_thread.start()
         return self
 
     def stop(self, seal_tail: bool = False) -> Optional[SealedEpoch]:
@@ -413,10 +442,15 @@ class MeasurementService:
         With ``seal_tail`` the ragged live window (if any) is sealed after
         the thread exits, and that epoch is returned.
         """
-        if self._wall_thread is not None:
+        if self._wall_thread is not None or self._watchdog_thread is not None:
             self._wall_stop.set()
-            self._wall_thread.join()
-            self._wall_thread = None
+            # Watchdog first, so no replacement sealer spawns mid-join.
+            if self._watchdog_thread is not None:
+                self._watchdog_thread.join()
+                self._watchdog_thread = None
+            if self._wall_thread is not None:
+                self._wall_thread.join()
+                self._wall_thread = None
         if seal_tail:
             with self._lock:
                 if self._epoch_fill or self._pending_fields:
@@ -424,15 +458,68 @@ class MeasurementService:
         return None
 
     def _wall_loop(self) -> None:
+        try:
+            self._wall_run()
+        except Exception as exc:  # surfaced via health(); watchdog decides
+            self._sealer_failed = f"{type(exc).__name__}: {exc}"
+
+    def _wall_run(self) -> None:
         interval = self.epoch_wall_ms / 1e3
         deadline = time.monotonic() + interval
         while not self._wall_stop.wait(max(0.0, deadline - time.monotonic())):
             deadline += interval
+            self._sealer_tick = time.monotonic()
             with self._lock:
                 if self._epoch_fill == 0 and not self._pending_fields:
                     continue
                 self._flush_pending()
                 self._seal()
+
+    def _watchdog_loop(self) -> None:
+        interval = self.epoch_wall_ms / 1e3
+        stall_counted = False
+        while not self._wall_stop.wait(max(interval, 0.01)):
+            thread = self._wall_thread
+            if thread is None:
+                break
+            if not thread.is_alive():
+                if self._wall_stop.is_set():
+                    break
+                reason = self._sealer_failed or "sealer thread died"
+                if self.sealer_restarts >= self.sealer_restart_budget:
+                    self._sealer_failed = (
+                        f"sealer dead after {self.sealer_restarts} "
+                        f"restart(s): {reason}"
+                    )
+                    break
+                self._restart_sealer(reason)
+                stall_counted = False
+                continue
+            # Missed-deadline detection: the sealer is alive but has not
+            # ticked for 3+ intervals (blocked on the lock, a slow disk,
+            # a stuck watcher).  Counted once per stall episode.
+            lag = time.monotonic() - self._sealer_tick
+            if lag > 3.0 * interval:
+                if not stall_counted:
+                    self.sealer_missed_deadlines += 1
+                    stall_counted = True
+            else:
+                stall_counted = False
+
+    def _restart_sealer(self, reason: str) -> None:
+        self.sealer_restarts += 1
+        self._sealer_failed = None
+        self._sealer_tick = time.monotonic()
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_SEALER_RESTARTED, restart=self.sealer_restarts, reason=reason
+            )
+            _TELEMETRY.registry.counter("flymon_sealer_restarts_total").inc()
+        thread = threading.Thread(
+            target=self._wall_loop, name="flymon-wall-seal", daemon=True
+        )
+        self._wall_thread = thread
+        thread.start()
 
     # -- sealed state -------------------------------------------------------
 
@@ -497,6 +584,84 @@ class MeasurementService:
             "watchers_fired": sum(
                 1 for e in self.watcher_log if getattr(e, "fired", False)
             ),
+            "dropped_packets": self.dropped_packets,
+            "dropped_windows": self.dropped_windows,
+            "wal_state": self._wal.state if self._wal is not None else None,
+            "wal_lost_seals": (
+                self._wal.lost_seals if self._wal is not None else 0
+            ),
+            "sealer_restarts": self.sealer_restarts,
+            "sealer_missed_deadlines": self.sealer_missed_deadlines,
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Machine-readable service health: ``ok`` / ``degraded`` /
+        ``failing`` plus the reasons, for dashboards and heartbeats.
+
+        ``degraded`` means the service is still measuring and answering
+        queries but something needs attention (WAL detached and retrying,
+        windows shed under overload, a sealer restart, a degraded shard
+        pool); ``failing`` means durability or liveness is actually broken
+        (WAL permanently failed or sealed epochs lost, sealer dead past
+        its restart budget).
+        """
+        reasons: List[str] = []
+        rank = 0  # 0 ok, 1 degraded, 2 failing
+
+        def note(level: int, reason: str) -> None:
+            nonlocal rank
+            reasons.append(reason)
+            rank = max(rank, level)
+
+        wal = self._wal
+        wal_status = wal.status() if wal is not None else None
+        if wal_status is not None:
+            if wal_status["state"] == "degraded":
+                note(1, f"wal degraded: {wal_status['last_error']}")
+            elif wal_status["state"] == "failed":
+                note(2, f"wal failed: {wal_status['last_error']}")
+            if wal_status["lost_seals"]:
+                # Losses while storage is still unreachable are an active
+                # failure; after a successful reattach they are a scar --
+                # the log is whole again from the retain window onward.
+                note(
+                    2 if wal_status["state"] != "ok" else 1,
+                    f"wal: {wal_status['lost_seals']} sealed epoch(s) "
+                    "never reached stable storage",
+                )
+        if self._sealer_failed:
+            note(2, f"sealer: {self._sealer_failed}")
+        elif self.sealer_restarts:
+            note(1, f"sealer restarted {self.sealer_restarts} time(s)")
+        if self.sealer_missed_deadlines:
+            note(
+                1,
+                f"sealer missed {self.sealer_missed_deadlines} deadline(s)",
+            )
+        if self.dropped_windows:
+            note(
+                1,
+                f"shed {self.dropped_windows} window(s) "
+                f"({self.dropped_packets} packets) under overload",
+            )
+        report = self.last_shard_report
+        degraded_reason = getattr(report, "degraded", None)
+        if degraded_reason:
+            note(1, f"shard pool degraded: {degraded_reason}")
+        return {
+            "status": ("ok", "degraded", "failing")[rank],
+            "reasons": reasons,
+            "wal_state": wal_status["state"] if wal_status else None,
+            "sealer_alive": (
+                self._wall_thread.is_alive()
+                if self._wall_thread is not None
+                else None
+            ),
+            "sealer_restarts": self.sealer_restarts,
+            "dropped_packets": self.dropped_packets,
+            "dropped_windows": self.dropped_windows,
+            "epoch": self._epoch_index,
+            "sealed_epochs": len(self._ring),
         }
 
     # -- internals ----------------------------------------------------------
@@ -518,11 +683,20 @@ class MeasurementService:
     def _ingest_chunk(self, trace: Trace) -> List[SealedEpoch]:
         sealed: List[SealedEpoch] = []
         remaining = trace
+        stall_s = self.max_stall_ms / 1e3 if self.max_stall_ms else None
         with _RECORDER.span("service.ingest", cat="service", packets=len(trace)):
             while len(remaining):
                 # The lock is re-acquired per window so a wall-clock sealer
-                # can interleave at window boundaries mid-chunk.
-                with self._lock:
+                # can interleave at window boundaries mid-chunk.  With a
+                # stall bound, a window that cannot get the lock in time is
+                # shed whole rather than queueing behind a stuck seal.
+                if stall_s is not None:
+                    if not self._lock.acquire(timeout=stall_s):
+                        remaining = self._shed_window(remaining)
+                        continue
+                else:
+                    self._lock.acquire()
+                try:
                     take = self._room_for(remaining)
                     if take == 0:
                         sealed.append(self._seal())
@@ -532,7 +706,37 @@ class MeasurementService:
                     self._account(window)
                     if self._boundary_reached():
                         sealed.append(self._seal())
+                finally:
+                    self._lock.release()
         return sealed
+
+    def _shed_window(self, remaining: Trace) -> Trace:
+        """Drop one window's worth of the chunk with exact accounting.
+
+        Shed packets never touch the registers or the packet counters:
+        ``dropped_packets`` / ``dropped_windows`` are the only trace they
+        leave, so sealed state stays exact for the traffic that *was*
+        ingested and the loss is fully machine-readable.
+        """
+        take = min(len(remaining), self._effective_batch())
+        window, rest = _split_trace(remaining, take)
+        del window
+        self.dropped_packets += take
+        self.dropped_windows += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_INGEST_SHED,
+                packets=take,
+                dropped_packets=self.dropped_packets,
+                dropped_windows=self.dropped_windows,
+            )
+            _TELEMETRY.registry.counter(
+                "flymon_ingest_shed_packets_total"
+            ).inc(take)
+            _TELEMETRY.registry.counter(
+                "flymon_ingest_shed_windows_total"
+            ).inc()
+        return rest
 
     def _room_for(self, trace: Trace) -> int:
         """How many of the chunk's leading packets fit in this epoch."""
@@ -684,6 +888,18 @@ class MeasurementService:
 
             sealed.seal_ms = (time.perf_counter() - t0) * 1e3
 
+            # Window bookkeeping advances *before* the WAL append: a
+            # storage failure surfaced here (WalWriteError under
+            # ``--wal-policy fail``) must leave the sealed epoch intact
+            # and the next window clean, not re-seal the same index.
+            self._epoch_index += 1
+            self._epoch_fill = 0
+            self._epoch_min_ts = None
+            self._epoch_max_ts = None
+            if self.epoch_duration_us is not None:
+                if self._epoch_start_ts is not None:
+                    self._epoch_start_ts += self.epoch_duration_us
+
             if self._wal is not None:
                 with _RECORDER.span("rotate.wal", cat="service"):
                     self._wal.append_seal(sealed, wal_tasks)
@@ -705,14 +921,6 @@ class MeasurementService:
             _TELEMETRY.registry.histogram(
                 "flymon_epoch_seal_ms", buckets=DEFAULT_MS_BUCKETS
             ).observe(sealed.seal_ms)
-
-        self._epoch_index += 1
-        self._epoch_fill = 0
-        self._epoch_min_ts = None
-        self._epoch_max_ts = None
-        if self.epoch_duration_us is not None:
-            if self._epoch_start_ts is not None:
-                self._epoch_start_ts += self.epoch_duration_us
         return sealed
 
     def _evaluate_series(self, sealed: SealedEpoch) -> None:

@@ -1,4 +1,4 @@
-"""Crash-consistent write-ahead log for the measurement service.
+"""Crash-consistent, bounded-size write-ahead log for the measurement service.
 
 PR 4's JSON artifacts (:mod:`repro.service.checkpoint`) snapshot a service
 once, at exit; a process killed mid-stream loses everything.  The WAL
@@ -11,6 +11,40 @@ included -- the log contains every epoch that was ever sealed, plus at
 most one torn trailing line (the record being written at the instant of
 death), which recovery ignores.
 
+Two on-disk layouts share one record format:
+
+* **single file** (``ServiceWal(path)``) -- one unbounded JSON-lines log,
+  exactly PR 8's layout; right for short runs and kept for compatibility;
+* **segmented directory** (``segment_seals=`` / ``segment_bytes=``, or an
+  existing directory path) -- numbered segments ``wal-000001.jsonl``,
+  ``wal-000002.jsonl``, ...  When the live segment crosses a seal-count or
+  byte threshold the WAL *rolls*: it opens the next segment with a fresh
+  ``base`` record that embeds the retained sealed epochs
+  (checkpoint-based compaction, bounded by the service's ``retain``), so
+  every older segment becomes redundant and is pruned down to
+  ``keep_segments``.  Recovery reads only the newest segment with an
+  intact base -- O(retain + one segment), not O(stream length) -- and
+  falls back exactly one segment when the newest base is torn (the crash
+  hit mid-roll; ``keep_segments >= 2`` guarantees the predecessor is
+  still there, because pruning only runs after the new base is durable).
+
+Storage failures follow a configurable policy (``policy=`` /
+``--wal-policy``).  ``"fail"`` surfaces the first write error as
+:class:`WalWriteError` at the next seal, stopping ingest cleanly with the
+sealed epoch intact in memory.  ``"degrade"`` keeps the service running:
+the WAL enters ``state == "degraded"``, caches seal records in a bounded
+buffer (``retain`` deep, evictions of never-persisted entries counted in
+``lost_seals`` -- loss is *accounted*, never silent), and retries
+attaching storage under exponential backoff (a roll to a fresh segment,
+or an atomic rewrite of the single file), whose fresh base record embeds
+the cached epochs so a successful reattach makes every retained epoch
+durable again.  Exhausting the reattach budget moves the WAL to
+``state == "failed"`` (still caching, still accounting).  The
+``wal_append`` / ``wal_fsync`` / ``wal_roll`` / ``disk_full`` fault sites
+(:mod:`repro.faults`) inject failures at each of these points, including
+``kill``/``torn`` arguments that SIGKILL the process mid-record to pin
+crash-at-every-boundary recovery.
+
 Recovery (:func:`recover_service_artifact`) is two-pass and replay-based:
 
 1. concatenate the base history with every ``op`` record to obtain the
@@ -19,10 +53,11 @@ Recovery (:func:`recover_service_artifact`) is two-pass and replay-based:
    (groups, CMUs, memory bases) is reproduced exactly, and the replay's
    ref map translates the task ids recorded in seal records into the
    recovered deployments;
-2. re-key each ``seal`` record's per-task payloads through that map and
-   emit a standard :func:`~repro.service.checkpoint.service_checkpoint`
-   artifact, so ``repro query`` and :func:`load_service_state` work on a
-   recovered log exactly as on a clean checkpoint.
+2. re-key each seal payload (the base's compacted epochs first, then the
+   segment's ``seal`` records) through that map and emit a standard
+   :func:`~repro.service.checkpoint.service_checkpoint` artifact, so
+   ``repro query`` and :func:`load_service_state` work on a recovered
+   log exactly as on a clean checkpoint.
 
 Guarantees: every sealed epoch whose ``seal`` record hit the log is
 recovered bit-identically (rows, digests, series outputs, watcher
@@ -34,18 +69,76 @@ checkpoint semantics (interpreting sealed cells needs a live deployment).
 
 from __future__ import annotations
 
+import errno
 import json
 import os
-from typing import Dict, List
+import re
+import signal
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.controller import FlyMonController
+from repro.faults import (
+    FAULTS,
+    FaultError,
+    SITE_DISK_FULL,
+    SITE_WAL_APPEND,
+    SITE_WAL_FSYNC,
+    SITE_WAL_ROLL,
+)
+from repro.telemetry import (
+    EV_WAL_DEGRADED,
+    EV_WAL_REATTACHED,
+    EV_WAL_SEGMENT_ROLL,
+    TELEMETRY as _TELEMETRY,
+)
 
-WAL_VERSION = 1
+WAL_VERSION = 2
+#: Versions :func:`recover_service_artifact` understands (1 = PR 8's
+#: single-file logs, 2 = segmented/compacted logs; the record formats are
+#: identical apart from the base's optional ``segment``/``epochs`` fields).
+SUPPORTED_WAL_VERSIONS = (1, 2)
+
+POLICY_FAIL = "fail"
+POLICY_DEGRADE = "degrade"
+WAL_POLICIES = (POLICY_FAIL, POLICY_DEGRADE)
+
+STATE_OK = "ok"
+STATE_DEGRADED = "degraded"
+STATE_FAILED = "failed"
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{6})\.jsonl$")
 
 
 class WalError(ValueError):
     """The log is unusable: bad version, missing base, or mid-log
     corruption (anything other than a torn final line)."""
+
+
+class WalWriteError(WalError):
+    """A WAL append failed under ``policy="fail"``: storage refused the
+    write, so ingest must stop (the sealed epoch stays intact in memory,
+    and everything previously fsync'd stays recoverable)."""
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a directory entry change (create/replace/unlink) durable."""
+    fd = os.open(path or ".", os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def wal_segments(path: str) -> List[Tuple[int, str]]:
+    """Sorted ``(index, path)`` pairs of a WAL directory's segments."""
+    out: List[Tuple[int, str]] = []
+    for name in os.listdir(path):
+        match = _SEGMENT_RE.match(name)
+        if match:
+            out.append((int(match.group(1)), os.path.join(path, name)))
+    out.sort()
+    return out
 
 
 class ServiceWal:
@@ -54,24 +147,93 @@ class ServiceWal:
     Attach before ingesting (and after registering series/watchers, so the
     base record captures them)::
 
-        wal = ServiceWal(path)
+        wal = ServiceWal(path)                       # single file
+        wal = ServiceWal(dir, segment_seals=64)      # segmented directory
         wal.attach(service)
         try:
             service.ingest(...)
         finally:
             wal.close()
 
+    Attaching to a path that already holds records is refused
+    (:class:`WalError`) unless ``resume=True``: a second base appended
+    mid-log would make recovery replay the first run's history against
+    the second run's seals.  ``resume`` starts a fresh segment (segmented)
+    or rotates the old file to ``<path>.prev`` (single file).
+
     The service calls :meth:`capture_epoch_tasks` / :meth:`append_seal`
     from inside its seal critical section; user code never does.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        segment_seals: Optional[int] = None,
+        segment_bytes: Optional[int] = None,
+        policy: str = POLICY_FAIL,
+        resume: bool = False,
+        keep_segments: int = 2,
+        reattach_backoff_s: float = 0.5,
+        reattach_backoff_cap_s: float = 30.0,
+        reattach_max_attempts: int = 8,
+    ) -> None:
+        if policy not in WAL_POLICIES:
+            raise ValueError(
+                f"unknown WAL policy {policy!r} (known: {', '.join(WAL_POLICIES)})"
+            )
+        if segment_seals is not None and segment_seals <= 0:
+            raise ValueError("segment_seals must be positive")
+        if segment_bytes is not None and segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        if keep_segments < 2:
+            # The roll protocol needs the predecessor segment to survive
+            # until the new base is durable, or a mid-roll crash would have
+            # nothing to fall back to.
+            raise ValueError("keep_segments must be >= 2")
         self.path = str(path)
+        self.segment_seals = segment_seals
+        self.segment_bytes = segment_bytes
+        self.policy = policy
+        self.resume = resume
+        self.keep_segments = keep_segments
+        self.reattach_backoff_s = float(reattach_backoff_s)
+        self.reattach_backoff_cap_s = float(reattach_backoff_cap_s)
+        self.reattach_max_attempts = int(reattach_max_attempts)
+        self.segmented = (
+            segment_seals is not None
+            or segment_bytes is not None
+            or os.path.isdir(self.path)
+        )
         self._fh = None
         self._service = None
+        self._retain: int = 0
+        self._state = STATE_OK
+        self._last_error: Optional[str] = None
+        self._segment_index = 0
+        self._seals_in_segment = 0
+        self._bytes_in_segment = 0
+        # Bounded (retain-deep) cache of the newest seal records, each
+        # flagged durable once it is known to live in the current log.
+        # This is what a reattach base embeds, and what bounds loss.
+        self._cache: List[Dict[str, object]] = []
+        self._backoff = self.reattach_backoff_s
+        self._next_attempt = 0.0
         self.records_written = 0
+        self.rolls = 0
+        self.lost_seals = 0
+        self.seals_deferred = 0
+        self.seals_recovered = 0
+        self.ops_deferred = 0
+        self.reattach_attempts = 0
+        self.reattachments = 0
 
     # -- lifecycle ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"ok"`` / ``"degraded"`` / ``"failed"``."""
+        return self._state
 
     def attach(self, service) -> "ServiceWal":
         if self._service is not None:
@@ -85,34 +247,84 @@ class ServiceWal:
                 "cannot WAL a controller with an incomplete reconfiguration "
                 "history -- recovery replays it to reproduce placement"
             )
-        self._fh = open(self.path, "a", encoding="utf-8")
         self._service = service
-        self._append(
-            {
-                "type": "base",
-                "version": WAL_VERSION,
-                "controller": base_checkpoint,
-                "rotation": {
-                    "epoch_packets": service.epoch_packets,
-                    "epoch_duration_us": service.epoch_duration_us,
-                    "epoch_wall_ms": service.epoch_wall_ms,
-                    "retain": service.retain,
-                    "workers": service.workers,
-                },
-                "series": sorted(service._series),
-            }
-        )
+        self._retain = service.retain
+        # Epochs sealed before attach would otherwise be unrecoverable:
+        # pre-fill the cache so the first base record embeds them.
+        for sealed in service.epochs:
+            self._cache_seal(
+                self._seal_record(
+                    sealed, self.capture_epoch_tasks(sealed, controller.tasks)
+                )
+            )
+        try:
+            if self.segmented:
+                self._attach_segmented()
+            else:
+                self._attach_single_file()
+        except (OSError, FaultError) as exc:
+            try:
+                self._handle_write_failure(exc, kind="base")
+            except WalWriteError:
+                self._service = None
+                raise
+        except WalError:
+            self._service = None
+            raise
         controller.add_op_listener(self._on_op)
         service._wal = self
         return self
 
+    def _attach_segmented(self) -> None:
+        os.makedirs(self.path, exist_ok=True)
+        existing = wal_segments(self.path)
+        if existing and not self.resume:
+            raise WalError(
+                f"{self.path}: WAL directory already holds "
+                f"{len(existing)} segment(s) from an earlier run -- recover "
+                "it first, or pass resume=True (--wal-force) to start a "
+                "fresh segment alongside it"
+            )
+        self._segment_index = (existing[-1][0] if existing else 0) + 1
+        fh = open(self._segment_path(self._segment_index), "w", encoding="utf-8")
+        self._fh = fh
+        self._bytes_in_segment = self._write_record(
+            fh, self._base_record(segment=self._segment_index)
+        )
+        self._seals_in_segment = 0
+        _fsync_dir(self.path)
+        self._mark_cache_durable()
+
+    def _attach_single_file(self) -> None:
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            if not self.resume:
+                raise WalError(
+                    f"{self.path}: WAL already contains records from an "
+                    "earlier run; appending a second base mid-log would make "
+                    "recovery replay the wrong history -- recover it first, "
+                    "or pass resume=True (--wal-force) to rotate it aside"
+                )
+            os.replace(self.path, self.path + ".prev")
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._write_record(self._fh, self._base_record())
+        self._mark_cache_durable()
+
     def close(self) -> None:
         if self._service is not None:
+            # Degraded runs may end before the reattach backoff elapses:
+            # force one last attempt so every cached (never-persisted)
+            # epoch gets a durable home when storage has recovered.
+            if self.policy == POLICY_DEGRADE and self._state != STATE_OK:
+                if any(not entry["durable"] for entry in self._cache):
+                    self._try_reattach(force=True)
             self._service.controller.remove_op_listener(self._on_op)
             self._service._wal = None
             self._service = None
         if self._fh is not None:
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError:
+                pass
             self._fh = None
 
     def __enter__(self) -> "ServiceWal":
@@ -121,18 +333,33 @@ class ServiceWal:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # -- record appends -------------------------------------------------
+    # -- record construction --------------------------------------------
 
-    def _append(self, record: Dict[str, object]) -> None:
-        if self._fh is None:
-            raise WalError("WAL is not open")
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
-        self.records_written += 1
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.path, f"wal-{index:06d}.jsonl")
 
-    def _on_op(self, entry: Dict[str, object]) -> None:
-        self._append({"type": "op", "entry": entry})
+    def _base_record(self, segment: Optional[int] = None) -> Dict[str, object]:
+        service = self._service
+        record: Dict[str, object] = {
+            "type": "base",
+            "version": WAL_VERSION,
+            "controller": service.controller.checkpoint(),
+            "rotation": {
+                "epoch_packets": service.epoch_packets,
+                "epoch_duration_us": service.epoch_duration_us,
+                "epoch_wall_ms": service.epoch_wall_ms,
+                "retain": service.retain,
+                "workers": service.workers,
+            },
+            "series": sorted(service._series),
+        }
+        if segment is not None:
+            record["segment"] = segment
+        if self._cache:
+            # Checkpoint-based compaction: the retained sealed epochs ride
+            # inside the base, so every earlier segment becomes redundant.
+            record["epochs"] = [entry["record"] for entry in self._cache]
+        return record
 
     def capture_epoch_tasks(self, sealed, handles) -> Dict[str, object]:
         """Per-task sealed payloads keyed by the *live* task id.
@@ -156,24 +383,323 @@ class ServiceWal:
             }
         return tasks
 
+    def _seal_record(self, sealed, tasks: Dict[str, object]) -> Dict[str, object]:
+        from repro.service.checkpoint import _json_safe
+
+        return {
+            "type": "seal",
+            "index": sealed.index,
+            "packets": sealed.packets,
+            "start_ts": sealed.start_ts,
+            "end_ts": sealed.end_ts,
+            "seal_ms": sealed.seal_ms,
+            "tasks": tasks,
+            "outputs": _json_safe(sealed.outputs),
+            "watcher_events": _json_safe(sealed.watcher_events),
+        }
+
+    # -- guarded writes -------------------------------------------------
+
+    def _write_record(self, fh, record: Dict[str, object]) -> int:
+        """One fsync'd append through the storage fault sites; returns the
+        record's byte length (the segment-size accounting unit)."""
+        if fh is None:
+            raise OSError(errno.EBADF, "WAL file is not open")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        arg = FAULTS.trip(SITE_WAL_APPEND, type=record.get("type"))
+        if arg is not None:
+            self._execute_crash_arg(arg, fh, line, site=SITE_WAL_APPEND)
+        if FAULTS.trip(SITE_DISK_FULL, type=record.get("type")) is not None:
+            raise OSError(errno.ENOSPC, "injected disk_full: no space left")
+        fh.write(line)
+        fh.flush()
+        if FAULTS.trip(SITE_WAL_FSYNC, type=record.get("type")) is not None:
+            raise OSError(errno.EIO, "injected wal_fsync failure")
+        os.fsync(fh.fileno())
+        self.records_written += 1
+        return len(line)
+
+    @staticmethod
+    def _execute_crash_arg(arg, fh, line: str, site: str) -> None:
+        """``kill`` dies before the write; ``torn`` leaves half the record
+        on disk first (the canonical crash-mid-append signature); anything
+        else surfaces as an I/O error for the policy ladder."""
+        if arg == "torn":
+            fh.write(line[: max(1, len(line) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+        if arg in ("kill", "torn"):
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise OSError(errno.EIO, f"injected {site} failure")
+
+    def _handle_write_failure(self, exc: Exception, kind: str) -> None:
+        self._last_error = f"{kind}: {exc}"
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter(
+                "flymon_wal_write_failures_total", kind=kind
+            ).inc()
+        if self.policy == POLICY_FAIL:
+            self._state = STATE_FAILED
+            if kind != "op":
+                raise WalWriteError(
+                    f"{self.path}: WAL {kind} write failed: {exc}"
+                ) from exc
+            # An op listener fires inside a control-plane commit (possibly
+            # a watcher action); raising here would be misattributed to the
+            # reconfiguration.  The failure surfaces as WalWriteError at
+            # the next seal instead -- recovery stays exact because no
+            # later seal record ever hits the log.
+            return
+        if self._state == STATE_OK:
+            self._state = STATE_DEGRADED
+            self._backoff = self.reattach_backoff_s
+            self._next_attempt = time.monotonic() + self._backoff
+            if _TELEMETRY.enabled:
+                _TELEMETRY.events.emit(
+                    EV_WAL_DEGRADED, kind=kind, error=str(exc), path=self.path
+                )
+
+    # -- appends --------------------------------------------------------
+
+    def _on_op(self, entry: Dict[str, object]) -> None:
+        if self._state != STATE_OK:
+            # Not lost: the controller's committed history carries every
+            # op, and the next successful base embeds the full history.
+            self.ops_deferred += 1
+            return
+        try:
+            self._bytes_in_segment += self._write_record(
+                self._fh, {"type": "op", "entry": entry}
+            )
+        except (OSError, FaultError) as exc:
+            self.ops_deferred += 1
+            self._handle_write_failure(exc, kind="op")
+
     def append_seal(self, sealed, tasks: Dict[str, object]) -> None:
         """Append the epoch's seal record (series outputs and watcher
         events are final by now -- the service calls this last)."""
-        from repro.service.checkpoint import _json_safe
+        record = self._seal_record(sealed, tasks)
+        entry = self._cache_seal(record)
+        if self._state != STATE_OK:
+            if self.policy == POLICY_FAIL:
+                raise WalWriteError(
+                    f"{self.path}: WAL unusable after earlier failure "
+                    f"({self._last_error}); epoch {sealed.index} is sealed "
+                    "in memory but not durable"
+                )
+            self.seals_deferred += 1
+            self._try_reattach()
+            return
+        try:
+            written = self._write_record(self._fh, record)
+        except (OSError, FaultError) as exc:
+            self.seals_deferred += 1
+            self._handle_write_failure(exc, kind="seal")
+            return
+        entry["durable"] = True
+        self._seals_in_segment += 1
+        self._bytes_in_segment += written
+        self._maybe_roll()
 
-        self._append(
-            {
-                "type": "seal",
-                "index": sealed.index,
-                "packets": sealed.packets,
-                "start_ts": sealed.start_ts,
-                "end_ts": sealed.end_ts,
-                "seal_ms": sealed.seal_ms,
-                "tasks": tasks,
-                "outputs": _json_safe(sealed.outputs),
-                "watcher_events": _json_safe(sealed.watcher_events),
-            }
+    def _cache_seal(self, record: Dict[str, object]) -> Dict[str, object]:
+        entry = {"record": record, "durable": False}
+        self._cache.append(entry)
+        while len(self._cache) > max(1, self._retain):
+            evicted = self._cache.pop(0)
+            if not evicted["durable"]:
+                # The service's ring dropped it too; loss is real -- and
+                # counted, never silent.
+                self.lost_seals += 1
+        return entry
+
+    def _mark_cache_durable(self) -> int:
+        recovered = sum(1 for entry in self._cache if not entry["durable"])
+        for entry in self._cache:
+            entry["durable"] = True
+        self.seals_recovered += recovered
+        return recovered
+
+    # -- segmentation ---------------------------------------------------
+
+    def _maybe_roll(self) -> None:
+        if not self.segmented:
+            return
+        due = (
+            self.segment_seals is not None
+            and self._seals_in_segment >= self.segment_seals
+        ) or (
+            self.segment_bytes is not None
+            and self._bytes_in_segment >= self.segment_bytes
         )
+        if not due:
+            return
+        try:
+            self._roll()
+        except (OSError, FaultError, WalError) as exc:
+            if isinstance(exc, WalWriteError):
+                raise
+            self._handle_write_failure(exc, kind="roll")
+
+    def _roll(self) -> None:
+        """Open segment N+1 with a fresh compaction base, then prune.
+
+        Ordering is the crash-safety invariant: the new base is written
+        and fsync'd (file *and* directory) before the old segment is
+        released or anything is pruned, so at every instant at least one
+        segment on disk has an intact base.
+        """
+        next_index = self._segment_index + 1
+        arg = FAULTS.trip(SITE_WAL_ROLL, segment=next_index)
+        if arg is not None:
+            self._execute_roll_fault(arg, next_index)
+        fh = open(self._segment_path(next_index), "w", encoding="utf-8")
+        try:
+            base_bytes = self._write_record(
+                fh, self._base_record(segment=next_index)
+            )
+            _fsync_dir(self.path)
+        except BaseException:
+            fh.close()
+            raise
+        old = self._fh
+        self._fh = fh
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        self._segment_index = next_index
+        self._seals_in_segment = 0
+        self._bytes_in_segment = base_bytes
+        self.rolls += 1
+        self._mark_cache_durable()
+        pruned = self._prune_segments()
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_WAL_SEGMENT_ROLL,
+                segment=next_index,
+                compacted_epochs=len(self._cache),
+                pruned=pruned,
+            )
+            _TELEMETRY.registry.counter("flymon_wal_segment_rolls_total").inc()
+
+    def _execute_roll_fault(self, arg, next_index: int) -> None:
+        path = self._segment_path(next_index)
+        if arg == "kill":
+            # Crash after the new segment exists but before its base: the
+            # newest segment is empty and recovery must fall back.
+            open(path, "w").close()
+            os.kill(os.getpid(), signal.SIGKILL)
+        if arg == "torn":
+            line = json.dumps(self._base_record(segment=next_index), sort_keys=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(line[: max(1, len(line) // 2)])
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise OSError(errno.EIO, "injected wal_roll failure")
+
+    def _prune_segments(self) -> int:
+        """Unlink segments older than the newest ``keep_segments``."""
+        segments = wal_segments(self.path)
+        stale = segments[: -self.keep_segments] if self.keep_segments else segments
+        pruned = 0
+        for _, seg_path in stale:
+            try:
+                os.unlink(seg_path)
+                pruned += 1
+            except OSError:
+                pass  # pruning is best-effort; an orphan is only disk space
+        if pruned:
+            _fsync_dir(self.path)
+        return pruned
+
+    # -- degradation / reattach -----------------------------------------
+
+    def _try_reattach(self, force: bool = False) -> bool:
+        if self._state == STATE_OK:
+            return True
+        if self.policy == POLICY_FAIL:
+            return False
+        now = time.monotonic()
+        if not force:
+            if self._state == STATE_FAILED:
+                return False
+            if now < self._next_attempt:
+                return False
+        self.reattach_attempts += 1
+        try:
+            if self.segmented:
+                self._roll()
+            else:
+                self._rewrite_single_file()
+        except (OSError, FaultError, WalError) as exc:
+            self._last_error = f"reattach: {exc}"
+            self._backoff = min(self.reattach_backoff_cap_s, self._backoff * 2)
+            self._next_attempt = time.monotonic() + self._backoff
+            if not force and self.reattach_attempts >= self.reattach_max_attempts:
+                self._state = STATE_FAILED
+            return False
+        self._state = STATE_OK
+        self._last_error = None
+        self.reattachments += 1
+        self._backoff = self.reattach_backoff_s
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_WAL_REATTACHED,
+                attempts=self.reattach_attempts,
+                recovered_seals=self.seals_recovered,
+                path=self.path,
+            )
+            _TELEMETRY.registry.counter("flymon_wal_reattached_total").inc()
+        return True
+
+    def _rewrite_single_file(self) -> None:
+        """Atomically replace the single-file log with a fresh base whose
+        embedded epochs are the cached (retain-deep) seal records."""
+        tmp = self.path + ".tmp"
+        fh = open(tmp, "w", encoding="utf-8")
+        try:
+            self._write_record(fh, self._base_record())
+        except BaseException:
+            fh.close()
+            raise
+        fh.close()
+        os.replace(tmp, self.path)
+        _fsync_dir(os.path.dirname(os.path.abspath(self.path)))
+        old = self._fh
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        self._seals_in_segment = 0
+        self._bytes_in_segment = 0
+        self._mark_cache_durable()
+
+    # -- inspection -----------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """Machine-readable WAL state for ``stats()`` / ``health()``."""
+        return {
+            "path": self.path,
+            "mode": "segmented" if self.segmented else "single",
+            "state": self._state,
+            "policy": self.policy,
+            "segment": self._segment_index if self.segmented else None,
+            "seals_in_segment": self._seals_in_segment,
+            "bytes_in_segment": self._bytes_in_segment,
+            "records_written": self.records_written,
+            "rolls": self.rolls,
+            "lost_seals": self.lost_seals,
+            "seals_deferred": self.seals_deferred,
+            "seals_recovered": self.seals_recovered,
+            "ops_deferred": self.ops_deferred,
+            "reattach_attempts": self.reattach_attempts,
+            "reattachments": self.reattachments,
+            "last_error": self._last_error,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -181,48 +707,101 @@ class ServiceWal:
 # ---------------------------------------------------------------------------
 
 
-def read_wal_records(path: str) -> List[Dict[str, object]]:
-    """Parse a WAL, tolerating exactly one torn line at the tail.
+def iter_wal_records(path: str) -> Iterator[Dict[str, object]]:
+    """Stream a WAL file's records, tolerating exactly one torn tail line.
 
+    Reads line-by-line (an hours-long log never lands in memory at once).
     A record that fails to parse anywhere *before* the final line means
     real corruption and raises :class:`WalError`; a torn final line is the
     expected signature of a crash mid-append and is silently dropped.
     """
+    pending: Optional[Tuple[int, Exception]] = None
     with open(path, "r", encoding="utf-8") as fh:
-        lines = fh.read().split("\n")
-    nonempty = [(i, line) for i, line in enumerate(lines) if line.strip()]
-    records: List[Dict[str, object]] = []
-    for pos, (lineno, line) in enumerate(nonempty):
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            if pos == len(nonempty) - 1:
-                break  # torn tail: the append interrupted by the crash
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            if pending is not None:
+                raise WalError(
+                    f"{path}:{pending[0]}: corrupt WAL record mid-log: "
+                    f"{pending[1]}"
+                )
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                pending = (lineno, exc)  # torn only if nothing follows
+                continue
+            yield record
+
+
+def read_wal_records(path: str) -> List[Dict[str, object]]:
+    """:func:`iter_wal_records`, materialized (small logs and tests)."""
+    return list(iter_wal_records(path))
+
+
+def _pick_segment(path: str) -> Tuple[int, str, List[Dict[str, object]], int]:
+    """The newest segment with an intact base, falling back one segment
+    per torn/empty base (the mid-roll crash signature)."""
+    segments = wal_segments(path)
+    if not segments:
+        raise WalError(f"{path}: empty WAL directory (no wal-NNNNNN.jsonl)")
+    for position in range(len(segments) - 1, -1, -1):
+        index, seg_path = segments[position]
+        records = read_wal_records(seg_path)  # mid-log corruption raises
+        if not records:
+            # Empty or a single torn line: the crash interrupted the roll
+            # before this segment's base became durable.
+            if position == 0:
+                raise WalError(
+                    f"{path}: no segment holds an intact base record"
+                )
+            continue
+        if records[0].get("type") != "base":
             raise WalError(
-                f"{path}:{lineno + 1}: corrupt WAL record mid-log: {exc}"
-            ) from exc
-    return records
+                f"{seg_path}: first record is {records[0].get('type')!r}, "
+                "not base"
+            )
+        return index, seg_path, records, len(segments)
+    raise WalError(f"{path}: no segment holds an intact base record")
 
 
 def recover_service_artifact(path: str) -> Dict[str, object]:
-    """Replay a WAL into a :func:`service_checkpoint`-format artifact."""
+    """Replay a WAL (single file or segment directory) into a
+    :func:`service_checkpoint`-format artifact."""
     from repro.service.checkpoint import (
         ARTIFACT_VERSION,
         _json_safe,
         _placement_signature,
     )
 
-    records = read_wal_records(path)
+    extra_stats: Dict[str, object] = {}
+    if os.path.isdir(path):
+        segment, seg_path, records, total = _pick_segment(path)
+        extra_stats = {
+            "wal_segments": total,
+            "wal_segment": segment,
+            "wal_segment_path": seg_path,
+        }
+        origin = seg_path
+    else:
+        records = read_wal_records(path)
+        origin = path
     if not records:
-        raise WalError(f"{path}: empty WAL (no base record)")
+        raise WalError(f"{origin}: empty WAL (no base record)")
     base = records[0]
     if base.get("type") != "base":
-        raise WalError(f"{path}: first record is {base.get('type')!r}, not base")
-    if base.get("version") != WAL_VERSION:
-        raise WalError(f"{path}: unsupported WAL version {base.get('version')!r}")
+        raise WalError(
+            f"{origin}: first record is {base.get('type')!r}, not base"
+        )
+    if base.get("version") not in SUPPORTED_WAL_VERSIONS:
+        raise WalError(
+            f"{origin}: unsupported WAL version {base.get('version')!r}"
+        )
 
     ops = [r for r in records[1:] if r.get("type") == "op"]
-    seals = [r for r in records[1:] if r.get("type") == "seal"]
+    # The base's compacted epochs (if any) precede the segment's own seal
+    # records; indexes are strictly increasing across the two.
+    compacted = list(base.get("epochs", []))
+    seals = compacted + [r for r in records[1:] if r.get("type") == "seal"]
 
     # Pass 1: final committed history -> fresh controller at the exact
     # placement the crashed service had.
@@ -282,8 +861,10 @@ def recover_service_artifact(path: str) -> Dict[str, object]:
             "recovered_from_wal": True,
             "wal_records": len(records),
             "wal_seals": len(seals),
+            "wal_compacted": len(compacted),
             "wal_ops": len(ops),
             "epochs_recovered": len(epochs[-retain:]),
+            **extra_stats,
         },
     }
 

@@ -26,6 +26,7 @@ from repro.telemetry.events import (  # noqa: F401  (re-exported taxonomy)
     EV_CHECKPOINT,
     EV_EPOCH_SEAL,
     EV_FAULT_INJECTED,
+    EV_INGEST_SHED,
     EV_KEY_GRANT,
     EV_KEY_RELEASE,
     EV_MEM_ALLOC,
@@ -35,6 +36,7 @@ from repro.telemetry.events import (  # noqa: F401  (re-exported taxonomy)
     EV_RESTORE,
     EV_RULES_INSTALL,
     EV_RULES_REMOVE,
+    EV_SEALER_RESTARTED,
     EV_SHARD_RETRY,
     EV_TASK_ADD,
     EV_TASK_FILTER_UPDATE,
@@ -42,6 +44,9 @@ from repro.telemetry.events import (  # noqa: F401  (re-exported taxonomy)
     EV_TASK_RESIZE,
     EV_TASK_SPLIT,
     EV_TXN_ROLLBACK,
+    EV_WAL_DEGRADED,
+    EV_WAL_REATTACHED,
+    EV_WAL_SEGMENT_ROLL,
     EV_WATCHER_ACTION,
     EV_WATCHER_FIRED,
     EVENT_TYPES,

@@ -38,6 +38,11 @@ EV_RESTORE = "restore"
 EV_EPOCH_SEAL = "epoch_seal"
 EV_WATCHER_FIRED = "watcher_fired"
 EV_WATCHER_ACTION = "watcher_action"
+EV_WAL_DEGRADED = "wal_degraded"
+EV_WAL_REATTACHED = "wal_reattached"
+EV_WAL_SEGMENT_ROLL = "wal_segment_roll"
+EV_SEALER_RESTARTED = "sealer_restarted"
+EV_INGEST_SHED = "ingest_shed"
 
 EVENT_TYPES = frozenset(
     {
@@ -62,6 +67,11 @@ EVENT_TYPES = frozenset(
         EV_EPOCH_SEAL,
         EV_WATCHER_FIRED,
         EV_WATCHER_ACTION,
+        EV_WAL_DEGRADED,
+        EV_WAL_REATTACHED,
+        EV_WAL_SEGMENT_ROLL,
+        EV_SEALER_RESTARTED,
+        EV_INGEST_SHED,
     }
 )
 

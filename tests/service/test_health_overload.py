@@ -1,0 +1,211 @@
+"""Ingest overload protection, sealer supervision, and the health surface.
+
+``max_stall_ms`` bounds how long ingest queues behind a stuck seal: a
+window that cannot take the lock in time is shed whole, with exact
+``dropped_packets`` / ``dropped_windows`` accounting (shed traffic never
+touches the registers, so sealed state stays exact for what *was*
+ingested).  The wall-clock sealer runs under a watchdog that restarts a
+dead thread within a capped budget and counts missed deadlines.  All of
+it surfaces through :meth:`MeasurementService.health`.
+"""
+
+import threading
+import time
+
+from repro.faults import FAULTS, SITE_WAL_FSYNC
+from repro.service import MeasurementService, ServiceWal
+from repro.traffic import zipf_trace
+
+from service_tasks import freq_task
+
+
+def _wait_for(predicate, timeout_s=10.0, interval_s=0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+class TestHealthBaseline:
+    def test_fresh_service_is_ok(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=500, retain=4)
+        service.ingest(zipf_trace(num_flows=50, num_packets=1200, seed=1))
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["reasons"] == []
+        assert health["dropped_packets"] == 0
+        assert health["wal_state"] is None
+        assert health["sealed_epochs"] == len(service.epochs)
+
+    def test_stats_expose_robustness_counters(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=500, retain=4)
+        stats = service.stats()
+        for key in (
+            "dropped_packets",
+            "dropped_windows",
+            "wal_state",
+            "wal_lost_seals",
+            "sealer_restarts",
+            "sealer_missed_deadlines",
+        ):
+            assert key in stats
+
+    def test_degraded_wal_surfaces_in_health(self, controller, tmp_path):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=300, retain=4)
+        ServiceWal(
+            str(tmp_path / "svc.wal"),
+            policy="degrade",
+            reattach_backoff_s=60.0,
+        ).attach(service)
+        FAULTS.arm(SITE_WAL_FSYNC, prob=1.0)
+        service.ingest(zipf_trace(num_flows=50, num_packets=900, seed=2))
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert health["wal_state"] == "degraded"
+        assert any("wal degraded" in r for r in health["reasons"])
+        FAULTS.disarm(SITE_WAL_FSYNC)
+
+
+class TestOverloadShedding:
+    def test_stalled_lock_sheds_whole_windows_exactly(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(
+            controller,
+            epoch_packets=400,
+            retain=4,
+            batch_size=250,
+            max_stall_ms=20,
+        )
+        held = threading.Event()
+        release = threading.Event()
+
+        def hold_lock():
+            with service._lock:
+                held.set()
+                release.wait(10.0)
+
+        trace = zipf_trace(num_flows=50, num_packets=1000, seed=3)
+        total = len(trace)
+        windows = -(-total // 250)  # ceil: whole windows of batch_size
+        blocker = threading.Thread(target=hold_lock, daemon=True)
+        blocker.start()
+        assert held.wait(5.0)
+        try:
+            sealed = service.ingest(trace)
+        finally:
+            release.set()
+            blocker.join()
+
+        # Every window was shed whole, in batch_size-packet windows.
+        assert sealed == []
+        assert service.dropped_packets == total
+        assert service.dropped_windows == windows
+        # Shed traffic never reached the registers or the packet counters.
+        assert service.stats()["packets_total"] == 0
+        assert service.epochs == []
+
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert any(
+            f"shed {windows} window(s) ({total} packets)" in r
+            for r in health["reasons"]
+        )
+
+        # The stall is over: ingest works again and sheds nothing more.
+        second = zipf_trace(num_flows=50, num_packets=800, seed=4)
+        sealed = service.ingest(second)
+        assert len(sealed) == len(second) // 400
+        assert service.dropped_packets == total
+        assert service.stats()["packets_total"] == len(second)
+
+    def test_no_stall_bound_means_no_shedding(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=400, retain=4)
+        service.ingest(zipf_trace(num_flows=50, num_packets=1000, seed=3))
+        assert service.dropped_packets == 0
+        assert service.dropped_windows == 0
+
+
+class TestSealerSupervision:
+    def _crashing_seal(self, service):
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected seal crash")
+
+        service._seal = boom
+
+    def test_watchdog_restarts_dead_sealer(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(
+            controller,
+            epoch_wall_ms=15,
+            retain=4,
+            sealer_restart_budget=50,
+        )
+        original_seal = service._seal
+        self._crashing_seal(service)
+        service.start()
+        try:
+            service.ingest(zipf_trace(num_flows=50, num_packets=400, seed=5))
+            assert _wait_for(lambda: service.sealer_restarts >= 1)
+            # Heal the seal path: the restarted sealer drains the window.
+            service._seal = original_seal
+            assert _wait_for(lambda: len(service.epochs) >= 1)
+            health = service.health()
+            assert health["status"] == "degraded"
+            assert any("sealer restarted" in r for r in health["reasons"])
+            assert health["sealer_alive"] is True
+        finally:
+            service._seal = original_seal
+            service.stop(seal_tail=False)
+
+    def test_restart_budget_exhaustion_is_failing(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(
+            controller,
+            epoch_wall_ms=15,
+            retain=4,
+            sealer_restart_budget=1,
+        )
+        original_seal = service._seal
+        self._crashing_seal(service)
+        service.start()
+        try:
+            service.ingest(zipf_trace(num_flows=50, num_packets=400, seed=6))
+            assert _wait_for(
+                lambda: any(
+                    "sealer dead after 1 restart" in r
+                    for r in service.health()["reasons"]
+                )
+            )
+            assert service.health()["status"] == "failing"
+            assert service.sealer_restarts == 1
+        finally:
+            service._seal = original_seal
+            service.stop(seal_tail=False)
+
+    def test_missed_deadlines_counted_once_per_stall(self, controller):
+        controller.add_task(freq_task())
+        service = MeasurementService(
+            controller, epoch_wall_ms=20, retain=4
+        )
+        service.start()
+        try:
+            # Block the sealer on the service lock well past 3 intervals.
+            with service._lock:
+                assert _wait_for(
+                    lambda: service.sealer_missed_deadlines >= 1,
+                    timeout_s=5.0,
+                )
+                stalled = service.sealer_missed_deadlines
+            # One stall episode counts once, not once per watchdog poll.
+            assert stalled == 1
+            health = service.health()
+            assert health["status"] == "degraded"
+            assert any("missed" in r for r in health["reasons"])
+        finally:
+            service.stop(seal_tail=False)

@@ -1,0 +1,211 @@
+"""Storage fault injection: the WAL degradation ladder.
+
+``--wal-policy fail`` stops ingest cleanly (sealed epoch intact, log
+recoverable up to the last durable seal); ``--wal-policy degrade`` keeps
+serving sealed queries, defers seals into a bounded retain-deep cache,
+and reattaches with exponential backoff -- every sealed epoch that never
+reaches stable storage is counted in ``lost_seals``, never silently
+dropped.  Faults are armed programmatically via :data:`repro.faults.FAULTS`
+(the autouse ``clean_faults`` fixture resets the registry around each
+test).
+"""
+
+import time
+
+import pytest
+
+from repro.faults import (
+    FAULTS,
+    SITE_DISK_FULL,
+    SITE_WAL_APPEND,
+    SITE_WAL_FSYNC,
+)
+from repro.service import (
+    HeavyHitterQuery,
+    MeasurementService,
+    ServiceWal,
+    WalWriteError,
+    recover_service_artifact,
+    resolve,
+    service_checkpoint,
+)
+from repro.traffic import zipf_trace
+
+from service_tasks import freq_task
+
+
+def _strip_timing(artifact):
+    epochs = []
+    for entry in artifact["epochs"]:
+        entry = dict(entry)
+        entry.pop("seal_ms", None)
+        epochs.append(entry)
+    return epochs
+
+
+def _arm_next(site, arg=None):
+    """Arm ``site`` to fire on its next hit (hit counters keep counting
+    across the attach-time base write, so 'hit 1' would be in the past)."""
+    return FAULTS.arm(site, hit=FAULTS.hit_count(site) + 1, arg=arg)
+
+
+class TestDegradePolicy:
+    def test_fsync_fault_degrades_then_reattaches_with_parity(
+        self, controller, tmp_path
+    ):
+        controller.add_task(freq_task(threshold=80))
+        service = MeasurementService(controller, epoch_packets=500, retain=4)
+        wal = ServiceWal(
+            str(tmp_path / "svc.wal"),
+            policy="degrade",
+            reattach_backoff_s=60.0,  # holds degraded until we expire it
+        ).attach(service)
+
+        service.ingest(zipf_trace(num_flows=100, num_packets=1500, seed=5))
+        _arm_next(SITE_WAL_FSYNC)
+        service.ingest(zipf_trace(num_flows=100, num_packets=1500, seed=6))
+        assert wal.state == "degraded"
+        assert wal.seals_deferred >= 1
+
+        # The service never stopped answering: the live window and every
+        # sealed epoch stay queryable while the log is degraded.
+        sealed = service.latest
+        assert sealed is not None
+        assert resolve(HeavyHitterQuery(service.controller.tasks[0]), sealed)
+
+        # Expire the backoff clock; the next seal reattaches and flushes
+        # the cache.  (Waiting out a real backoff here would be timing-
+        # dependent under a loaded test runner.)
+        wal._next_attempt = time.monotonic() - 1.0
+        service.ingest(zipf_trace(num_flows=100, num_packets=3000, seed=7))
+        assert wal.state == "ok"
+        assert wal.reattachments == 1
+        assert wal.seals_recovered >= 1
+        wal.close()
+
+        recovered = recover_service_artifact(str(tmp_path / "svc.wal"))
+        reference = service_checkpoint(service)
+        assert _strip_timing(recovered) == _strip_timing(reference)
+        assert wal.lost_seals == 0
+
+    def test_close_forces_final_reattach(self, controller, tmp_path):
+        controller.add_task(freq_task(threshold=80))
+        service = MeasurementService(controller, epoch_packets=500, retain=4)
+        wal = ServiceWal(
+            str(tmp_path / "svc.wal"),
+            policy="degrade",
+            reattach_backoff_s=60.0,  # never elapses mid-run
+        ).attach(service)
+        service.ingest(zipf_trace(num_flows=100, num_packets=1500, seed=5))
+        _arm_next(SITE_WAL_FSYNC)
+        service.ingest(zipf_trace(num_flows=100, num_packets=3000, seed=6))
+        assert wal.state == "degraded"
+        wal.close()  # the forced final reattach ignores the backoff clock
+        assert wal.state == "ok"
+        recovered = recover_service_artifact(str(tmp_path / "svc.wal"))
+        reference = service_checkpoint(service)
+        assert _strip_timing(recovered) == _strip_timing(reference)
+
+    def test_persistent_disk_full_fails_with_exact_loss_accounting(
+        self, controller, tmp_path
+    ):
+        controller.add_task(freq_task(memory=512, depth=2))
+        retain = 2
+        service = MeasurementService(
+            controller, epoch_packets=300, retain=retain
+        )
+        wal = ServiceWal(
+            str(tmp_path / "svc.wal"),
+            policy="degrade",
+            reattach_backoff_s=0.0001,
+            reattach_max_attempts=3,
+        ).attach(service)
+        service.ingest(zipf_trace(num_flows=60, num_packets=900, seed=1))
+        durable_epochs = service.stats()["epoch"]
+
+        FAULTS.arm(SITE_DISK_FULL, prob=1.0)  # persistent: every write
+        service.ingest(zipf_trace(num_flows=60, num_packets=3000, seed=2))
+        after_fault = service.stats()["epoch"] - durable_epochs
+        assert after_fault >= retain + 2
+        assert wal.state == "failed"
+        assert wal.reattach_attempts >= 3
+
+        # Exact accounting: every post-fault seal beyond the retain-deep
+        # cache was evicted non-durable; the cache tail is merely deferred.
+        assert wal.seals_deferred == after_fault
+        assert wal.lost_seals == after_fault - retain
+        assert wal.status()["lost_seals"] == wal.lost_seals
+
+        # Sealed queries still answer in the failed state.
+        assert service.latest is not None
+        wal.close()  # forced reattach also hits disk_full; loss unchanged
+        assert wal.lost_seals == after_fault - retain
+
+        # Recovery returns the pre-fault durable prefix, not garbage.
+        recovered = recover_service_artifact(str(tmp_path / "svc.wal"))
+        indexes = [e["index"] for e in recovered["epochs"]]
+        assert indexes == list(range(durable_epochs))[-retain:]
+
+
+class TestFailPolicy:
+    def test_append_fault_raises_with_sealed_epoch_intact(
+        self, controller, tmp_path
+    ):
+        controller.add_task(freq_task(threshold=80))
+        service = MeasurementService(controller, epoch_packets=500, retain=8)
+        wal = ServiceWal(str(tmp_path / "svc.wal")).attach(service)
+        service.ingest(zipf_trace(num_flows=100, num_packets=1500, seed=5))
+        durable = len(service.epochs)
+
+        _arm_next(SITE_WAL_APPEND)
+        with pytest.raises(WalWriteError, match="seal write failed"):
+            service.ingest(zipf_trace(num_flows=100, num_packets=600, seed=6))
+
+        # The epoch sealed fine in memory -- only durability failed -- and
+        # the engine did not double-seal or lose the window bookkeeping.
+        assert wal.state == "failed"
+        assert len(service.epochs) == durable + 1
+        assert service.latest.index == durable
+        assert resolve(
+            HeavyHitterQuery(service.controller.tasks[0]), service.latest
+        ) is not None
+
+        # A failed fail-policy WAL refuses further seals; no half-written
+        # log grows behind the operator's back.
+        with pytest.raises(WalWriteError):
+            service.ingest(zipf_trace(num_flows=100, num_packets=600, seed=7))
+        wal.close()
+
+        recovered = recover_service_artifact(str(tmp_path / "svc.wal"))
+        assert [e["index"] for e in recovered["epochs"]] == list(
+            range(durable)
+        )
+
+    def test_segmented_roll_fault_fail_policy(self, controller, tmp_path):
+        controller.add_task(freq_task(memory=256, depth=1))
+        service = MeasurementService(controller, epoch_packets=200, retain=4)
+        wal = ServiceWal(str(tmp_path / "seg"), segment_seals=2).attach(
+            service
+        )
+        from repro.faults import SITE_WAL_ROLL
+
+        _arm_next(SITE_WAL_ROLL)
+        with pytest.raises(WalWriteError):
+            service.ingest(zipf_trace(num_flows=50, num_packets=2000, seed=3))
+        assert wal.state == "failed"
+        # Everything up to the interrupted roll is still recoverable.
+        recovered = recover_service_artifact(str(tmp_path / "seg"))
+        assert recovered["epochs"], "pre-roll seals lost"
+        wal.close()
+
+    def test_status_reports_last_error(self, controller, tmp_path):
+        controller.add_task(freq_task())
+        service = MeasurementService(controller, epoch_packets=500, retain=4)
+        wal = ServiceWal(str(tmp_path / "svc.wal")).attach(service)
+        _arm_next(SITE_WAL_FSYNC)
+        with pytest.raises(WalWriteError):
+            service.ingest(zipf_trace(num_flows=50, num_packets=600, seed=1))
+        status = wal.status()
+        assert status["state"] == "failed"
+        assert "seal" in status["last_error"]
+        wal.close()
