@@ -24,8 +24,20 @@ from __future__ import annotations
 import argparse
 import importlib
 import os
+import signal
 import sys
 from typing import List, Optional
+
+
+class GracefulShutdown(Exception):
+    """Raised by the ``repro serve`` SIGTERM handler to unwind ingestion.
+
+    Riding an exception through the ingest loop funnels the signal into the
+    same cleanup path as a completed trace: wall-clock sealers stop, the
+    ragged tail window seals, the WAL flushes through its close-time
+    reattach, and the shard pool shuts down -- instead of the default
+    handler killing the process mid-epoch.
+    """
 
 #: Experiment name -> harness module (each exposes run()/format_result()).
 EXPERIMENTS = {
@@ -512,6 +524,91 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the recovered artifact here (for `repro query --input`)",
+    )
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="federated measurement over a simulated switch fabric: "
+        "per-switch services, epoch barrier, law-based merging",
+    )
+    fsub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    def fabric_common(p):
+        topo = p.add_mutually_exclusive_group()
+        topo.add_argument(
+            "--topology",
+            metavar="PATH",
+            default=None,
+            help="JSON topology spec (see docs/FABRIC.md)",
+        )
+        topo.add_argument(
+            "--switches",
+            type=int,
+            default=4,
+            metavar="N",
+            help="preset: N edge switches + one core spine (default: 4)",
+        )
+        p.add_argument(
+            "--tasks",
+            default="hh,card",
+            metavar="LIST",
+            help="comma list of task presets: hh, card, entropy, existence, "
+            "interarrival (default: hh,card)",
+        )
+        p.add_argument("--threshold", type=int, default=100, metavar="N")
+
+    def fabric_traffic(p):
+        p.add_argument(
+            "--input", metavar="PATH", default=None,
+            help="replay a .npz trace (default: synthesize per-edge zipf)",
+        )
+        p.add_argument("--packets", type=int, default=40_000, metavar="N")
+        p.add_argument("--flows", type=int, default=2_000, metavar="N")
+        p.add_argument("--seed", type=int, default=1, metavar="N")
+        p.add_argument(
+            "--epoch-size", type=int, default=None, metavar="N",
+            help="fabric barrier every N packets (default: packets/8)",
+        )
+        p.add_argument("--chunk", type=int, default=16_384, metavar="N")
+
+    fserve = fsub.add_parser(
+        "serve", help="stream a trace through the fabric, printing each "
+        "merged fabric epoch",
+    )
+    fabric_common(fserve)
+    fabric_traffic(fserve)
+    fserve.add_argument(
+        "--status-out", metavar="PATH", default=None,
+        help="write the final fabric status() JSON here",
+    )
+    fserve.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record fabric.dispatch/barrier/merge spans to PATH",
+    )
+
+    fquery = fsub.add_parser(
+        "query", help="one-shot: drive the fabric over a trace, then answer "
+        "a typed query against a merged fabric epoch",
+    )
+    fabric_common(fquery)
+    fabric_traffic(fquery)
+    fquery.add_argument(
+        "--query",
+        dest="query_kind",
+        choices=("frequency", "cardinality", "entropy", "existence",
+                 "heavy-hitters"),
+        required=True,
+    )
+    fquery.add_argument("--flow", default=None, metavar="KEY")
+    fquery.add_argument("--epoch", type=int, default=None, metavar="N")
+
+    fstatus = fsub.add_parser(
+        "status", help="dry-run: show the topology and where collaborative "
+        "placement would host each task",
+    )
+    fabric_common(fstatus)
+    fstatus.add_argument(
+        "--json", action="store_true", help="emit machine-readable status"
     )
 
     sub.add_parser("demo", help="run the quickstart scenario")
@@ -1120,6 +1217,15 @@ def cmd_serve(args) -> int:
 
         last_printed = -1
         halted = None
+        terminated = False
+
+        def _on_sigterm(signum, frame):
+            raise GracefulShutdown()
+
+        try:
+            prev_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:  # not the main thread (embedded use)
+            prev_sigterm = None
         if epoch_wall_ms is not None:
             service.start()
         try:
@@ -1129,20 +1235,29 @@ def cmd_serve(args) -> int:
                     {f: trace.columns[f][start : start + chunk] for f in PACKET_FIELDS}
                 )
                 for sealed in service.ingest(piece):
-                    print_epoch(sealed)
+                    # Bump before printing so a SIGTERM landing inside the
+                    # print cannot double-report the epoch from the
+                    # shutdown catch-up loop below.
                     last_printed = sealed.index
+                    print_epoch(sealed)
                 # Wall-clock epochs seal on the background thread; report
                 # any that landed while this chunk was processing.
                 for sealed in list(service.epochs):
                     if sealed.index > last_printed:
-                        print_epoch(sealed)
                         last_printed = sealed.index
+                        print_epoch(sealed)
                 write_health()
         except WalWriteError as exc:
             # --wal-policy fail: storage refused a write.  Stop ingest
             # cleanly -- every epoch sealed so far is intact and durable.
             halted = exc
+        except GracefulShutdown:
+            # SIGTERM: stop ingesting, but run the full shutdown path --
+            # seal the tail, flush the WAL, close the shard pool.
+            terminated = True
         finally:
+            if prev_sigterm is not None:
+                signal.signal(signal.SIGTERM, prev_sigterm)
             if epoch_wall_ms is not None:
                 service.stop(seal_tail=halted is None)
             elif service._epoch_fill and halted is None:
@@ -1167,6 +1282,11 @@ def cmd_serve(args) -> int:
             return 1
 
         stats = service.stats()
+        if terminated:
+            print(
+                "sigterm: sealed the open window and flushed state before "
+                "exit", flush=True
+            )
         print(
             f"served {stats['packets_total']} packets across {stats['epoch']} "
             f"epochs ({stats['sealed_epochs']} retained), workers={args.workers}"
@@ -1664,6 +1784,207 @@ def cmd_recover(args) -> int:
     return 0
 
 
+def _fabric_topology(args):
+    from repro.fabric import FabricTopology
+
+    if getattr(args, "topology", None):
+        return FabricTopology.load(args.topology)
+    return FabricTopology.preset(args.switches)
+
+
+def _fabric_trace(args, topology):
+    """The fabric's input trace: replayed, or per-edge zipf slices.
+
+    The synthesized default places each block's hosts under a /8 whose top
+    ``partition_bits`` bits equal the block id, so every edge switch sees
+    its own share of the traffic.
+    """
+    from repro.traffic import Trace, zipf_trace
+
+    if args.input is not None:
+        return Trace.load(args.input)
+    bits = topology.partition_bits
+    blocks = topology.num_blocks
+    per_block = max(1, args.packets // blocks)
+    flows = max(1, args.flows // blocks)
+    parts = []
+    for b in range(blocks):
+        # Top `bits` bits carry the block; set a low bit of the /8 so
+        # addresses stay out of reserved 0.0.0.0/8 regardless of block.
+        prefix_byte = (b << (8 - bits)) | 1 if bits < 8 else b
+        parts.append(
+            zipf_trace(
+                num_flows=flows,
+                num_packets=per_block,
+                seed=args.seed + b,
+                src_prefix=prefix_byte << 24,
+            )
+        )
+    return Trace.concatenate(parts).sorted_by_time()
+
+
+def _fabric_build(args):
+    """Topology + fabric service + deployed task presets."""
+    from repro.fabric import FabricPlacementError, FabricService
+
+    topology = _fabric_topology(args)
+    epoch_size = getattr(args, "epoch_size", None)
+    if epoch_size is None:
+        epoch_size = max(1, getattr(args, "packets", 40_000) // 8)
+    fabric = FabricService(topology, epoch_packets=epoch_size)
+    named = _serve_tasks(
+        [n.strip() for n in args.tasks.split(",") if n.strip()],
+        args.threshold,
+    )
+    handles = {}
+    for name, task in named:
+        try:
+            handles[name] = fabric.deploy(task)
+        except FabricPlacementError as exc:
+            print(f"error: cannot place {name!r}: {exc}", file=sys.stderr)
+            raise
+    return topology, fabric, handles
+
+
+def _print_placements(handles) -> None:
+    for name, fh in handles.items():
+        merge = "mergeable" if fh.mergeable else "single-host"
+        print(
+            f"  {name}: task {fh.task_id} -> {', '.join(fh.hosts)} "
+            f"({fh.layer} layer, {merge})"
+        )
+
+
+def cmd_fabric(args) -> int:
+    import json
+
+    from repro import telemetry
+    from repro.service import (
+        CardinalityQuery,
+        EntropyQuery,
+        ExistenceQuery,
+        FrequencyQuery,
+        HeavyHitterQuery,
+    )
+    from repro.traffic.packet import PACKET_FIELDS
+    from repro.traffic.trace import Trace
+
+    try:
+        topology, fabric, handles = _fabric_build(args)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"fabric: {topology.describe()}")
+    _print_placements(handles)
+
+    if args.fabric_command == "status":
+        status = fabric.status()
+        if args.json:
+            print(json.dumps(status, indent=2, default=str))
+        else:
+            print(f"status: {status['status']}")
+            for name, health in status["members"].items():
+                print(f"  {name}: {health['status']}")
+        fabric.stop()
+        return 0
+
+    if getattr(args, "telemetry", None) is not None:
+        telemetry.reset()
+        telemetry.enable()
+    try:
+        if args.fabric_command == "serve":
+            if "hh" in handles:
+                fabric.register_series(
+                    "heavy_hitters", HeavyHitterQuery(handles["hh"])
+                )
+            if "card" in handles:
+                fabric.register_series(
+                    "cardinality", CardinalityQuery(handles["card"])
+                )
+            if "entropy" in handles:
+                fabric.register_series("entropy", EntropyQuery(handles["entropy"]))
+
+        trace = _fabric_trace(args, topology)
+
+        def print_epoch(sealed) -> None:
+            line = f"epoch {sealed.index:>3}: {sealed.packets:>7} pkts merged"
+            for name in sorted(sealed.outputs):
+                value = sealed.outputs[name]
+                if isinstance(value, float):
+                    line += f"  {name}={value:.1f}"
+                elif isinstance(value, (set, frozenset, list)):
+                    line += f"  {name}={len(value)}"
+                else:
+                    line += f"  {name}={value}"
+            degraded = getattr(sealed, "degraded", None)
+            if degraded:
+                line += f"  [degraded: {', '.join(degraded)}]"
+            print(line, flush=True)
+
+        chunk = max(1, args.chunk)
+        for start in range(0, len(trace), chunk):
+            piece = Trace(
+                {f: trace.columns[f][start : start + chunk] for f in PACKET_FIELDS}
+            )
+            for sealed in fabric.ingest(piece):
+                print_epoch(sealed)
+        if fabric._epoch_fill:
+            print_epoch(fabric.rotate())
+
+        if args.fabric_command == "query":
+            kind = args.query_kind
+            flow = _parse_flow(args.flow) if args.flow else None
+            if kind in ("frequency", "existence") and flow is None:
+                print(f"error: --query {kind} needs --flow", file=sys.stderr)
+                return 2
+            targets = {
+                "frequency": ("hh", lambda h: FrequencyQuery(h, flow)),
+                "heavy-hitters": ("hh", lambda h: HeavyHitterQuery(h)),
+                "cardinality": ("card", CardinalityQuery),
+                "entropy": ("entropy", EntropyQuery),
+                "existence": ("existence", lambda h: ExistenceQuery(h, flow)),
+            }
+            preset, make = targets[kind]
+            if preset not in handles:
+                print(
+                    f"error: --query {kind} needs the {preset!r} task preset "
+                    f"(got --tasks {args.tasks})",
+                    file=sys.stderr,
+                )
+                return 2
+            result = fabric.query(make(handles[preset]), epoch=args.epoch)
+            if isinstance(result, (set, frozenset)):
+                for f in sorted(result):
+                    print(f"  {_format_flow(f)}")
+                print(f"{kind}: {len(result)} flows")
+            else:
+                print(f"{kind}: {result}")
+
+        stats = fabric.stats()
+        print(
+            f"fabric served {stats['packets_total']} packets across "
+            f"{stats['epoch']} epochs on {stats['switches']} switches"
+        )
+        if getattr(args, "status_out", None) is not None:
+            tmp = args.status_out + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(fabric.status(), fh, default=str)
+            os.replace(tmp, args.status_out)
+            print(f"status -> {args.status_out}")
+        if getattr(args, "telemetry", None) is not None:
+            snapshot = telemetry.write_artifact(
+                args.telemetry, meta={"command": "fabric"}
+            )
+            print(
+                f"telemetry: {len(snapshot['events'])} events -> {args.telemetry}"
+            )
+    finally:
+        fabric.stop()
+        if getattr(args, "telemetry", None) is not None:
+            telemetry.disable()
+    return 0
+
+
 def cmd_demo() -> int:
     import runpy
     from pathlib import Path
@@ -1709,6 +2030,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_query(args)
     if args.command == "recover":
         return cmd_recover(args)
+    if args.command == "fabric":
+        return cmd_fabric(args)
     if args.command == "demo":
         return cmd_demo()
     return 2  # pragma: no cover

@@ -189,6 +189,51 @@ class CompressedKeyManager:
             f"(committed: {[m.describe() if m else '-' for m in self._committed.values()]})"
         )
 
+    def acquire_pinned(
+        self,
+        units: Sequence[int],
+        unit_masks: Mapping[int, Mapping[str, int]],
+    ) -> KeyGrant:
+        """Grant the *exact* selector ``units`` with the given per-unit masks.
+
+        Pinned placement: a fabric member must reproduce the canonical
+        layout's selector bit-for-bit (hash seeds depend on the unit index,
+        so a different unit would hash differently).  Each pinned unit must
+        either already be committed to the identical mask (reuse) or be
+        completely free (configure).  Anything else is a conflict and raises
+        :class:`KeyExhaustedError`.
+        """
+        targets: Dict[int, HashMask] = {}
+        for unit in units:
+            if unit not in self._committed:
+                raise ValueError(f"hash unit {unit} does not exist")
+            spec = unit_masks.get(unit)
+            if spec is None:
+                raise ValueError(f"no mask provided for pinned unit {unit}")
+            targets[unit] = spec if isinstance(spec, HashMask) else HashMask.of(spec)
+        if FAULTS.armed and FAULTS.trip(
+            SITE_KEY_DENIED,
+            key=",".join(m.describe() for m in targets.values()),
+        ):
+            raise KeyExhaustedError("injected key-pool denial for pinned grant")
+        new_masks: List[Tuple[int, HashMask]] = []
+        for unit, target in targets.items():
+            committed = self._committed[unit]
+            if committed == target:
+                continue
+            if committed is None and self._refcounts[unit] == 0:
+                new_masks.append((unit, target))
+            else:
+                raise KeyExhaustedError(
+                    f"pinned unit {unit} holds {committed.describe() if committed else '-'}, "
+                    f"need {target.describe()}"
+                )
+        for unit, mask in new_masks:
+            self._committed[unit] = mask
+        for unit in units:
+            self._refcounts[unit] += 1
+        return self._granted(KeyGrant(KeySelector(tuple(units)), new_masks))
+
     @staticmethod
     def _granted(grant: KeyGrant) -> KeyGrant:
         if _TELEMETRY.enabled:

@@ -37,6 +37,7 @@ from repro.core.task import (
     Attribute,
     MeasurementTask,
     next_task_id,
+    reserve_task_id,
     task_from_dict,
     task_to_dict,
 )
@@ -60,6 +61,14 @@ from repro.telemetry import (
 )
 from repro.traffic.flows import FlowKeyDef
 from repro.traffic.trace import Trace
+
+
+def _pin_copy(pin: Dict[str, object]) -> Dict[str, object]:
+    """A detached JSON-safe copy of a placement pin (history records must
+    not alias caller-owned structures)."""
+    import copy
+
+    return copy.deepcopy(pin)
 
 
 class PlacementError(RuntimeError):
@@ -353,6 +362,217 @@ class FlyMonController:
                 groups=list(handle.groups_used),
                 rules=report.rules_installed,
                 latency_ms=report.latency_ms,
+            )
+            _TELEMETRY.registry.counter("flymon_task_adds_total").inc()
+            _TELEMETRY.registry.gauge("flymon_tasks_active").set(len(self._handles))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Pinned placement (fabric federation)
+    # ------------------------------------------------------------------
+    #
+    # Hash-unit seeds depend on (group_id, unit index), TCAM priorities on
+    # the task id, and sampling on both -- so two controllers produce
+    # bit-identical registers for the same traffic only when a task lands at
+    # *identical* coordinates on both.  ``export_placement`` serializes a
+    # deployed task's coordinates; ``add_task_pinned`` reproduces them on
+    # another controller exactly (or fails cleanly).
+
+    def export_placement(self, handle: TaskHandle) -> Dict[str, object]:
+        """JSON-safe placement coordinates of a deployed task.
+
+        The returned pin -- task id, per-group key/param units with their
+        hash masks, and per-row (cmu, base, length) claims -- is everything
+        :meth:`add_task_pinned` needs to install the same task at the same
+        coordinates on a different controller.
+        """
+        needs_param = handle.algorithm.needs_param_key()
+        grants_by_group: Dict[int, List[KeyGrant]] = {}
+        group_order: List[int] = []
+        for group, grant in handle._grants:
+            gid = group.group_id
+            if gid not in grants_by_group:
+                grants_by_group[gid] = []
+                group_order.append(gid)
+            grants_by_group[gid].append(grant)
+        rows_by_group: Dict[int, List[Dict[str, int]]] = {
+            gid: [] for gid in group_order
+        }
+        for binding, (cmu, mem) in zip(handle.rows, handle._mem):
+            rows_by_group[binding.group.group_id].append(
+                {"cmu": cmu.index, "base": mem.base, "length": mem.length}
+            )
+        groups = []
+        for gid in group_order:
+            committed = self.groups[gid].keys.committed_masks()
+            key_grant = grants_by_group[gid][0]
+            spec: Dict[str, object] = {
+                "group_id": gid,
+                "key_units": list(key_grant.selector.units),
+                "key_masks": [
+                    [unit, dict(committed[unit].as_dict())]
+                    for unit in key_grant.selector.units
+                ],
+                "rows": rows_by_group[gid],
+            }
+            if needs_param:
+                param_grant = grants_by_group[gid][1]
+                spec["param_units"] = list(param_grant.selector.units)
+                spec["param_masks"] = [
+                    [unit, dict(committed[unit].as_dict())]
+                    for unit in param_grant.selector.units
+                ]
+            groups.append(spec)
+        return {"task_id": handle.task_id, "groups": groups}
+
+    def add_task_pinned(
+        self,
+        task: MeasurementTask,
+        pin: Dict[str, object],
+        transaction: Optional[ReconfigTransaction] = None,
+        _record: bool = True,
+    ) -> TaskHandle:
+        """Deploy ``task`` at the exact coordinates recorded in ``pin``.
+
+        Transactional like :meth:`add_task`; raises :class:`PlacementError`
+        if any pinned coordinate (group, hash unit, CMU, memory range) is
+        occupied incompatibly.  The pinned task id is reserved against the
+        process-wide counter so later plain adds cannot collide with it.
+        """
+        txn, owned = in_transaction("add_task_pinned", transaction)
+        try:
+            with _RECORDER.span("ctl.add_task_pinned", cat="control"):
+                handle = self._add_task_pinned_txn(task, pin, txn)
+        except BaseException as exc:
+            if owned:
+                txn.rollback(cause=exc)
+            raise
+        if owned:
+            txn.commit()
+            if _record:
+                self._record_op(
+                    "add_pinned",
+                    ref=handle.task_id,
+                    task=task_to_dict(task),
+                    pin=_pin_copy(pin),
+                )
+        elif _record:
+            self._history_complete = False
+        self._notify_pool()
+        return handle
+
+    def _add_task_pinned_txn(
+        self, task: MeasurementTask, pin: Dict[str, object], txn: ReconfigTransaction
+    ) -> TaskHandle:
+        algorithm_name = default_algorithm_for(task)
+        algorithm = ALGORITHM_REGISTRY[algorithm_name](task)
+        task_id = int(pin["task_id"])
+        if task_id in self._handles:
+            raise PlacementError(f"pinned task id {task_id} is already deployed")
+        reserve_task_id(task_id)
+
+        layout = algorithm.rows_layout()
+        group_specs = list(pin["groups"])
+        if len(group_specs) != len(layout):
+            raise PlacementError(
+                f"pin spans {len(group_specs)} group(s); "
+                f"{algorithm_name} needs {len(layout)}"
+            )
+
+        self._snapshot_control_stores(txn)
+        rows: List[RowSlot] = []
+        grants: List[Tuple[CmuGroup, KeyGrant]] = []
+        try:
+            for gspec, rows_here in zip(group_specs, layout):
+                gid = int(gspec["group_id"])
+                if not 0 <= gid < len(self.groups):
+                    raise PlacementError(f"pinned group {gid} does not exist")
+                group = self.groups[gid]
+                row_specs = list(gspec["rows"])
+                if len(row_specs) != rows_here:
+                    raise PlacementError(
+                        f"group {gid}: pin carries {len(row_specs)} row(s), "
+                        f"layout needs {rows_here}"
+                    )
+                key_grant = group.keys.acquire_pinned(
+                    [int(u) for u in gspec["key_units"]],
+                    {int(unit): mask for unit, mask in gspec["key_masks"]},
+                )
+                grants.append((group, key_grant))
+                self._emit_key_grant(task_id, group, key_grant, role="key")
+                param_grant = None
+                if algorithm.needs_param_key():
+                    param_grant = group.keys.acquire_pinned(
+                        [int(u) for u in gspec["param_units"]],
+                        {int(unit): mask for unit, mask in gspec["param_masks"]},
+                    )
+                    grants.append((group, param_grant))
+                    self._emit_key_grant(task_id, group, param_grant, role="param")
+                for rspec in row_specs:
+                    cmu_index = int(rspec["cmu"])
+                    if not 0 <= cmu_index < len(group.cmus):
+                        raise PlacementError(
+                            f"group {gid}: pinned CMU {cmu_index} does not exist"
+                        )
+                    cmu = group.cmus[cmu_index]
+                    if cmu.has_conflict(task.filter) and task.sample_prob >= 1.0:
+                        raise PlacementError(
+                            f"cmug{gid}/cmu{cmu_index}: pinned filter "
+                            "conflicts with a resident task"
+                        )
+                    allocator = self._allocators[(gid, cmu_index)]
+                    mem = allocator.allocate_exact(
+                        int(rspec["base"]), int(rspec["length"])
+                    )
+                    rows.append(
+                        RowSlot(
+                            group=group,
+                            cmu=cmu,
+                            mem=mem,
+                            key_grant=key_grant,
+                            param_grant=param_grant,
+                        )
+                    )
+        except (KeyExhaustedError, OutOfMemoryError, ValueError) as exc:
+            raise PlacementError(str(exc)) from exc
+
+        ctx = PlanContext(
+            task=task,
+            task_id=task_id,
+            rows=rows,
+            strategy=self.strategy,
+            priority=task_id,
+        )
+        configs = algorithm.build_configs(ctx)
+        rules = compile_deployment(ctx, configs)
+        report = self.runtime.install(
+            rules, deployment=f"task{task_id}", transaction=txn
+        )
+
+        bindings = [RowBinding(row.group, row.cmu, task_id) for row in rows]
+        algorithm.bind(bindings)
+        handle = TaskHandle(
+            task_id=task_id,
+            task=task,
+            algorithm=algorithm,
+            algorithm_name=algorithm_name,
+            rows=bindings,
+            install_report=report,
+            groups_used=tuple(int(g["group_id"]) for g in group_specs),
+            _grants=grants,
+            _mem=[(row.cmu, row.mem) for row in rows],
+        )
+        self._handles[task_id] = handle
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.emit(
+                EV_TASK_ADD,
+                task_id=task_id,
+                algorithm=algorithm_name,
+                memory=task.memory,
+                groups=list(handle.groups_used),
+                rules=report.rules_installed,
+                latency_ms=report.latency_ms,
+                pinned=True,
             )
             _TELEMETRY.registry.counter("flymon_task_adds_total").inc()
             _TELEMETRY.registry.gauge("flymon_tasks_active").set(len(self._handles))
@@ -1017,6 +1237,10 @@ class FlyMonController:
             if op == "add":
                 refs[entry["ref"]] = self.add_task(
                     task_from_dict(entry["task"])
+                )
+            elif op == "add_pinned":
+                refs[entry["ref"]] = self.add_task_pinned(
+                    task_from_dict(entry["task"]), entry["pin"]
                 )
             elif op == "remove":
                 self.remove_task(refs.pop(entry["ref"]))

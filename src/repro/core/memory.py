@@ -156,6 +156,77 @@ class BuddyAllocator:
             )
         return MemRange(base, length)
 
+    def allocate_exact(self, base: int, length: int) -> MemRange:
+        """Reserve the specific aligned block ``[base, base + length)``.
+
+        Pinned placement (fabric federation) needs byte-identical layouts
+        across switches, so the allocator must honour an externally chosen
+        address rather than picking its own.  The target must lie entirely
+        inside a currently-free block; the free block is split directionally
+        so the halves *not* containing the pin are released back to the free
+        lists (keeping buddy coalescing sound).
+        """
+        if FAULTS.armed and FAULTS.trip(
+            SITE_ALLOC_EXHAUSTED, owner=self.owner, length=length
+        ):
+            raise OutOfMemoryError(
+                f"injected allocator exhaustion ({self.owner or 'register'})"
+            )
+        length = self._validate_length(length)
+        if base % length:
+            raise ValueError(f"pinned base {base} misaligned for length {length}")
+        if base + length > self.size:
+            raise ValueError(
+                f"pinned block {base}+{length} exceeds register size {self.size}"
+            )
+        found = None
+        for blk_len, bases in self._free.items():
+            if blk_len < length:
+                continue
+            for blk_base in bases:
+                if blk_base <= base and base + length <= blk_base + blk_len:
+                    found = (blk_base, blk_len)
+                    break
+            if found:
+                break
+        if found is None:
+            raise OutOfMemoryError(
+                f"pinned block {base}+{length} is not free "
+                f"(free: {self.free_buckets})"
+            )
+        blk_base, blk_len = found
+        self._free[blk_len].remove(blk_base)
+        telemetry_on = _TELEMETRY.enabled
+        while blk_len > length:
+            blk_len >>= 1
+            half = blk_base + blk_len
+            if base >= half:
+                # Pin lives in the high half: release the low, descend high.
+                self._free.setdefault(blk_len, []).append(blk_base)
+                blk_base = half
+            else:
+                self._free.setdefault(blk_len, []).append(half)
+            if telemetry_on:
+                _TELEMETRY.registry.counter("flymon_mem_splits_total").inc()
+                _TELEMETRY.events.emit(
+                    EV_MEM_SPLIT,
+                    owner=self.owner,
+                    base=blk_base,
+                    block=blk_len,
+                    buddy=half,
+                )
+        self._allocated[base] = length
+        if telemetry_on:
+            _TELEMETRY.registry.counter("flymon_mem_allocs_total").inc()
+            _TELEMETRY.events.emit(
+                EV_MEM_ALLOC,
+                owner=self.owner,
+                base=base,
+                length=length,
+                free_buckets=self.free_buckets,
+            )
+        return MemRange(base, length)
+
     def free(self, mem: MemRange) -> None:
         """Release a block and coalesce buddies."""
         if self._allocated.get(mem.base) != mem.length:

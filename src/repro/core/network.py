@@ -13,7 +13,22 @@ Merge semantics per attribute:
 * distinct (HLL) -- registers merge by element-wise max, so flows crossing
   multiple switches are not double-counted,
 * existence -- union (a flow exists if any switch saw it),
-* heavy hitters -- query the summed frequency.
+* heavy hitters -- query the summed frequency; or union the switches'
+  data-plane alarm digests (a documented over/under sandwich, below),
+* entropy (MRAC) -- element-wise modular sum of the per-switch counter
+  rows *then* one EM recovery: because MRAC's data plane is a one-row
+  Cond-ADD sketch, the summed row is bit-identical to the row a single
+  switch observing the union traffic would hold, so the merged entropy is
+  *exact* (equals the single-switch estimate), not an approximation.
+
+The digest-union heavy-hitter set is the one documented approximation: a
+switch fires its alarm when a flow crosses the threshold *locally*, so
+under edge partitioning (each flow's packets all ingress one switch) the
+union is exact, while under traffic splitting it is sandwiched -- every
+flow in the union crossed the threshold somewhere (no false alarms beyond
+sketch collisions), and any flow whose per-switch shares all stay below
+the threshold is missed.  ``digest_heavy_hitters`` documents that bound;
+``heavy_hitters`` (summed estimates over candidates) stays exact.
 """
 
 from __future__ import annotations
@@ -23,7 +38,8 @@ from typing import Dict, Iterable, List, Mapping, Set, Tuple
 
 import numpy as np
 
-from repro.analysis.estimators import hll_estimate
+from repro.analysis.entropy import entropy_from_distribution
+from repro.analysis.estimators import hll_estimate, mrac_em
 from repro.core.controller import FlyMonController, TaskHandle
 from repro.core.task import MeasurementTask
 from repro.traffic.trace import Trace
@@ -45,6 +61,46 @@ class NetworkTaskHandle:
 
     def contains_anywhere(self, flow: Tuple[int, ...]) -> bool:
         return any(h.algorithm.contains(flow) for h in self.per_switch.values())
+
+    def digest_heavy_hitters(self) -> Set:
+        """Union of the switches' data-plane alarm digests.
+
+        Exact under edge partitioning (each flow ingresses one switch).
+        Under arbitrary splitting the result is sandwiched: it contains no
+        flow that never crossed the threshold on any switch, and it misses
+        flows whose per-switch shares all stayed sub-threshold -- see the
+        module docstring.  Requires the task to carry a ``threshold``.
+        """
+        union: Set = set()
+        for handle in self.per_switch.values():
+            union |= handle.algorithm.data_plane_heavy_hitters()
+        return union
+
+    def merged_distribution(self, **kwargs) -> Dict[int, float]:
+        """Flow-size distribution recovered from the *merged* MRAC row.
+
+        The per-switch rows are summed element-wise (modular, in register
+        width) before a single EM pass -- the same order of operations a
+        single switch observing the union traffic performs, so the result
+        is exact, not a mixture of per-switch estimates.
+        """
+        merged = None
+        mask = None
+        for handle in self.per_switch.values():
+            row = handle.algorithm.rows[0]
+            counters = np.asarray(row.read(), dtype=np.int64)
+            if merged is None:
+                merged = counters.copy()
+                mask = row.cmu.register.value_mask
+            else:
+                merged = (merged + counters) & mask
+        if merged is None:
+            return {}
+        return mrac_em(merged, len(merged), **kwargs)
+
+    def merged_entropy(self, **kwargs) -> float:
+        """Entropy of the merged MRAC distribution (exact, see above)."""
+        return entropy_from_distribution(self.merged_distribution(**kwargs))
 
     def merged_cardinality(self) -> float:
         """HLL merge across switches: element-wise maximum of the rank

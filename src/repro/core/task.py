@@ -200,6 +200,18 @@ def next_task_id() -> int:
     return next(_task_ids)
 
 
+def reserve_task_id(task_id: int) -> None:
+    """Advance the id counter past an externally assigned ``task_id``.
+
+    Pinned installs (fabric federation, checkpoint replay) carry ids chosen
+    by another controller; reserving them keeps later :func:`next_task_id`
+    calls collision-free in this process.
+    """
+    global _task_ids
+    current = next(_task_ids)
+    _task_ids = itertools.count(max(current, task_id + 1))
+
+
 # -- serialization (controller checkpoints) ----------------------------------
 
 

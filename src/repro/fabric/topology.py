@@ -1,0 +1,245 @@
+"""Fabric topology: which switches exist and which traffic each one sees.
+
+Traffic is partitioned by *ingress edge* on the top ``partition_bits`` bits
+of ``src_ip`` (the "block" id).  Every switch owns a set of blocks -- its
+traffic domain:
+
+* **edge** switches own disjoint block sets that together cover the whole
+  space (each packet has exactly one ingress edge);
+* **agg** switches cover the union of some edges' blocks (disjoint within
+  the layer);
+* **core** switches see everything.
+
+Disjointness within a layer is what makes federated merging exact: a task
+hosted on several same-layer switches has each matching packet observed by
+exactly one host, so per-law register merging (sum/max/or/xor) reproduces
+the single-switch union register bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.task import TaskFilter
+from repro.traffic.flows import FIELD_WIDTHS
+
+LAYER_EDGE = "edge"
+LAYER_AGG = "agg"
+LAYER_CORE = "core"
+LAYERS = (LAYER_EDGE, LAYER_AGG, LAYER_CORE)
+
+_SRC_IP_BITS = FIELD_WIDTHS["src_ip"]
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """One simulated switch: a name, a layer, and its traffic domain."""
+
+    name: str
+    layer: str
+    blocks: FrozenSet[int]
+
+    def covers(self, blocks: FrozenSet[int]) -> bool:
+        return blocks <= self.blocks
+
+
+class TopologyError(ValueError):
+    """The topology spec violates a fabric invariant."""
+
+
+class FabricTopology:
+    """A validated set of switches over a block-partitioned traffic space."""
+
+    def __init__(self, partition_bits: int, switches: Sequence[SwitchSpec]) -> None:
+        if not 0 <= partition_bits <= 8:
+            raise TopologyError("partition_bits must be in [0, 8]")
+        if not switches:
+            raise TopologyError("a fabric needs at least one switch")
+        self.partition_bits = partition_bits
+        self.num_blocks = 1 << partition_bits
+        all_blocks = frozenset(range(self.num_blocks))
+        self.switches: Dict[str, SwitchSpec] = {}
+        for spec in switches:
+            if spec.name in self.switches:
+                raise TopologyError(f"duplicate switch name {spec.name!r}")
+            if spec.layer not in LAYERS:
+                raise TopologyError(
+                    f"switch {spec.name!r}: unknown layer {spec.layer!r}"
+                )
+            if not spec.blocks <= all_blocks:
+                raise TopologyError(
+                    f"switch {spec.name!r}: blocks {sorted(spec.blocks - all_blocks)} "
+                    f"outside [0, {self.num_blocks})"
+                )
+            if not spec.blocks:
+                raise TopologyError(f"switch {spec.name!r}: empty domain")
+            self.switches[spec.name] = spec
+        # Within-layer disjointness (the merge-exactness precondition) and
+        # edge-layer coverage (every packet needs an ingress edge).
+        for layer in LAYERS:
+            seen: Dict[int, str] = {}
+            for spec in self.at_layer(layer):
+                overlap = [b for b in spec.blocks if b in seen]
+                if overlap:
+                    raise TopologyError(
+                        f"layer {layer!r}: switches {seen[overlap[0]]!r} and "
+                        f"{spec.name!r} both own block {overlap[0]}"
+                    )
+                for b in spec.blocks:
+                    seen[b] = spec.name
+        edge_union = frozenset().union(
+            *(s.blocks for s in self.at_layer(LAYER_EDGE))
+        ) if self.at_layer(LAYER_EDGE) else frozenset()
+        if self.at_layer(LAYER_EDGE) and edge_union != all_blocks:
+            raise TopologyError(
+                f"edge layer covers blocks {sorted(edge_union)}; "
+                f"all {self.num_blocks} blocks need an ingress edge"
+            )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def preset(cls, num_edges: int) -> "FabricTopology":
+        """``--switches N``: N edge switches plus one core spine.
+
+        Blocks distribute round-robin over the edges; the core sees
+        everything and hosts tasks whose merge law requires a single
+        observer of the full stream.
+        """
+        if num_edges <= 0:
+            raise TopologyError("preset needs at least one edge switch")
+        bits = max(1, (num_edges - 1).bit_length()) if num_edges > 1 else 1
+        num_blocks = 1 << bits
+        switches = [
+            SwitchSpec(
+                name=f"edge{i}",
+                layer=LAYER_EDGE,
+                blocks=frozenset(b for b in range(num_blocks) if b % num_edges == i),
+            )
+            for i in range(num_edges)
+        ]
+        switches.append(
+            SwitchSpec(
+                name="core0",
+                layer=LAYER_CORE,
+                blocks=frozenset(range(num_blocks)),
+            )
+        )
+        return cls(bits, switches)
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "FabricTopology":
+        """Build from a JSON topology spec (see docs/FABRIC.md).
+
+        ``{"partition_bits": B, "switches": [{"name", "layer", "blocks"?}]}``
+        -- a switch without ``blocks`` covers every block.
+        """
+        bits = int(spec.get("partition_bits", 2))
+        switches = []
+        for entry in spec.get("switches", []):
+            blocks = entry.get("blocks")
+            switches.append(
+                SwitchSpec(
+                    name=str(entry["name"]),
+                    layer=str(entry.get("layer", LAYER_EDGE)),
+                    blocks=(
+                        frozenset(int(b) for b in blocks)
+                        if blocks is not None
+                        else frozenset(range(1 << bits))
+                    ),
+                )
+            )
+        return cls(bits, switches)
+
+    @classmethod
+    def load(cls, path: str) -> "FabricTopology":
+        with open(path) as fh:
+            return cls.from_spec(json.load(fh))
+
+    def to_spec(self) -> Dict[str, object]:
+        return {
+            "partition_bits": self.partition_bits,
+            "switches": [
+                {
+                    "name": s.name,
+                    "layer": s.layer,
+                    "blocks": sorted(s.blocks),
+                }
+                for s in self.switches.values()
+            ],
+        }
+
+    # -- traffic partitioning ----------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """Switch names in spec order (the fabric's deterministic order)."""
+        return list(self.switches)
+
+    def at_layer(self, layer: str) -> List[SwitchSpec]:
+        return [s for s in self.switches.values() if s.layer == layer]
+
+    def block_column(self, src_ip_col: np.ndarray) -> np.ndarray:
+        """Block id of each packet from its ``src_ip`` column."""
+        if self.partition_bits == 0:
+            return np.zeros(len(src_ip_col), dtype=np.int64)
+        shift = _SRC_IP_BITS - self.partition_bits
+        return np.asarray(src_ip_col, dtype=np.int64) >> shift
+
+    def domain_lut(self, name: str) -> np.ndarray:
+        """Boolean block-membership table for one switch (dispatch mask)."""
+        lut = np.zeros(self.num_blocks, dtype=bool)
+        lut[sorted(self.switches[name].blocks)] = True
+        return lut
+
+    def blocks_for_filter(self, task_filter: TaskFilter) -> FrozenSet[int]:
+        """Every block that can carry a packet matching ``task_filter``.
+
+        Only the ``src_ip`` constraint narrows the block set (the partition
+        field); other fields cannot exclude blocks.
+        """
+        constraints = dict(task_filter.prefixes)
+        if "src_ip" not in constraints or self.partition_bits == 0:
+            return frozenset(range(self.num_blocks))
+        value, plen = constraints["src_ip"]
+        shift = _SRC_IP_BITS - self.partition_bits
+        if plen >= self.partition_bits:
+            return frozenset({value >> shift})
+        base = value >> shift
+        span = 1 << (self.partition_bits - plen)
+        return frozenset(range(base, base + span))
+
+    def covering_sets(
+        self, blocks: FrozenSet[int]
+    ) -> List[Tuple[str, Tuple[str, ...]]]:
+        """Per-layer candidate host sets covering ``blocks``.
+
+        Returns ``(layer, switch-names)`` pairs, edge layer first.  Within a
+        layer the members' domains are disjoint (validated at construction),
+        so each candidate set observes every matching packet exactly once.
+        """
+        out: List[Tuple[str, Tuple[str, ...]]] = []
+        for layer in LAYERS:
+            members = [
+                s for s in self.at_layer(layer) if s.blocks & blocks
+            ]
+            union = frozenset().union(*(s.blocks for s in members)) if members else frozenset()
+            if members and blocks <= union:
+                out.append((layer, tuple(s.name for s in members)))
+        return out
+
+    def covering_switches(self, blocks: FrozenSet[int]) -> List[str]:
+        """Single switches (any layer) whose domain covers all of ``blocks``."""
+        return [s.name for s in self.switches.values() if s.covers(blocks)]
+
+    def describe(self) -> str:
+        parts = [f"{len(self.switches)} switches / {self.num_blocks} blocks"]
+        for layer in LAYERS:
+            names = [s.name for s in self.at_layer(layer)]
+            if names:
+                parts.append(f"{layer}: {', '.join(names)}")
+        return "; ".join(parts)

@@ -67,6 +67,7 @@ SITE_WAL_APPEND = "wal_append"
 SITE_WAL_FSYNC = "wal_fsync"
 SITE_WAL_ROLL = "wal_roll"
 SITE_DISK_FULL = "disk_full"
+SITE_MEMBER_SEAL = "member_seal"
 
 FAULT_SITES = (
     SITE_RULE_APPLY,
@@ -78,6 +79,7 @@ FAULT_SITES = (
     SITE_WAL_FSYNC,
     SITE_WAL_ROLL,
     SITE_DISK_FULL,
+    SITE_MEMBER_SEAL,
 )
 
 #: Environment variable holding the default injection spec.

@@ -157,3 +157,131 @@ class TestFrequencySum:
         assert true_heavy  # the zipf head crosses the threshold
         found = handle.heavy_hitters(truth.keys(), threshold)
         assert true_heavy <= found
+
+
+def mrac_task(memory=8192):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=1,
+        algorithm="mrac",
+    )
+
+
+def hh_cms_task(threshold, memory=4096):
+    return MeasurementTask(
+        key=KEY_SRC_IP,
+        attribute=AttributeSpec.frequency(),
+        memory=memory,
+        depth=3,
+        algorithm="cms",
+        threshold=threshold,
+    )
+
+
+def solo_reference(task, trace):
+    """A single switch observing the union traffic (the exactness oracle)."""
+    solo = NetworkCoordinator(["solo"])
+    handle = solo.deploy_everywhere(task)
+    solo.process({"solo": trace})
+    return handle.per_switch["solo"]
+
+
+class TestEntropyMerge:
+    """MRAC merges exactly: sum the rows *then* run EM once."""
+
+    def test_merged_entropy_equals_single_switch_union(self):
+        trace = zipf_trace(num_flows=500, num_packets=6000, seed=87)
+        left, right = split_by_parity(trace)
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(mrac_task())
+        net.process({"a": left, "b": right})
+        solo = solo_reference(mrac_task(), trace)
+
+        assert handle.merged_distribution() == solo.algorithm.estimate_distribution()
+        assert handle.merged_entropy() == solo.algorithm.estimate_entropy()
+
+    def test_merged_entropy_differs_from_averaging(self):
+        # The exact law (sum rows, then EM) is not the naive per-switch
+        # average: skewed halves pull the naive estimate away.
+        trace = zipf_trace(num_flows=500, num_packets=6000, seed=88)
+        cut = len(trace) // 4  # deliberately unbalanced split
+        from repro.service.engine import _split_trace
+
+        left, right = _split_trace(trace, cut)
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(mrac_task())
+        net.process({"a": left, "b": right})
+        solo = solo_reference(mrac_task(), trace)
+
+        naive = np.mean(
+            [h.algorithm.estimate_entropy() for h in handle.per_switch.values()]
+        )
+        assert handle.merged_entropy() == solo.algorithm.estimate_entropy()
+        assert handle.merged_entropy() != naive
+
+    def test_empty_coordinator_distribution(self):
+        net = NetworkCoordinator(["a"])
+        handle = net.deploy_everywhere(mrac_task())
+        assert handle.merged_distribution() == {}
+        assert handle.merged_entropy() == 0.0
+
+    def test_modular_sum_respects_register_width(self):
+        # Row dtype wraps exactly like the value_mask the merge applies;
+        # summing by hand with int64 then masking must agree.
+        trace = zipf_trace(num_flows=300, num_packets=3000, seed=89)
+        left, right = split_by_parity(trace)
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(mrac_task())
+        net.process({"a": left, "b": right})
+        rows = [
+            np.asarray(h.algorithm.rows[0].read(), dtype=np.int64)
+            for h in handle.per_switch.values()
+        ]
+        mask = next(
+            iter(handle.per_switch.values())
+        ).algorithm.rows[0].cmu.register.value_mask
+        expected = (rows[0] + rows[1]) & mask
+        solo = solo_reference(mrac_task(), trace)
+        assert np.array_equal(
+            expected, np.asarray(solo.algorithm.rows[0].read(), dtype=np.int64)
+        )
+
+
+class TestDigestHeavyHitterMerge:
+    """Alarm-digest union: exact under edge partitioning, sandwiched else."""
+
+    def test_union_exact_under_edge_partitioning(self):
+        # Each flow's packets all ingress one switch (parity split), so
+        # every per-flow counter reaches the same value it would on a
+        # single switch: the digest union is the solo digest set.
+        trace = zipf_trace(num_flows=400, num_packets=5000, seed=90)
+        left, right = split_by_parity(trace)
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(hh_cms_task(threshold=60))
+        net.process({"a": left, "b": right})
+        solo = solo_reference(hh_cms_task(threshold=60), trace)
+
+        union = handle.digest_heavy_hitters()
+        assert union == solo.algorithm.data_plane_heavy_hitters()
+        assert union  # the zipf head fires the alarm
+
+    def test_split_traffic_sandwich_bound(self):
+        # Round-robin split: each flow's count halves per switch, so the
+        # union can only miss flows (counts below the local threshold); it
+        # never reports a flow the solo switch would not.
+        trace = zipf_trace(num_flows=400, num_packets=5000, seed=91)
+        idx = np.arange(len(trace)) % 2
+        halves = [
+            Trace({f: trace.columns[f][idx == want] for f in PACKET_FIELDS})
+            for want in (0, 1)
+        ]
+        net = NetworkCoordinator(["a", "b"])
+        handle = net.deploy_everywhere(hh_cms_task(threshold=60))
+        net.process({"a": halves[0], "b": halves[1]})
+        solo = solo_reference(hh_cms_task(threshold=60), trace)
+
+        union = handle.digest_heavy_hitters()
+        solo_digests = solo.algorithm.data_plane_heavy_hitters()
+        assert union <= solo_digests  # upper slice of the sandwich

@@ -1,0 +1,16 @@
+"""Shared fixtures for the fabric federation tests."""
+
+import itertools
+
+import pytest
+
+import repro.core.task as task_module
+
+
+@pytest.fixture(autouse=True)
+def fresh_task_ids():
+    """Make task ids deterministic per-test (and restore the shared counter)."""
+    saved = task_module._task_ids
+    task_module._task_ids = itertools.count(1)
+    yield
+    task_module._task_ids = saved

@@ -1,0 +1,82 @@
+"""Helpers shared by the fabric federation tests.
+
+The bit-identity oracle compares a fabric against a *solo* controller that
+observed the union traffic.  Both sides must issue the same task ids (ids
+feed digest keys and deployment names), so builders reset the process-wide
+id counter via :func:`reset_task_ids` before constructing each side.
+"""
+
+import itertools
+
+import repro.core.task as task_module
+from repro.core.task import AttributeSpec, MeasurementTask
+from repro.traffic import Trace, zipf_trace
+from repro.traffic.flows import KEY_IP_PAIR, KEY_SRC_IP
+
+
+def reset_task_ids():
+    task_module._task_ids = itertools.count(1)
+
+
+def freq_task(**kwargs):
+    kwargs.setdefault("key", KEY_SRC_IP)
+    kwargs.setdefault("attribute", AttributeSpec.frequency())
+    kwargs.setdefault("memory", 4096)
+    kwargs.setdefault("depth", 3)
+    kwargs.setdefault("algorithm", "cms")
+    return MeasurementTask(**kwargs)
+
+
+def hll_task(**kwargs):
+    kwargs.setdefault("key", KEY_SRC_IP)
+    kwargs.setdefault("attribute", AttributeSpec.distinct(KEY_IP_PAIR))
+    kwargs.setdefault("memory", 4096)
+    kwargs.setdefault("depth", 1)
+    kwargs.setdefault("algorithm", "hll")
+    return MeasurementTask(**kwargs)
+
+
+def bloom_task(**kwargs):
+    kwargs.setdefault("key", KEY_IP_PAIR)
+    kwargs.setdefault("attribute", AttributeSpec.existence())
+    kwargs.setdefault("memory", 4096)
+    kwargs.setdefault("depth", 3)
+    kwargs.setdefault("algorithm", "bloom")
+    return MeasurementTask(**kwargs)
+
+
+def mrac_task(**kwargs):
+    kwargs.setdefault("key", KEY_SRC_IP)
+    kwargs.setdefault("attribute", AttributeSpec.frequency())
+    kwargs.setdefault("memory", 8192)
+    kwargs.setdefault("depth", 1)
+    kwargs.setdefault("algorithm", "mrac")
+    return MeasurementTask(**kwargs)
+
+
+def interarrival_task(**kwargs):
+    kwargs.setdefault("key", KEY_SRC_IP)
+    kwargs.setdefault("attribute", AttributeSpec.maximum("packet_interval"))
+    kwargs.setdefault("memory", 2048)
+    kwargs.setdefault("depth", 2)
+    kwargs.setdefault("algorithm", "max_interarrival")
+    return MeasurementTask(**kwargs)
+
+
+#: /8 prefixes whose top two bits are 0, 1, 2, 3 -- one per preset(4) block.
+BLOCK_PREFIXES = (0x0A000000, 0x50000000, 0x8C000000, 0xDC000000)
+
+
+def fabric_trace(num_packets=8000, seed=0, blocks=4):
+    """A trace spanning ``blocks`` partition blocks (top-2-bit spread)."""
+    per = num_packets // blocks
+    parts = [
+        zipf_trace(
+            num_flows=max(20, per // 12),
+            num_packets=per,
+            seed=seed * 101 + b,
+            src_prefix=BLOCK_PREFIXES[b % len(BLOCK_PREFIXES)],
+        )
+        for b in range(blocks)
+    ]
+    return Trace.concatenate(parts).sorted_by_time()

@@ -1,0 +1,213 @@
+"""Epoch-barrier alignment under wall-clock skew (per-member sealers).
+
+Every member switch runs its own wall-clock sealer, so tick number ``n``
+arrives from different members at slightly different times.  The fabric
+must fold all of them into ONE coherent fabric epoch: the first arrival
+of a tick drives the barrier for the whole fleet, later same-numbered
+ticks are absorbed, and no packet straddles -- everything ingested
+before the winning tick lands in that epoch, everything after lands in
+the next, no matter which member's clock fired first.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.fabric import FabricService, FabricTopology
+from repro.service.engine import _split_trace
+from repro.service.queries import FrequencyQuery, resolve
+
+from fabric_helpers import fabric_trace, freq_task, reset_task_ids
+
+PARAMS = {"num_groups": 3}
+
+
+def build_wall_fabric(switches=2, wall_ms=60_000.0):
+    """Wall-mode fabric with a tick interval far beyond the test runtime,
+    so the only ticks are the ones the test injects via member_tick()."""
+    reset_task_ids()
+    fabric = FabricService(
+        FabricTopology.preset(switches),
+        epoch_wall_ms=wall_ms,
+        controller_params=PARAMS,
+    )
+    handle = fabric.deploy(freq_task())
+    return fabric, handle
+
+
+class TestTickCoalescing:
+    def test_first_arrival_drives_the_barrier(self):
+        fabric, handle = build_wall_fabric()
+        try:
+            trace = fabric_trace(num_packets=3000, seed=41, blocks=4)
+            fabric.ingest(trace)
+            assert fabric.member_tick("edge0", 1) is True
+            stats = fabric.stats()
+            assert stats["sealed_epochs"] == 1
+            assert stats["epoch_fill"] == 0  # nothing left straddling
+            sealed = fabric._ring[-1]
+            assert sealed.packets == len(trace)
+        finally:
+            fabric.stop()
+
+    def test_drifted_same_tick_is_absorbed(self):
+        fabric, handle = build_wall_fabric()
+        try:
+            trace = fabric_trace(num_packets=3000, seed=43, blocks=4)
+            fabric.ingest(trace)
+            assert fabric.member_tick("edge1", 1) is True
+            # the slower members' clocks fire the same tick later: no-ops
+            assert fabric.member_tick("edge0", 1) is False
+            assert fabric.member_tick("core0", 1) is False
+            assert fabric.stats()["sealed_epochs"] == 1
+        finally:
+            fabric.stop()
+
+    def test_unknown_member_rejected(self):
+        fabric, handle = build_wall_fabric()
+        try:
+            with pytest.raises(KeyError):
+                fabric.member_tick("spine9", 1)
+        finally:
+            fabric.stop()
+
+
+class TestNoStraddling:
+    def test_packets_between_drifted_ticks_move_to_next_epoch(self):
+        """A drifted duplicate tick must NOT seal the packets that arrived
+        after the winning barrier -- they belong to the next epoch."""
+        fabric, handle = build_wall_fabric()
+        try:
+            early = fabric_trace(num_packets=2000, seed=47, blocks=4)
+            late = fabric_trace(num_packets=1000, seed=53, blocks=4)
+            fabric.ingest(early)
+            assert fabric.member_tick("edge0", 1) is True
+            # packets arrive in the skew window before edge1's tick-1 fires
+            fabric.ingest(late)
+            assert fabric.member_tick("edge1", 1) is False  # absorbed
+            assert fabric.stats()["epoch_fill"] == len(late)  # still open
+            assert fabric.member_tick("edge1", 2) is True
+            first, second = fabric._ring[-2], fabric._ring[-1]
+            assert first.packets == len(early)
+            assert second.packets == len(late)
+        finally:
+            fabric.stop()
+
+    def test_assignment_is_deterministic_across_winner_order(self):
+        """Whichever member's clock wins the race, the sealed epochs are
+        bit-identical -- the barrier is keyed by tick number, not by who
+        reported it."""
+        traces = [
+            fabric_trace(num_packets=2000, seed=59, blocks=4),
+            fabric_trace(num_packets=2000, seed=61, blocks=4),
+        ]
+        orders = [
+            [("edge0", 1), ("edge1", 1), ("edge1", 2), ("edge0", 2)],
+            [("edge1", 1), ("edge0", 1), ("edge0", 2), ("edge1", 2)],
+        ]
+        rings = []
+        for order in orders:
+            fabric, handle = build_wall_fabric()
+            try:
+                it = iter(order)
+                for trace in traces:
+                    fabric.ingest(trace)
+                    fabric.member_tick(*next(it))  # winner seals
+                    fabric.member_tick(*next(it))  # loser absorbed
+                rings.append(list(fabric._ring))
+            finally:
+                fabric.stop()
+        assert len(rings[0]) == len(rings[1]) == 2
+        for a, b in zip(*rings):
+            assert a.packets == b.packets
+            assert a._cells.keys() == b._cells.keys()
+            for key in a._cells:
+                assert np.array_equal(a._cells[key], b._cells[key]), key
+
+    def test_out_of_order_tick_numbers_still_monotonic(self):
+        """A member whose clock jumped ahead advances the barrier; stale
+        lower-numbered ticks from laggards are absorbed afterwards."""
+        fabric, handle = build_wall_fabric()
+        try:
+            fabric.ingest(fabric_trace(num_packets=1500, seed=67, blocks=4))
+            assert fabric.member_tick("edge0", 3) is True
+            assert fabric.member_tick("edge1", 1) is False
+            assert fabric.member_tick("edge1", 2) is False
+            assert fabric.member_tick("edge1", 3) is False
+            assert fabric.stats()["sealed_epochs"] == 1
+        finally:
+            fabric.stop()
+
+
+class TestIdleTicks:
+    def test_idle_tick_consumes_the_number_without_sealing(self):
+        fabric, handle = build_wall_fabric()
+        try:
+            # nothing ingested: the tick is consumed but no epoch seals
+            assert fabric.member_tick("edge0", 1) is False
+            assert fabric.stats()["sealed_epochs"] == 0
+            trace = fabric_trace(num_packets=1500, seed=71, blocks=4)
+            fabric.ingest(trace)
+            # the same tick from a laggard cannot seal retroactively
+            assert fabric.member_tick("edge1", 1) is False
+            assert fabric.stats()["sealed_epochs"] == 0
+            # the next tick seals everything accumulated since
+            assert fabric.member_tick("edge1", 2) is True
+            assert fabric._ring[-1].packets == len(trace)
+        finally:
+            fabric.stop()
+
+
+class TestWallClockSmoke:
+    def test_start_requires_wall_mode(self):
+        reset_task_ids()
+        fabric = FabricService(
+            FabricTopology.preset(2),
+            epoch_packets=1000,
+            controller_params=PARAMS,
+        )
+        try:
+            with pytest.raises(ValueError, match="epoch_wall_ms"):
+                fabric.start()
+        finally:
+            fabric.stop()
+
+    def test_tickers_seal_and_conserve_packets(self):
+        reset_task_ids()
+        fabric = FabricService(
+            FabricTopology.preset(2),
+            epoch_wall_ms=60.0,
+            controller_params=PARAMS,
+        )
+        handle = fabric.deploy(freq_task())
+        trace = fabric_trace(num_packets=4000, seed=73, blocks=4)
+        try:
+            fabric.start()
+            with pytest.raises(RuntimeError, match="already running"):
+                fabric.start()
+            # stream the trace in chunks across a few tick intervals
+            step = max(1, len(trace) // 8)
+            remaining = trace
+            while len(remaining):
+                window, remaining = _split_trace(remaining, step)
+                fabric.ingest(window)
+                time.sleep(0.03)
+            deadline = time.monotonic() + 5.0
+            while (
+                fabric.stats()["sealed_epochs"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            fabric.stop(seal_tail=True)
+            stats = fabric.stats()
+            assert stats["sealed_epochs"] >= 1
+            assert stats["packets_total"] == len(trace)
+            # every packet sits in exactly one sealed epoch
+            assert sum(e.packets for e in fabric._ring) == len(trace)
+            assert stats["epoch_fill"] == 0
+            # and the query plane answers off the sealed fabric epochs
+            flow = next(iter(trace.flow_sizes(handle.task.key)))
+            resolve(FrequencyQuery(handle, flow), fabric._ring[-1])
+        finally:
+            fabric.stop()

@@ -1,0 +1,256 @@
+"""Pinned placement primitives: exact allocation, pinned keys, round-trip.
+
+The fabric's bit-identity guarantee rests on these: a member switch must
+reproduce the canonical controller's layout *exactly* (same groups, hash
+units and masks, CMUs, memory bases, task ids), because hash seeds depend
+on the placement coordinates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import KeyExhaustedError
+from repro.core.controller import FlyMonController, PlacementError
+from repro.core.memory import BuddyAllocator, OutOfMemoryError
+from repro.core.task import TaskFilter, reserve_task_id
+from repro.faults import FAULTS, SITE_ALLOC_EXHAUSTED, SITE_KEY_DENIED
+from repro.traffic import zipf_trace
+from repro.traffic.flows import KEY_SRC_IP
+
+from fabric_helpers import (
+    bloom_task,
+    fabric_trace,
+    freq_task,
+    hll_task,
+    reset_task_ids,
+)
+
+
+@pytest.fixture(autouse=True)
+def quiet_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+class TestAllocateExact:
+    def test_reserves_the_requested_range(self):
+        alloc = BuddyAllocator(1024)
+        mem = alloc.allocate_exact(256, 128)
+        assert (mem.base, mem.length) == (256, 128)
+        assert alloc.free_buckets == 1024 - 128
+        # the pinned range is really gone: a fresh exact claim fails
+        with pytest.raises(OutOfMemoryError):
+            alloc.allocate_exact(256, 128)
+
+    def test_misaligned_or_out_of_range_rejected(self):
+        alloc = BuddyAllocator(1024)
+        with pytest.raises(ValueError):
+            alloc.allocate_exact(192, 128)  # 192 % 128 != 0
+        with pytest.raises(ValueError):
+            alloc.allocate_exact(1024, 128)  # beyond the register
+
+    def test_split_halves_stay_allocatable(self):
+        alloc = BuddyAllocator(1024)
+        alloc.allocate_exact(512, 128)
+        # everything around the pin is still free, in buddy-sized pieces
+        got = set()
+        for _ in range(3):
+            mem = alloc.allocate(256)
+            got.add((mem.base, mem.length))
+        assert alloc.free_buckets == 1024 - 128 - 3 * 256
+        assert all(
+            base + length <= 512 or base >= 640 for base, length in got
+        )
+
+    def test_free_then_full_coalesce(self):
+        alloc = BuddyAllocator(1024)
+        mem = alloc.allocate_exact(640, 128)
+        alloc.free(mem)
+        # buddies re-merge: the whole register is one block again
+        whole = alloc.allocate(1024)
+        assert (whole.base, whole.length) == (0, 1024)
+
+    def test_mixed_with_ordinary_allocation(self):
+        alloc = BuddyAllocator(1024)
+        a = alloc.allocate(256)  # takes [0, 256)
+        pinned = alloc.allocate_exact(512, 256)
+        b = alloc.allocate(256)
+        ranges = sorted(
+            [(a.base, a.length), (pinned.base, pinned.length), (b.base, b.length)]
+        )
+        for (b1, l1), (b2, _) in zip(ranges, ranges[1:]):
+            assert b1 + l1 <= b2  # pairwise disjoint
+
+
+class TestAcquirePinned:
+    def masks_of(self, group):
+        return {
+            unit: mask.as_dict()
+            for unit, mask in group.keys.committed_masks().items()
+            if mask is not None
+        }
+
+    def test_reuse_of_identical_committed_mask(self):
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(freq_task())
+        group = controller.groups[0]
+        pin = controller.export_placement(handle)
+        entry = pin["groups"][0]
+        before = group.keys.refcounts()
+        grant = group.keys.acquire_pinned(
+            entry["key_units"], dict(entry["key_masks"])
+        )
+        after = group.keys.refcounts()
+        for unit in entry["key_units"]:
+            assert after[unit] == before[unit] + 1
+        group.keys.release(grant.selector)
+
+    def test_conflicting_mask_is_denied(self):
+        controller = FlyMonController(num_groups=1)
+        handle = controller.add_task(freq_task())
+        group = controller.groups[0]
+        pin = controller.export_placement(handle)
+        entry = pin["groups"][0]
+        conflicting = {
+            unit: {"dst_ip": 7} for unit in entry["key_units"]
+        }
+        with pytest.raises(KeyExhaustedError):
+            group.keys.acquire_pinned(entry["key_units"], conflicting)
+
+    def test_unknown_unit_rejected(self):
+        controller = FlyMonController(num_groups=1)
+        group = controller.groups[0]
+        with pytest.raises(ValueError):
+            group.keys.acquire_pinned([99], {99: {"src_ip": 32}})
+
+
+class TestReserveTaskId:
+    def test_reserve_advances_the_counter(self):
+        from repro.core.task import next_task_id
+
+        reserve_task_id(50)
+        assert next_task_id() == 51
+
+
+class TestPinnedRoundTrip:
+    """add_task_pinned(export_placement(...)) reproduces add_task exactly."""
+
+    def build_pair(self, tasks):
+        reset_task_ids()
+        origin = FlyMonController(num_groups=3, place_on_pipeline=False)
+        handles = [origin.add_task(t) for t in tasks]
+        mirror = FlyMonController(num_groups=3, place_on_pipeline=False)
+        mirrored = [
+            mirror.add_task_pinned(h.task, origin.export_placement(h))
+            for h in handles
+        ]
+        return origin, handles, mirror, mirrored
+
+    def registers_of(self, controller):
+        out = {}
+        for group in controller.groups:
+            for cmu in group.cmus:
+                out[(group.group_id, cmu.index)] = np.asarray(
+                    cmu.register.snapshot_cells()
+                )
+        return out
+
+    def test_same_coordinates_and_ids(self):
+        origin, handles, mirror, mirrored = self.build_pair(
+            [freq_task(), hll_task()]
+        )
+        for h, m in zip(handles, mirrored):
+            assert m.task_id == h.task_id
+            for hr, mr in zip(h.rows, m.rows):
+                assert (hr.group.group_id, hr.cmu.index) == (
+                    mr.group.group_id,
+                    mr.cmu.index,
+                )
+                assert (hr.mem.base, hr.mem.length) == (mr.mem.base, mr.mem.length)
+
+    def test_registers_bit_identical_after_traffic(self):
+        origin, handles, mirror, mirrored = self.build_pair(
+            [freq_task(), hll_task(), bloom_task()]
+        )
+        trace = fabric_trace(num_packets=5000, seed=3)
+        origin.process_trace(trace)
+        mirror.process_trace(trace)
+        a, b = self.registers_of(origin), self.registers_of(mirror)
+        assert a.keys() == b.keys()
+        for key in a:
+            assert np.array_equal(a[key], b[key]), key
+        assert origin.control_digest() == mirror.control_digest()
+
+    def test_queries_agree(self):
+        origin, handles, mirror, mirrored = self.build_pair([freq_task()])
+        trace = fabric_trace(num_packets=4000, seed=4)
+        origin.process_trace(trace)
+        mirror.process_trace(trace)
+        for flow in list(trace.flow_sizes(KEY_SRC_IP))[:25]:
+            assert handles[0].algorithm.query(flow) == mirrored[0].algorithm.query(
+                flow
+            )
+
+    def test_remove_pinned_task_keeps_integrity(self):
+        origin, handles, mirror, mirrored = self.build_pair(
+            [freq_task(), hll_task()]
+        )
+        mirror.remove_task(mirrored[0])
+        assert mirror.verify_integrity().ok
+        # the freed range is reusable by an ordinary add
+        again = mirror.add_task(freq_task())
+        assert mirror.verify_integrity().ok
+
+    def test_pinned_conflict_with_existing_occupant(self):
+        reset_task_ids()
+        origin = FlyMonController(num_groups=3, place_on_pipeline=False)
+        handle = origin.add_task(freq_task())
+        pin = origin.export_placement(handle)
+        mirror = FlyMonController(num_groups=3, place_on_pipeline=False)
+        reset_task_ids()  # mirror's own task takes the same coordinates
+        mirror.add_task(freq_task())
+        with pytest.raises(PlacementError):
+            mirror.add_task_pinned(handle.task, pin)
+        assert mirror.verify_integrity().ok
+
+    def test_replay_history_reproduces_pinned_installs(self):
+        origin, handles, mirror, mirrored = self.build_pair(
+            [freq_task(), hll_task()]
+        )
+        state = mirror.checkpoint()
+        assert any(e["op"] == "add_pinned" for e in state["history"])
+        rebuilt = FlyMonController.from_checkpoint(state)
+        assert rebuilt.control_digest() == mirror.control_digest()
+
+
+class TestPinnedRollback:
+    def snapshot(self, controller):
+        return (
+            controller.control_digest(),
+            controller.free_buckets(),
+            {g.group_id: g.keys.refcounts() for g in controller.groups},
+            controller.runtime.deployments(),
+        )
+
+    @pytest.mark.parametrize(
+        "site,hit",
+        [(SITE_ALLOC_EXHAUSTED, 1), (SITE_ALLOC_EXHAUSTED, 2), (SITE_KEY_DENIED, 1)],
+    )
+    def test_pinned_install_rolls_back_bit_identically(self, site, hit):
+        reset_task_ids()
+        origin = FlyMonController(num_groups=3, place_on_pipeline=False)
+        handle = origin.add_task(freq_task())
+        pin = origin.export_placement(handle)
+        mirror = FlyMonController(num_groups=3, place_on_pipeline=False)
+        before = self.snapshot(mirror)
+        FAULTS.arm(site, hit=hit)
+        with pytest.raises((PlacementError, KeyExhaustedError, OutOfMemoryError)):
+            mirror.add_task_pinned(handle.task, pin)
+        assert FAULTS.fired()
+        assert self.snapshot(mirror) == before
+        assert mirror.verify_integrity().ok
+        FAULTS.reset()
+        # and the same install succeeds once the fault is gone
+        mirror.add_task_pinned(handle.task, pin)
+        assert mirror.verify_integrity().ok

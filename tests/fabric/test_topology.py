@@ -1,0 +1,147 @@
+"""Fabric topology validation, partitioning, and covering-set search."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.task import TaskFilter
+from repro.fabric import (
+    LAYER_AGG,
+    LAYER_CORE,
+    LAYER_EDGE,
+    FabricTopology,
+    SwitchSpec,
+    TopologyError,
+)
+
+
+def two_tier():
+    return FabricTopology(
+        2,
+        [
+            SwitchSpec("e0", LAYER_EDGE, frozenset({0, 1})),
+            SwitchSpec("e1", LAYER_EDGE, frozenset({2, 3})),
+            SwitchSpec("a0", LAYER_AGG, frozenset({0, 1, 2, 3})),
+            SwitchSpec("c0", LAYER_CORE, frozenset({0, 1, 2, 3})),
+        ],
+    )
+
+
+class TestValidation:
+    def test_within_layer_overlap_rejected(self):
+        with pytest.raises(TopologyError, match="both own block"):
+            FabricTopology(
+                1,
+                [
+                    SwitchSpec("e0", LAYER_EDGE, frozenset({0, 1})),
+                    SwitchSpec("e1", LAYER_EDGE, frozenset({1})),
+                ],
+            )
+
+    def test_edge_layer_must_cover_every_block(self):
+        with pytest.raises(TopologyError, match="ingress edge"):
+            FabricTopology(
+                2,
+                [SwitchSpec("e0", LAYER_EDGE, frozenset({0, 1}))],
+            )
+
+    def test_unknown_layer_and_bad_blocks(self):
+        with pytest.raises(TopologyError, match="unknown layer"):
+            FabricTopology(1, [SwitchSpec("x", "spine", frozenset({0, 1}))])
+        with pytest.raises(TopologyError, match="outside"):
+            FabricTopology(1, [SwitchSpec("x", LAYER_EDGE, frozenset({7}))])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            FabricTopology(
+                1,
+                [
+                    SwitchSpec("e0", LAYER_EDGE, frozenset({0})),
+                    SwitchSpec("e0", LAYER_EDGE, frozenset({1})),
+                ],
+            )
+
+
+class TestPreset:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_preset_edges_partition_all_blocks(self, n):
+        topo = FabricTopology.preset(n)
+        edges = topo.at_layer(LAYER_EDGE)
+        assert len(edges) == n
+        union = frozenset().union(*(e.blocks for e in edges))
+        assert union == frozenset(range(topo.num_blocks))
+        # the core spine sees everything
+        (core,) = topo.at_layer(LAYER_CORE)
+        assert core.blocks == frozenset(range(topo.num_blocks))
+
+    def test_spec_round_trip(self, tmp_path):
+        topo = two_tier()
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps(topo.to_spec()))
+        loaded = FabricTopology.load(str(path))
+        assert loaded.to_spec() == topo.to_spec()
+
+    def test_spec_switch_without_blocks_covers_everything(self):
+        topo = FabricTopology.from_spec(
+            {
+                "partition_bits": 2,
+                "switches": [
+                    {"name": "e0", "blocks": [0, 1]},
+                    {"name": "e1", "blocks": [2, 3]},
+                    {"name": "c0", "layer": "core"},
+                ],
+            }
+        )
+        assert topo.switches["c0"].blocks == frozenset({0, 1, 2, 3})
+
+
+class TestPartitioning:
+    def test_block_column_uses_top_bits(self):
+        topo = two_tier()
+        src = np.array([0x0A000001, 0x50000001, 0x8C000001, 0xDC000001])
+        assert list(topo.block_column(src)) == [0, 1, 2, 3]
+
+    def test_domain_luts_partition_edges(self):
+        topo = two_tier()
+        e0, e1 = topo.domain_lut("e0"), topo.domain_lut("e1")
+        assert not (e0 & e1).any()
+        assert (e0 | e1).all()
+
+    def test_blocks_for_filter_narrows_on_src_prefix(self):
+        topo = two_tier()
+        assert topo.blocks_for_filter(TaskFilter.match_all()) == frozenset(
+            {0, 1, 2, 3}
+        )
+        # /8 inside block 1 (first byte 0x50 -> top two bits 01)
+        f = TaskFilter.of(src_ip=(0x50000000, 8))
+        assert topo.blocks_for_filter(f) == frozenset({1})
+        # /1 spans the lower half of the space: blocks 0 and 1
+        f = TaskFilter.of(src_ip=(0x00000000, 1))
+        assert topo.blocks_for_filter(f) == frozenset({0, 1})
+        # non-src_ip constraints cannot narrow blocks
+        f = TaskFilter.of(dst_port=(443, 16))
+        assert topo.blocks_for_filter(f) == frozenset({0, 1, 2, 3})
+
+
+class TestCovering:
+    def test_covering_sets_per_layer(self):
+        topo = two_tier()
+        full = frozenset({0, 1, 2, 3})
+        sets = dict(topo.covering_sets(full))
+        assert sets[LAYER_EDGE] == ("e0", "e1")
+        assert sets[LAYER_AGG] == ("a0",)
+        assert sets[LAYER_CORE] == ("c0",)
+
+    def test_covering_sets_narrow_blocks_drop_uninvolved_edges(self):
+        topo = two_tier()
+        sets = dict(topo.covering_sets(frozenset({0})))
+        assert sets[LAYER_EDGE] == ("e0",)
+
+    def test_covering_switches_single_observers(self):
+        topo = two_tier()
+        assert set(topo.covering_switches(frozenset({0, 1, 2, 3}))) == {
+            "a0",
+            "c0",
+        }
+        assert set(topo.covering_switches(frozenset({0}))) == {"e0", "a0", "c0"}
